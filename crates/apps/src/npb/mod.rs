@@ -1,0 +1,17 @@
+//! NPB-like kernels (NAS Parallel Benchmarks 2.4 subset).
+//!
+//! The paper runs IS, EP, CG, MG and LU for class C on up to 64 processes
+//! (BCS-MPI lacked MPI groups, excluding BT/SP/FT). Each module here is a
+//! communication-faithful mini-kernel: identical communication pattern and
+//! call mix to the NPB original, real (small) data for verification, and a
+//! calibrated virtual compute charge per step (see [`crate::calib`]).
+//!
+//! [`ft`] goes beyond the paper: it needs the communicator support the
+//! prototype lacked, and demonstrates that the limitation is lifted.
+
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;

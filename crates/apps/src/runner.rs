@@ -1,0 +1,117 @@
+//! Run a workload on either MPI engine and report its runtime.
+
+use bcs_mpi::{BcsConfig, BcsMpi};
+use mpi_api::Mpi;
+use mpi_api::runtime::{JobLayout, RunOpts, run_job_opts};
+use quadrics_mpi::{QuadricsConfig, QuadricsMpi};
+use simcore::SimDuration;
+
+/// Which MPI implementation to run on.
+#[derive(Clone)]
+pub enum EngineSel {
+    Bcs(BcsConfig),
+    Quadrics(QuadricsConfig),
+}
+
+impl EngineSel {
+    pub fn bcs() -> EngineSel {
+        EngineSel::Bcs(BcsConfig::default())
+    }
+
+    pub fn quadrics() -> EngineSel {
+        EngineSel::Quadrics(QuadricsConfig::default())
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineSel::Bcs(_) => "BCS-MPI",
+            EngineSel::Quadrics(_) => "Quadrics MPI",
+        }
+    }
+}
+
+/// Result of one application run.
+pub struct AppOutcome<R> {
+    /// Virtual wall time of the job.
+    pub elapsed: SimDuration,
+    /// Per-rank results (verification values).
+    pub results: Vec<R>,
+    /// Discrete events executed (simulation cost diagnostic).
+    pub events: u64,
+}
+
+/// Execute `program` as an MPI job on the selected engine.
+pub fn run_app<R, F>(sel: &EngineSel, layout: JobLayout, program: F) -> AppOutcome<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+{
+    // A generous livelock guard: no experiment in the suite runs longer
+    // than an hour of virtual time.
+    let opts = RunOpts {
+        max_virtual: Some(SimDuration::secs(3600)),
+    };
+    match sel {
+        EngineSel::Bcs(cfg) => {
+            let out = run_job_opts(BcsMpi::new(cfg.clone(), &layout), layout, program, opts);
+            AppOutcome {
+                elapsed: out.elapsed,
+                results: out.results,
+                events: out.events,
+            }
+        }
+        EngineSel::Quadrics(cfg) => {
+            let out = run_job_opts(
+                QuadricsMpi::new(cfg.clone(), &layout),
+                layout,
+                program,
+                opts,
+            );
+            AppOutcome {
+                elapsed: out.elapsed,
+                results: out.results,
+                events: out.events,
+            }
+        }
+    }
+}
+
+/// Percentage slowdown of `bcs` relative to `quadrics`
+/// (positive = BCS-MPI slower, the convention of the paper's Table 2).
+pub fn slowdown_pct(bcs: SimDuration, quadrics: SimDuration) -> f64 {
+    (bcs.as_secs_f64() / quadrics.as_secs_f64() - 1.0) * 100.0
+}
+
+/// Near-square process grid `(px, py)` with `px * py == n` and `px <= py`.
+pub fn grid_dims(n: usize) -> (usize, usize) {
+    let mut best = (1, n);
+    let mut d = 1;
+    while d * d <= n {
+        if n % d == 0 {
+            best = (d, n / d);
+        }
+        d += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_near_square() {
+        assert_eq!(grid_dims(62), (2, 31));
+        assert_eq!(grid_dims(64), (8, 8));
+        assert_eq!(grid_dims(16), (4, 4));
+        assert_eq!(grid_dims(7), (1, 7));
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn slowdown_sign_convention() {
+        assert!(slowdown_pct(SimDuration::secs(11), SimDuration::secs(10)) > 9.9);
+        assert!(slowdown_pct(SimDuration::secs(9), SimDuration::secs(10)) < 0.0);
+    }
+}

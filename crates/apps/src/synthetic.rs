@@ -1,0 +1,155 @@
+//! The two synthetic benchmarks of §5.2.
+//!
+//! "Many scientific codes display a bulk-synchronous behavior and can be
+//! characterized by a nearest-neighbor communication stencil, optionally
+//! followed by a global synchronization operation."
+//!
+//! * [`barrier_loop`] — every process computes for a parametric amount of
+//!   time and globally synchronizes, in a loop (Figures 8a/8b);
+//! * [`neighbor_loop`] — every process computes, exchanges a fixed number of
+//!   non-blocking point-to-point messages with a set of neighbors, and waits
+//!   for completion, in a loop (Figures 8c/8d; the paper uses 4 neighbors
+//!   and 4 KB messages).
+
+use mpi_api::Mpi;
+use mpi_api::message::{SrcSel, TagSel};
+use simcore::SimDuration;
+
+/// Configuration of the compute+barrier benchmark.
+#[derive(Clone, Debug)]
+pub struct BarrierLoopCfg {
+    /// Computational granularity per iteration.
+    pub granularity: SimDuration,
+    pub iters: u64,
+}
+
+/// Benchmark 1: compute, then barrier, in a loop. Returns the number of
+/// barriers executed (trivially verifiable).
+pub fn barrier_loop(cfg: BarrierLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
+    move |mpi| {
+        for _ in 0..cfg.iters {
+            mpi.compute(cfg.granularity);
+            mpi.barrier();
+        }
+        cfg.iters
+    }
+}
+
+/// Configuration of the compute+nearest-neighbour benchmark.
+#[derive(Clone, Debug)]
+pub struct NeighborLoopCfg {
+    pub granularity: SimDuration,
+    pub iters: u64,
+    /// Number of neighbours (paper: 4 — ranks at ±1, ±2 on a ring).
+    pub neighbors: usize,
+    /// Message size (paper: 4 KB).
+    pub msg_bytes: usize,
+}
+
+impl NeighborLoopCfg {
+    /// The paper's parameters: 4 neighbours, 4 KB messages.
+    pub fn paper(granularity: SimDuration, iters: u64) -> NeighborLoopCfg {
+        NeighborLoopCfg {
+            granularity,
+            iters,
+            neighbors: 4,
+            msg_bytes: 4096,
+        }
+    }
+}
+
+/// Benchmark 2: compute, post non-blocking exchanges with the ring
+/// neighbours, wait for all. Returns a checksum of everything received.
+pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
+    move |mpi| {
+        let n = mpi.size();
+        let me = mpi.rank();
+        assert!(cfg.neighbors < n, "need more ranks than neighbours");
+        // Symmetric neighbour set on a ring: ±1, ±2, ...
+        let offsets: Vec<usize> = (1..=cfg.neighbors.div_ceil(2)).collect();
+        let mut peers: Vec<usize> = Vec::new();
+        for &o in &offsets {
+            peers.push((me + o) % n);
+            if peers.len() < cfg.neighbors {
+                peers.push((me + n - o) % n);
+            }
+        }
+        let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me + i) as u8).collect();
+        let mut checksum = 0u64;
+        for it in 0..cfg.iters {
+            mpi.compute(cfg.granularity);
+            let tag = (it % 1024) as i32;
+            let mut reqs = Vec::with_capacity(2 * peers.len());
+            for &p in &peers {
+                reqs.push(mpi.isend(p, tag, &payload));
+            }
+            for &p in &peers {
+                reqs.push(mpi.irecv(SrcSel::Rank(p), TagSel::Tag(tag)));
+            }
+            let results = mpi.waitall(&reqs);
+            for (i, (data, _)) in results.iter().enumerate() {
+                if i >= peers.len() {
+                    let data = data.as_ref().expect("recv payload");
+                    assert_eq!(data.len(), cfg.msg_bytes);
+                    checksum = checksum
+                        .wrapping_add(data[0] as u64)
+                        .wrapping_add(data[cfg.msg_bytes - 1] as u64);
+                }
+            }
+        }
+        checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{EngineSel, run_app, slowdown_pct};
+    use mpi_api::runtime::JobLayout;
+
+    #[test]
+    fn barrier_loop_runs_on_both_engines() {
+        let cfg = BarrierLoopCfg {
+            granularity: SimDuration::millis(2),
+            iters: 5,
+        };
+        let layout = JobLayout::new(4, 2, 8);
+        let b = run_app(&EngineSel::bcs(), layout.clone(), barrier_loop(cfg.clone()));
+        let q = run_app(&EngineSel::quadrics(), layout, barrier_loop(cfg));
+        assert!(b.results.iter().all(|&n| n == 5));
+        assert!(q.results.iter().all(|&n| n == 5));
+        // BCS pays slice quantization per barrier; baseline is ~free.
+        assert!(b.elapsed > q.elapsed);
+    }
+
+    #[test]
+    fn neighbor_loop_checksums_agree_across_engines() {
+        let cfg = NeighborLoopCfg::paper(SimDuration::millis(3), 4);
+        let layout = JobLayout::new(4, 2, 8);
+        let b = run_app(&EngineSel::bcs(), layout.clone(), neighbor_loop(cfg.clone()));
+        let q = run_app(&EngineSel::quadrics(), layout, neighbor_loop(cfg));
+        assert_eq!(b.results, q.results, "payloads must be engine-independent");
+    }
+
+    #[test]
+    fn slowdown_shrinks_with_granularity() {
+        // The core claim of Figure 8(a): coarser grain amortizes the slices.
+        let layout = || JobLayout::new(4, 2, 8);
+        let measure = |g_ms: u64| {
+            let cfg = BarrierLoopCfg {
+                granularity: SimDuration::millis(g_ms),
+                iters: 6,
+            };
+            let b = run_app(&EngineSel::bcs(), layout(), barrier_loop(cfg.clone()));
+            let q = run_app(&EngineSel::quadrics(), layout(), barrier_loop(cfg));
+            slowdown_pct(b.elapsed, q.elapsed)
+        };
+        let fine = measure(1);
+        let coarse = measure(20);
+        assert!(
+            fine > coarse,
+            "slowdown must decrease with granularity: {fine:.1}% -> {coarse:.1}%"
+        );
+        assert!(coarse < 12.0, "coarse-grain slowdown {coarse:.1}% too high");
+    }
+}

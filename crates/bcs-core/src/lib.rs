@@ -1,0 +1,532 @@
+//! # bcs-core — the three BCS core primitives
+//!
+//! The entire BCS system software stack (STORM resource management, BCS-MPI,
+//! and in the paper's vision parallel file systems and fault tolerance) is
+//! built on exactly three operations (paper §2):
+//!
+//! * **`Xfer-And-Signal`** — atomically transfer a block of data from local
+//!   memory to the global memory of a *set* of nodes, optionally signalling a
+//!   local and/or remote event on completion. Non-blocking.
+//! * **`Test-Event`** — poll a local event, optionally blocking until it has
+//!   been signalled.
+//! * **`Compare-And-Write`** — compare a *global variable* (same virtual
+//!   address on every node) against a local value with `>=, <, ==, !=`; if
+//!   the condition holds on **all** nodes of the set, optionally write a new
+//!   value to a (possibly different) global variable on all of them.
+//!   Blocking, sequentially consistent.
+//!
+//! This crate implements those semantics on the simulated fabric:
+//! [`BcsCluster`] holds per-node *global words* (the global variables) and
+//! *event words* (Elan-style counting events with waiters), and drives the
+//! fabric's multicast/conditional transports. Sequential consistency of
+//! `Xfer-And-Signal` and `Compare-And-Write` follows from the fabric's root
+//! serializer, which totally orders collective wire operations.
+//!
+//! Higher layers own the simulation world `W` and embed a `BcsCluster<W>` in
+//! it; the [`BcsWorld`] accessor trait lets deferred completions find the
+//! cluster again.
+
+use qsnet::{Fabric, NodeId};
+use simcore::{Sim, SimTime};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Accessor implemented by every simulation world that embeds a BCS cluster.
+pub trait BcsWorld: Sized + 'static {
+    fn bcs(&mut self) -> &mut BcsCluster<Self>;
+}
+
+/// Implemented by engines that own a [`BcsCluster`] over world `W`. Lets a
+/// foreign world wrapper (e.g. `mpi-api`'s `ClusterWorld<E>`) forward
+/// [`BcsWorld`] to the engine without violating the orphan rules.
+pub trait BcsHost<W> {
+    fn bcs_cluster(&mut self) -> &mut BcsCluster<W>;
+}
+
+/// Address of a global variable: the same "virtual address" designates one
+/// word on every node (paper §2, semantics point 1).
+pub type GlobalWord = u32;
+
+/// Address of a local event word.
+pub type EventWord = u32;
+
+/// Comparison operator of `Compare-And-Write`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Ge,
+    Lt,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    #[inline]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// Optional write performed by a successful `Compare-And-Write`.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteSpec {
+    pub word: GlobalWord,
+    pub value: i64,
+}
+
+/// Per-destination delivery hook of `Xfer-And-Signal`: higher layers use it
+/// to deposit payloads (descriptors, strobes) into NIC data structures.
+pub type DeliverFn<W> = Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)>;
+
+/// Options of one `Xfer-And-Signal` invocation.
+pub struct XsOpts<W> {
+    /// Event signalled on each destination node at its delivery instant.
+    pub remote_event: Option<EventWord>,
+    /// Event signalled on the source node once all deliveries completed.
+    pub local_event: Option<EventWord>,
+    /// Arbitrary per-destination delivery action.
+    pub on_deliver: Option<DeliverFn<W>>,
+}
+
+impl<W> Default for XsOpts<W> {
+    fn default() -> Self {
+        XsOpts {
+            remote_event: None,
+            local_event: None,
+            on_deliver: None,
+        }
+    }
+}
+
+struct EventState<W> {
+    pending: u32,
+    waiters: Vec<Box<dyn FnOnce(&mut W, &mut Sim<W>)>>,
+}
+
+impl<W> Default for EventState<W> {
+    fn default() -> Self {
+        EventState {
+            pending: 0,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+struct NodeCtl<W> {
+    words: HashMap<GlobalWord, i64>,
+    events: HashMap<EventWord, EventState<W>>,
+}
+
+impl<W> Default for NodeCtl<W> {
+    fn default() -> Self {
+        NodeCtl {
+            words: HashMap::new(),
+            events: HashMap::new(),
+        }
+    }
+}
+
+/// The BCS abstract machine: global words + events on every node, over the
+/// simulated fabric.
+pub struct BcsCluster<W> {
+    pub fabric: Fabric,
+    nodes: Vec<NodeCtl<W>>,
+}
+
+impl<W: BcsWorld> BcsCluster<W> {
+    pub fn new(fabric: Fabric) -> BcsCluster<W> {
+        let n = fabric.nodes();
+        BcsCluster {
+            fabric,
+            nodes: (0..n).map(|_| NodeCtl::default()).collect(),
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Global words
+    // ------------------------------------------------------------------
+
+    /// Read a global word on one node (zero if never written).
+    pub fn word(&self, node: NodeId, addr: GlobalWord) -> i64 {
+        *self.nodes[node.0].words.get(&addr).unwrap_or(&0)
+    }
+
+    /// Write a global word locally (no network traffic — used by NIC threads
+    /// updating their own node's state).
+    pub fn set_word(&mut self, node: NodeId, addr: GlobalWord, value: i64) {
+        self.nodes[node.0].words.insert(addr, value);
+    }
+
+    /// Add to a global word locally, returning the new value.
+    pub fn add_word(&mut self, node: NodeId, addr: GlobalWord, delta: i64) -> i64 {
+        let w = self.nodes[node.0].words.entry(addr).or_insert(0);
+        *w += delta;
+        *w
+    }
+
+    // ------------------------------------------------------------------
+    // Test-Event (and local signalling)
+    // ------------------------------------------------------------------
+
+    /// Signal an event on a node: wakes one waiter if present, otherwise
+    /// increments the pending count (Elan events are counters).
+    pub fn signal_event(w: &mut W, sim: &mut Sim<W>, node: NodeId, ev: EventWord) {
+        let st = w.bcs().nodes[node.0].events.entry(ev).or_default();
+        if let Some(waiter) = pop_waiter(st) {
+            waiter(w, sim);
+        } else {
+            st.pending += 1;
+        }
+    }
+
+    /// Non-blocking `Test-Event`: returns true (consuming one signal) if the
+    /// event has been signalled.
+    pub fn test_event(&mut self, node: NodeId, ev: EventWord) -> bool {
+        let st = self.nodes[node.0].events.entry(ev).or_default();
+        if st.pending > 0 {
+            st.pending -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocking `Test-Event`: run `cont` as soon as the event is signalled
+    /// (immediately if a signal is already pending).
+    pub fn wait_event(
+        w: &mut W,
+        sim: &mut Sim<W>,
+        node: NodeId,
+        ev: EventWord,
+        cont: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        let st = w.bcs().nodes[node.0].events.entry(ev).or_default();
+        if st.pending > 0 {
+            st.pending -= 1;
+            cont(w, sim);
+        } else {
+            st.waiters.push(Box::new(cont));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Xfer-And-Signal
+    // ------------------------------------------------------------------
+
+    /// Atomic PUT of `bytes` from `src` to every node in `dests`, with
+    /// optional event signalling and a per-destination delivery hook.
+    /// Returns the completion time (last delivery).
+    pub fn xfer_and_signal(
+        w: &mut W,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        bytes: u64,
+        opts: XsOpts<W>,
+    ) -> SimTime {
+        assert!(!dests.is_empty(), "Xfer-And-Signal with empty destination set");
+        let remote_event = opts.remote_event;
+        let user_deliver = opts.on_deliver;
+        let per_dest: Option<DeliverFn<W>> =
+            if remote_event.is_some() || user_deliver.is_some() {
+                Some(Rc::new(move |w: &mut W, sim: &mut Sim<W>, d: NodeId| {
+                    if let Some(cb) = &user_deliver {
+                        cb(w, sim, d);
+                    }
+                    if let Some(ev) = remote_event {
+                        BcsCluster::signal_event(w, sim, d, ev);
+                    }
+                }))
+            } else {
+                None
+            };
+        let local_event = opts.local_event;
+        let on_complete = move |w: &mut W, sim: &mut Sim<W>| {
+            if let Some(ev) = local_event {
+                BcsCluster::signal_event(w, sim, src, ev);
+            }
+        };
+
+        if dests.len() == 1 && dests[0] != src {
+            // Single destination: plain unicast DMA.
+            let d = dests[0];
+            w.bcs().fabric.put(sim, src, d, bytes, move |w, sim| {
+                if let Some(cb) = &per_dest {
+                    cb(w, sim, d);
+                }
+                on_complete(w, sim);
+            })
+        } else {
+            w.bcs()
+                .fabric
+                .multicast(sim, src, dests, bytes, per_dest, on_complete)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Compare-And-Write
+    // ------------------------------------------------------------------
+
+    /// Global conditional: evaluate `word <op> value` on every node of
+    /// `dests`; if it holds on **all** of them, apply `write` (if any) to all
+    /// of them; finally run `cont` with the outcome.
+    ///
+    /// Evaluation and write happen atomically at the operation's fire time,
+    /// and fire times are totally ordered by the fabric's root serializer, so
+    /// concurrent `Compare-And-Write`s with overlapping destination sets are
+    /// sequentially consistent (paper §2, point 2).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compare_and_write(
+        w: &mut W,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        word: GlobalWord,
+        op: CmpOp,
+        value: i64,
+        write: Option<WriteSpec>,
+        cont: impl FnOnce(&mut W, &mut Sim<W>, bool) + 'static,
+    ) -> SimTime {
+        assert!(!dests.is_empty(), "Compare-And-Write with empty destination set");
+        let dests: Vec<NodeId> = dests.to_vec();
+        let span = dests.len();
+        w.bcs()
+            .fabric
+            .conditional(sim, src, span, move |w: &mut W, sim: &mut Sim<W>| {
+                let bcs = w.bcs();
+                let ok = dests.iter().all(|&d| op.eval(bcs.word(d, word), value));
+                if ok {
+                    if let Some(ws) = write {
+                        for &d in &dests {
+                            bcs.set_word(d, ws.word, ws.value);
+                        }
+                    }
+                }
+                cont(w, sim, ok);
+            })
+    }
+}
+
+/// Split out so the borrow of the event map ends before the waiter runs.
+fn pop_waiter<W>(st: &mut EventState<W>) -> Option<Box<dyn FnOnce(&mut W, &mut Sim<W>)>> {
+    if st.waiters.is_empty() {
+        None
+    } else {
+        Some(st.waiters.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnet::NetModel;
+    use simcore::SimDuration;
+
+    struct TestWorld {
+        bcs: BcsCluster<TestWorld>,
+        log: Vec<(u64, String)>,
+    }
+
+    impl BcsWorld for TestWorld {
+        fn bcs(&mut self) -> &mut BcsCluster<TestWorld> {
+            &mut self.bcs
+        }
+    }
+
+    fn setup(nodes: usize) -> (TestWorld, Sim<TestWorld>) {
+        let fabric = Fabric::new(NetModel::qsnet(), nodes);
+        (
+            TestWorld {
+                bcs: BcsCluster::new(fabric),
+                log: vec![],
+            },
+            Sim::new(),
+        )
+    }
+
+    #[test]
+    fn xfer_and_signal_signals_remote_and_local_events() {
+        let (mut w, mut sim) = setup(8);
+        let dests: Vec<NodeId> = (1..8).map(NodeId).collect();
+        BcsCluster::xfer_and_signal(
+            &mut w,
+            &mut sim,
+            NodeId(0),
+            &dests,
+            256,
+            XsOpts {
+                remote_event: Some(7),
+                local_event: Some(9),
+                on_deliver: Some(Rc::new(|w: &mut TestWorld, s: &mut Sim<TestWorld>, d| {
+                    w.log.push((s.now().0, format!("deliver@{d}")));
+                })),
+            },
+        );
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 7);
+        for d in 1..8 {
+            assert!(w.bcs.test_event(NodeId(d), 7), "remote event missing on n{d}");
+            assert!(!w.bcs.test_event(NodeId(d), 7), "event should be consumed");
+        }
+        assert!(w.bcs.test_event(NodeId(0), 9), "local completion event missing");
+    }
+
+    #[test]
+    fn xfer_and_signal_unicast_path() {
+        let (mut w, mut sim) = setup(4);
+        let t = BcsCluster::xfer_and_signal(
+            &mut w,
+            &mut sim,
+            NodeId(0),
+            &[NodeId(3)],
+            64,
+            XsOpts {
+                remote_event: Some(1),
+                ..Default::default()
+            },
+        );
+        sim.run(&mut w);
+        assert!(w.bcs.test_event(NodeId(3), 1));
+        // Unicast should not pay the multicast/root serialization.
+        assert!(t.since(SimTime::ZERO) < SimDuration::micros(5));
+        assert_eq!(w.bcs.fabric.stats().puts, 1);
+        assert_eq!(w.bcs.fabric.stats().multicasts, 0);
+    }
+
+    #[test]
+    fn wait_event_fires_immediately_when_pending() {
+        let (mut w, mut sim) = setup(2);
+        BcsCluster::signal_event(&mut w, &mut sim, NodeId(1), 3);
+        BcsCluster::wait_event(&mut w, &mut sim, NodeId(1), 3, |w, s| {
+            w.log.push((s.now().0, "woke".into()));
+        });
+        assert_eq!(w.log.len(), 1, "pending signal should satisfy wait at once");
+    }
+
+    #[test]
+    fn wait_event_blocks_until_signal() {
+        let (mut w, mut sim) = setup(2);
+        BcsCluster::wait_event(&mut w, &mut sim, NodeId(0), 5, |w, s| {
+            w.log.push((s.now().0, "woke".into()));
+        });
+        assert!(w.log.is_empty());
+        // Remote signal via Xfer-And-Signal.
+        BcsCluster::xfer_and_signal(
+            &mut w,
+            &mut sim,
+            NodeId(1),
+            &[NodeId(0)],
+            64,
+            XsOpts {
+                remote_event: Some(5),
+                ..Default::default()
+            },
+        );
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 1);
+        assert!(w.log[0].0 > 0, "wake must happen at delivery time");
+    }
+
+    #[test]
+    fn compare_and_write_requires_all_nodes() {
+        let (mut w, mut sim) = setup(4);
+        const FLAG: GlobalWord = 11;
+        for n in 0..3 {
+            w.bcs.set_word(NodeId(n), FLAG, 1);
+        }
+        // Node 3 still has FLAG == 0: conditional must fail.
+        BcsCluster::compare_and_write(
+            &mut w,
+            &mut sim,
+            NodeId(0),
+            &(0..4).map(NodeId).collect::<Vec<_>>(),
+            FLAG,
+            CmpOp::Ge,
+            1,
+            Some(WriteSpec { word: 12, value: 99 }),
+            |w, s, ok| w.log.push((s.now().0, format!("cw={ok}"))),
+        );
+        sim.run(&mut w);
+        assert_eq!(w.log[0].1, "cw=false");
+        assert_eq!(w.bcs.word(NodeId(0), 12), 0, "failed C&W must not write");
+
+        // Now satisfy node 3 and retry.
+        w.bcs.set_word(NodeId(3), FLAG, 1);
+        BcsCluster::compare_and_write(
+            &mut w,
+            &mut sim,
+            NodeId(0),
+            &(0..4).map(NodeId).collect::<Vec<_>>(),
+            FLAG,
+            CmpOp::Ge,
+            1,
+            Some(WriteSpec { word: 12, value: 99 }),
+            |w, s, ok| w.log.push((s.now().0, format!("cw={ok}"))),
+        );
+        sim.run(&mut w);
+        assert_eq!(w.log[1].1, "cw=true");
+        for n in 0..4 {
+            assert_eq!(w.bcs.word(NodeId(n), 12), 99, "write must reach all nodes");
+        }
+    }
+
+    #[test]
+    fn compare_and_write_ops() {
+        assert!(CmpOp::Ge.eval(3, 3));
+        assert!(!CmpOp::Ge.eval(2, 3));
+        assert!(CmpOp::Lt.eval(2, 3));
+        assert!(CmpOp::Eq.eval(5, 5));
+        assert!(CmpOp::Ne.eval(5, 6));
+    }
+
+    #[test]
+    fn overlapping_compare_and_writes_are_sequentially_consistent() {
+        // Two C&Ws race to claim a lock word: exactly one must win, and
+        // afterwards every node agrees on the value (total order).
+        let (mut w, mut sim) = setup(8);
+        const LOCK: GlobalWord = 1;
+        let all: Vec<NodeId> = (0..8).map(NodeId).collect();
+        for claimant in [2i64, 3i64] {
+            let dests = all.clone();
+            BcsCluster::compare_and_write(
+                &mut w,
+                &mut sim,
+                NodeId(claimant as usize),
+                &dests,
+                LOCK,
+                CmpOp::Eq,
+                0,
+                Some(WriteSpec {
+                    word: LOCK,
+                    value: claimant,
+                }),
+                move |w, s, ok| w.log.push((s.now().0, format!("claim{claimant}={ok}"))),
+            );
+        }
+        sim.run(&mut w);
+        let wins: Vec<&String> = w.log.iter().map(|(_, m)| m).collect();
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0], "claim2=true", "first in serializer order wins");
+        assert_eq!(wins[1], "claim3=false", "second must observe the write");
+        let v = w.bcs.word(NodeId(0), LOCK);
+        assert!((1..=8).all(|n| w.bcs.word(NodeId(n - 1), LOCK) == v));
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn global_word_default_and_add() {
+        let (mut w, _sim) = setup(2);
+        assert_eq!(w.bcs.word(NodeId(0), 42), 0);
+        assert_eq!(w.bcs.add_word(NodeId(0), 42, 5), 5);
+        assert_eq!(w.bcs.add_word(NodeId(0), 42, -2), 3);
+        assert_eq!(w.bcs.word(NodeId(1), 42), 0, "words are per node");
+    }
+}

@@ -1,0 +1,48 @@
+//! Miniature end-to-end application benchmarks: one figure-8-style point on
+//! each engine, sized to run in milliseconds so `cargo bench` stays fast.
+//! The virtual-time results are the experiment; this measures the harness.
+
+use apps::runner::{EngineSel, run_app};
+use apps::synthetic::{BarrierLoopCfg, NeighborLoopCfg, barrier_loop, neighbor_loop};
+use criterion::{Criterion, criterion_group, criterion_main};
+use mpi_api::runtime::JobLayout;
+use simcore::SimDuration;
+use std::hint::black_box;
+
+fn bench_barrier_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_loop_16r_10x2ms");
+    for (name, sel) in [("bcs", EngineSel::bcs()), ("quadrics", EngineSel::quadrics())] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = BarrierLoopCfg {
+                    granularity: SimDuration::millis(2),
+                    iters: 10,
+                };
+                let out = run_app(&sel, JobLayout::new(8, 2, 16), barrier_loop(cfg));
+                black_box(out.elapsed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_neighbor_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbor_loop_16r_10x2ms");
+    for (name, sel) in [("bcs", EngineSel::bcs()), ("quadrics", EngineSel::quadrics())] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = NeighborLoopCfg::paper(SimDuration::millis(2), 10);
+                let out = run_app(&sel, JobLayout::new(8, 2, 16), neighbor_loop(cfg));
+                black_box(out.elapsed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_barrier_loop, bench_neighbor_loop
+);
+criterion_main!(benches);

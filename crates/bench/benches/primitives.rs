@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the BCS core primitives on every Table 1
+//! network model. Each iteration builds a fresh simulated fabric and runs
+//! one primitive to completion, so the numbers measure *simulator* cost;
+//! the reported virtual-time latencies are what `repro table1` prints.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use qsnet::NetModel;
+use simcore::Sim;
+use std::hint::black_box;
+use storm::StormWorld;
+
+fn bench_compare_and_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compare_and_write_sim");
+    for model in [NetModel::qsnet(), NetModel::myrinet()] {
+        g.bench_function(model.name, |b| {
+            b.iter(|| {
+                let mut w = StormWorld::new(model.clone(), 32);
+                let mut sim: Sim<StormWorld> = Sim::new();
+                let nodes = w.nodes();
+                let mgmt = w.mgmt;
+                let t = bcs_core::BcsCluster::compare_and_write(
+                    &mut w,
+                    &mut sim,
+                    mgmt,
+                    &nodes,
+                    1,
+                    bcs_core::CmpOp::Ge,
+                    0,
+                    None,
+                    |_, _, _| {},
+                );
+                sim.run(&mut w);
+                black_box(t)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_xfer_and_signal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xfer_and_signal_sim");
+    for nodes in [8usize, 64] {
+        g.bench_function(format!("qsnet_multicast_{nodes}"), |b| {
+            b.iter(|| {
+                let mut w = StormWorld::new(NetModel::qsnet(), nodes);
+                let mut sim: Sim<StormWorld> = Sim::new();
+                let dests = w.nodes();
+                let mgmt = w.mgmt;
+                let t = bcs_core::BcsCluster::xfer_and_signal(
+                    &mut w,
+                    &mut sim,
+                    mgmt,
+                    &dests,
+                    4096,
+                    bcs_core::XsOpts::default(),
+                );
+                sim.run(&mut w);
+                black_box(t)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare_and_write, bench_xfer_and_signal);
+criterion_main!(benches);

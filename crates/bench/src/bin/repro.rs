@@ -1,0 +1,115 @@
+//! `repro` — regenerate every table and figure of the BCS-MPI paper.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <experiment>...
+//! repro all            # everything (slow: paper-scale 62-rank runs)
+//! repro --quick all    # CI-sized sweep of every experiment
+//! repro fig9 fig11a    # selected experiments
+//! ```
+//!
+//! Experiments: table1, fig2, fig8a, fig8b, fig8c, fig8d, fig9, fig10,
+//! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
+//! ablation-chunk, ablation-multijob, storm-launch.
+
+use bench::Report;
+use bench::experiments as ex;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("reports");
+    let mut picks: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--out DIR] <experiment>... | all");
+                println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
+                println!("             fig11a fig11b ablation-slice ablation-reduce");
+                println!("             ablation-noise ablation-chunk ablation-multijob");
+                println!("             storm-launch");
+                return;
+            }
+            other => picks.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if picks.is_empty() {
+        picks.push("all".to_string());
+    }
+    let all = picks.iter().any(|p| p == "all");
+    let want = |name: &str| all || picks.iter().any(|p| p == name);
+
+    let mut emitted: Vec<(String, Report)> = Vec::new();
+    let mut emit = |name: &str, r: Report| {
+        println!("{}", r.render());
+        emitted.push((name.to_string(), r));
+    };
+
+    if want("table1") {
+        emit("table1", ex::table1());
+    }
+    if want("fig2") {
+        emit("fig2", ex::fig2());
+    }
+    if want("fig8a") {
+        emit("fig8a", ex::fig8a(quick));
+    }
+    if want("fig8b") {
+        emit("fig8b", ex::fig8b(quick));
+    }
+    if want("fig8c") {
+        emit("fig8c", ex::fig8c(quick));
+    }
+    if want("fig8d") {
+        emit("fig8d", ex::fig8d(quick));
+    }
+    if want("fig9") {
+        let (runtimes, table2) = ex::fig9(quick);
+        emit("fig9_runtimes", runtimes);
+        emit("table2", table2);
+    }
+    if want("fig10") {
+        emit("fig10", ex::fig10(quick));
+    }
+    if want("fig11a") {
+        emit("fig11a", ex::fig11(quick, apps::sweep3d::SweepVariant::Blocking));
+    }
+    if want("fig11b") {
+        emit(
+            "fig11b",
+            ex::fig11(quick, apps::sweep3d::SweepVariant::NonBlocking),
+        );
+    }
+    if want("ablation-slice") {
+        emit("ablation_slice", ex::ablation_slice(quick));
+    }
+    if want("ablation-reduce") {
+        emit("ablation_reduce", ex::ablation_reduce(quick));
+    }
+    if want("ablation-noise") {
+        emit("ablation_noise", ex::ablation_noise(quick));
+    }
+    if want("ablation-chunk") {
+        emit("ablation_chunk", ex::ablation_chunk(quick));
+    }
+    if want("ablation-multijob") {
+        emit("ablation_multijob", ex::ablation_multijob());
+    }
+    if want("storm-launch") {
+        emit("storm_launch", ex::storm_launch());
+    }
+
+    for (name, r) in &emitted {
+        if let Err(e) = r.write_csv(&out_dir, name) {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+    }
+    println!("wrote {} CSV file(s) to {}", emitted.len(), out_dir.display());
+}

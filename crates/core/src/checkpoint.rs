@@ -1,0 +1,174 @@
+//! Slice-boundary checkpointing of the global communication state.
+//!
+//! §6 of the paper: "a scheduled, deterministic communication behavior at
+//! system level could provide a solid infrastructure for implementing
+//! transparent fault tolerance", and §1: "the fact that the communication
+//! state of all processes is known at the beginning of every time slice
+//! facilitates the implementation of checkpointing and debugging
+//! mechanisms."
+//!
+//! This module realizes that claim for the communication subsystem: at a
+//! slice boundary the protocol is *quiescent* — no microphase in flight, no
+//! partial matches, every in-flight transfer parked at a chunk boundary —
+//! so the entire global communication state has a well-defined, serializable
+//! snapshot. [`CommCheckpoint`] captures it; its digest is deterministic, so
+//! two replicas (or a replay after restart) can be validated cheaply.
+//!
+//! Restoring full application state would additionally need process-memory
+//! snapshots, which the NM would take during the same boundary; that part is
+//! host-OS territory and out of scope here.
+
+use crate::engine::BcsMpi;
+
+/// Snapshot of one in-flight (chunked) transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InflightEntry {
+    pub msg: u64,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    pub total: u64,
+    pub moved: u64,
+}
+
+/// Snapshot of one node's NIC queues.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NodeCheckpoint {
+    /// Send descriptors awaiting exchange (msg id, dst rank, bytes).
+    pub pending_sends: Vec<(u64, usize, usize)>,
+    /// Posted receive descriptors (request id, dst rank).
+    pub pending_recvs: Vec<(u64, usize)>,
+    /// Remote send descriptors awaiting a match (msg id, src rank).
+    pub unmatched: Vec<(u64, usize)>,
+    /// Chunked transfers in progress.
+    pub inflight: Vec<InflightEntry>,
+}
+
+/// The global communication state at a slice boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommCheckpoint {
+    /// Slice number about to start.
+    pub slice: u64,
+    pub nodes: Vec<NodeCheckpoint>,
+    /// Requests still open: (id, owner, complete).
+    pub open_requests: Vec<(u64, usize, bool)>,
+    /// Ranks currently suspended by the NM.
+    pub suspended_ranks: Vec<usize>,
+    /// Collective rounds in progress: (slot, round, arrived).
+    pub open_collectives: Vec<(usize, u64, usize)>,
+}
+
+impl CommCheckpoint {
+    /// A cheap, deterministic digest (FNV-1a over the canonical encoding),
+    /// suitable for cross-replica validation.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.slice);
+        for (i, n) in self.nodes.iter().enumerate() {
+            mix(i as u64 ^ 0x1111);
+            for &(m, d, b) in &n.pending_sends {
+                mix(m);
+                mix(d as u64);
+                mix(b as u64);
+            }
+            for &(r, d) in &n.pending_recvs {
+                mix(r ^ 0x2222);
+                mix(d as u64);
+            }
+            for &(m, s) in &n.unmatched {
+                mix(m ^ 0x3333);
+                mix(s as u64);
+            }
+            for e in &n.inflight {
+                mix(e.msg ^ 0x4444);
+                mix(e.moved);
+                mix(e.total);
+            }
+        }
+        for &(id, owner, complete) in &self.open_requests {
+            mix(id ^ 0x5555);
+            mix(owner as u64);
+            mix(complete as u64);
+        }
+        for &r in &self.suspended_ranks {
+            mix(r as u64 ^ 0x6666);
+        }
+        for &(slot, round, arrived) in &self.open_collectives {
+            mix(slot as u64 ^ 0x7777);
+            mix(round);
+            mix(arrived as u64);
+        }
+        h
+    }
+
+    /// Total bytes still to be moved by in-flight transfers.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.inflight)
+            .map(|e| e.total - e.moved)
+            .sum()
+    }
+}
+
+impl BcsMpi {
+    /// Capture the communication state. Intended to be taken at a slice
+    /// boundary (the engine's checkpoint hook does exactly that); the state
+    /// is then guaranteed quiescent: no microphase is active and every
+    /// scheduled chunk of the previous slice has completed.
+    pub fn capture_checkpoint(&self) -> CommCheckpoint {
+        let nodes = self
+            .nic
+            .iter()
+            .map(|nic| NodeCheckpoint {
+                pending_sends: nic
+                    .send_posted
+                    .iter()
+                    .map(|d| (d.msg.0, d.dst_rank, d.bytes))
+                    .collect(),
+                pending_recvs: nic.recv_posted.iter().map(|r| (r.req.0, r.dst_rank)).collect(),
+                unmatched: nic
+                    .remote_sends
+                    .iter()
+                    .map(|r| (r.msg.0, r.src_rank))
+                    .collect(),
+                inflight: nic
+                    .inflight
+                    .iter()
+                    .map(|it| InflightEntry {
+                        msg: it.msg.0,
+                        src_rank: it.src_rank,
+                        dst_rank: it.dst_rank,
+                        total: it.total,
+                        moved: it.moved,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let mut open_requests: Vec<(u64, usize, bool)> = self
+            .reqs
+            .iter()
+            .map(|(id, st)| (id.0, st.owner, st.complete))
+            .collect();
+        open_requests.sort_unstable();
+        let suspended_ranks = (0..self.blocked.len())
+            .filter(|&r| self.blocked[r].is_some())
+            .collect();
+        let open_collectives = self
+            .coll
+            .rounds
+            .iter()
+            .map(|(&(_comm, slot, round), st)| (slot, round, st.arrived))
+            .collect();
+        CommCheckpoint {
+            slice: self.slice,
+            nodes,
+            open_requests,
+            suspended_ranks,
+            open_collectives,
+        }
+    }
+}

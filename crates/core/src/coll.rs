@@ -1,0 +1,503 @@
+//! Collectives: barrier, broadcast (CH) and reduce/allreduce (RH), per §4.4
+//! — extended with communicator (MPI group) support, the functionality §4.5
+//! lists as the prototype's main limitation.
+//!
+//! Every collective call posts a descriptor to the BR and blocks. The BR
+//! pre-processes descriptors: once all local ranks *of the communicator*
+//! have invoked the collective, a per-(communicator, kind) flag — a BCS
+//! *global word* — is set. In the MSM, the BR of the communicator's master
+//! node issues a `Compare-And-Write` query checking the flag on all member
+//! nodes; when it holds everywhere the operation is scheduled. The CH then
+//! performs broadcasts/barriers in the broadcast & barrier microphase, and
+//! the RH performs reduces in the reduce microphase, gathering partials over
+//! a binomial tree and computing them **on the NIC** with the softfloat
+//! library (the Elan3 has no FPU).
+
+use crate::engine::{BW, Blocked};
+use bcs_core::{BcsCluster, CmpOp};
+use mpi_api::call::MpiResp;
+use mpi_api::comm::CommId;
+use mpi_api::datatype::{Datatype, ReduceOp, combine_native};
+use mpi_api::runtime::JobLayout;
+use qsnet::NodeId;
+use qsnet::model::log2_ceil;
+use simcore::{Sim, SimDuration};
+use softfloat::{F32, F64};
+use std::collections::BTreeMap;
+
+/// Collective kind. `slot` indexes the per-rank round counters and the
+/// per-node flag words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CollKind {
+    Barrier,
+    Bcast,
+    Reduce { all: bool },
+}
+
+impl CollKind {
+    pub fn slot(self) -> usize {
+        match self {
+            CollKind::Barrier => 0,
+            CollKind::Bcast => 1,
+            CollKind::Reduce { .. } => 2,
+        }
+    }
+}
+
+/// Global-word address of the flag for `(comm, slot)`. Word ids below 16
+/// are reserved for the protocol (`crate::words`).
+pub(crate) fn flag_word(comm: CommId, slot: usize) -> u32 {
+    16 + comm.0 * 4 + slot as u32
+}
+
+pub(crate) struct CollRound {
+    pub kind: CollKind,
+    pub comm: CommId,
+    /// Communicator-rank of the root.
+    pub root: usize,
+    pub params: Option<(ReduceOp, Datatype)>,
+    /// Reduce contributions / the bcast payload (by communicator rank).
+    pub contribs: Vec<Option<Vec<u8>>>,
+    pub arrived: usize,
+    /// Arrivals per compute node.
+    pub arrived_on_node: Vec<usize>,
+    /// Scheduled for execution in this slice's BBM/RM.
+    pub scheduled: bool,
+    /// A Compare-And-Write query is in flight.
+    pub query_inflight: bool,
+}
+
+/// Engine-wide collective bookkeeping.
+pub(crate) struct CollState {
+    /// Per (rank, communicator) invocation counters, one per slot.
+    counters: std::collections::HashMap<(usize, CommId), [u64; 3]>,
+    /// Keyed by `(comm, slot, round)`.
+    pub rounds: BTreeMap<(u32, usize, u64), CollRound>,
+    compute_nodes: usize,
+}
+
+impl CollState {
+    pub fn new(layout: &JobLayout) -> CollState {
+        CollState {
+            counters: Default::default(),
+            rounds: BTreeMap::new(),
+            compute_nodes: layout.compute_nodes,
+        }
+    }
+
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for ((comm, slot, id), round) in &self.rounds {
+            out.push_str(&format!(
+                "  collective comm{comm} slot{slot}#{id} ({:?}): {} arrived, scheduled={}\n",
+                round.kind, round.arrived, round.scheduled
+            ));
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Posting (application side)
+// ----------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn post_collective(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    rank: usize,
+    comm: CommId,
+    kind: CollKind,
+    root: usize,
+    data: Option<Vec<u8>>,
+    params: Option<(ReduceOp, Datatype)>,
+) {
+    let _ = sim;
+    let e = &mut w.engine;
+    let slot = kind.slot();
+    let c = e.coll.counters.entry((rank, comm)).or_insert([0; 3]);
+    let id = c[slot];
+    c[slot] += 1;
+    let node = e.node_of(rank);
+    let size = e.comms.size_of(comm);
+    let local_rank = e.comms.comm_rank(comm, rank);
+    let compute_nodes = e.coll.compute_nodes;
+    let local_members = e.local_members(comm, node);
+
+    let round = e
+        .coll
+        .rounds
+        .entry((comm.0, slot, id))
+        .or_insert_with(|| CollRound {
+            kind,
+            comm,
+            root,
+            params,
+            contribs: vec![None; size],
+            arrived: 0,
+            arrived_on_node: vec![0; compute_nodes],
+            scheduled: false,
+            query_inflight: false,
+        });
+    assert_eq!(round.kind, kind, "mismatched collective kinds across ranks");
+    assert_eq!(round.root, root, "mismatched collective roots across ranks");
+    if params.is_some() {
+        assert_eq!(round.params, params, "mismatched reduce parameters");
+    }
+    match kind {
+        CollKind::Reduce { .. } => {
+            round.contribs[local_rank] = Some(data.expect("reduce needs a contribution"));
+        }
+        CollKind::Bcast => {
+            if local_rank == root {
+                round.contribs[local_rank] = Some(data.expect("bcast root needs data"));
+            }
+        }
+        CollKind::Barrier => {}
+    }
+    round.arrived += 1;
+    round.arrived_on_node[node.0] += 1;
+    let all_local_posted = round.arrived_on_node[node.0] == local_members;
+    if all_local_posted {
+        // BR pre-processing (§4.4): all local member ranks have invoked the
+        // collective — set the per-(comm, kind) flag word the master's
+        // Compare-And-Write will test during MSM.
+        e.bcs.set_word(node, flag_word(comm, slot), (id + 1) as i64);
+    }
+    // Every BCS collective suspends its caller (§4.4: "...and blocks").
+    e.blocked[rank] = Some(Blocked::Collective);
+}
+
+// ----------------------------------------------------------------------
+// MSM: eligibility queries from the master node
+// ----------------------------------------------------------------------
+
+/// Issue `Compare-And-Write` queries for unscheduled rounds whose master
+/// process lives on `node`. Returns the number of in-flight queries (they
+/// count toward the node's MSM outstanding work).
+pub(crate) fn msm_queries(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) -> u32 {
+    let mut queries = 0u32;
+    // Lowest unscheduled round per (comm, slot): rounds of one communicator
+    // and kind are globally ordered, so only the head can be eligible.
+    let mut candidates: Vec<(u32, usize, u64, CommId)> = Vec::new();
+    {
+        let mut seen: Option<(u32, usize)> = None;
+        for ((comm, slot, id), r) in &w.engine.coll.rounds {
+            if seen == Some((*comm, *slot)) {
+                continue;
+            }
+            seen = Some((*comm, *slot));
+            if !r.scheduled {
+                candidates.push((*comm, *slot, *id, r.comm));
+            }
+        }
+    }
+    for (comm_raw, slot, id, comm) in candidates {
+        let root_world = {
+            let round = w.engine.coll.rounds.get(&(comm_raw, slot, id)).unwrap();
+            w.engine.comms.members(comm)[round.root]
+        };
+        let master_node = w.engine.node_of(root_world);
+        {
+            let round = w.engine.coll.rounds.get_mut(&(comm_raw, slot, id)).unwrap();
+            if round.query_inflight || master_node != node {
+                continue;
+            }
+            round.query_inflight = true;
+        }
+        queries += 1;
+        let member_nodes = w.engine.member_nodes(comm);
+        BcsCluster::compare_and_write(
+            w,
+            sim,
+            node,
+            &member_nodes,
+            flag_word(comm, slot),
+            CmpOp::Ge,
+            (id + 1) as i64,
+            None,
+            move |w: &mut BW, sim: &mut Sim<BW>, ok| {
+                if let Some(round) = w.engine.coll.rounds.get_mut(&(comm_raw, slot, id)) {
+                    round.query_inflight = false;
+                    if ok {
+                        round.scheduled = true;
+                    }
+                }
+                crate::protocol::work_item_done(w, sim, node);
+                mpi_api::runtime::drain(w, sim);
+            },
+        );
+    }
+    queries
+}
+
+// ----------------------------------------------------------------------
+// BBM: broadcast & barrier (CH)
+// ----------------------------------------------------------------------
+
+/// CH work for one node: perform every scheduled barrier/broadcast whose
+/// master lives here. Other nodes have no BBM work.
+pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
+    let todo: Vec<(u32, usize, u64)> = w
+        .engine
+        .coll
+        .rounds
+        .iter()
+        .filter(|((_, slot, _), r)| {
+            (*slot == 0 || *slot == 1) && r.scheduled && {
+                let root_world = w.engine.comms.members(r.comm)[r.root];
+                w.engine.node_of(root_world) == node
+            }
+        })
+        .map(|(k, _)| *k)
+        .collect();
+
+    if todo.is_empty() {
+        finish_phase_with_delay(w, sim, node);
+        return;
+    }
+    w.engine.nic[node.0].outstanding = todo.len() as u32;
+    for key in todo {
+        let round = w.engine.coll.rounds.get(&key).unwrap();
+        let kind = round.kind;
+        let comm = round.comm;
+        let payload: Vec<u8> = if kind == CollKind::Bcast {
+            round.contribs[round.root].clone().expect("bcast payload")
+        } else {
+            Vec::new()
+        };
+        match kind {
+            CollKind::Barrier => w.engine.stats.barriers += 1,
+            CollKind::Bcast => w.engine.stats.bcasts += 1,
+            CollKind::Reduce { .. } => unreachable!(),
+        }
+        let bytes = payload.len() as u64 + w.engine.cfg.desc_bytes;
+        let member_nodes = w.engine.member_nodes(comm);
+        let members = std::rc::Rc::new(w.engine.comms.members(comm).to_vec());
+        let layout = w.engine.layout.clone();
+        let payload = std::rc::Rc::new(payload);
+        let per_dest: std::rc::Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)> = {
+            let payload = std::rc::Rc::clone(&payload);
+            let members = std::rc::Rc::clone(&members);
+            std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
+                // Delivery at node d completes the collective for its local
+                // member ranks; they restart at the next slice boundary.
+                let ranks: Vec<usize> = layout
+                    .ranks_on(d)
+                    .filter(|r| members.contains(r))
+                    .collect();
+                for rank in ranks {
+                    let resp = match kind {
+                        CollKind::Barrier => MpiResp::Ok,
+                        CollKind::Bcast => MpiResp::Data((*payload).clone()),
+                        CollKind::Reduce { .. } => unreachable!(),
+                    };
+                    debug_assert!(matches!(
+                        w.engine.blocked[rank],
+                        Some(Blocked::Collective)
+                    ));
+                    w.engine.blocked[rank] = None;
+                    w.engine.restart_queue.push((rank, resp));
+                }
+                mpi_api::runtime::drain(w, sim);
+            })
+        };
+        let done_at = BcsCluster::xfer_and_signal(
+            w,
+            sim,
+            node,
+            &member_nodes,
+            bytes,
+            bcs_core::XsOpts {
+                remote_event: None,
+                local_event: None,
+                on_deliver: Some(per_dest),
+            },
+        );
+        // The round's work item ends when the multicast completes (last
+        // delivery); deliveries were scheduled earlier at the same instants,
+        // so they run first.
+        sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+            let _ = w.engine.coll.rounds.remove(&key);
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// RM: reduce (RH)
+// ----------------------------------------------------------------------
+
+/// RH work for one node: every scheduled reduce whose master lives here.
+pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
+    let todo: Vec<(u32, usize, u64)> = w
+        .engine
+        .coll
+        .rounds
+        .iter()
+        .filter(|((_, slot, _), r)| {
+            *slot == 2 && r.scheduled && {
+                let root_world = w.engine.comms.members(r.comm)[r.root];
+                w.engine.node_of(root_world) == node
+            }
+        })
+        .map(|(k, _)| *k)
+        .collect();
+    if todo.is_empty() {
+        finish_phase_with_delay(w, sim, node);
+        return;
+    }
+    w.engine.nic[node.0].outstanding = todo.len() as u32;
+
+    for key in todo {
+        let mut round = w.engine.coll.rounds.remove(&key).unwrap();
+        w.engine.stats.reduces += 1;
+        let (op, dtype) = round.params.expect("reduce without parameters");
+        let CollKind::Reduce { all } = round.kind else {
+            unreachable!()
+        };
+        let comm = round.comm;
+        let members = w.engine.comms.members(comm).to_vec();
+        let root_world = members[round.root];
+        // RH gathers partials over a binomial tree and combines them with
+        // the NIC's softfloat arithmetic (ascending communicator-rank order
+        // for cross-engine bit-identity).
+        let mut acc: Option<Vec<u8>> = None;
+        for c in round.contribs.iter_mut() {
+            let c = c.take().expect("missing reduce contribution");
+            match &mut acc {
+                None => acc = Some(c),
+                Some(a) => combine_nic(op, dtype, a, &c),
+            }
+        }
+        let value = acc.unwrap_or_default();
+        let bytes = value.len();
+
+        // Tree timing: ceil(log2 member-nodes) stages of (latency + wire +
+        // NIC softfloat arithmetic).
+        let member_nodes = w.engine.member_nodes(comm);
+        let e = &w.engine;
+        let nn = member_nodes.len();
+        let depth = if nn <= 1 { 0 } else { log2_ceil(nn) };
+        let wire = bytes as u64 + e.cfg.desc_bytes;
+        let levels = e.bcs.fabric.topology().levels();
+        let stage = e.cfg.net.unicast_latency(2 * levels)
+            + e.cfg.net.tx_time(wire)
+            + SimDuration::nanos((bytes as f64 * e.cfg.reduce_ns_per_byte) as u64)
+            + e.cfg.desc_cost;
+        let gather_done = sim.now() + stage * depth as u64;
+
+        let layout = w.engine.layout.clone();
+        if all && nn > 1 {
+            // Allreduce: the RH broadcasts the result with Xfer-And-Signal.
+            let members = std::rc::Rc::new(members);
+            sim.schedule_at(gather_done, move |w: &mut BW, sim| {
+                let member_nodes = w.engine.member_nodes(comm);
+                let value = std::rc::Rc::new(value);
+                let per_dest: std::rc::Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)> = {
+                    let value = std::rc::Rc::clone(&value);
+                    let members = std::rc::Rc::clone(&members);
+                    let layout = layout.clone();
+                    std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
+                        let ranks: Vec<usize> = layout
+                            .ranks_on(d)
+                            .filter(|r| members.contains(r))
+                            .collect();
+                        for rank in ranks {
+                            w.engine.blocked[rank] = None;
+                            w.engine
+                                .restart_queue
+                                .push((rank, MpiResp::Data((*value).clone())));
+                        }
+                        mpi_api::runtime::drain(w, sim);
+                    })
+                };
+                let bytes = value.len() as u64 + w.engine.cfg.desc_bytes;
+                let done_at = BcsCluster::xfer_and_signal(
+                    w,
+                    sim,
+                    node,
+                    &member_nodes,
+                    bytes,
+                    bcs_core::XsOpts {
+                        remote_event: None,
+                        local_event: None,
+                        on_deliver: Some(per_dest),
+                    },
+                );
+                sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+                    crate::protocol::work_item_done(w, sim, node);
+                    mpi_api::runtime::drain(w, sim);
+                });
+            });
+        } else {
+            sim.schedule_at(gather_done, move |w: &mut BW, sim| {
+                for &rank in &members {
+                    w.engine.blocked[rank] = None;
+                    let resp = if all {
+                        MpiResp::Data(value.clone())
+                    } else if rank == root_world {
+                        MpiResp::RootData(Some(value.clone()))
+                    } else {
+                        MpiResp::RootData(None)
+                    };
+                    w.engine.restart_queue.push((rank, resp));
+                }
+                crate::protocol::work_item_done(w, sim, node);
+                mpi_api::runtime::drain(w, sim);
+            });
+        }
+    }
+}
+
+fn finish_phase_with_delay(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
+    w.engine.nic[node.0].outstanding = 1;
+    let cost = w.engine.cfg.desc_cost;
+    sim.schedule_in(cost, move |w: &mut BW, sim| {
+        crate::protocol::work_item_done(w, sim, node);
+        mpi_api::runtime::drain(w, sim);
+    });
+}
+
+/// NIC-side combine: floating point through the softfloat library (the NIC
+/// has no FPU — §4.4), integers natively. Bit-identical to the host
+/// arithmetic of the baseline, which the cross-engine tests assert.
+pub(crate) fn combine_nic(op: ReduceOp, dtype: Datatype, a: &mut [u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len());
+    match dtype {
+        Datatype::F64 => {
+            for (ca, cb) in a.chunks_exact_mut(8).zip(b.chunks_exact(8)) {
+                let x = F64::from_bits(u64::from_le_bytes(ca.try_into().unwrap()));
+                let y = F64::from_bits(u64::from_le_bytes(cb.try_into().unwrap()));
+                let r = match op {
+                    ReduceOp::Sum => x.add(y),
+                    ReduceOp::Prod => x.mul(y),
+                    ReduceOp::Min => x.min(y),
+                    ReduceOp::Max => x.max(y),
+                    ReduceOp::BAnd | ReduceOp::BOr => {
+                        panic!("bitwise reduction on floating-point data")
+                    }
+                };
+                ca.copy_from_slice(&r.to_bits().to_le_bytes());
+            }
+        }
+        Datatype::F32 => {
+            for (ca, cb) in a.chunks_exact_mut(4).zip(b.chunks_exact(4)) {
+                let x = F32::from_bits(u32::from_le_bytes(ca.try_into().unwrap()));
+                let y = F32::from_bits(u32::from_le_bytes(cb.try_into().unwrap()));
+                let r = match op {
+                    ReduceOp::Sum => x.add(y),
+                    ReduceOp::Prod => x.mul(y),
+                    ReduceOp::Min => x.min(y),
+                    ReduceOp::Max => x.max(y),
+                    ReduceOp::BAnd | ReduceOp::BOr => {
+                        panic!("bitwise reduction on floating-point data")
+                    }
+                };
+                ca.copy_from_slice(&r.to_bits().to_le_bytes());
+            }
+        }
+        _ => combine_native(op, dtype, a, b),
+    }
+}

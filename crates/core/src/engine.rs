@@ -1,0 +1,571 @@
+//! Engine state and the [`Engine`] implementation (application-facing side).
+//!
+//! Application processes interact with BCS-MPI only by posting descriptors
+//! (cheap — a write into a shared-memory FIFO, no system call, §4.5) and by
+//! being suspended/restarted by the Node Manager at slice boundaries. All
+//! real work happens in the NIC-thread state machines of `protocol.rs`,
+//! `p2p.rs` and `coll.rs`.
+
+use crate::coll::{CollKind, CollState};
+use crate::p2p::{MsgId, NicState};
+use bcs_core::BcsCluster;
+use mpi_api::call::{MpiCall, MpiResp, ReqId};
+use mpi_api::comm::{CommId, CommRegistry};
+use mpi_api::message::{SrcSel, Status, TagSel};
+use mpi_api::noise::{NoiseConfig, NoiseModel};
+use mpi_api::runtime::{ClusterWorld, Engine, JobLayout, resume_at};
+use qsnet::{Fabric, NetModel, NodeId};
+use simcore::stats::LogHistogram;
+use simcore::{Sim, SimDuration, SimTime};
+use std::collections::HashMap;
+
+pub(crate) type BW = ClusterWorld<BcsMpi>;
+
+/// Tuning knobs of BCS-MPI.
+#[derive(Clone, Debug)]
+pub struct BcsConfig {
+    pub net: NetModel,
+    /// The global time slice (500 µs in all the paper's experiments).
+    pub timeslice: SimDuration,
+    /// Interval at which the SS re-polls `Compare-And-Write` for microphase
+    /// completion.
+    pub poll_interval: SimDuration,
+    /// Wire size of one descriptor / microstrobe.
+    pub desc_bytes: u64,
+    /// NIC-thread cost to process one descriptor (post, exchange, match).
+    pub desc_cost: SimDuration,
+    /// Cost of posting a descriptor from the application (shared-memory
+    /// FIFO write, no syscall — §4.5).
+    pub post_cost: SimDuration,
+    /// Per-link byte budget for the point-to-point microphase of one slice;
+    /// larger messages are chunked across slices (§4.3).
+    pub p2p_budget: u64,
+    /// NIC-side reduce arithmetic cost per byte (softfloat — slower than
+    /// host FP, but saves the PCI crossing; §4.4).
+    pub reduce_ns_per_byte: f64,
+    /// Optional scheduling noise of the user-level NM dæmon (§4.5).
+    pub noise: Option<NoiseConfig>,
+    /// One-time cost of bringing up the BCS-MPI runtime (STORM job launch,
+    /// NIC thread setup): the first slice starts only after this delay. The
+    /// paper attributes IS's slowdown to exactly this overhead (§5.3).
+    pub init_delay: SimDuration,
+    /// Capture a communication-state checkpoint digest every `k` slices
+    /// (the §6 transparent-fault-tolerance hook). `None` disables.
+    pub checkpoint_every: Option<u64>,
+    /// Record a per-slice activity [`crate::trace::SliceRecord`] (the §1
+    /// "debugging mechanisms" claim made concrete).
+    pub trace_slices: bool,
+    /// Gang-schedule multiple jobs on the shared nodes (§5.4 remedy 1).
+    /// `None` = single dedicated job (the default, and the paper's primary
+    /// configuration).
+    pub gang: Option<crate::gang::GangConfig>,
+}
+
+impl Default for BcsConfig {
+    fn default() -> Self {
+        let net = NetModel::qsnet();
+        // ~60% of the slice is available to the transmission phase.
+        let timeslice = SimDuration::micros(500);
+        let p2p_budget = (0.6 * timeslice.as_secs_f64() * net.link_bw) as u64;
+        BcsConfig {
+            net,
+            timeslice,
+            poll_interval: SimDuration::micros(25),
+            desc_bytes: 64,
+            desc_cost: SimDuration::nanos(900),
+            post_cost: SimDuration::nanos(500),
+            p2p_budget,
+            reduce_ns_per_byte: 20.0,
+            noise: None,
+            init_delay: SimDuration::ZERO,
+            checkpoint_every: None,
+            trace_slices: false,
+            gang: None,
+        }
+    }
+}
+
+impl BcsConfig {
+    /// Same configuration with a different time slice (for the slice-length
+    /// ablation).
+    pub fn with_timeslice(mut self, ts: SimDuration) -> BcsConfig {
+        self.timeslice = ts;
+        self.p2p_budget = (0.6 * ts.as_secs_f64() * self.net.link_bw) as u64;
+        self
+    }
+}
+
+/// Protocol counters and delay measurements.
+#[derive(Clone, Debug, Default)]
+pub struct BcsStats {
+    pub slices: u64,
+    pub descriptors_exchanged: u64,
+    pub matches: u64,
+    pub chunks: u64,
+    pub chunked_messages: u64,
+    pub p2p_bytes: u64,
+    pub barriers: u64,
+    pub bcasts: u64,
+    pub reduces: u64,
+    /// Slices whose work overran the nominal boundary (drift events).
+    pub overruns: u64,
+    /// Post-to-restart delay of blocking point-to-point primitives,
+    /// in ns — the paper's "1.5 time slices on average" (§3.1).
+    pub blocking_delay: LogHistogram,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ReqKind {
+    Send,
+    Recv,
+}
+
+pub(crate) struct BcsReq {
+    pub owner: usize,
+    pub kind: ReqKind,
+    pub complete: bool,
+    pub data: Option<Vec<u8>>,
+    pub status: Option<Status>,
+    /// Slice-boundary time at which the descriptor was posted (for the
+    /// blocking-delay statistic).
+    pub posted_at: SimTime,
+}
+
+/// What a rank is blocked on (the NM suspended it).
+pub(crate) enum Blocked {
+    /// Blocking send: respond `Ok`.
+    SendDone(ReqId),
+    /// Blocking recv / MPI_Wait: respond `WaitDone`.
+    WaitOne(ReqId),
+    /// MPI_Waitall.
+    WaitAll(Vec<ReqId>),
+    /// Blocking probe (completed by the matcher).
+    Probe { src: SrcSel, tag: TagSel },
+    /// Blocking collective; completion handled by `coll.rs`.
+    Collective,
+}
+
+/// The BCS-MPI engine: one management node (SS) + per-node NIC state.
+pub struct BcsMpi {
+    pub cfg: BcsConfig,
+    pub(crate) layout: JobLayout,
+    pub(crate) bcs: BcsCluster<BW>,
+    /// The management node hosting the MM/SS (last fabric node).
+    pub(crate) mgmt: NodeId,
+    pub(crate) nic: Vec<NicState>,
+    /// Current slice number and microphase (0=DEM..4=RM).
+    pub(crate) slice: u64,
+    pub(crate) phase: u32,
+    pub(crate) slice_started_at: SimTime,
+    /// Ranks to restart at the next slice boundary, with their responses.
+    pub(crate) restart_queue: Vec<(usize, MpiResp)>,
+    pub(crate) reqs: HashMap<ReqId, BcsReq>,
+    pub(crate) payloads: HashMap<MsgId, Vec<u8>>,
+    pub(crate) blocked: Vec<Option<Blocked>>,
+    pub(crate) coll: CollState,
+    pub(crate) comms: CommRegistry,
+    /// Per-node remaining P2P byte budget for the current slice.
+    pub(crate) src_budget: Vec<u64>,
+    pub(crate) dst_budget: Vec<u64>,
+    pub(crate) noise: Option<NoiseModel>,
+    pub stats: BcsStats,
+    /// `(slice, digest)` stream captured by the checkpoint hook.
+    pub checkpoints: Vec<(u64, u64)>,
+    /// Per-slice activity records (when `cfg.trace_slices`).
+    pub trace: Vec<crate::trace::SliceRecord>,
+    pub(crate) trace_cursor: crate::trace::TraceCursor,
+    pub(crate) gang: Option<crate::gang::GangState>,
+    next_req: u64,
+    next_msg: u64,
+}
+
+impl bcs_core::BcsHost<BW> for BcsMpi {
+    fn bcs_cluster(&mut self) -> &mut BcsCluster<BW> {
+        &mut self.bcs
+    }
+}
+
+impl BcsMpi {
+    pub fn new(cfg: BcsConfig, layout: &JobLayout) -> BcsMpi {
+        // One extra fabric port for the management node.
+        let fabric = Fabric::new(cfg.net.clone(), layout.compute_nodes + 1);
+        let mgmt = NodeId(layout.compute_nodes);
+        let noise = cfg
+            .noise
+            .clone()
+            .map(|nc| NoiseModel::new(nc, layout.compute_nodes));
+        BcsMpi {
+            bcs: BcsCluster::new(fabric),
+            mgmt,
+            nic: (0..layout.compute_nodes).map(|_| NicState::default()).collect(),
+            slice: 0,
+            phase: 0,
+            slice_started_at: SimTime::ZERO,
+            restart_queue: Vec::new(),
+            reqs: HashMap::new(),
+            payloads: HashMap::new(),
+            blocked: (0..layout.ranks).map(|_| None).collect(),
+            coll: CollState::new(layout),
+            comms: CommRegistry::new(layout.ranks),
+            src_budget: vec![0; layout.compute_nodes],
+            dst_budget: vec![0; layout.compute_nodes],
+            noise,
+            stats: BcsStats::default(),
+            checkpoints: Vec::new(),
+            trace: Vec::new(),
+            trace_cursor: crate::trace::TraceCursor::default(),
+            gang: cfg
+                .gang
+                .clone()
+                .map(|g| crate::gang::GangState::new(g, layout.ranks, layout.compute_nodes)),
+            next_req: 0,
+            next_msg: 0,
+            cfg,
+            layout: layout.clone(),
+        }
+    }
+
+    pub(crate) fn alloc_req(&mut self, owner: usize, kind: ReqKind, now: SimTime) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        self.reqs.insert(
+            id,
+            BcsReq {
+                owner,
+                kind,
+                complete: false,
+                data: None,
+                status: None,
+                posted_at: now,
+            },
+        );
+        id
+    }
+
+    pub(crate) fn alloc_msg(&mut self) -> MsgId {
+        let id = MsgId(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    #[inline]
+    pub(crate) fn node_of(&self, rank: usize) -> NodeId {
+        self.layout.node_of(rank)
+    }
+
+    /// All compute nodes used by the job (the SS strobes exactly these).
+    pub(crate) fn job_nodes(&self) -> Vec<NodeId> {
+        (0..self.layout.nodes_used()).map(NodeId).collect()
+    }
+
+    /// Distinct compute nodes hosting members of `comm`, in node order.
+    pub(crate) fn member_nodes(&self, comm: CommId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .comms
+            .members(comm)
+            .iter()
+            .map(|&r| self.layout.node_of(r))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Number of `comm` members hosted on `node`.
+    pub(crate) fn local_members(&self, comm: CommId, node: NodeId) -> usize {
+        self.layout
+            .ranks_on(node)
+            .filter(|r| self.comms.members(comm).contains(r))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Request completion & NM restarts
+    // ------------------------------------------------------------------
+
+    /// Mark `req` complete. If its owner is blocked on it, queue the owner
+    /// for restart at the next slice boundary (the NM restarts suspended
+    /// processes only at slice starts, §3.1).
+    pub(crate) fn complete_req(w: &mut BW, sim: &mut Sim<BW>, req: ReqId) {
+        let owner = {
+            let st = w.engine.reqs.get_mut(&req).expect("request vanished");
+            st.complete = true;
+            st.owner
+        };
+        Self::check_blocked(w, sim, owner);
+    }
+
+    /// If `rank`'s blocked condition is now satisfied, queue its restart.
+    pub(crate) fn check_blocked(w: &mut BW, sim: &mut Sim<BW>, rank: usize) {
+        let e = &mut w.engine;
+        let Some(blocked) = e.blocked[rank].take() else {
+            return;
+        };
+        let now = sim.now();
+        match blocked {
+            Blocked::SendDone(r) => {
+                if e.reqs.get(&r).is_some_and(|s| s.complete) {
+                    let st = e.reqs.remove(&r).unwrap();
+                    e.stats
+                        .blocking_delay
+                        .record(now.since(st.posted_at) + e.half_slice_to_boundary(now));
+                    e.restart_queue.push((rank, MpiResp::Ok));
+                } else {
+                    e.blocked[rank] = Some(Blocked::SendDone(r));
+                }
+            }
+            Blocked::WaitOne(r) => {
+                if e.reqs.get(&r).is_some_and(|s| s.complete) {
+                    let st = e.reqs.remove(&r).unwrap();
+                    if st.kind == ReqKind::Recv {
+                        e.stats
+                            .blocking_delay
+                            .record(now.since(st.posted_at) + e.half_slice_to_boundary(now));
+                    }
+                    e.restart_queue.push((
+                        rank,
+                        MpiResp::WaitDone {
+                            data: st.data,
+                            status: st.status,
+                        },
+                    ));
+                } else {
+                    e.blocked[rank] = Some(Blocked::WaitOne(r));
+                }
+            }
+            Blocked::WaitAll(rs) => {
+                if rs.iter().all(|r| e.reqs.get(r).is_some_and(|s| s.complete)) {
+                    let results = rs
+                        .iter()
+                        .map(|r| {
+                            let st = e.reqs.remove(r).unwrap();
+                            (st.data, st.status)
+                        })
+                        .collect();
+                    e.restart_queue.push((rank, MpiResp::WaitallDone { results }));
+                } else {
+                    e.blocked[rank] = Some(Blocked::WaitAll(rs));
+                }
+            }
+            other @ (Blocked::Probe { .. } | Blocked::Collective) => {
+                // Resolved elsewhere (matcher / collective completion).
+                e.blocked[rank] = Some(other);
+            }
+        }
+    }
+
+    /// Residual time from `now` to the next nominal slice boundary — added
+    /// to the blocking-delay statistic because the restart actually happens
+    /// there.
+    fn half_slice_to_boundary(&self, now: SimTime) -> SimDuration {
+        let origin = self.cfg.init_delay.as_nanos();
+        let rel = now.as_nanos().saturating_sub(origin);
+        let ts = self.cfg.timeslice.as_nanos();
+        let next = origin + rel.div_ceil(ts.max(1)) * ts;
+        SimDuration::nanos(next.saturating_sub(now.as_nanos()))
+    }
+
+    /// Immediately complete a `Wait` whose request already finished (the
+    /// §3.2 non-blocking fast path: "verify that the communication has been
+    /// performed and continue").
+    fn wait_fast_path(w: &mut BW, sim: &mut Sim<BW>, rank: usize, req: ReqId) -> bool {
+        if w.engine.reqs.get(&req).is_some_and(|s| s.complete) {
+            let st = w.engine.reqs.remove(&req).unwrap();
+            let at = sim.now() + w.engine.cfg.post_cost;
+            resume_at(
+                sim,
+                at,
+                rank,
+                MpiResp::WaitDone {
+                    data: st.data,
+                    status: st.status,
+                },
+            );
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Engine for BcsMpi {
+    fn bootstrap(w: &mut BW, sim: &mut Sim<BW>) {
+        crate::protocol::start_strobe_loop(w, sim);
+    }
+
+    fn on_call(w: &mut BW, sim: &mut Sim<BW>, rank: usize, call: MpiCall) {
+        let post = w.engine.cfg.post_cost;
+        match call {
+            MpiCall::Compute { ns } => {
+                if w.engine.gang.is_some() {
+                    // Gang mode: compute advances only while this rank's job
+                    // holds the node (noise not modelled here).
+                    crate::protocol::gang_compute(w, sim, rank, ns);
+                    return;
+                }
+                let mut d = SimDuration::nanos(ns);
+                let node = w.engine.node_of(rank).0;
+                // Processes cannot run before the runtime is up (MPI_Init
+                // returns only once the NM has scheduled them).
+                let start = sim.now().max(SimTime::ZERO + w.engine.cfg.init_delay);
+                if let Some(noise) = &mut w.engine.noise {
+                    d = noise.inflate(node, start, d);
+                }
+                resume_at(sim, start + d, rank, MpiResp::Ok);
+            }
+            MpiCall::Now => {
+                w.resume(rank, MpiResp::Time(sim.now().as_nanos()));
+            }
+            MpiCall::Send {
+                dest,
+                tag,
+                data,
+                blocking,
+            } => crate::p2p::post_send(w, sim, rank, dest, tag, data, blocking),
+            MpiCall::Recv { src, tag, blocking } => {
+                crate::p2p::post_recv(w, sim, rank, src, tag, blocking)
+            }
+            MpiCall::Wait { req } => {
+                if !Self::wait_fast_path(w, sim, rank, req) {
+                    w.engine.blocked[rank] = Some(Blocked::WaitOne(req));
+                }
+            }
+            MpiCall::Waitall { reqs } => {
+                let mut seen = std::collections::HashSet::new();
+                assert!(
+                    reqs.iter().all(|r| seen.insert(*r)),
+                    "duplicate requests in waitall"
+                );
+                let all_done = reqs
+                    .iter()
+                    .all(|r| w.engine.reqs.get(r).is_some_and(|s| s.complete));
+                if all_done {
+                    let results = reqs
+                        .iter()
+                        .map(|r| {
+                            let st = w.engine.reqs.remove(r).unwrap();
+                            (st.data, st.status)
+                        })
+                        .collect();
+                    resume_at(
+                        sim,
+                        sim.now() + post,
+                        rank,
+                        MpiResp::WaitallDone { results },
+                    );
+                } else {
+                    w.engine.blocked[rank] = Some(Blocked::WaitAll(reqs));
+                }
+            }
+            MpiCall::Test { req } => {
+                let done = w.engine.reqs.get(&req).is_some_and(|s| s.complete);
+                let result = if done {
+                    let st = w.engine.reqs.remove(&req).unwrap();
+                    Some((st.data, st.status))
+                } else {
+                    None
+                };
+                w.resume(rank, MpiResp::TestDone { result });
+            }
+            MpiCall::Testall { reqs } => {
+                let all = reqs
+                    .iter()
+                    .all(|r| w.engine.reqs.get(r).is_some_and(|s| s.complete));
+                let results = if all {
+                    Some(
+                        reqs.iter()
+                            .map(|r| {
+                                let st = w.engine.reqs.remove(r).unwrap();
+                                (st.data, st.status)
+                            })
+                            .collect(),
+                    )
+                } else {
+                    None
+                };
+                w.resume(rank, MpiResp::TestallDone { results });
+            }
+            MpiCall::Probe { src, tag, blocking } => {
+                crate::p2p::probe(w, sim, rank, src, tag, blocking)
+            }
+            MpiCall::Barrier { comm } => crate::coll::post_collective(
+                w,
+                sim,
+                rank,
+                comm,
+                CollKind::Barrier,
+                0,
+                None,
+                None,
+            ),
+            MpiCall::Bcast { comm, root, data } => crate::coll::post_collective(
+                w,
+                sim,
+                rank,
+                comm,
+                CollKind::Bcast,
+                root,
+                data,
+                None,
+            ),
+            MpiCall::Reduce {
+                comm,
+                root,
+                op,
+                dtype,
+                data,
+                all,
+            } => crate::coll::post_collective(
+                w,
+                sim,
+                rank,
+                comm,
+                CollKind::Reduce { all },
+                root,
+                Some(data),
+                Some((op, dtype)),
+            ),
+            MpiCall::CommSplit { parent, color, key } => {
+                // A collective: everyone blocks; once the last member
+                // arrives, the membership agreement is complete and all
+                // participants restart at the next slice boundary (the NM
+                // treats it like any other collective completion).
+                w.engine.blocked[rank] = Some(Blocked::Collective);
+                if let Some(outcome) = w.engine.comms.arrive_split(parent, rank, color, key) {
+                    for (r, handle) in outcome.assignments {
+                        w.engine.blocked[r] = None;
+                        w.engine
+                            .restart_queue
+                            .push((r, MpiResp::CommSplitDone { handle }));
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe_pending(&self) -> String {
+        let mut out = format!(
+            "  slice {} phase {} started at {}\n",
+            self.slice, self.phase, self.slice_started_at
+        );
+        for (r, b) in self.blocked.iter().enumerate() {
+            let what = match b {
+                None => continue,
+                Some(Blocked::SendDone(q)) => format!("blocking send {q:?}"),
+                Some(Blocked::WaitOne(q)) => format!("wait {q:?}"),
+                Some(Blocked::WaitAll(qs)) => format!("waitall {} reqs", qs.len()),
+                Some(Blocked::Probe { src, tag }) => format!("probe {src:?}/{tag:?}"),
+                Some(Blocked::Collective) => "collective".to_string(),
+            };
+            out.push_str(&format!("  rank {r}: {what}\n"));
+        }
+        for (n, nic) in self.nic.iter().enumerate() {
+            let s = nic.describe();
+            if !s.is_empty() {
+                out.push_str(&format!("  node {n}: {s}\n"));
+            }
+        }
+        out.push_str(&self.coll.describe());
+        out
+    }
+}

@@ -1,0 +1,60 @@
+//! # bcs-mpi — Buffered CoScheduled MPI
+//!
+//! The paper's primary contribution: an MPI implementation that optimizes the
+//! *global* communication pattern of the machine instead of the
+//! point-to-point latency of a single message pair.
+//!
+//! Time is divided into **time slices** (500 µs by default). Communication
+//! primitives invoked by application processes during slice `i-1` only post
+//! *descriptors* into NIC memory; at the start of slice `i` the runtime
+//! globally exchanges and schedules them, then performs every scheduled
+//! operation before the slice ends — all on the (simulated) network
+//! interface, fully overlapped with host computation. A blocking primitive
+//! suspends its caller, which is restarted at the first slice boundary after
+//! the operation completes: 1.5 slices of delay on average (paper §3.1).
+//! Non-blocking primitives cost only the descriptor post.
+//!
+//! ## Runtime structure (paper §4.1–§4.2)
+//!
+//! * **SS** (Strobe Sender, on the management node) — drives the global
+//!   synchronization protocol: checks with `Compare-And-Write` that every
+//!   node finished the current microphase, then multicasts a *microstrobe*
+//!   (`Xfer-And-Signal`) starting the next.
+//! * **SR** (Strobe Receiver, per node) — wakes the local NIC threads on
+//!   each microstrobe.
+//! * **BS / BR** (Buffer Sender / Receiver) — exchange send descriptors
+//!   during the *descriptor exchange microphase* (DEM) and match them
+//!   against receive descriptors in the *message scheduling microphase*
+//!   (MSM), splitting messages that exceed the per-slice bandwidth budget
+//!   into chunks.
+//! * **DH** (DMA Helper) — performs the scheduled one-sided gets in the
+//!   *point-to-point microphase*.
+//! * **CH** (Collective Helper) — broadcasts and barriers in the
+//!   *broadcast & barrier microphase*.
+//! * **RH** (Reduce Helper) — reduce/allreduce in the *reduce microphase*,
+//!   computed **on the NIC** with the `softfloat` IEEE library because the
+//!   Elan3 has no FPU.
+//!
+//! Every mechanism is built on the three `bcs-core` primitives, exactly as
+//! the paper prescribes; the fabric-level transport is the simulated QsNet.
+
+pub mod checkpoint;
+mod coll;
+mod engine;
+pub mod gang;
+mod p2p;
+mod protocol;
+pub mod trace;
+
+pub use checkpoint::CommCheckpoint;
+pub use engine::{BcsConfig, BcsMpi, BcsStats};
+pub use gang::GangConfig;
+pub use trace::SliceRecord;
+
+/// Global-word addresses used by the protocol (same "virtual address" on
+/// every node, per the BCS global-data model). Words 16+ are allocated to
+/// per-communicator collective flags by [`coll`]'s `flag_word`.
+pub(crate) mod words {
+    /// Monotone count of microphases this node has completed.
+    pub const MP_DONE: u32 = 1;
+}

@@ -1,0 +1,479 @@
+//! Point-to-point: descriptor posting, the descriptor exchange microphase
+//! (BS), matching and chunk scheduling (BR), and the data transmission (DH).
+//!
+//! Faithful to §4.3 and Figure 6:
+//!
+//! 1. a send posts a descriptor to the BS; a receive posts to the BR;
+//! 2. DEM: the BS delivers each send descriptor posted during slice `i-1`
+//!    to the BR of the destination node;
+//! 3. MSM: the BR matches the remote send-descriptor list against the local
+//!    receive-descriptor list (first match in arrival/post order — MPI
+//!    non-overtaking), builds a matching descriptor, and schedules it; a
+//!    message that cannot be transmitted within the slice's bandwidth budget
+//!    is split into chunks, the first scheduled now, the rest in following
+//!    slices;
+//! 4. P2P microphase: the DH of the *receiving* node performs a one-sided
+//!    get for every scheduled chunk — no intervention from either
+//!    application process.
+
+use crate::engine::{BW, Blocked, BcsMpi, ReqKind};
+use mpi_api::call::{MpiResp, ReqId};
+use mpi_api::message::{SrcSel, Status, TagSel};
+use mpi_api::runtime::resume_at;
+use simcore::Sim;
+
+/// Identifier of one in-flight message (sender-assigned).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// A send descriptor in BS memory.
+pub(crate) struct SendDesc {
+    pub msg: MsgId,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    pub tag: i32,
+    pub bytes: usize,
+    pub req: ReqId,
+}
+
+/// A send descriptor as received by the destination BR.
+pub(crate) struct RemoteSend {
+    pub msg: MsgId,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    pub tag: i32,
+    pub bytes: usize,
+    pub send_req: ReqId,
+}
+
+/// A receive descriptor in BR memory.
+pub(crate) struct RecvDesc {
+    pub req: ReqId,
+    pub dst_rank: usize,
+    pub src: SrcSel,
+    pub tag: TagSel,
+}
+
+/// A matching descriptor: transfer in progress, owned by the receiving node.
+#[allow(dead_code)] // dst_rank kept for diagnostics/tracing
+pub(crate) struct MatchItem {
+    pub msg: MsgId,
+    pub src_node: qsnet::NodeId,
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    pub tag: i32,
+    pub send_req: ReqId,
+    pub recv_req: ReqId,
+    pub total: u64,
+    pub moved: u64,
+}
+
+/// Per-node NIC-thread state (BS + BR + DH queues).
+#[derive(Default)]
+pub(crate) struct NicState {
+    /// Send descriptors posted by local processes (BS input FIFO).
+    pub send_posted: Vec<SendDesc>,
+    /// Snapshot taken at the slice strobe: descriptors to exchange in DEM.
+    pub send_exchanging: Vec<SendDesc>,
+    /// Receive descriptors posted by local processes (BR).
+    pub recv_posted: Vec<RecvDesc>,
+    /// Send descriptors received from remote BSs, in arrival order (BR).
+    pub remote_sends: Vec<RemoteSend>,
+    /// Matching descriptors with bytes still to move (BR/DH).
+    pub inflight: Vec<MatchItem>,
+    /// Chunks scheduled for this slice's P2P microphase: `(msg, bytes)`.
+    pub sched: Vec<(MsgId, u64)>,
+    /// Outstanding async work items of the current microphase.
+    pub outstanding: u32,
+}
+
+impl NicState {
+    pub fn describe(&self) -> String {
+        if self.send_posted.is_empty()
+            && self.recv_posted.is_empty()
+            && self.remote_sends.is_empty()
+            && self.inflight.is_empty()
+        {
+            return String::new();
+        }
+        format!(
+            "{} sends posted, {} recvs posted, {} remote sends, {} in flight",
+            self.send_posted.len() + self.send_exchanging.len(),
+            self.recv_posted.len(),
+            self.remote_sends.len(),
+            self.inflight.len()
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// Descriptor posting (application side)
+// ----------------------------------------------------------------------
+
+pub(crate) fn post_send(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    rank: usize,
+    dest: usize,
+    tag: i32,
+    data: Vec<u8>,
+    blocking: bool,
+) {
+    let e = &mut w.engine;
+    let now = sim.now();
+    let msg = e.alloc_msg();
+    let req = e.alloc_req(rank, ReqKind::Send, now);
+    let node = e.node_of(rank);
+    let bytes = data.len();
+    e.payloads.insert(msg, data);
+    e.nic[node.0].send_posted.push(SendDesc {
+        msg,
+        src_rank: rank,
+        dst_rank: dest,
+        tag,
+        bytes,
+        req,
+    });
+    if blocking {
+        e.blocked[rank] = Some(Blocked::SendDone(req));
+    } else {
+        let at = now + e.cfg.post_cost;
+        resume_at(sim, at, rank, MpiResp::Req(req));
+    }
+}
+
+pub(crate) fn post_recv(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    rank: usize,
+    src: SrcSel,
+    tag: TagSel,
+    blocking: bool,
+) {
+    let e = &mut w.engine;
+    let now = sim.now();
+    let req = e.alloc_req(rank, ReqKind::Recv, now);
+    let node = e.node_of(rank);
+    e.nic[node.0].recv_posted.push(RecvDesc {
+        req,
+        dst_rank: rank,
+        src,
+        tag,
+    });
+    if blocking {
+        e.blocked[rank] = Some(Blocked::WaitOne(req));
+    } else {
+        let at = now + e.cfg.post_cost;
+        resume_at(sim, at, rank, MpiResp::Req(req));
+    }
+}
+
+/// MPI_Probe / MPI_Iprobe: a message is visible once its send descriptor
+/// has reached this node's BR and is not yet matched.
+pub(crate) fn probe(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    rank: usize,
+    src: SrcSel,
+    tag: TagSel,
+    blocking: bool,
+) {
+    let status = probe_match(&w.engine, rank, src, tag);
+    match (status, blocking) {
+        (Some(st), _) => {
+            let at = sim.now() + w.engine.cfg.post_cost;
+            resume_at(sim, at, rank, MpiResp::ProbeDone { status: Some(st) });
+        }
+        (None, false) => {
+            w.resume(rank, MpiResp::ProbeDone { status: None });
+        }
+        (None, true) => {
+            w.engine.blocked[rank] = Some(Blocked::Probe { src, tag });
+        }
+    }
+}
+
+pub(crate) fn probe_match(e: &BcsMpi, rank: usize, src: SrcSel, tag: TagSel) -> Option<Status> {
+    let node = e.node_of(rank);
+    e.nic[node.0]
+        .remote_sends
+        .iter()
+        .find(|rs| rs.dst_rank == rank && src.matches(rs.src_rank) && tag.matches(rs.tag))
+        .map(|rs| Status {
+            source: rs.src_rank,
+            tag: rs.tag,
+            bytes: rs.bytes,
+        })
+}
+
+/// After matching, satisfy any blocking probes on this node (they restart
+/// at the next slice boundary like every blocking primitive).
+pub(crate) fn check_blocked_probes(w: &mut BW, _sim: &mut Sim<BW>, node: qsnet::NodeId) {
+    let ranks: Vec<usize> = w.engine.layout.ranks_on(node).collect();
+    for rank in ranks {
+        if let Some(Blocked::Probe { src, tag }) = &w.engine.blocked[rank] {
+            let (src, tag) = (*src, *tag);
+            if let Some(st) = probe_match(&w.engine, rank, src, tag) {
+                w.engine.blocked[rank] = None;
+                w.engine
+                    .restart_queue
+                    .push((rank, MpiResp::ProbeDone { status: Some(st) }));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DEM — descriptor exchange (BS)
+// ----------------------------------------------------------------------
+
+/// BS work for one node: deliver every snapshot descriptor to its
+/// destination BR. The node's DEM is done when the NIC thread has processed
+/// the queue and every descriptor has landed.
+pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId) {
+    let descs = std::mem::take(&mut w.engine.nic[node.0].send_exchanging);
+    let n = descs.len() as u32;
+    w.engine.stats.descriptors_exchanged += n as u64;
+    // One work item per descriptor delivery, plus one for the NIC thread's
+    // own processing pass.
+    w.engine.nic[node.0].outstanding = n + 1;
+    let desc_cost = w.engine.cfg.desc_cost;
+    let desc_bytes = w.engine.cfg.desc_bytes;
+
+    for d in descs {
+        let dst_node = w.engine.node_of(d.dst_rank);
+        let remote = RemoteSend {
+            msg: d.msg,
+            src_rank: d.src_rank,
+            dst_rank: d.dst_rank,
+            tag: d.tag,
+            bytes: d.bytes,
+            send_req: d.req,
+        };
+        w.engine
+            .bcs
+            .fabric
+            .put(sim, node, dst_node, desc_bytes, move |w: &mut BW, sim| {
+                w.engine.nic[dst_node.0].remote_sends.push(remote);
+                crate::protocol::work_item_done(w, sim, node);
+                mpi_api::runtime::drain(w, sim);
+            });
+    }
+    // NIC thread processing time for the whole queue.
+    let cost = desc_cost * (n.max(1) as u64);
+    sim.schedule_in(cost, move |w: &mut BW, sim| {
+        crate::protocol::work_item_done(w, sim, node);
+        mpi_api::runtime::drain(w, sim);
+    });
+}
+
+// ----------------------------------------------------------------------
+// MSM — matching and chunk scheduling (BR)
+// ----------------------------------------------------------------------
+
+/// BR work for one node: allocate budget to in-flight transfers, match new
+/// remote send descriptors against eligible local receives, schedule chunks,
+/// and kick off collective eligibility queries.
+pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId) {
+    let mut work_items = 1u32; // the matching pass itself
+    let mut processed = 0u64;
+
+    // 1. Continuation chunks of partially-moved messages, in match order
+    //    (§4.3: "the remaining chunks in the following time slices").
+    {
+        let e = &mut w.engine;
+        let nic = &mut e.nic[node.0];
+        let mut sched = std::mem::take(&mut nic.sched);
+        debug_assert!(sched.is_empty());
+        for item in &nic.inflight {
+            let remaining = item.total - item.moved;
+            if remaining == 0 {
+                continue;
+            }
+            let already: u64 = sched
+                .iter()
+                .filter(|&&(m, _)| m == item.msg)
+                .map(|&(_, c)| c)
+                .sum();
+            let chunk = remaining
+                .saturating_sub(already)
+                .min(e.src_budget[item.src_node.0])
+                .min(e.dst_budget[node.0]);
+            if chunk > 0 {
+                e.src_budget[item.src_node.0] -= chunk;
+                e.dst_budget[node.0] -= chunk;
+                sched.push((item.msg, chunk));
+            }
+            processed += 1;
+        }
+        nic.sched = sched;
+    }
+
+    // 2. New matches: remote send descriptors in arrival order against the
+    //    first eligible receive in post order.
+    let mut completions: Vec<(ReqId, ReqId)> = Vec::new(); // zero-byte messages
+    {
+        let e = &mut w.engine;
+        // Take the two queues out of the NIC so the matching loop can also
+        // touch budgets, stats and the request table.
+        let incoming = std::mem::take(&mut e.nic[node.0].remote_sends);
+        let mut recv_posted = std::mem::take(&mut e.nic[node.0].recv_posted);
+        let mut unmatched: Vec<RemoteSend> = Vec::with_capacity(incoming.len());
+        for rs in incoming {
+            processed += 1;
+            // The BR matches against the receive-descriptor list as of MSM
+            // execution (§4.3) — no slice-age requirement.
+            let pos = recv_posted.iter().position(|rd| {
+                rd.dst_rank == rs.dst_rank
+                    && rd.src.matches(rs.src_rank)
+                    && rd.tag.matches(rs.tag)
+            });
+            match pos {
+                None => unmatched.push(rs),
+                Some(i) => {
+                    let rd = recv_posted.remove(i);
+                    e.stats.matches += 1;
+                    let src_node = e.layout.node_of(rs.src_rank);
+                    let total = rs.bytes as u64;
+                    if total == 0 {
+                        // Metadata-only message: complete in MSM.
+                        completions.push((rs.send_req, rd.req));
+                        let st = e.reqs.get_mut(&rd.req).unwrap();
+                        st.data = Some(Vec::new());
+                        st.status = Some(Status {
+                            source: rs.src_rank,
+                            tag: rs.tag,
+                            bytes: 0,
+                        });
+                        continue;
+                    }
+                    let item = MatchItem {
+                        msg: rs.msg,
+                        src_node,
+                        src_rank: rs.src_rank,
+                        dst_rank: rs.dst_rank,
+                        tag: rs.tag,
+                        send_req: rs.send_req,
+                        recv_req: rd.req,
+                        total,
+                        moved: 0,
+                    };
+                    let chunk = total
+                        .min(e.src_budget[src_node.0])
+                        .min(e.dst_budget[node.0]);
+                    if chunk > 0 {
+                        e.src_budget[src_node.0] -= chunk;
+                        e.dst_budget[node.0] -= chunk;
+                        e.nic[node.0].sched.push((item.msg, chunk));
+                    }
+                    if chunk < total {
+                        e.stats.chunked_messages += 1;
+                    }
+                    e.nic[node.0].inflight.push(item);
+                }
+            }
+        }
+        // recv_posted was taken empty-swapped above; restore leftovers plus
+        // anything posted while the loop ran (nothing can post mid-event,
+        // but be defensive about ordering).
+        let nic = &mut e.nic[node.0];
+        debug_assert!(nic.recv_posted.is_empty());
+        nic.recv_posted = recv_posted;
+        nic.remote_sends = unmatched;
+    }
+    for (sreq, rreq) in completions {
+        BcsMpi::complete_req(w, sim, sreq);
+        BcsMpi::complete_req(w, sim, rreq);
+    }
+
+    // 3. Collective eligibility queries (Compare-And-Write from the master
+    //    node, §4.4).
+    work_items += crate::coll::msm_queries(w, sim, node);
+
+    // 4. Blocking probes see the still-unmatched descriptors.
+    check_blocked_probes(w, sim, node);
+
+    // The matching pass costs NIC-thread time proportional to the
+    // descriptors examined.
+    let cost = w.engine.cfg.desc_cost * processed.max(1);
+    w.engine.nic[node.0].outstanding = work_items;
+    sim.schedule_in(cost, move |w: &mut BW, sim| {
+        crate::protocol::work_item_done(w, sim, node);
+        mpi_api::runtime::drain(w, sim);
+    });
+}
+
+// ----------------------------------------------------------------------
+// P2P microphase — data transmission (DH)
+// ----------------------------------------------------------------------
+
+/// DH work for one node: one one-sided get per scheduled chunk.
+pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId) {
+    let sched = std::mem::take(&mut w.engine.nic[node.0].sched);
+    if sched.is_empty() {
+        w.engine.nic[node.0].outstanding = 1;
+        let cost = w.engine.cfg.desc_cost;
+        sim.schedule_in(cost, move |w: &mut BW, sim| {
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        });
+        return;
+    }
+    w.engine.nic[node.0].outstanding = sched.len() as u32;
+    let hdr = w.engine.cfg.desc_bytes;
+    let trace = std::env::var_os("BCS_TRACE_P2P").is_some();
+    for (msg, chunk) in sched {
+        let src_node = w.engine.nic[node.0]
+            .inflight
+            .iter()
+            .find(|it| it.msg == msg)
+            .expect("scheduled chunk without match item")
+            .src_node;
+        w.engine.stats.chunks += 1;
+        w.engine.stats.p2p_bytes += chunk;
+        let t = w.engine
+            .bcs
+            .fabric
+            .get(sim, node, src_node, chunk + hdr, move |w: &mut BW, sim| {
+                chunk_arrived(w, sim, node, msg, chunk);
+                crate::protocol::work_item_done(w, sim, node);
+                mpi_api::runtime::drain(w, sim);
+            });
+        if trace {
+            eprintln!("  p2p get {node} <- {src_node} {chunk}B deliver at {t}");
+        }
+    }
+}
+
+fn chunk_arrived(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId, msg: MsgId, chunk: u64) {
+    let e = &mut w.engine;
+    let idx = e.nic[node.0]
+        .inflight
+        .iter()
+        .position(|it| it.msg == msg)
+        .expect("chunk for unknown match item");
+    let done = {
+        let item = &mut e.nic[node.0].inflight[idx];
+        item.moved += chunk;
+        debug_assert!(item.moved <= item.total);
+        item.moved == item.total
+    };
+    if done {
+        let item = e.nic[node.0].inflight.remove(idx);
+        let payload = e
+            .payloads
+            .remove(&item.msg)
+            .expect("payload vanished before transfer completed");
+        {
+            let st = e.reqs.get_mut(&item.recv_req).unwrap();
+            st.data = Some(payload);
+            st.status = Some(Status {
+                source: item.src_rank,
+                tag: item.tag,
+                bytes: item.total as usize,
+            });
+        }
+        BcsMpi::complete_req(w, sim, item.recv_req);
+        BcsMpi::complete_req(w, sim, item.send_req);
+    }
+}

@@ -1,0 +1,184 @@
+//! The rank ⇄ engine protocol.
+//!
+//! Every MPI primitive a rank program invokes crosses the cooperative-thread
+//! boundary as one [`MpiCall`] and returns as one [`MpiResp`]. The calls
+//! mirror the BCS API of the paper's Appendix A (`bcs_send`, `bcs_recv`,
+//! `bcs_probe`, `bcs_test`, `bcs_testall`, `bcs_barrier`, `bcs_bcast`,
+//! `bcs_reduce`); the higher-level collectives (scatter/gather/allgather/
+//! alltoall and their vector forms) are composed from these in
+//! [`crate::ctx`], matching the paper's layering.
+
+use crate::comm::{CommHandle, CommId};
+use crate::datatype::{Datatype, ReduceOp};
+use crate::message::{SrcSel, Status, TagSel};
+
+/// Identifier of a pending non-blocking operation (`BCS_Request`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+/// A request from a rank program to its MPI engine.
+#[derive(Debug)]
+pub enum MpiCall {
+    /// Spend `ns` of virtual CPU time (the application's computation).
+    Compute { ns: u64 },
+    /// Read the virtual clock.
+    Now,
+    /// `bcs_send`: post a send descriptor. `blocking` selects
+    /// `MPI_Send` vs `MPI_Isend`.
+    Send {
+        dest: usize,
+        tag: i32,
+        data: Vec<u8>,
+        blocking: bool,
+    },
+    /// `bcs_recv`: post a receive descriptor. `blocking` selects
+    /// `MPI_Recv` vs `MPI_Irecv`.
+    Recv {
+        src: SrcSel,
+        tag: TagSel,
+        blocking: bool,
+    },
+    /// `bcs_test(blocking)`: `MPI_Wait`.
+    Wait { req: ReqId },
+    /// `bcs_test(non-blocking)`: `MPI_Test`.
+    Test { req: ReqId },
+    /// `bcs_testall(blocking)`: `MPI_Waitall`.
+    Waitall { reqs: Vec<ReqId> },
+    /// `bcs_testall(non-blocking)`: `MPI_Testall`.
+    Testall { reqs: Vec<ReqId> },
+    /// `bcs_probe`: `MPI_Probe` (blocking) / `MPI_Iprobe`.
+    Probe {
+        src: SrcSel,
+        tag: TagSel,
+        blocking: bool,
+    },
+    /// `bcs_barrier`: `MPI_Barrier` over a communicator.
+    Barrier { comm: CommId },
+    /// `bcs_bcast`: `MPI_Bcast`. `data` is `Some` only on the root; `root`
+    /// is a communicator rank.
+    Bcast {
+        comm: CommId,
+        root: usize,
+        data: Option<Vec<u8>>,
+    },
+    /// `bcs_reduce`: `MPI_Reduce` (`all = false`) / `MPI_Allreduce`
+    /// (`all = true`); `root` is a communicator rank.
+    Reduce {
+        comm: CommId,
+        root: usize,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: Vec<u8>,
+        all: bool,
+    },
+    /// `MPI_Comm_split` over `parent` (a collective; `color < 0` =
+    /// MPI_UNDEFINED).
+    CommSplit {
+        parent: CommId,
+        color: i64,
+        key: i64,
+    },
+}
+
+/// Response from the engine to a rank program.
+#[derive(Debug)]
+pub enum MpiResp {
+    /// Generic completion (Compute, blocking Send, Barrier, ...).
+    Ok,
+    /// Virtual time in nanoseconds.
+    Time(u64),
+    /// Handle of a freshly posted non-blocking operation.
+    Req(ReqId),
+    /// Blocking receive / bcast / allreduce completion carrying a payload.
+    Data(Vec<u8>),
+    /// Reduce completion: payload only on the root.
+    RootData(Option<Vec<u8>>),
+    /// Wait completion: receive payload (None for sends) + status.
+    WaitDone {
+        data: Option<Vec<u8>>,
+        status: Option<Status>,
+    },
+    /// Waitall completion: one entry per request, in the order requested.
+    WaitallDone {
+        results: Vec<(Option<Vec<u8>>, Option<Status>)>,
+    },
+    /// MPI_Test outcome: `None` = not yet complete.
+    TestDone {
+        result: Option<(Option<Vec<u8>>, Option<Status>)>,
+    },
+    /// MPI_Testall outcome: `None` = not all complete (nothing consumed).
+    TestallDone {
+        results: Option<Vec<(Option<Vec<u8>>, Option<Status>)>>,
+    },
+    /// Probe outcome: `None` only for a non-blocking probe that found
+    /// nothing.
+    ProbeDone { status: Option<Status> },
+    /// Comm-split outcome: `None` when this rank passed MPI_UNDEFINED.
+    CommSplitDone { handle: Option<CommHandle> },
+}
+
+impl MpiCall {
+    /// Short operation name for diagnostics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            MpiCall::Compute { .. } => "compute",
+            MpiCall::Now => "now",
+            MpiCall::Send { blocking: true, .. } => "send",
+            MpiCall::Send { blocking: false, .. } => "isend",
+            MpiCall::Recv { blocking: true, .. } => "recv",
+            MpiCall::Recv { blocking: false, .. } => "irecv",
+            MpiCall::Wait { .. } => "wait",
+            MpiCall::Test { .. } => "test",
+            MpiCall::Waitall { .. } => "waitall",
+            MpiCall::Testall { .. } => "testall",
+            MpiCall::Probe { .. } => "probe",
+            MpiCall::Barrier { .. } => "barrier",
+            MpiCall::Bcast { .. } => "bcast",
+            MpiCall::Reduce { all: false, .. } => "reduce",
+            MpiCall::Reduce { all: true, .. } => "allreduce",
+            MpiCall::CommSplit { .. } => "comm_split",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names() {
+        assert_eq!(
+            MpiCall::Send {
+                dest: 0,
+                tag: 0,
+                data: vec![],
+                blocking: true
+            }
+            .op_name(),
+            "send"
+        );
+        assert_eq!(
+            MpiCall::Send {
+                dest: 0,
+                tag: 0,
+                data: vec![],
+                blocking: false
+            }
+            .op_name(),
+            "isend"
+        );
+        assert_eq!(
+            MpiCall::Reduce {
+                comm: CommId::WORLD,
+                root: 0,
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: vec![],
+                all: true
+            }
+            .op_name(),
+            "allreduce"
+        );
+        assert_eq!(MpiCall::Barrier { comm: CommId::WORLD }.op_name(), "barrier");
+    }
+}

@@ -1,0 +1,238 @@
+//! Communicators (MPI groups).
+//!
+//! §4.5 of the paper lists "MPI groups are not fully implemented yet" as the
+//! prototype's main functional limitation — it is why the evaluation could
+//! run only five of the eight NPB programs. This module implements the
+//! missing piece for both engines: `MPI_Comm_split` and communicator-scoped
+//! collectives, which is enough to run FT-style transpose codes.
+//!
+//! A communicator is identified by a [`CommId`]; the world communicator is
+//! `CommId::WORLD`. Membership is computed engine-side when a split
+//! completes (every member of the parent must call it — it is a collective)
+//! and cached on both sides.
+
+/// Identifier of a communicator. Dense, engine-assigned; 0 is the world.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommId(pub u32);
+
+impl CommId {
+    pub const WORLD: CommId = CommId(0);
+}
+
+/// Client-side view of a communicator (what `comm_split` returns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommHandle {
+    pub id: CommId,
+    /// This process's rank within the communicator.
+    pub rank: usize,
+    /// World ranks of the members, in communicator-rank order.
+    pub members: Vec<usize>,
+}
+
+impl CommHandle {
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Translate a communicator rank to a world rank.
+    pub fn world_rank(&self, comm_rank: usize) -> usize {
+        self.members[comm_rank]
+    }
+}
+
+/// Engine-side membership registry, shared by both implementations.
+#[derive(Default)]
+pub struct CommRegistry {
+    groups: Vec<Vec<usize>>, // by CommId; [0] = world
+    /// In-progress splits: key = (parent, per-parent split round).
+    pending: std::collections::BTreeMap<(CommId, u64), SplitRound>,
+    /// Per (rank, parent) split-invocation counters.
+    counters: std::collections::HashMap<(usize, CommId), u64>,
+}
+
+struct SplitRound {
+    /// (world rank, color, key); `color < 0` = MPI_UNDEFINED (no comm).
+    entries: Vec<(usize, i64, i64)>,
+}
+
+/// Outcome of a completed split, per participating world rank.
+pub struct SplitOutcome {
+    pub assignments: Vec<(usize, Option<CommHandle>)>,
+}
+
+impl CommRegistry {
+    pub fn new(world_size: usize) -> CommRegistry {
+        CommRegistry {
+            groups: vec![(0..world_size).collect()],
+            pending: Default::default(),
+            counters: Default::default(),
+        }
+    }
+
+    /// Members of a communicator, in communicator-rank order.
+    pub fn members(&self, id: CommId) -> &[usize] {
+        &self.groups[id.0 as usize]
+    }
+
+    pub fn size_of(&self, id: CommId) -> usize {
+        self.members(id).len()
+    }
+
+    /// Communicator-local rank of a world rank.
+    pub fn comm_rank(&self, id: CommId, world_rank: usize) -> usize {
+        self.members(id)
+            .iter()
+            .position(|&r| r == world_rank)
+            .expect("rank is not a member of this communicator")
+    }
+
+    /// Record one rank's arrival at a `comm_split`. Returns the completed
+    /// round's outcome once the last member arrives.
+    pub fn arrive_split(
+        &mut self,
+        parent: CommId,
+        world_rank: usize,
+        color: i64,
+        key: i64,
+    ) -> Option<SplitOutcome> {
+        let round_no = {
+            let c = self.counters.entry((world_rank, parent)).or_insert(0);
+            let r = *c;
+            *c += 1;
+            r
+        };
+        let parent_size = self.size_of(parent);
+        let round = self
+            .pending
+            .entry((parent, round_no))
+            .or_insert_with(|| SplitRound {
+                entries: Vec::with_capacity(parent_size),
+            });
+        round.entries.push((world_rank, color, key));
+        if round.entries.len() < parent_size {
+            return None;
+        }
+        let round = self.pending.remove(&(parent, round_no)).unwrap();
+        Some(self.finish_split(round))
+    }
+
+    fn finish_split(&mut self, round: SplitRound) -> SplitOutcome {
+        // Group by color (negative = undefined), order members by
+        // (key, world rank) — MPI_Comm_split semantics.
+        let mut colors: std::collections::BTreeMap<i64, Vec<(i64, usize)>> = Default::default();
+        for &(rank, color, key) in &round.entries {
+            if color >= 0 {
+                colors.entry(color).or_default().push((key, rank));
+            }
+        }
+        let mut handle_of: std::collections::HashMap<usize, CommHandle> = Default::default();
+        for (_color, mut members) in colors {
+            members.sort_unstable();
+            let world_ranks: Vec<usize> = members.iter().map(|&(_, r)| r).collect();
+            let id = CommId(self.groups.len() as u32);
+            self.groups.push(world_ranks.clone());
+            for (i, &r) in world_ranks.iter().enumerate() {
+                handle_of.insert(
+                    r,
+                    CommHandle {
+                        id,
+                        rank: i,
+                        members: world_ranks.clone(),
+                    },
+                );
+            }
+        }
+        SplitOutcome {
+            assignments: round
+                .entries
+                .iter()
+                .map(|&(r, _, _)| (r, handle_of.get(&r).cloned()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_registry() {
+        let reg = CommRegistry::new(8);
+        assert_eq!(reg.size_of(CommId::WORLD), 8);
+        assert_eq!(reg.comm_rank(CommId::WORLD, 5), 5);
+    }
+
+    #[test]
+    fn split_by_parity_orders_by_key_then_rank() {
+        let mut reg = CommRegistry::new(4);
+        // Ranks 0..3 split by parity; rank 2 passes a low key to become
+        // rank 0 of the even group.
+        assert!(reg.arrive_split(CommId::WORLD, 0, 0, 10).is_none());
+        assert!(reg.arrive_split(CommId::WORLD, 1, 1, 0).is_none());
+        assert!(reg.arrive_split(CommId::WORLD, 2, 0, -5).is_none());
+        let out = reg.arrive_split(CommId::WORLD, 3, 1, 0).unwrap();
+        let get = |r: usize| {
+            out.assignments
+                .iter()
+                .find(|(rank, _)| *rank == r)
+                .unwrap()
+                .1
+                .clone()
+                .unwrap()
+        };
+        let even = get(0);
+        assert_eq!(even.members, vec![2, 0]); // key -5 before key 10
+        assert_eq!(get(2).rank, 0);
+        assert_eq!(get(0).rank, 1);
+        let odd = get(1);
+        assert_eq!(odd.members, vec![1, 3]); // equal keys: world order
+        assert_eq!(get(3).rank, 1);
+        assert_ne!(even.id, odd.id);
+    }
+
+    #[test]
+    fn undefined_color_gets_no_comm() {
+        let mut reg = CommRegistry::new(2);
+        assert!(reg.arrive_split(CommId::WORLD, 0, -1, 0).is_none());
+        let out = reg.arrive_split(CommId::WORLD, 1, 3, 0).unwrap();
+        assert!(out.assignments.iter().find(|(r, _)| *r == 0).unwrap().1.is_none());
+        assert!(out.assignments.iter().find(|(r, _)| *r == 1).unwrap().1.is_some());
+    }
+
+    #[test]
+    fn nested_split_of_subcommunicator() {
+        let mut reg = CommRegistry::new(4);
+        for r in 0..3 {
+            assert!(reg.arrive_split(CommId::WORLD, r, 0, 0).is_none());
+        }
+        let out = reg.arrive_split(CommId::WORLD, 3, 1, 0).unwrap();
+        let sub = out
+            .assignments
+            .iter()
+            .find(|(r, _)| *r == 0)
+            .unwrap()
+            .1
+            .clone()
+            .unwrap();
+        assert_eq!(sub.members, vec![0, 1, 2]);
+        // Split the sub-communicator again.
+        assert!(reg.arrive_split(sub.id, 0, 7, 0).is_none());
+        assert!(reg.arrive_split(sub.id, 1, 7, 0).is_none());
+        let out2 = reg.arrive_split(sub.id, 2, 8, 0).unwrap();
+        assert_eq!(out2.assignments.len(), 3);
+        let s0 = out2.assignments.iter().find(|(r, _)| *r == 0).unwrap().1.clone().unwrap();
+        assert_eq!(s0.members, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn comm_rank_of_non_member_panics() {
+        let mut reg = CommRegistry::new(3);
+        reg.arrive_split(CommId::WORLD, 0, 0, 0);
+        reg.arrive_split(CommId::WORLD, 1, 0, 0);
+        let out = reg.arrive_split(CommId::WORLD, 2, 1, 0).unwrap();
+        let sub = out.assignments[0].1.clone().unwrap();
+        reg.comm_rank(sub.id, 2); // rank 2 is in the other group
+    }
+}

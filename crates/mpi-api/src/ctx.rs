@@ -1,0 +1,614 @@
+//! [`Mpi`] — the handle a rank program uses.
+//!
+//! The engine-backed primitives (point-to-point, probe/test/wait, barrier,
+//! bcast, reduce/allreduce) each cross to the engine as one [`MpiCall`].
+//! Following the paper's Appendix A, the remaining collectives —
+//! scatter(v), gather(v), allgather(v), alltoall(v) — are *composed* here
+//! from non-blocking point-to-point plus waitall, identically for both
+//! engines ("the point-to-point primitives and the basic collective
+//! primitives ... are implemented in the NIC while the rest of them are
+//! built on top of those").
+
+use crate::call::{MpiCall, MpiResp, ReqId};
+use crate::comm::{CommHandle, CommId};
+use crate::datatype::{self, Datatype, ReduceOp};
+use crate::message::{SrcSel, Status, TagSel};
+use simcore::{ProcessHandle, SimDuration, SimTime};
+
+/// Base of the tag space reserved for composed collectives. User tags must
+/// be non-negative (asserted), so no collision is possible.
+const COLL_TAG_BASE: i32 = i32::MIN / 2;
+/// Collective sequence numbers wrap well before tag overflow.
+const COLL_SEQ_MOD: i32 = 1 << 20;
+
+/// MPI context of one simulated rank.
+pub struct Mpi<'a> {
+    handle: &'a mut ProcessHandle<MpiCall, MpiResp>,
+    rank: usize,
+    size: usize,
+    coll_seq: i32,
+}
+
+impl<'a> Mpi<'a> {
+    pub fn new(
+        handle: &'a mut ProcessHandle<MpiCall, MpiResp>,
+        rank: usize,
+        size: usize,
+    ) -> Mpi<'a> {
+        Mpi {
+            handle,
+            rank,
+            size,
+            coll_seq: 0,
+        }
+    }
+
+    /// This process's rank in the job.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job (MPI_COMM_WORLD size).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn call(&mut self, call: MpiCall) -> MpiResp {
+        self.handle.call(call)
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Spend `d` of virtual CPU time computing.
+    pub fn compute(&mut self, d: SimDuration) {
+        match self.call(MpiCall::Compute { ns: d.as_nanos() }) {
+            MpiResp::Ok => {}
+            other => unreachable!("compute -> {other:?}"),
+        }
+    }
+
+    /// Current virtual time (MPI_Wtime).
+    pub fn now(&mut self) -> SimTime {
+        match self.call(MpiCall::Now) {
+            MpiResp::Time(ns) => SimTime(ns),
+            other => unreachable!("now -> {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// MPI_Send (blocking).
+    pub fn send(&mut self, dest: usize, tag: i32, data: &[u8]) {
+        assert!(tag >= 0, "user tags must be non-negative");
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        match self.call(MpiCall::Send {
+            dest,
+            tag,
+            data: data.to_vec(),
+            blocking: true,
+        }) {
+            MpiResp::Ok => {}
+            other => unreachable!("send -> {other:?}"),
+        }
+    }
+
+    /// MPI_Isend (non-blocking).
+    pub fn isend(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        assert!(tag >= 0, "user tags must be non-negative");
+        assert!(dest < self.size, "isend to rank {dest} of {}", self.size);
+        self.isend_internal(dest, tag, data)
+    }
+
+    fn isend_internal(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        match self.call(MpiCall::Send {
+            dest,
+            tag,
+            data: data.to_vec(),
+            blocking: false,
+        }) {
+            MpiResp::Req(r) => r,
+            other => unreachable!("isend -> {other:?}"),
+        }
+    }
+
+    /// MPI_Recv (blocking). Returns the payload and its status.
+    pub fn recv(&mut self, src: SrcSel, tag: TagSel) -> (Vec<u8>, Status) {
+        match self.call(MpiCall::Recv {
+            src,
+            tag,
+            blocking: true,
+        }) {
+            MpiResp::WaitDone {
+                data: Some(d),
+                status: Some(s),
+            } => (d, s),
+            other => unreachable!("recv -> {other:?}"),
+        }
+    }
+
+    /// Blocking receive from an exact source/tag (the common case).
+    pub fn recv_from(&mut self, src: usize, tag: i32) -> Vec<u8> {
+        self.recv(SrcSel::Rank(src), TagSel::Tag(tag)).0
+    }
+
+    /// MPI_Sendrecv: simultaneous exchange without deadlock risk — the
+    /// receive is pre-posted, the send is non-blocking, and both complete
+    /// before returning.
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: i32,
+        data: &[u8],
+        src: SrcSel,
+        recv_tag: TagSel,
+    ) -> (Vec<u8>, Status) {
+        let r = self.irecv(src, recv_tag);
+        let s = self.isend(dest, send_tag, data);
+        let mut results = self.waitall(&[r, s]);
+        let (payload, status) = results.swap_remove(0);
+        (
+            payload.expect("sendrecv recv payload"),
+            status.expect("sendrecv recv status"),
+        )
+    }
+
+    /// MPI_Irecv (non-blocking).
+    pub fn irecv(&mut self, src: SrcSel, tag: TagSel) -> ReqId {
+        match self.call(MpiCall::Recv {
+            src,
+            tag,
+            blocking: false,
+        }) {
+            MpiResp::Req(r) => r,
+            other => unreachable!("irecv -> {other:?}"),
+        }
+    }
+
+    /// MPI_Wait: returns the receive payload (None for a send request).
+    pub fn wait(&mut self, req: ReqId) -> (Option<Vec<u8>>, Option<Status>) {
+        match self.call(MpiCall::Wait { req }) {
+            MpiResp::WaitDone { data, status } => (data, status),
+            other => unreachable!("wait -> {other:?}"),
+        }
+    }
+
+    /// Wait on a receive request, unwrapping the payload.
+    pub fn wait_recv(&mut self, req: ReqId) -> (Vec<u8>, Status) {
+        let (d, s) = self.wait(req);
+        (
+            d.expect("wait_recv on a send request"),
+            s.expect("receive completion must carry a status"),
+        )
+    }
+
+    /// MPI_Test: `None` if the request is still in flight.
+    pub fn test(&mut self, req: ReqId) -> Option<(Option<Vec<u8>>, Option<Status>)> {
+        match self.call(MpiCall::Test { req }) {
+            MpiResp::TestDone { result } => result,
+            other => unreachable!("test -> {other:?}"),
+        }
+    }
+
+    /// MPI_Waitall: results in the order of `reqs`.
+    pub fn waitall(&mut self, reqs: &[ReqId]) -> Vec<(Option<Vec<u8>>, Option<Status>)> {
+        if reqs.is_empty() {
+            return vec![];
+        }
+        match self.call(MpiCall::Waitall {
+            reqs: reqs.to_vec(),
+        }) {
+            MpiResp::WaitallDone { results } => results,
+            other => unreachable!("waitall -> {other:?}"),
+        }
+    }
+
+    /// MPI_Testall: `None` (and nothing consumed) unless all complete.
+    pub fn testall(&mut self, reqs: &[ReqId]) -> Option<Vec<(Option<Vec<u8>>, Option<Status>)>> {
+        match self.call(MpiCall::Testall {
+            reqs: reqs.to_vec(),
+        }) {
+            MpiResp::TestallDone { results } => results,
+            other => unreachable!("testall -> {other:?}"),
+        }
+    }
+
+    /// MPI_Probe (blocking): status of the first matching message.
+    pub fn probe(&mut self, src: SrcSel, tag: TagSel) -> Status {
+        match self.call(MpiCall::Probe {
+            src,
+            tag,
+            blocking: true,
+        }) {
+            MpiResp::ProbeDone { status: Some(s) } => s,
+            other => unreachable!("probe -> {other:?}"),
+        }
+    }
+
+    /// MPI_Iprobe: `None` if no matching message has arrived.
+    pub fn iprobe(&mut self, src: SrcSel, tag: TagSel) -> Option<Status> {
+        match self.call(MpiCall::Probe {
+            src,
+            tag,
+            blocking: false,
+        }) {
+            MpiResp::ProbeDone { status } => status,
+            other => unreachable!("iprobe -> {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-level collectives (NIC-level in BCS-MPI)
+    // ------------------------------------------------------------------
+
+    /// MPI_Barrier (world).
+    pub fn barrier(&mut self) {
+        self.barrier_on_id(CommId::WORLD)
+    }
+
+    /// MPI_Barrier over a sub-communicator.
+    pub fn barrier_on(&mut self, comm: &CommHandle) {
+        self.barrier_on_id(comm.id)
+    }
+
+    fn barrier_on_id(&mut self, comm: CommId) {
+        match self.call(MpiCall::Barrier { comm }) {
+            MpiResp::Ok => {}
+            other => unreachable!("barrier -> {other:?}"),
+        }
+    }
+
+    /// MPI_Bcast: `data` is read on the root, ignored elsewhere; every rank
+    /// (including the root) receives the broadcast payload.
+    pub fn bcast(&mut self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        assert!(root < self.size);
+        if self.rank == root {
+            assert!(data.is_some(), "bcast root must supply data");
+        }
+        self.bcast_on_id(CommId::WORLD, root, data)
+    }
+
+    /// MPI_Bcast over a sub-communicator; `root` is a communicator rank.
+    pub fn bcast_on(&mut self, comm: &CommHandle, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        assert!(root < comm.size());
+        if comm.rank == root {
+            assert!(data.is_some(), "bcast root must supply data");
+        }
+        self.bcast_on_id(comm.id, root, data)
+    }
+
+    fn bcast_on_id(&mut self, comm: CommId, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        match self.call(MpiCall::Bcast {
+            comm,
+            root,
+            data: data.map(|d| d.to_vec()),
+        }) {
+            MpiResp::Data(d) => d,
+            other => unreachable!("bcast -> {other:?}"),
+        }
+    }
+
+    /// MPI_Reduce: result only on the root.
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        assert!(root < self.size);
+        match self.call(MpiCall::Reduce {
+            comm: CommId::WORLD,
+            root,
+            op,
+            dtype,
+            data: data.to_vec(),
+            all: false,
+        }) {
+            MpiResp::RootData(d) => d,
+            other => unreachable!("reduce -> {other:?}"),
+        }
+    }
+
+    /// MPI_Allreduce (world).
+    pub fn allreduce(&mut self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> Vec<u8> {
+        self.allreduce_on_id(CommId::WORLD, op, dtype, data)
+    }
+
+    /// MPI_Allreduce over a sub-communicator.
+    pub fn allreduce_on(
+        &mut self,
+        comm: &CommHandle,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Vec<u8> {
+        self.allreduce_on_id(comm.id, op, dtype, data)
+    }
+
+    fn allreduce_on_id(
+        &mut self,
+        comm: CommId,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Vec<u8> {
+        match self.call(MpiCall::Reduce {
+            comm,
+            root: 0,
+            op,
+            dtype,
+            data: data.to_vec(),
+            all: true,
+        }) {
+            MpiResp::Data(d) => d,
+            other => unreachable!("allreduce -> {other:?}"),
+        }
+    }
+
+    /// MPI_Comm_split: a collective over `parent` (`None` = world). Pass a
+    /// negative `color` for MPI_UNDEFINED (returns `None`). Members of each
+    /// color are ordered by `(key, world rank)`.
+    pub fn comm_split(
+        &mut self,
+        parent: Option<&CommHandle>,
+        color: i64,
+        key: i64,
+    ) -> Option<CommHandle> {
+        let parent = parent.map_or(CommId::WORLD, |c| c.id);
+        match self.call(MpiCall::CommSplit { parent, color, key }) {
+            MpiResp::CommSplitDone { handle } => handle,
+            other => unreachable!("comm_split -> {other:?}"),
+        }
+    }
+
+    /// MPI_Alltoallv over a sub-communicator: `chunks[i]` goes to the
+    /// communicator's rank `i`; returns chunks indexed by communicator rank.
+    pub fn alltoallv_on(&mut self, comm: &CommHandle, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(chunks.len(), comm.size(), "one chunk per member");
+        let tag = self.next_coll_tag();
+        let me_local = comm.rank;
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i != me_local {
+                let w = comm.world_rank(i);
+                sends.push(self.isend_raw(w, tag, chunk));
+            }
+        }
+        for i in 0..comm.size() {
+            if i != me_local {
+                let w = comm.world_rank(i);
+                recvs.push((i, self.irecv(SrcSel::Rank(w), TagSel::Tag(tag))));
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
+        out[me_local] = chunks[me_local].clone();
+        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
+        let results = self.waitall(&reqs);
+        for ((i, _), (payload, _)) in recvs.iter().zip(results) {
+            out[*i] = payload.expect("alltoall recv payload");
+        }
+        self.waitall(&sends);
+        out
+    }
+
+    /// MPI_Allgatherv over a sub-communicator (indexed by communicator rank).
+    pub fn allgatherv_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
+        let chunks: Vec<Vec<u8>> = (0..comm.size()).map(|_| data.to_vec()).collect();
+        self.alltoallv_on(comm, &chunks)
+    }
+
+    /// Typed allreduce over a sub-communicator.
+    pub fn allreduce_f64_on(&mut self, comm: &CommHandle, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
+        let out = self.allreduce_on(comm, op, Datatype::F64, &datatype::to_bytes_f64(xs));
+        datatype::from_bytes_f64(&out)
+    }
+
+    // ------------------------------------------------------------------
+    // Composed collectives (library level, per Appendix A)
+    // ------------------------------------------------------------------
+
+    fn next_coll_tag(&mut self) -> i32 {
+        let t = COLL_TAG_BASE + self.coll_seq;
+        self.coll_seq = (self.coll_seq + 1) % COLL_SEQ_MOD;
+        t
+    }
+
+    fn isend_raw(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        self.isend_internal(dest, tag, data)
+    }
+
+    /// MPI_Scatterv: the root supplies one chunk per rank; every rank
+    /// receives its chunk.
+    pub fn scatterv(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let chunks = chunks.expect("scatterv root must supply chunks");
+            assert_eq!(chunks.len(), self.size, "one chunk per rank");
+            let mut reqs = Vec::with_capacity(self.size - 1);
+            for (r, chunk) in chunks.iter().enumerate() {
+                if r != root {
+                    reqs.push(self.isend_raw(r, tag, chunk));
+                }
+            }
+            self.waitall(&reqs);
+            chunks[root].clone()
+        } else {
+            let req = self.irecv(SrcSel::Rank(root), TagSel::Tag(tag));
+            self.wait_recv(req).0
+        }
+    }
+
+    /// MPI_Scatter: equal-size chunks.
+    pub fn scatter(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        if let Some(cs) = chunks {
+            let len0 = cs.first().map_or(0, |c| c.len());
+            assert!(
+                cs.iter().all(|c| c.len() == len0),
+                "scatter requires equal chunk sizes; use scatterv"
+            );
+        }
+        self.scatterv(root, chunks)
+    }
+
+    /// MPI_Gatherv: every rank contributes; the root receives all chunks in
+    /// rank order.
+    pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut reqs = Vec::with_capacity(self.size - 1);
+            for r in 0..self.size {
+                if r != root {
+                    reqs.push(self.irecv(SrcSel::Rank(r), TagSel::Tag(tag)));
+                }
+            }
+            let results = self.waitall(&reqs);
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size);
+            let mut it = results.into_iter();
+            for r in 0..self.size {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(it.next().unwrap().0.expect("gather recv payload"));
+                }
+            }
+            Some(out)
+        } else {
+            let req = self.isend_raw(root, tag, data);
+            self.wait(req);
+            None
+        }
+    }
+
+    /// MPI_Gather (equal sizes enforced at the root).
+    pub fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let out = self.gatherv(root, data);
+        if let Some(chunks) = &out {
+            let len0 = chunks[0].len();
+            assert!(
+                chunks.iter().all(|c| c.len() == len0),
+                "gather requires equal contributions; use gatherv"
+            );
+        }
+        out
+    }
+
+    /// MPI_Allgatherv: every rank receives every contribution, in rank
+    /// order. All-pairs non-blocking exchange.
+    pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let tag = self.next_coll_tag();
+        let mut sends = Vec::with_capacity(self.size - 1);
+        let mut recvs = Vec::with_capacity(self.size - 1);
+        for r in 0..self.size {
+            if r != self.rank {
+                sends.push(self.isend_raw(r, tag, data));
+            }
+        }
+        for r in 0..self.size {
+            if r != self.rank {
+                recvs.push((r, self.irecv(SrcSel::Rank(r), TagSel::Tag(tag))));
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+        out[self.rank] = data.to_vec();
+        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
+        let results = self.waitall(&reqs);
+        for ((r, _), (payload, _)) in recvs.iter().zip(results) {
+            out[*r] = payload.expect("allgather recv payload");
+        }
+        self.waitall(&sends);
+        out
+    }
+
+    /// MPI_Allgather (equal sizes).
+    pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let out = self.allgatherv(data);
+        let len0 = out[0].len();
+        assert!(
+            out.iter().all(|c| c.len() == len0),
+            "allgather requires equal contributions; use allgatherv"
+        );
+        out
+    }
+
+    /// MPI_Alltoallv: `chunks[r]` goes to rank `r`; returns what each rank
+    /// sent to us, in rank order.
+    pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(chunks.len(), self.size, "one chunk per destination");
+        let tag = self.next_coll_tag();
+        let mut sends = Vec::with_capacity(self.size - 1);
+        let mut recvs = Vec::with_capacity(self.size - 1);
+        for (r, chunk) in chunks.iter().enumerate() {
+            if r != self.rank {
+                sends.push(self.isend_raw(r, tag, chunk));
+            }
+        }
+        for r in 0..self.size {
+            if r != self.rank {
+                recvs.push((r, self.irecv(SrcSel::Rank(r), TagSel::Tag(tag))));
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+        out[self.rank] = chunks[self.rank].clone();
+        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
+        let results = self.waitall(&reqs);
+        for ((r, _), (payload, _)) in recvs.iter().zip(results) {
+            out[*r] = payload.expect("alltoall recv payload");
+        }
+        self.waitall(&sends);
+        out
+    }
+
+    /// MPI_Alltoall (equal sizes).
+    pub fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let len0 = chunks.first().map_or(0, |c| c.len());
+        assert!(
+            chunks.iter().all(|c| c.len() == len0),
+            "alltoall requires equal chunk sizes; use alltoallv"
+        );
+        self.alltoallv(chunks)
+    }
+
+    // ------------------------------------------------------------------
+    // Typed conveniences used by the workloads
+    // ------------------------------------------------------------------
+
+    /// Allreduce over `f64` values.
+    pub fn allreduce_f64(&mut self, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
+        let out = self.allreduce(op, Datatype::F64, &datatype::to_bytes_f64(xs));
+        datatype::from_bytes_f64(&out)
+    }
+
+    /// Allreduce over `i64` values.
+    pub fn allreduce_i64(&mut self, op: ReduceOp, xs: &[i64]) -> Vec<i64> {
+        let out = self.allreduce(op, Datatype::I64, &datatype::to_bytes_i64(xs));
+        datatype::from_bytes_i64(&out)
+    }
+
+    /// Reduce over `f64` values (result on root only).
+    pub fn reduce_f64(&mut self, root: usize, op: ReduceOp, xs: &[f64]) -> Option<Vec<f64>> {
+        self.reduce(root, op, Datatype::F64, &datatype::to_bytes_f64(xs))
+            .map(|b| datatype::from_bytes_f64(&b))
+    }
+
+    /// Send a typed `f64` slice.
+    pub fn send_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) {
+        self.send(dest, tag, &datatype::to_bytes_f64(xs));
+    }
+
+    /// Blocking receive of a typed `f64` slice from an exact source.
+    pub fn recv_f64(&mut self, src: usize, tag: i32) -> Vec<f64> {
+        datatype::from_bytes_f64(&self.recv_from(src, tag))
+    }
+
+    /// Non-blocking send of a typed `f64` slice.
+    pub fn isend_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) -> ReqId {
+        self.isend(dest, tag, &datatype::to_bytes_f64(xs))
+    }
+}

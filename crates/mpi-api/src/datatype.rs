@@ -1,0 +1,261 @@
+//! MPI datatypes and reduction operators.
+//!
+//! Payloads travel as raw bytes (`Vec<u8>`); the datatype tells reductions
+//! how to interpret them. The native combine here is what the baseline's
+//! host-side reduction tree uses; BCS-MPI's Reduce Helper instead runs the
+//! `softfloat` implementation, because the NIC it models has no FPU — the
+//! two must agree bit-for-bit, which the cross-engine tests assert.
+
+/// Element type of a reduction buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    U8,
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl Datatype {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            Datatype::U8 => 1,
+            Datatype::I32 => 4,
+            Datatype::I64 => 8,
+            Datatype::F32 => 4,
+            Datatype::F64 => 8,
+        }
+    }
+}
+
+/// Reduction operator (MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, MPI_BAND,
+/// MPI_BOR subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+    BAnd,
+    BOr,
+}
+
+macro_rules! combine_numeric {
+    ($op:expr, $a:expr, $b:expr, $ty:ty) => {{
+        let x = <$ty>::from_le_bytes($a.try_into().unwrap());
+        let y = <$ty>::from_le_bytes($b.try_into().unwrap());
+        let r: $ty = match $op {
+            ReduceOp::Sum => x.wrapping_add(y),
+            ReduceOp::Prod => x.wrapping_mul(y),
+            ReduceOp::Min => x.min(y),
+            ReduceOp::Max => x.max(y),
+            ReduceOp::BAnd => x & y,
+            ReduceOp::BOr => x | y,
+        };
+        $a.copy_from_slice(&r.to_le_bytes());
+    }};
+}
+
+macro_rules! combine_float {
+    ($op:expr, $a:expr, $b:expr, $ty:ty) => {{
+        let x = <$ty>::from_le_bytes($a.try_into().unwrap());
+        let y = <$ty>::from_le_bytes($b.try_into().unwrap());
+        let r: $ty = match $op {
+            ReduceOp::Sum => x + y,
+            ReduceOp::Prod => x * y,
+            ReduceOp::Min => x.min(y),
+            ReduceOp::Max => x.max(y),
+            ReduceOp::BAnd | ReduceOp::BOr => {
+                panic!("bitwise reduction on floating-point data")
+            }
+        };
+        $a.copy_from_slice(&r.to_le_bytes());
+    }};
+}
+
+/// Combine `b` into `a` element-wise with native host arithmetic:
+/// `a[i] = op(a[i], b[i])`.
+///
+/// # Panics
+/// Panics if the buffers differ in length, are not a multiple of the element
+/// size, or a bitwise op is applied to floats.
+pub fn combine_native(op: ReduceOp, dtype: Datatype, a: &mut [u8], b: &[u8]) {
+    assert_eq!(a.len(), b.len(), "reduction buffers differ in length");
+    let sz = dtype.size();
+    assert_eq!(a.len() % sz, 0, "buffer not a multiple of element size");
+    for (ca, cb) in a.chunks_exact_mut(sz).zip(b.chunks_exact(sz)) {
+        match dtype {
+            Datatype::U8 => combine_numeric!(op, ca, cb, u8),
+            Datatype::I32 => combine_numeric!(op, ca, cb, i32),
+            Datatype::I64 => combine_numeric!(op, ca, cb, i64),
+            Datatype::F32 => combine_float!(op, ca, cb, f32),
+            Datatype::F64 => combine_float!(op, ca, cb, f64),
+        }
+    }
+}
+
+/// Identity element of `op` for `dtype`, used to seed reduction trees.
+pub fn identity(op: ReduceOp, dtype: Datatype, elems: usize) -> Vec<u8> {
+    let one = |v: f64| -> Vec<u8> {
+        match dtype {
+            Datatype::U8 => vec![v as u8],
+            Datatype::I32 => (v as i32).to_le_bytes().to_vec(),
+            Datatype::I64 => (v as i64).to_le_bytes().to_vec(),
+            Datatype::F32 => (v as f32).to_le_bytes().to_vec(),
+            Datatype::F64 => v.to_le_bytes().to_vec(),
+        }
+    };
+    let elem: Vec<u8> = match (op, dtype) {
+        (ReduceOp::Sum, _) | (ReduceOp::BOr, _) => one(0.0),
+        (ReduceOp::Prod, _) => one(1.0),
+        (ReduceOp::BAnd, Datatype::U8) => vec![u8::MAX],
+        (ReduceOp::BAnd, Datatype::I32) => (-1i32).to_le_bytes().to_vec(),
+        (ReduceOp::BAnd, Datatype::I64) => (-1i64).to_le_bytes().to_vec(),
+        (ReduceOp::BAnd, _) => panic!("bitwise reduction on floating-point data"),
+        (ReduceOp::Min, Datatype::U8) => vec![u8::MAX],
+        (ReduceOp::Min, Datatype::I32) => i32::MAX.to_le_bytes().to_vec(),
+        (ReduceOp::Min, Datatype::I64) => i64::MAX.to_le_bytes().to_vec(),
+        (ReduceOp::Min, Datatype::F32) => f32::INFINITY.to_le_bytes().to_vec(),
+        (ReduceOp::Min, Datatype::F64) => f64::INFINITY.to_le_bytes().to_vec(),
+        (ReduceOp::Max, Datatype::U8) => vec![0],
+        (ReduceOp::Max, Datatype::I32) => i32::MIN.to_le_bytes().to_vec(),
+        (ReduceOp::Max, Datatype::I64) => i64::MIN.to_le_bytes().to_vec(),
+        (ReduceOp::Max, Datatype::F32) => f32::NEG_INFINITY.to_le_bytes().to_vec(),
+        (ReduceOp::Max, Datatype::F64) => f64::NEG_INFINITY.to_le_bytes().to_vec(),
+    };
+    elem.iter().copied().cycle().take(elems * dtype.size()).collect()
+}
+
+// ----------------------------------------------------------------------
+// Typed slice <-> bytes helpers, used throughout the workloads.
+// ----------------------------------------------------------------------
+
+/// View a typed slice as little-endian bytes.
+pub fn to_bytes_f64(xs: &[f64]) -> Vec<u8> {
+    xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+pub fn from_bytes_f64(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+pub fn to_bytes_i64(xs: &[i64]) -> Vec<u8> {
+    xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+pub fn from_bytes_i64(b: &[u8]) -> Vec<i64> {
+    assert_eq!(b.len() % 8, 0);
+    b.chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+pub fn to_bytes_i32(xs: &[i32]) -> Vec<u8> {
+    xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+pub fn from_bytes_i32(b: &[u8]) -> Vec<i32> {
+    assert_eq!(b.len() % 4, 0);
+    b.chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Datatype::U8.size(), 1);
+        assert_eq!(Datatype::I32.size(), 4);
+        assert_eq!(Datatype::I64.size(), 8);
+        assert_eq!(Datatype::F32.size(), 4);
+        assert_eq!(Datatype::F64.size(), 8);
+    }
+
+    #[test]
+    fn combine_f64_sum_and_minmax() {
+        let mut a = to_bytes_f64(&[1.0, -2.0, 3.5]);
+        let b = to_bytes_f64(&[0.5, 7.0, -3.5]);
+        combine_native(ReduceOp::Sum, Datatype::F64, &mut a, &b);
+        assert_eq!(from_bytes_f64(&a), vec![1.5, 5.0, 0.0]);
+
+        let mut a = to_bytes_f64(&[1.0, -2.0]);
+        let b = to_bytes_f64(&[0.5, 7.0]);
+        combine_native(ReduceOp::Min, Datatype::F64, &mut a, &b);
+        assert_eq!(from_bytes_f64(&a), vec![0.5, -2.0]);
+        let mut a = to_bytes_f64(&[1.0, -2.0]);
+        combine_native(ReduceOp::Max, Datatype::F64, &mut a, &b);
+        assert_eq!(from_bytes_f64(&a), vec![1.0, 7.0]);
+    }
+
+    #[test]
+    fn combine_integer_ops() {
+        let mut a = to_bytes_i64(&[3, -4, 100]);
+        let b = to_bytes_i64(&[5, -6, -1]);
+        combine_native(ReduceOp::Sum, Datatype::I64, &mut a, &b);
+        assert_eq!(from_bytes_i64(&a), vec![8, -10, 99]);
+        let mut a = to_bytes_i32(&[0b1100, 0b1010]);
+        let b = to_bytes_i32(&[0b1010, 0b0110]);
+        combine_native(ReduceOp::BAnd, Datatype::I32, &mut a, &b);
+        assert_eq!(from_bytes_i32(&a), vec![0b1000, 0b0010]);
+        let mut a = to_bytes_i32(&[0b1100]);
+        let b = to_bytes_i32(&[0b0011]);
+        combine_native(ReduceOp::BOr, Datatype::I32, &mut a, &b);
+        assert_eq!(from_bytes_i32(&a), vec![0b1111]);
+    }
+
+    #[test]
+    fn combine_wrapping_product() {
+        let mut a = to_bytes_i32(&[i32::MAX]);
+        let b = to_bytes_i32(&[2]);
+        combine_native(ReduceOp::Prod, Datatype::I32, &mut a, &b);
+        assert_eq!(from_bytes_i32(&a), vec![i32::MAX.wrapping_mul(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn combine_length_mismatch_panics() {
+        let mut a = vec![0u8; 8];
+        combine_native(ReduceOp::Sum, Datatype::F64, &mut a, &[0u8; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise reduction")]
+    fn bitwise_on_floats_panics() {
+        let mut a = to_bytes_f64(&[1.0]);
+        let b = to_bytes_f64(&[2.0]);
+        combine_native(ReduceOp::BAnd, Datatype::F64, &mut a, &b);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            let mut id = identity(op, Datatype::F64, 3);
+            let b = to_bytes_f64(&[1.5, -2.0, 0.25]);
+            combine_native(op, Datatype::F64, &mut id, &b);
+            assert_eq!(from_bytes_f64(&id), vec![1.5, -2.0, 0.25], "{op:?}");
+        }
+        for op in [ReduceOp::Sum, ReduceOp::BAnd, ReduceOp::BOr, ReduceOp::Min, ReduceOp::Max] {
+            let mut id = identity(op, Datatype::I32, 2);
+            let b = to_bytes_i32(&[37, -12]);
+            combine_native(op, Datatype::I32, &mut id, &b);
+            assert_eq!(from_bytes_i32(&id), vec![37, -12], "{op:?}");
+        }
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let xs = vec![1.5f64, -0.0, f64::MAX];
+        assert_eq!(from_bytes_f64(&to_bytes_f64(&xs)), xs);
+        let ys = vec![i64::MIN, 0, 42];
+        assert_eq!(from_bytes_i64(&to_bytes_i64(&ys)), ys);
+        let zs = vec![i32::MAX, -7];
+        assert_eq!(from_bytes_i32(&to_bytes_i32(&zs)), zs);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mpi-api — the MPI-facing surface shared by both engines
+//!
+//! BCS-MPI (the paper's contribution, crate `bcs-mpi`) and the
+//! production-style baseline (crate `quadrics-mpi`) implement the *same* MPI
+//! subset over the same simulated cluster, differing only in protocol. This
+//! crate holds everything they share:
+//!
+//! * [`datatype`] — MPI datatypes and reduction operators (with native
+//!   combine used by the host-side baseline reduction);
+//! * [`message`] — ranks, tags, statuses, envelope matching (including
+//!   `ANY_SOURCE` / `ANY_TAG` wildcards and the non-overtaking rule);
+//! * [`call`] — the request/response protocol between simulated rank
+//!   threads and the engine (`MpiCall` / `MpiResp`), mirroring the BCS API
+//!   of the paper's Appendix A;
+//! * [`ctx`] — [`ctx::Mpi`], the handle rank programs use: blocking and
+//!   non-blocking point-to-point, barrier/bcast/reduce/allreduce (engine
+//!   primitives, NIC-level in BCS-MPI), and scatter(v)/gather(v)/
+//!   allgather(v)/alltoall(v) composed on top of the primitives, exactly as
+//!   Appendix A prescribes ("the rest of them are built on top of those");
+//! * [`runtime`] — [`runtime::Engine`] (the trait an MPI implementation
+//!   provides), [`runtime::ClusterWorld`] (harness + engine world) and
+//!   [`runtime::run_job`], the driver that spawns one cooperative thread per
+//!   rank and runs the discrete-event simulation to completion.
+
+pub mod call;
+pub mod comm;
+pub mod ctx;
+pub mod datatype;
+pub mod message;
+pub mod noise;
+pub mod runtime;
+
+pub use call::{MpiCall, MpiResp, ReqId};
+pub use comm::{CommHandle, CommId, CommRegistry};
+pub use ctx::Mpi;
+pub use datatype::{Datatype, ReduceOp};
+pub use message::{Envelope, SrcSel, Status, TagSel};
+pub use runtime::{ClusterWorld, Engine, JobLayout, RunResult, run_job};

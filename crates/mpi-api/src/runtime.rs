@@ -1,0 +1,398 @@
+//! The cluster runtime: engine trait, world, and job driver.
+//!
+//! One simulation = one [`ClusterWorld`] (the engine plus the cooperative
+//! rank harness) driven by one [`simcore::Sim`]. Rank programs run on
+//! cooperative threads; every [`MpiCall`] they issue is dispatched to the
+//! engine, which completes it immediately or later by scheduling a resume.
+//!
+//! The drain loop is the one subtle piece: resuming a rank yields its next
+//! call, which the engine may answer immediately, which resumes the rank
+//! again, and so on. Completions therefore go through a queue
+//! ([`ClusterWorld::resume`]) drained at the top level ([`drain`]) rather
+//! than recursing.
+
+use crate::call::{MpiCall, MpiResp};
+use crate::ctx::Mpi;
+use qsnet::NodeId;
+use simcore::{CoHarness, ProcYield, Sim, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Placement of an MPI job on the simulated cluster.
+#[derive(Clone, Debug)]
+pub struct JobLayout {
+    /// Number of compute nodes (the management node, if the engine uses one,
+    /// is extra).
+    pub compute_nodes: usize,
+    /// Processors per node (the paper's cluster has two P-III per node).
+    pub cpus_per_node: usize,
+    /// Number of MPI ranks; ranks are block-distributed
+    /// (`node = rank / cpus_per_node`).
+    pub ranks: usize,
+}
+
+impl JobLayout {
+    pub fn new(compute_nodes: usize, cpus_per_node: usize, ranks: usize) -> JobLayout {
+        assert!(ranks >= 1, "job needs at least one rank");
+        assert!(
+            ranks <= compute_nodes * cpus_per_node,
+            "{ranks} ranks do not fit on {compute_nodes} nodes x {cpus_per_node} cpus"
+        );
+        JobLayout {
+            compute_nodes,
+            cpus_per_node,
+            ranks,
+        }
+    }
+
+    /// The crescendo cluster of the paper: 32 compute nodes, 2 CPUs each.
+    pub fn crescendo(ranks: usize) -> JobLayout {
+        JobLayout::new(32, 2, ranks)
+    }
+
+    /// Compute node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        NodeId(rank / self.cpus_per_node)
+    }
+
+    /// Number of nodes actually occupied by the job.
+    pub fn nodes_used(&self) -> usize {
+        self.ranks.div_ceil(self.cpus_per_node)
+    }
+
+    /// Ranks hosted on `node`, in rank order.
+    pub fn ranks_on(&self, node: NodeId) -> impl Iterator<Item = usize> + '_ {
+        let lo = node.0 * self.cpus_per_node;
+        (lo..(lo + self.cpus_per_node).min(self.ranks)).filter(move |_| lo < self.ranks)
+    }
+}
+
+/// An MPI implementation: interprets [`MpiCall`]s over a simulated cluster.
+pub trait Engine: Sized + 'static {
+    /// Start protocol machinery (strobe loops, daemons) before any rank runs.
+    fn bootstrap(w: &mut ClusterWorld<Self>, sim: &mut Sim<ClusterWorld<Self>>);
+
+    /// Handle one call from `rank`. The engine must eventually complete it
+    /// via [`ClusterWorld::resume`] (directly or from a scheduled event).
+    fn on_call(
+        w: &mut ClusterWorld<Self>,
+        sim: &mut Sim<ClusterWorld<Self>>,
+        rank: usize,
+        call: MpiCall,
+    );
+
+    /// Notification that `rank`'s program returned.
+    fn on_finished(
+        _w: &mut ClusterWorld<Self>,
+        _sim: &mut Sim<ClusterWorld<Self>>,
+        _rank: usize,
+    ) {
+    }
+
+    /// Diagnostic dump of in-flight state, used in deadlock reports.
+    fn describe_pending(&self) -> String {
+        String::new()
+    }
+}
+
+/// The simulation world: engine + rank harness + completion queue.
+pub struct ClusterWorld<E: Engine> {
+    pub engine: E,
+    pub layout: JobLayout,
+    harness: CoHarness<MpiCall, MpiResp>,
+    pending: VecDeque<(usize, MpiResp)>,
+    pub finished: usize,
+    finish_times: Vec<Option<SimTime>>,
+    draining: bool,
+}
+
+impl<E: Engine> ClusterWorld<E> {
+    pub fn new(engine: E, layout: JobLayout) -> ClusterWorld<E> {
+        let ranks = layout.ranks;
+        ClusterWorld {
+            engine,
+            layout,
+            harness: CoHarness::new(),
+            pending: VecDeque::new(),
+            finished: 0,
+            finish_times: vec![None; ranks],
+            draining: false,
+        }
+    }
+
+    /// Queue a completion for `rank`. Processed by the next [`drain`].
+    pub fn resume(&mut self, rank: usize, resp: MpiResp) {
+        self.pending.push_back((rank, resp));
+    }
+
+    /// True once every rank's program has returned.
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.layout.ranks
+    }
+}
+
+/// Process queued completions until quiescent. Must be called after any
+/// sequence of [`ClusterWorld::resume`] calls — scheduled engine events
+/// should use [`resume_at`], which does this automatically.
+pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>) {
+    if w.draining {
+        return; // the outer drain loop will pick up new completions
+    }
+    w.draining = true;
+    while let Some((rank, resp)) = w.pending.pop_front() {
+        let y = w.harness.resume(simcore::ProcId(rank), resp);
+        match y {
+            ProcYield::Request(call) => E::on_call(w, sim, rank, call),
+            ProcYield::Finished(_) => {
+                w.finished += 1;
+                w.finish_times[rank] = Some(sim.now());
+                E::on_finished(w, sim, rank);
+            }
+        }
+    }
+    w.draining = false;
+}
+
+/// Schedule `resp` to be delivered to `rank` at virtual time `at`.
+pub fn resume_at<E: Engine>(
+    sim: &mut Sim<ClusterWorld<E>>,
+    at: SimTime,
+    rank: usize,
+    resp: MpiResp,
+) {
+    sim.schedule_at(at, move |w: &mut ClusterWorld<E>, sim| {
+        w.resume(rank, resp);
+        drain(w, sim);
+    });
+}
+
+/// Worlds whose engine hosts a BCS cluster expose it as [`bcs_core::BcsWorld`].
+impl<E> bcs_core::BcsWorld for ClusterWorld<E>
+where
+    E: Engine + bcs_core::BcsHost<ClusterWorld<E>>,
+{
+    fn bcs(&mut self) -> &mut bcs_core::BcsCluster<Self> {
+        self.engine.bcs_cluster()
+    }
+}
+
+/// Outcome of [`run_job`].
+pub struct RunResult<R, E> {
+    /// Per-rank program return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Virtual time at which the last rank finished.
+    pub elapsed: SimDuration,
+    /// Per-rank finish times.
+    pub finish_times: Vec<SimTime>,
+    /// The engine, for stats inspection.
+    pub engine: E,
+    /// Total discrete events executed (simulation cost diagnostic).
+    pub events: u64,
+}
+
+/// Options for [`run_job_opts`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Abort (panic) if virtual time exceeds this bound — catches protocol
+    /// livelock in tests.
+    pub max_virtual: Option<SimDuration>,
+}
+
+/// Run `program` as an MPI job of `layout.ranks` ranks over `engine`.
+///
+/// The program closure receives an [`Mpi`] context; its return value is
+/// collected per rank. Panics with a diagnostic if the job deadlocks.
+pub fn run_job<E, R, F>(engine: E, layout: JobLayout, program: F) -> RunResult<R, E>
+where
+    E: Engine,
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+{
+    run_job_opts(engine, layout, program, RunOpts::default())
+}
+
+/// [`run_job`] with explicit options.
+pub fn run_job_opts<E, R, F>(
+    engine: E,
+    layout: JobLayout,
+    program: F,
+    opts: RunOpts,
+) -> RunResult<R, E>
+where
+    E: Engine,
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+{
+    let mut sim: Sim<ClusterWorld<E>> = Sim::new();
+    if let Some(mv) = opts.max_virtual {
+        sim.set_horizon(SimTime::ZERO + mv);
+    }
+    let mut w = ClusterWorld::new(engine, layout.clone());
+    E::bootstrap(&mut w, &mut sim);
+
+    let program = Arc::new(program);
+    let size = layout.ranks;
+    for rank in 0..size {
+        let prog = Arc::clone(&program);
+        let (pid, y) = w.harness.spawn(format!("rank{rank}"), move |h| {
+            let mut mpi = Mpi::new(h, rank, size);
+            prog(&mut mpi)
+        });
+        assert_eq!(pid.0, rank, "rank ids must be dense");
+        match y {
+            ProcYield::Request(call) => E::on_call(&mut w, &mut sim, rank, call),
+            ProcYield::Finished(_) => {
+                w.finished += 1;
+                w.finish_times[rank] = Some(SimTime::ZERO);
+            }
+        }
+    }
+    drain(&mut w, &mut sim);
+
+    let done = sim.run_until(&mut w, |w| w.all_finished());
+    if !done {
+        let stuck: Vec<usize> = (0..size).filter(|&r| w.finish_times[r].is_none()).collect();
+        panic!(
+            "MPI job did not complete at t={} ({} of {} ranks finished; stuck ranks {:?}).\n\
+             Either the program deadlocked or the virtual-time horizon was hit.\n\
+             Engine state:\n{}",
+            sim.now(),
+            w.finished,
+            size,
+            stuck,
+            w.engine.describe_pending()
+        );
+    }
+
+    let finish_times: Vec<SimTime> = w
+        .finish_times
+        .iter()
+        .map(|t| t.expect("finished rank must have a finish time"))
+        .collect();
+    let elapsed = finish_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .since(SimTime::ZERO);
+    let results: Vec<R> = (0..size)
+        .map(|r| {
+            w.harness
+                .take_result::<R>(simcore::ProcId(r))
+                .expect("rank result of unexpected type")
+        })
+        .collect();
+    RunResult {
+        results,
+        elapsed,
+        finish_times,
+        engine: w.engine,
+        events: sim.events_executed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_placement() {
+        let l = JobLayout::new(31, 2, 62);
+        assert_eq!(l.node_of(0), NodeId(0));
+        assert_eq!(l.node_of(1), NodeId(0));
+        assert_eq!(l.node_of(2), NodeId(1));
+        assert_eq!(l.node_of(61), NodeId(30));
+        assert_eq!(l.nodes_used(), 31);
+        assert_eq!(l.ranks_on(NodeId(0)).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(l.ranks_on(NodeId(30)).collect::<Vec<_>>(), vec![60, 61]);
+    }
+
+    #[test]
+    fn layout_partial_last_node() {
+        let l = JobLayout::new(4, 2, 5);
+        assert_eq!(l.nodes_used(), 3);
+        assert_eq!(l.ranks_on(NodeId(2)).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(l.ranks_on(NodeId(1)).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn oversubscribed_layout_panics() {
+        JobLayout::new(2, 2, 5);
+    }
+
+    // A trivial engine: everything completes instantly except Compute,
+    // which advances virtual time. Exercises the full driver machinery.
+    struct NullEngine;
+
+    impl Engine for NullEngine {
+        fn bootstrap(_w: &mut ClusterWorld<Self>, _sim: &mut Sim<ClusterWorld<Self>>) {}
+
+        fn on_call(
+            w: &mut ClusterWorld<Self>,
+            sim: &mut Sim<ClusterWorld<Self>>,
+            rank: usize,
+            call: MpiCall,
+        ) {
+            match call {
+                MpiCall::Compute { ns } => {
+                    let at = sim.now() + SimDuration::nanos(ns);
+                    resume_at(sim, at, rank, MpiResp::Ok);
+                }
+                MpiCall::Now => {
+                    w.resume(rank, MpiResp::Time(sim.now().as_nanos()));
+                    drain(w, sim);
+                }
+                other => panic!("NullEngine cannot handle {}", other.op_name()),
+            }
+        }
+    }
+
+    #[test]
+    fn run_job_collects_results_and_times() {
+        let layout = JobLayout::new(4, 2, 8);
+        let out = run_job(NullEngine, layout, |mpi| {
+            mpi.compute(SimDuration::micros(100 * (mpi.rank() as u64 + 1)));
+            mpi.rank() * 10
+        });
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(out.elapsed, SimDuration::micros(800));
+        assert_eq!(
+            out.finish_times[0].since(SimTime::ZERO),
+            SimDuration::micros(100)
+        );
+        assert!(out.events > 0);
+    }
+
+    #[test]
+    fn virtual_clock_visible_to_ranks() {
+        let layout = JobLayout::new(1, 1, 1);
+        let out = run_job(NullEngine, layout, |mpi| {
+            let t0 = mpi.now();
+            mpi.compute(SimDuration::millis(3));
+            let t1 = mpi.now();
+            t1.since(t0)
+        });
+        assert_eq!(out.results[0], SimDuration::millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not complete")]
+    fn horizon_reports_stuck_ranks() {
+        let layout = JobLayout::new(1, 2, 2);
+        run_job_opts(
+            NullEngine,
+            layout,
+            |mpi| {
+                // Rank 1 computes past the horizon.
+                if mpi.rank() == 1 {
+                    mpi.compute(SimDuration::secs(10));
+                }
+            },
+            RunOpts {
+                max_virtual: Some(SimDuration::secs(1)),
+            },
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! The fabric: issue-time analytic timing with per-port FIFO contention.
+//!
+//! Every NIC has one transmit and one receive port; collective wire
+//! operations (multicast, network conditional) additionally serialize through
+//! the root of the fat tree, which is what gives `Xfer-And-Signal` and
+//! `Compare-And-Write` their total order (sequential consistency — see the
+//! paper's §2, point 2).
+//!
+//! All reservations happen synchronously when an operation is issued, in
+//! event order, so the model is deterministic and needs no per-packet events:
+//! a transfer's delivery time is computed immediately and its completion
+//! callback scheduled on the simulator queue.
+
+use crate::model::NetModel;
+use crate::topology::{NodeId, Topology};
+use simcore::{Sim, SimTime};
+use std::rc::Rc;
+
+/// Wire-level size of a control packet (descriptors, get requests,
+/// conditional queries). Matches the Elan3 64-byte event/packet granularity.
+pub const CTRL_BYTES: u64 = 64;
+
+/// Traffic counters, cheap enough to update on every operation.
+#[derive(Clone, Debug, Default)]
+pub struct FabricStats {
+    pub puts: u64,
+    pub put_bytes: u64,
+    pub gets: u64,
+    pub get_bytes: u64,
+    pub multicasts: u64,
+    pub multicast_bytes: u64,
+    pub conditionals: u64,
+}
+
+/// The simulated interconnect.
+pub struct Fabric {
+    model: NetModel,
+    topo: Topology,
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    /// Root serializer: totally orders collective wire operations.
+    coll_free: SimTime,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    pub fn new(model: NetModel, nodes: usize) -> Fabric {
+        Fabric {
+            model,
+            topo: Topology::fat_tree(nodes),
+            tx_free: vec![SimTime::ZERO; nodes],
+            rx_free: vec![SimTime::ZERO; nodes],
+            coll_free: SimTime::ZERO,
+            stats: FabricStats::default(),
+        }
+    }
+
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.topo.nodes()
+    }
+
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats::default();
+    }
+
+    /// Remote put (one-sided write): DMA `bytes` from `src` to `dst`.
+    /// `on_delivered` runs when the last byte lands in destination memory.
+    /// Returns the delivery time.
+    pub fn put<W: 'static>(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.stats.puts += 1;
+        self.stats.put_bytes += bytes;
+        let deliver = self.reserve_put(sim.now(), src, dst, bytes);
+        sim.schedule_at(deliver, on_delivered);
+        deliver
+    }
+
+    /// Remote get (one-sided read): `requester` pulls `bytes` from `target`'s
+    /// memory. A control request travels to the target, then the data DMA
+    /// streams back. This is how the BCS-MPI DMA Helper moves message bodies
+    /// (Figure 6, step 9).
+    pub fn get<W: 'static>(
+        &mut self,
+        sim: &mut Sim<W>,
+        requester: NodeId,
+        target: NodeId,
+        bytes: u64,
+        on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.stats.gets += 1;
+        self.stats.get_bytes += bytes;
+        // Request leg.
+        let req_at = self.reserve_put(sim.now(), requester, target, CTRL_BYTES);
+        // Data leg, reserved now (FIFO in issue order) but starting only
+        // after the request arrives and the target NIC turns it around.
+        let data_issue = req_at + self.model.nic_op;
+        let deliver = self.reserve_put(data_issue, target, requester, bytes);
+        sim.schedule_at(deliver, on_delivered);
+        deliver
+    }
+
+    /// Ordered, reliable, atomic multicast from `src` to `dests`
+    /// (self-delivery permitted). `per_dest` runs at each destination's
+    /// delivery instant; `on_complete` runs once, when the last destination
+    /// has been reached. Returns the completion time.
+    ///
+    /// Atomicity: the simulated fabric never drops packets, so "all or none"
+    /// holds trivially; ordering comes from the root serializer.
+    pub fn multicast<W: 'static>(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        bytes: u64,
+        per_dest: Option<Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)>>,
+        on_complete: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        self.stats.multicasts += 1;
+        self.stats.multicast_bytes += bytes * dests.len() as u64;
+
+        let n = dests.len();
+        let ctrl = bytes <= CTRL_BYTES;
+        let tx = self.model.mcast_tx_time(bytes);
+        let start = if ctrl {
+            // Strobes and other control multicasts use the priority channel:
+            // ordered through the root but never queued behind bulk DMA.
+            let s = sim.now().max(self.coll_free);
+            self.coll_free = s + tx;
+            s
+        } else {
+            let s = sim.now().max(self.tx_free[src.0]).max(self.coll_free);
+            self.tx_free[src.0] = s + tx;
+            self.coll_free = s + tx;
+            s
+        };
+        let first_bit = start + self.model.mcast_latency(n, self.topo.levels());
+
+        let mut last = SimTime::ZERO;
+        for &d in dests {
+            let deliver = if d == src {
+                // Loopback through the NIC, no wire.
+                start + self.model.nic_op
+            } else if ctrl {
+                first_bit + tx
+            } else {
+                let rx_start = first_bit.max(self.rx_free[d.0]);
+                let deliver = rx_start + tx;
+                self.rx_free[d.0] = deliver;
+                deliver
+            };
+            last = last.max(deliver);
+            if let Some(cb) = &per_dest {
+                let cb = Rc::clone(cb);
+                sim.schedule_at(deliver, move |w, s| cb(w, s, d));
+            }
+        }
+        sim.schedule_at(last, on_complete);
+        last
+    }
+
+    /// Network conditional spanning `span` nodes: the fabric-level transport
+    /// for `Compare-And-Write`. The caller evaluates the predicate (and
+    /// performs the global write) inside `on_fire`, which runs at the
+    /// operation's completion time; the fabric only provides ordering and
+    /// latency.
+    pub fn conditional<W: 'static>(
+        &mut self,
+        sim: &mut Sim<W>,
+        _src: NodeId,
+        span: usize,
+        on_fire: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        assert!(span > 0);
+        self.stats.conditionals += 1;
+        let start = sim.now().max(self.coll_free);
+        // A conditional is a control packet through the root.
+        self.coll_free = start + self.model.tx_time(CTRL_BYTES);
+        let fire = start + self.model.cond_latency(span, self.topo.levels());
+        sim.schedule_at(fire, on_fire);
+        fire
+    }
+
+    /// Reserve the tx/rx ports for a unicast and return its delivery time.
+    fn reserve_put(&mut self, issue: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+        if src == dst {
+            // Local copy through the NIC; charge DMA time but no wire.
+            return issue + self.model.nic_op + self.model.tx_time(bytes);
+        }
+        if bytes <= CTRL_BYTES {
+            // Control packets (descriptors, get requests, strobes) ride the
+            // high-priority system virtual channel: latency only, no
+            // occupancy — they never queue behind bulk DMA.
+            return issue
+                + self.model.unicast_latency(self.topo.hops(src, dst))
+                + self.model.tx_time(bytes);
+        }
+        let tx = self.model.tx_time(bytes);
+        let start = issue.max(self.tx_free[src.0]);
+        self.tx_free[src.0] = start + tx;
+        let first_bit = start + self.model.unicast_latency(self.topo.hops(src, dst));
+        let rx_start = first_bit.max(self.rx_free[dst.0]);
+        let deliver = rx_start + tx;
+        self.rx_free[dst.0] = deliver;
+        deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetModel;
+    use simcore::SimDuration;
+
+    struct W {
+        delivered: Vec<(u64, &'static str)>,
+        per_dest: Vec<(u64, usize)>,
+    }
+
+    fn world() -> W {
+        W {
+            delivered: vec![],
+            per_dest: vec![],
+        }
+    }
+
+    #[test]
+    fn uncontended_put_latency_is_base_plus_serialization() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 32);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        let bytes = 320_000; // 1 ms at 320 MB/s
+        let t = fab.put(&mut sim, NodeId(0), NodeId(1), bytes, |w, s| {
+            w.delivered.push((s.now().0, "put"));
+        });
+        sim.run(&mut w);
+        let expect = m.unicast_latency(2) + m.tx_time(bytes);
+        assert_eq!(t.since(SimTime::ZERO), expect);
+        assert_eq!(w.delivered, vec![(t.0, "put")]);
+    }
+
+    #[test]
+    fn puts_on_same_tx_port_serialize() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 32);
+        let mut sim: Sim<W> = Sim::new();
+        let bytes = 3_200_000; // 10 ms of wire time
+        let t1 = fab.put(&mut sim, NodeId(0), NodeId(1), bytes, |_, _| {});
+        let t2 = fab.put(&mut sim, NodeId(0), NodeId(2), bytes, |_, _| {});
+        // Second transfer waits for the first to leave the tx port.
+        assert!(t2.since(t1) >= m.tx_time(bytes) - SimDuration::micros(10));
+        // Different source is unaffected.
+        let t3 = fab.put(&mut sim, NodeId(3), NodeId(4), bytes, |_, _| {});
+        assert!(t3 < t2);
+    }
+
+    #[test]
+    fn puts_into_same_rx_port_serialize() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 32);
+        let mut sim: Sim<W> = Sim::new();
+        let bytes = 3_200_000;
+        let t1 = fab.put(&mut sim, NodeId(0), NodeId(9), bytes, |_, _| {});
+        let t2 = fab.put(&mut sim, NodeId(1), NodeId(9), bytes, |_, _| {});
+        assert!(t2.since(t1) >= m.tx_time(bytes) - SimDuration::micros(10));
+    }
+
+    #[test]
+    fn get_costs_request_roundtrip_plus_data() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 32);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        let bytes = 320_000;
+        let t = fab.get(&mut sim, NodeId(0), NodeId(1), bytes, |w, s| {
+            w.delivered.push((s.now().0, "get"));
+        });
+        sim.run(&mut w);
+        let one_way = m.unicast_latency(2);
+        let expect =
+            one_way + m.tx_time(CTRL_BYTES) + m.nic_op + one_way + m.tx_time(bytes);
+        assert_eq!(t.since(SimTime::ZERO), expect);
+        assert_eq!(w.delivered.len(), 1);
+    }
+
+    #[test]
+    fn multicast_reaches_every_destination_and_completes_last() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m, 32);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        let dests: Vec<NodeId> = (0..32).map(NodeId).collect();
+        let t = fab.multicast(
+            &mut sim,
+            NodeId(0),
+            &dests,
+            CTRL_BYTES,
+            Some(Rc::new(|w: &mut W, s: &mut Sim<W>, d: NodeId| {
+                w.per_dest.push((s.now().0, d.0));
+            })),
+            |w, s| w.delivered.push((s.now().0, "done")),
+        );
+        sim.run(&mut w);
+        assert_eq!(w.per_dest.len(), 32);
+        assert_eq!(w.delivered.len(), 1);
+        let max_dest = w.per_dest.iter().map(|&(t, _)| t).max().unwrap();
+        assert_eq!(w.delivered[0].0, max_dest);
+        assert_eq!(t.0, max_dest);
+        // Hardware multicast: every off-source delivery within a tight window.
+        let wire: Vec<u64> = w
+            .per_dest
+            .iter()
+            .filter(|&&(_, d)| d != 0)
+            .map(|&(t, _)| t)
+            .collect();
+        let spread = wire.iter().max().unwrap() - wire.iter().min().unwrap();
+        assert!(
+            spread < 1_000,
+            "hardware multicast deliveries spread {spread}ns"
+        );
+    }
+
+    #[test]
+    fn multicasts_are_totally_ordered_through_the_root() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 8);
+        let mut sim: Sim<W> = Sim::new();
+        let dests: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let bytes = 320_000;
+        // Two different sources multicast at the same instant: the serializer
+        // must order the payloads.
+        let t1 = fab.multicast(&mut sim, NodeId(0), &dests, bytes, None, |_, _| {});
+        let t2 = fab.multicast(&mut sim, NodeId(1), &dests, bytes, None, |_, _| {});
+        assert!(t2.since(t1) >= m.mcast_tx_time(bytes) - SimDuration::micros(10));
+    }
+
+    #[test]
+    fn conditional_fires_at_model_latency_and_serializes() {
+        let m = NetModel::qsnet();
+        let levels = Topology::fat_tree(32).levels();
+        let mut fab = Fabric::new(m.clone(), 32);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        let t1 = fab.conditional(&mut sim, NodeId(0), 32, |w, s| {
+            w.delivered.push((s.now().0, "c1"));
+        });
+        assert_eq!(t1.since(SimTime::ZERO), m.cond_latency(32, levels));
+        let t2 = fab.conditional(&mut sim, NodeId(1), 32, |w, s| {
+            w.delivered.push((s.now().0, "c2"));
+        });
+        assert!(t2 > t1 - m.cond_latency(32, levels)); // ordered starts
+        sim.run(&mut w);
+        assert_eq!(w.delivered.len(), 2);
+        assert_eq!(w.delivered[0].1, "c1");
+    }
+
+    #[test]
+    fn self_put_is_local() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 4);
+        let mut sim: Sim<W> = Sim::new();
+        let t = fab.put(&mut sim, NodeId(2), NodeId(2), 64, |_, _| {});
+        assert_eq!(t.since(SimTime::ZERO), m.nic_op + m.tx_time(64));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m, 4);
+        let mut sim: Sim<W> = Sim::new();
+        fab.put(&mut sim, NodeId(0), NodeId(1), 100, |_, _| {});
+        fab.get(&mut sim, NodeId(0), NodeId(1), 200, |_, _| {});
+        fab.multicast(&mut sim, NodeId(0), &[NodeId(1), NodeId(2)], 50, None, |_, _| {});
+        fab.conditional(&mut sim, NodeId(0), 4, |_, _| {});
+        let s = fab.stats();
+        assert_eq!((s.puts, s.put_bytes), (1, 100));
+        assert_eq!((s.gets, s.get_bytes), (1, 200));
+        assert_eq!((s.multicasts, s.multicast_bytes), (1, 100));
+        assert_eq!(s.conditionals, 1);
+        fab.reset_stats();
+        assert_eq!(fab.stats().puts, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qsnet — simulated Quadrics-class cluster fabric
+//!
+//! The BCS-MPI paper runs on a 32-node cluster connected by a Quadrics QsNet
+//! network (Elan3 NICs + Elite switches in a quaternary fat tree). This crate
+//! is the hardware substitute: a deterministic, analytic timing model of that
+//! fabric, exposing exactly the mechanisms the BCS core primitives need:
+//!
+//! * **unicast DMA** (remote put / get) with per-link bandwidth serialization
+//!   and cut-through latency,
+//! * **hardware ordered multicast** (one injection, replicated by the switch,
+//!   totally ordered through the root — the basis of `Xfer-And-Signal`),
+//! * **network conditionals** (the basis of `Compare-And-Write`),
+//! * **remotely signalable events** (delivery callbacks).
+//!
+//! Timing is computed *at issue time* (LogGP-style): the fabric keeps a
+//! next-free time per NIC transmit/receive port plus a root serializer for
+//! collective wire operations, so contention is modeled without per-packet
+//! events. Delivery callbacks are scheduled on the [`simcore::Sim`] event
+//! queue.
+//!
+//! [`NetModel`] presets reproduce the five networks of the paper's Table 1
+//! (Gigabit Ethernet, Myrinet, InfiniBand, QsNet, BlueGene/L), so the same
+//! primitive microbenchmarks regenerate that table.
+
+pub mod fabric;
+pub mod model;
+pub mod topology;
+
+pub use fabric::{Fabric, FabricStats};
+pub use model::{CondImpl, McastImpl, NetModel};
+pub use topology::{NodeId, Topology};

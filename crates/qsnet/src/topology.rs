@@ -1,0 +1,143 @@
+//! Cluster topology: node identifiers and the quaternary fat tree used by
+//! Quadrics Elite switches.
+//!
+//! The Elite switch is an 8-port crossbar wired as a quaternary fat tree
+//! (4 down-links, 4 up-links per stage). Latency between two nodes grows with
+//! the number of stages a packet must climb: the nearest common ancestor of
+//! `a` and `b` is at level `k`, the smallest `k` with `a / 4^k == b / 4^k`,
+//! and the route is `2k` hops (k up, k down).
+
+use std::fmt;
+
+/// A compute or management node. Dense, 0-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A quaternary fat tree over `n` nodes (radix fixed at 4, like Elite).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: usize,
+    levels: u32,
+}
+
+const RADIX: usize = 4;
+
+impl Topology {
+    /// Build a fat tree with at least `nodes` leaves.
+    pub fn fat_tree(nodes: usize) -> Topology {
+        assert!(nodes > 0, "topology needs at least one node");
+        let mut levels = 0u32;
+        let mut cap = 1usize;
+        while cap < nodes {
+            cap *= RADIX;
+            levels += 1;
+        }
+        Topology { nodes, levels }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of switch levels (tree height).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Level of the nearest common ancestor of `a` and `b` (0 when `a == b`).
+    pub fn nca_level(&self, a: NodeId, b: NodeId) -> u32 {
+        assert!(a.0 < self.nodes && b.0 < self.nodes, "node out of range");
+        let (mut x, mut y) = (a.0, b.0);
+        let mut level = 0;
+        while x != y {
+            x /= RADIX;
+            y /= RADIX;
+            level += 1;
+        }
+        level
+    }
+
+    /// Switch hops on the route between two distinct nodes (`2 * nca_level`).
+    /// Zero for a node talking to itself.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        2 * self.nca_level(a, b)
+    }
+
+    /// Hops to reach the root from any leaf — the distance a hardware
+    /// multicast or network conditional must climb before fanning out.
+    pub fn hops_to_root(&self) -> u32 {
+        self.levels
+    }
+
+    /// Maximum hops between any two nodes.
+    pub fn diameter(&self) -> u32 {
+        2 * self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_tree() {
+        let t = Topology::fat_tree(1);
+        assert_eq!(t.levels(), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.diameter(), 0);
+    }
+
+    #[test]
+    fn levels_grow_with_node_count() {
+        assert_eq!(Topology::fat_tree(4).levels(), 1);
+        assert_eq!(Topology::fat_tree(5).levels(), 2);
+        assert_eq!(Topology::fat_tree(16).levels(), 2);
+        assert_eq!(Topology::fat_tree(32).levels(), 3);
+        assert_eq!(Topology::fat_tree(64).levels(), 3);
+        assert_eq!(Topology::fat_tree(1024).levels(), 5);
+    }
+
+    #[test]
+    fn hop_counts_in_32_node_tree() {
+        let t = Topology::fat_tree(32);
+        // Same quad: one level up, one down.
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 2);
+        // Adjacent quads share a level-2 switch.
+        assert_eq!(t.hops(NodeId(0), NodeId(4)), 4);
+        assert_eq!(t.hops(NodeId(0), NodeId(15)), 4);
+        // Opposite halves go through the root.
+        assert_eq!(t.hops(NodeId(0), NodeId(31)), 6);
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.hops_to_root(), 3);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let t = Topology::fat_tree(64);
+        for a in 0..64 {
+            for b in 0..64 {
+                assert_eq!(t.hops(NodeId(a), NodeId(b)), t.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_panics() {
+        let t = Topology::fat_tree(8);
+        t.hops(NodeId(0), NodeId(8));
+    }
+}

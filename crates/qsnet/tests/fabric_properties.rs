@@ -1,0 +1,166 @@
+//! Property tests of the fabric timing model: causality, bandwidth
+//! conservation, FIFO ordering and determinism over randomized operation
+//! sequences.
+
+use proptest::prelude::*;
+use qsnet::{Fabric, NetModel, NodeId};
+use simcore::{Sim, SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put { src: u8, dst: u8, bytes: u32 },
+    Get { req: u8, tgt: u8, bytes: u32 },
+    Mcast { src: u8, bytes: u32 },
+    Cond { src: u8 },
+    Wait { us: u16 },
+}
+
+fn op_strategy(nodes: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nodes, 0..nodes, 1u32..2_000_000).prop_map(|(s, d, b)| Op::Put {
+            src: s,
+            dst: d,
+            bytes: b
+        }),
+        (0..nodes, 0..nodes, 1u32..500_000).prop_map(|(r, t, b)| Op::Get {
+            req: r,
+            tgt: t,
+            bytes: b
+        }),
+        (0..nodes, 1u32..100_000).prop_map(|(s, b)| Op::Mcast { src: s, bytes: b }),
+        (0..nodes).prop_map(|s| Op::Cond { src: s }),
+        (1u16..500).prop_map(|us| Op::Wait { us }),
+    ]
+}
+
+/// Execute a script, returning every operation's completion time.
+fn run_script(model: NetModel, nodes: usize, ops: &[Op]) -> Vec<u64> {
+    let mut fab = Fabric::new(model, nodes);
+    let mut sim: Sim<()> = Sim::new();
+    let mut completions = Vec::new();
+    let all: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    let mut virtual_now = SimTime::ZERO;
+    for op in ops {
+        // Advance the sim to `virtual_now` by draining due events.
+        sim.schedule_at(virtual_now, |_, _| {});
+        while sim.now() < virtual_now && sim.step(&mut ()) {}
+        let t = match *op {
+            Op::Put { src, dst, bytes } => fab.put(
+                &mut sim,
+                NodeId(src as usize),
+                NodeId(dst as usize),
+                bytes as u64,
+                |_, _| {},
+            ),
+            Op::Get { req, tgt, bytes } => fab.get(
+                &mut sim,
+                NodeId(req as usize),
+                NodeId(tgt as usize),
+                bytes as u64,
+                |_, _| {},
+            ),
+            Op::Mcast { src, bytes } => fab.multicast(
+                &mut sim,
+                NodeId(src as usize),
+                &all,
+                bytes as u64,
+                None,
+                |_, _| {},
+            ),
+            Op::Cond { src } => fab.conditional(&mut sim, NodeId(src as usize), nodes, |_, _| {}),
+            Op::Wait { us } => {
+                virtual_now = virtual_now + SimDuration::micros(us as u64);
+                continue;
+            }
+        };
+        completions.push(t.as_nanos());
+    }
+    sim.run(&mut ());
+    completions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn causality_and_bandwidth_bounds(
+        ops in prop::collection::vec(op_strategy(8), 1..40)
+    ) {
+        let model = NetModel::qsnet();
+        let bw = model.link_bw;
+        let times = run_script(model, 8, &ops);
+        let mut issued = 0u64;
+        let mut i = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Wait { us } => {
+                    issued += us as u64 * 1000;
+                    continue;
+                }
+                _ => {
+                    let t = times[i];
+                    i += 1;
+                    // Causality: completion strictly after issue.
+                    prop_assert!(t > issued, "completion {t} <= issue {issued}");
+                    // Bandwidth bound: a transfer cannot beat the wire.
+                    let min_ns = match *op {
+                        Op::Put { src, dst, bytes } if src != dst =>
+                            (bytes as f64 * 1e9 / bw) as u64,
+                        Op::Get { req, tgt, bytes } if req != tgt =>
+                            (bytes as f64 * 1e9 / bw) as u64,
+                        _ => 0,
+                    };
+                    prop_assert!(
+                        t - issued >= min_ns,
+                        "transfer finished faster than the wire allows"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_script_replays_identically(
+        ops in prop::collection::vec(op_strategy(6), 1..30)
+    ) {
+        let a = run_script(NetModel::qsnet(), 6, &ops);
+        let b = run_script(NetModel::qsnet(), 6, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_pair_puts_are_fifo(
+        sizes in prop::collection::vec(1u32..500_000, 2..20)
+    ) {
+        // Repeated puts between one pair must complete in issue order.
+        let mut fab = Fabric::new(NetModel::qsnet(), 4);
+        let mut sim: Sim<()> = Sim::new();
+        let mut times = Vec::new();
+        for &b in &sizes {
+            times.push(fab.put(&mut sim, NodeId(0), NodeId(1), b as u64, |_, _| {}));
+        }
+        for w in times.windows(2) {
+            prop_assert!(w[0] < w[1], "puts completed out of order");
+        }
+    }
+
+    #[test]
+    fn conditional_latency_independent_of_history(
+        warm in prop::collection::vec(1u32..100_000, 0..10)
+    ) {
+        // Control traffic rides the priority channel: a conditional's
+        // latency must not depend on prior bulk transfers.
+        let model = NetModel::qsnet();
+        let mut fab = Fabric::new(model.clone(), 8);
+        let mut sim: Sim<()> = Sim::new();
+        for &b in &warm {
+            fab.put(&mut sim, NodeId(1), NodeId(2), b as u64, |_, _| {});
+        }
+        let t = fab.conditional(&mut sim, NodeId(0), 8, |_, _| {});
+        let levels = fab.topology().levels();
+        prop_assert_eq!(
+            t.as_nanos(),
+            model.cond_latency(8, levels).as_nanos()
+        );
+    }
+}

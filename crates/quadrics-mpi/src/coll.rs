@@ -1,0 +1,293 @@
+//! Baseline collectives.
+//!
+//! * **Barrier** — arrival counting plus one hardware network conditional
+//!   (QsNet's hardware barrier), so its cost is `last_arrival + O(µs)`.
+//! * **Broadcast** — the root injects one hardware multicast; receivers get
+//!   the payload at `max(their_arrival, delivery)`.
+//! * **Reduce / Allreduce** — binomial software tree with *host* arithmetic
+//!   (the baseline has no NIC reduce — that is BCS-MPI's Reduce Helper
+//!   territory): analytic tree timing of `ceil(log2 n)` stages, each one
+//!   message latency + serialization + combine time. Values are combined in
+//!   ascending rank order so both engines produce bit-identical results.
+//!
+//! Ranks may be in different collectives simultaneously (a non-root rank
+//! leaves a reduce as soon as its contribution is sent), so rounds are keyed
+//! by per-rank invocation counters — MPI's "same order on all ranks" rule
+//! makes the counters line up.
+
+use crate::engine::QuadricsMpi;
+use mpi_api::call::MpiResp;
+use mpi_api::comm::CommId;
+use mpi_api::datatype::{Datatype, ReduceOp, combine_native};
+use mpi_api::runtime::{ClusterWorld, drain, resume_at};
+use qsnet::NodeId;
+use qsnet::model::log2_ceil;
+use simcore::{Sim, SimDuration};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+type QW = ClusterWorld<QuadricsMpi>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Kind {
+    Barrier,
+    Bcast,
+    Reduce,
+}
+
+#[derive(Default)]
+struct Round {
+    arrived: usize,
+    /// Ranks blocked in this round, with the response they await.
+    waiters: Vec<usize>,
+    /// Bcast: payload once the root has arrived.
+    payload: Option<Vec<u8>>,
+    /// Bcast: ranks whose node has received the multicast.
+    delivered: HashMap<usize, bool>,
+    /// Bcast: ranks already resumed (round ends when == size).
+    resumed: usize,
+    /// Reduce: per-rank contributions.
+    contribs: Vec<Option<Vec<u8>>>,
+    /// Reduce: (root, op, dtype, all) — asserted consistent across ranks.
+    params: Option<(usize, ReduceOp, Datatype, bool)>,
+}
+
+/// Collective bookkeeping for the baseline engine. Rounds are keyed by
+/// communicator so sub-communicator collectives proceed independently.
+pub struct CollManager {
+    rounds: HashMap<(CommId, Kind, u64), Round>,
+    /// Per (rank, communicator) invocation counters: [barrier, bcast, reduce].
+    counters: HashMap<(usize, CommId), [u64; 3]>,
+}
+
+impl CollManager {
+    pub fn new(_size: usize) -> CollManager {
+        CollManager {
+            rounds: HashMap::new(),
+            counters: HashMap::new(),
+        }
+    }
+
+    fn enter(&mut self, comm: CommId, kind: Kind, rank: usize, comm_size: usize) -> u64 {
+        let slot = match kind {
+            Kind::Barrier => 0,
+            Kind::Bcast => 1,
+            Kind::Reduce => 2,
+        };
+        let c = self.counters.entry((rank, comm)).or_insert([0; 3]);
+        let id = c[slot];
+        c[slot] += 1;
+        let round = self.rounds.entry((comm, kind, id)).or_default();
+        if round.contribs.is_empty() {
+            round.contribs = vec![None; comm_size];
+        }
+        round.arrived += 1;
+        id
+    }
+
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for ((comm, kind, id), round) in &self.rounds {
+            out.push_str(&format!(
+                "  collective {comm:?} {kind:?}#{id}: {} arrived, {} waiting\n",
+                round.arrived,
+                round.waiters.len()
+            ));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+
+    pub fn barrier(w: &mut QW, sim: &mut Sim<QW>, rank: usize, comm: CommId) {
+        let size = w.engine.comms.size_of(comm);
+        let id = w.engine.coll.enter(comm, Kind::Barrier, rank, size);
+        let round = w.engine.coll.rounds.get_mut(&(comm, Kind::Barrier, id)).unwrap();
+        round.waiters.push(rank);
+        if round.arrived == size {
+            let waiters = std::mem::take(&mut round.waiters);
+            w.engine.coll.rounds.remove(&(comm, Kind::Barrier, id));
+            w.engine.stats.barriers += 1;
+            let span = w.engine.member_nodes(comm).len();
+            let src = w.engine.layout.node_of(rank);
+            w.engine.fabric.conditional(sim, src, span, move |w: &mut QW, sim| {
+                for r in waiters {
+                    w.resume(r, MpiResp::Ok);
+                }
+                drain(w, sim);
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    pub fn bcast(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        rank: usize,
+        comm: CommId,
+        root: usize,
+        data: Option<Vec<u8>>,
+    ) {
+        let size = w.engine.comms.size_of(comm);
+        let root_world = w.engine.comms.members(comm)[root];
+        let id = w.engine.coll.enter(comm, Kind::Bcast, rank, size);
+        let key = (comm, Kind::Bcast, id);
+
+        if rank == root_world {
+            let payload = data.expect("bcast root must supply data");
+            let bytes = payload.len() as u64 + w.engine.cfg.header_bytes;
+            {
+                let round = w.engine.coll.rounds.get_mut(&key).unwrap();
+                round.payload = Some(payload);
+                round.waiters.push(rank);
+            }
+            w.engine.stats.bcasts += 1;
+            let nodes: Vec<NodeId> = w.engine.member_nodes(comm);
+            let src = w.engine.layout.node_of(root_world);
+            let layout = w.engine.layout.clone();
+            let members: std::rc::Rc<Vec<usize>> =
+                std::rc::Rc::new(w.engine.comms.members(comm).to_vec());
+            let per_dest: Rc<dyn Fn(&mut QW, &mut Sim<QW>, NodeId)> =
+                Rc::new(move |w: &mut QW, sim: &mut Sim<QW>, node: NodeId| {
+                    let ranks_here: Vec<usize> = layout
+                        .ranks_on(node)
+                        .filter(|r| members.contains(r))
+                        .collect();
+                    for r in ranks_here {
+                        Self::bcast_delivered(w, key, r);
+                    }
+                    drain(w, sim);
+                });
+            w.engine
+                .fabric
+                .multicast(sim, src, &nodes, bytes, Some(per_dest), |_, _| {});
+        } else {
+            let round = w.engine.coll.rounds.get_mut(&key).unwrap();
+            if *round.delivered.get(&rank).unwrap_or(&false) {
+                // Multicast already landed on our node: take the data now.
+                let payload = round.payload.clone().expect("delivered without payload");
+                round.resumed += 1;
+                let done = round.resumed == size;
+                if done {
+                    w.engine.coll.rounds.remove(&key);
+                }
+                w.resume(rank, MpiResp::Data(payload));
+            } else {
+                round.waiters.push(rank);
+            }
+        }
+    }
+
+    fn bcast_delivered(w: &mut QW, key: (CommId, Kind, u64), rank: usize) {
+        let size = w.engine.comms.size_of(key.0);
+        let Some(round) = w.engine.coll.rounds.get_mut(&key) else {
+            return;
+        };
+        round.delivered.insert(rank, true);
+        if let Some(i) = round.waiters.iter().position(|&r| r == rank) {
+            round.waiters.remove(i);
+            let payload = round
+                .payload
+                .clone()
+                .expect("multicast delivered before root arrival");
+            round.resumed += 1;
+            if round.resumed == size {
+                w.engine.coll.rounds.remove(&key);
+            }
+            w.resume(rank, MpiResp::Data(payload));
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        rank: usize,
+        comm: CommId,
+        root: usize,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: Vec<u8>,
+        all: bool,
+    ) {
+        let size = w.engine.comms.size_of(comm);
+        let root_world = w.engine.comms.members(comm)[root];
+        let local_rank = w.engine.comms.comm_rank(comm, rank);
+        let id = w.engine.coll.enter(comm, Kind::Reduce, rank, size);
+        let key = (comm, Kind::Reduce, id);
+        let host_overhead = w.engine.cfg.net.host_overhead;
+        let bytes = data.len();
+        {
+            let round = w.engine.coll.rounds.get_mut(&key).unwrap();
+            assert!(
+                round.contribs[local_rank].is_none(),
+                "rank {rank} contributed twice to reduce #{id}"
+            );
+            round.contribs[local_rank] = Some(data);
+            match &round.params {
+                None => round.params = Some((root, op, dtype, all)),
+                Some(p) => assert_eq!(
+                    *p,
+                    (root, op, dtype, all),
+                    "mismatched reduce parameters across ranks"
+                ),
+            }
+            if all || rank == root_world {
+                round.waiters.push(rank);
+            }
+        }
+        if !all && rank != root_world {
+            // Leaf of the software tree: locally complete once the partial
+            // is handed to the NIC.
+            resume_at(sim, sim.now() + host_overhead, rank, MpiResp::RootData(None));
+        }
+
+        let arrived = w.engine.coll.rounds.get(&key).unwrap().arrived;
+        if arrived < size {
+            return;
+        }
+
+        // All contributions in: fold in ascending rank order, then charge
+        // the binomial-tree time.
+        let mut round = w.engine.coll.rounds.remove(&key).unwrap();
+        w.engine.stats.reduces += 1;
+        let mut acc: Option<Vec<u8>> = None;
+        for c in round.contribs.iter_mut() {
+            let c = c.take().expect("missing contribution");
+            match &mut acc {
+                None => acc = Some(c),
+                Some(a) => combine_native(op, dtype, a, &c),
+            }
+        }
+        let value = acc.unwrap_or_default();
+
+        let depth = if size <= 1 { 0 } else { log2_ceil(size) };
+        let net = &w.engine.cfg.net;
+        let wire = bytes as u64 + w.engine.cfg.header_bytes;
+        let levels = w.engine.fabric.topology().levels();
+        let stage = net.unicast_latency(levels * 2)
+            + net.tx_time(wire)
+            + SimDuration::nanos((bytes as f64 * w.engine.cfg.reduce_ns_per_byte) as u64)
+            + net.host_overhead;
+        let mut done_at = sim.now() + stage * depth as u64;
+        if all && size > 1 {
+            // Final hardware broadcast of the result.
+            done_at = done_at + net.mcast_latency(size, levels) + net.mcast_tx_time(wire);
+        }
+
+        let waiters = std::mem::take(&mut round.waiters);
+        for r in waiters {
+            let resp = if all {
+                MpiResp::Data(value.clone())
+            } else if r == root_world {
+                MpiResp::RootData(Some(value.clone()))
+            } else {
+                MpiResp::RootData(None)
+            };
+            resume_at(sim, done_at, r, resp);
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Point-to-point machinery and the [`Engine`] implementation.
+//!
+//! Every rank has a posted-receive queue and an unexpected-message queue —
+//! the two classic MPICH matching structures. Eager messages carry their
+//! payload; rendezvous messages park an RTS in the unexpected queue until a
+//! matching receive arrives, then pull the payload with a CTS/DATA exchange.
+
+use crate::coll::CollManager;
+use mpi_api::call::{MpiCall, MpiResp, ReqId};
+use mpi_api::comm::{CommId, CommRegistry};
+use mpi_api::message::{Envelope, SrcSel, Status, TagSel};
+use mpi_api::noise::{NoiseConfig, NoiseModel};
+use mpi_api::runtime::{ClusterWorld, Engine, JobLayout, drain, resume_at};
+use qsnet::{Fabric, NetModel, NodeId};
+use simcore::{Sim, SimDuration, SimTime};
+use std::collections::HashMap;
+
+type QW = ClusterWorld<QuadricsMpi>;
+
+/// Tuning knobs of the baseline.
+#[derive(Clone, Debug)]
+pub struct QuadricsConfig {
+    pub net: NetModel,
+    /// Messages up to this size (bytes) use the eager protocol.
+    pub eager_threshold: usize,
+    /// Wire header per message.
+    pub header_bytes: u64,
+    /// Host-side combine cost per byte for the software reduce tree.
+    pub reduce_ns_per_byte: f64,
+    /// Optional OS-noise injection (uncoordinated dæmons).
+    pub noise: Option<NoiseConfig>,
+}
+
+impl Default for QuadricsConfig {
+    fn default() -> Self {
+        QuadricsConfig {
+            net: NetModel::qsnet(),
+            eager_threshold: 32 * 1024,
+            header_bytes: 64,
+            reduce_ns_per_byte: 1.0,
+            noise: None,
+        }
+    }
+}
+
+/// Operation counters.
+#[derive(Clone, Debug, Default)]
+pub struct QuadricsStats {
+    pub sends: u64,
+    pub eager_msgs: u64,
+    pub rndv_msgs: u64,
+    pub p2p_bytes: u64,
+    pub recvs_posted: u64,
+    pub unexpected_hits: u64,
+    pub barriers: u64,
+    pub bcasts: u64,
+    pub reduces: u64,
+}
+
+#[derive(Debug, PartialEq)]
+enum ReqKind {
+    Send,
+    Recv,
+}
+
+struct ReqState {
+    owner: usize,
+    kind: ReqKind,
+    complete: bool,
+    /// Send: payload awaiting rendezvous. Recv: delivered payload.
+    data: Option<Vec<u8>>,
+    status: Option<Status>,
+}
+
+enum Payload {
+    Eager(Vec<u8>),
+    Rts { send_req: ReqId },
+}
+
+struct Unexpected {
+    env: Envelope,
+    payload: Payload,
+}
+
+struct PostedRecv {
+    req: ReqId,
+    src: SrcSel,
+    tag: TagSel,
+}
+
+/// What a rank is currently blocked on, if anything.
+enum Blocked {
+    /// Blocking send: respond `Ok` when the request completes.
+    SendDone(ReqId),
+    /// Blocking recv / MPI_Wait: respond `WaitDone`.
+    WaitOne(ReqId),
+    /// MPI_Waitall: respond `WaitallDone` when every request completes.
+    WaitAll(Vec<ReqId>),
+    /// Blocking probe.
+    Probe { src: SrcSel, tag: TagSel },
+}
+
+struct RankComm {
+    posted: Vec<PostedRecv>,
+    unexpected: Vec<Unexpected>,
+    blocked: Option<Blocked>,
+}
+
+/// The baseline MPI engine.
+pub struct QuadricsMpi {
+    pub cfg: QuadricsConfig,
+    pub(crate) layout: JobLayout,
+    pub fabric: Fabric,
+    noise: Option<NoiseModel>,
+    next_req: u64,
+    reqs: HashMap<ReqId, ReqState>,
+    ranks: Vec<RankComm>,
+    pub coll: CollManager,
+    pub(crate) comms: CommRegistry,
+    pub stats: QuadricsStats,
+}
+
+impl QuadricsMpi {
+    pub fn new(cfg: QuadricsConfig, layout: &JobLayout) -> QuadricsMpi {
+        let fabric = Fabric::new(cfg.net.clone(), layout.compute_nodes);
+        let noise = cfg
+            .noise
+            .clone()
+            .map(|nc| NoiseModel::new(nc, layout.compute_nodes));
+        QuadricsMpi {
+            cfg,
+            layout: layout.clone(),
+            fabric,
+            noise,
+            next_req: 0,
+            reqs: HashMap::new(),
+            ranks: (0..layout.ranks)
+                .map(|_| RankComm {
+                    posted: Vec::new(),
+                    unexpected: Vec::new(),
+                    blocked: None,
+                })
+                .collect(),
+            coll: CollManager::new(layout.ranks),
+            comms: CommRegistry::new(layout.ranks),
+            stats: QuadricsStats::default(),
+        }
+    }
+
+    /// Distinct compute nodes hosting members of `comm`, in node order.
+    pub(crate) fn member_nodes(&self, comm: CommId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .comms
+            .members(comm)
+            .iter()
+            .map(|&r| self.layout.node_of(r))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    fn alloc_req(&mut self, owner: usize, kind: ReqKind) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        self.reqs.insert(
+            id,
+            ReqState {
+                owner,
+                kind,
+                complete: false,
+                data: None,
+                status: None,
+            },
+        );
+        id
+    }
+
+    #[inline]
+    fn node_of(&self, rank: usize) -> NodeId {
+        self.layout.node_of(rank)
+    }
+
+    // ------------------------------------------------------------------
+    // Sends
+    // ------------------------------------------------------------------
+
+    fn start_send(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        rank: usize,
+        dest: usize,
+        tag: i32,
+        data: Vec<u8>,
+        blocking: bool,
+    ) {
+        let e = &mut w.engine;
+        e.stats.sends += 1;
+        e.stats.p2p_bytes += data.len() as u64;
+        let env = Envelope {
+            src: rank,
+            dst: dest,
+            tag,
+            bytes: data.len(),
+        };
+        let req = e.alloc_req(rank, ReqKind::Send);
+        let overhead = e.cfg.net.host_overhead;
+
+        if data.len() <= e.cfg.eager_threshold {
+            // Eager: inject now, complete locally.
+            e.stats.eager_msgs += 1;
+            let wire = data.len() as u64 + e.cfg.header_bytes;
+            let (src_node, dst_node) = (e.node_of(rank), e.node_of(dest));
+            e.fabric.put(sim, src_node, dst_node, wire, move |w, sim| {
+                QuadricsMpi::arrive_message(w, sim, env, Payload::Eager(data));
+                drain(w, sim);
+            });
+            w.engine.reqs.get_mut(&req).unwrap().complete = true;
+            if blocking {
+                resume_at(sim, sim.now() + overhead, rank, MpiResp::Ok);
+            } else {
+                w.resume(rank, MpiResp::Req(req));
+            }
+        } else {
+            // Rendezvous: park the payload, send RTS.
+            e.stats.rndv_msgs += 1;
+            e.reqs.get_mut(&req).unwrap().data = Some(data);
+            let (src_node, dst_node) = (e.node_of(rank), e.node_of(dest));
+            let hdr = e.cfg.header_bytes;
+            e.fabric.put(sim, src_node, dst_node, hdr, move |w, sim| {
+                QuadricsMpi::arrive_message(w, sim, env, Payload::Rts { send_req: req });
+                drain(w, sim);
+            });
+            if blocking {
+                w.engine.ranks[rank].blocked = Some(Blocked::SendDone(req));
+            } else {
+                w.resume(rank, MpiResp::Req(req));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals and matching
+    // ------------------------------------------------------------------
+
+    fn arrive_message(w: &mut QW, sim: &mut Sim<QW>, env: Envelope, payload: Payload) {
+        let rc = &mut w.engine.ranks[env.dst];
+        // First posted receive whose selectors accept this envelope
+        // (post order ⇒ MPI non-overtaking).
+        let pos = rc
+            .posted
+            .iter()
+            .position(|p| p.src.matches(env.src) && p.tag.matches(env.tag));
+        match pos {
+            Some(i) => {
+                let posted = rc.posted.remove(i);
+                match payload {
+                    Payload::Eager(data) => {
+                        let at = sim.now() + w.engine.cfg.net.host_overhead;
+                        Self::finish_recv(w, sim, posted.req, env, data, at);
+                    }
+                    Payload::Rts { send_req } => {
+                        Self::start_rendezvous(w, sim, send_req, posted.req, env);
+                    }
+                }
+            }
+            None => {
+                rc.unexpected.push(Unexpected { env, payload });
+                Self::check_blocked_probe(w, sim, env.dst);
+            }
+        }
+    }
+
+    /// Receive matched an RTS: send CTS back, then the payload DMA.
+    fn start_rendezvous(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        send_req: ReqId,
+        recv_req: ReqId,
+        env: Envelope,
+    ) {
+        let e = &mut w.engine;
+        let hdr = e.cfg.header_bytes;
+        let (src_node, dst_node) = (e.node_of(env.src), e.node_of(env.dst));
+        // CTS control message from receiver to sender.
+        e.fabric.put(sim, dst_node, src_node, hdr, move |w, sim| {
+            let e = &mut w.engine;
+            let data = e
+                .reqs
+                .get_mut(&send_req)
+                .expect("rendezvous send request vanished")
+                .data
+                .take()
+                .expect("rendezvous payload already taken");
+            let wire = data.len() as u64 + e.cfg.header_bytes;
+            let (src_node, dst_node) = (e.node_of(env.src), e.node_of(env.dst));
+            e.fabric.put(sim, src_node, dst_node, wire, move |w, sim| {
+                // Sender completes at data departure ~ delivery (bulk DMA).
+                Self::complete_req(w, sim, send_req, sim.now());
+                let at = sim.now() + w.engine.cfg.net.host_overhead;
+                Self::finish_recv(w, sim, recv_req, env, data, at);
+                drain(w, sim);
+            });
+            drain(w, sim);
+        });
+    }
+
+    fn finish_recv(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        req: ReqId,
+        env: Envelope,
+        data: Vec<u8>,
+        at: SimTime,
+    ) {
+        {
+            let st = w.engine.reqs.get_mut(&req).expect("recv request vanished");
+            debug_assert_eq!(st.kind, ReqKind::Recv);
+            st.data = Some(data);
+            st.status = Some(Status::of(&env));
+        }
+        Self::complete_req(w, sim, req, at);
+    }
+
+    /// Mark a request complete (now or at `at`) and resolve the owner's
+    /// blocked state if it was waiting on it.
+    fn complete_req(w: &mut QW, sim: &mut Sim<QW>, req: ReqId, at: SimTime) {
+        if at > sim.now() {
+            sim.schedule_at(at, move |w: &mut QW, sim| {
+                Self::complete_req(w, sim, req, sim.now());
+                drain(w, sim);
+            });
+            return;
+        }
+        let owner = {
+            let st = w.engine.reqs.get_mut(&req).expect("request vanished");
+            st.complete = true;
+            st.owner
+        };
+        Self::try_unblock(w, sim, owner);
+    }
+
+    /// If `rank` is blocked on something now satisfied, resume it.
+    fn try_unblock(w: &mut QW, _sim: &mut Sim<QW>, rank: usize) {
+        let e = &mut w.engine;
+        let Some(blocked) = e.ranks[rank].blocked.take() else {
+            return;
+        };
+        match blocked {
+            Blocked::SendDone(r) => {
+                if e.reqs.get(&r).is_some_and(|s| s.complete) {
+                    e.reqs.remove(&r);
+                    w.resume(rank, MpiResp::Ok);
+                } else {
+                    e.ranks[rank].blocked = Some(Blocked::SendDone(r));
+                }
+            }
+            Blocked::WaitOne(r) => {
+                if e.reqs.get(&r).is_some_and(|s| s.complete) {
+                    let st = e.reqs.remove(&r).unwrap();
+                    w.resume(
+                        rank,
+                        MpiResp::WaitDone {
+                            data: st.data,
+                            status: st.status,
+                        },
+                    );
+                } else {
+                    e.ranks[rank].blocked = Some(Blocked::WaitOne(r));
+                }
+            }
+            Blocked::WaitAll(rs) => {
+                if rs.iter().all(|r| e.reqs.get(r).is_some_and(|s| s.complete)) {
+                    let results = rs
+                        .iter()
+                        .map(|r| {
+                            let st = e.reqs.remove(r).unwrap();
+                            (st.data, st.status)
+                        })
+                        .collect();
+                    w.resume(rank, MpiResp::WaitallDone { results });
+                } else {
+                    e.ranks[rank].blocked = Some(Blocked::WaitAll(rs));
+                }
+            }
+            Blocked::Probe { src, tag } => {
+                // Resolved by check_blocked_probe; restore.
+                e.ranks[rank].blocked = Some(Blocked::Probe { src, tag });
+            }
+        }
+    }
+
+    fn probe_match(&self, rank: usize, src: SrcSel, tag: TagSel) -> Option<Status> {
+        self.ranks[rank]
+            .unexpected
+            .iter()
+            .find(|u| src.matches(u.env.src) && tag.matches(u.env.tag))
+            .map(|u| Status::of(&u.env))
+    }
+
+    fn check_blocked_probe(w: &mut QW, sim: &mut Sim<QW>, rank: usize) {
+        let _ = sim;
+        if let Some(Blocked::Probe { src, tag }) = &w.engine.ranks[rank].blocked {
+            let (src, tag) = (*src, *tag);
+            if let Some(status) = w.engine.probe_match(rank, src, tag) {
+                w.engine.ranks[rank].blocked = None;
+                w.resume(
+                    rank,
+                    MpiResp::ProbeDone {
+                        status: Some(status),
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receives
+    // ------------------------------------------------------------------
+
+    fn start_recv(
+        w: &mut QW,
+        sim: &mut Sim<QW>,
+        rank: usize,
+        src: SrcSel,
+        tag: TagSel,
+        blocking: bool,
+    ) {
+        w.engine.stats.recvs_posted += 1;
+        let req = w.engine.alloc_req(rank, ReqKind::Recv);
+        if !blocking {
+            w.resume(rank, MpiResp::Req(req));
+        } else {
+            w.engine.ranks[rank].blocked = Some(Blocked::WaitOne(req));
+        }
+        // Match against already-arrived messages first (in arrival order).
+        let pos = w.engine.ranks[rank]
+            .unexpected
+            .iter()
+            .position(|u| src.matches(u.env.src) && tag.matches(u.env.tag));
+        if let Some(i) = pos {
+            w.engine.stats.unexpected_hits += 1;
+            let u = w.engine.ranks[rank].unexpected.remove(i);
+            match u.payload {
+                Payload::Eager(data) => {
+                    let at = sim.now() + w.engine.cfg.net.host_overhead;
+                    Self::finish_recv(w, sim, req, u.env, data, at);
+                }
+                Payload::Rts { send_req } => {
+                    Self::start_rendezvous(w, sim, send_req, req, u.env);
+                }
+            }
+        } else {
+            w.engine.ranks[rank].posted.push(PostedRecv { req, src, tag });
+        }
+    }
+}
+
+impl Engine for QuadricsMpi {
+    fn bootstrap(_w: &mut QW, _sim: &mut Sim<QW>) {
+        // No global machinery: the baseline is fully asynchronous.
+    }
+
+    fn on_call(w: &mut QW, sim: &mut Sim<QW>, rank: usize, call: MpiCall) {
+        match call {
+            MpiCall::Compute { ns } => {
+                let mut d = SimDuration::nanos(ns);
+                let node = w.engine.node_of(rank).0;
+                if let Some(noise) = &mut w.engine.noise {
+                    d = noise.inflate(node, sim.now(), d);
+                }
+                resume_at(sim, sim.now() + d, rank, MpiResp::Ok);
+            }
+            MpiCall::Now => {
+                w.resume(rank, MpiResp::Time(sim.now().as_nanos()));
+            }
+            MpiCall::Send {
+                dest,
+                tag,
+                data,
+                blocking,
+            } => Self::start_send(w, sim, rank, dest, tag, data, blocking),
+            MpiCall::Recv { src, tag, blocking } => {
+                Self::start_recv(w, sim, rank, src, tag, blocking)
+            }
+            MpiCall::Wait { req } => {
+                w.engine.ranks[rank].blocked = Some(Blocked::WaitOne(req));
+                Self::try_unblock(w, sim, rank);
+            }
+            MpiCall::Waitall { reqs } => {
+                let mut seen = std::collections::HashSet::new();
+                assert!(
+                    reqs.iter().all(|r| seen.insert(*r)),
+                    "duplicate requests in waitall"
+                );
+                w.engine.ranks[rank].blocked = Some(Blocked::WaitAll(reqs));
+                Self::try_unblock(w, sim, rank);
+            }
+            MpiCall::Test { req } => {
+                let done = w.engine.reqs.get(&req).is_some_and(|s| s.complete);
+                let result = if done {
+                    let st = w.engine.reqs.remove(&req).unwrap();
+                    Some((st.data, st.status))
+                } else {
+                    None
+                };
+                w.resume(rank, MpiResp::TestDone { result });
+            }
+            MpiCall::Testall { reqs } => {
+                let all = reqs
+                    .iter()
+                    .all(|r| w.engine.reqs.get(r).is_some_and(|s| s.complete));
+                let results = if all {
+                    Some(
+                        reqs.iter()
+                            .map(|r| {
+                                let st = w.engine.reqs.remove(r).unwrap();
+                                (st.data, st.status)
+                            })
+                            .collect(),
+                    )
+                } else {
+                    None
+                };
+                w.resume(rank, MpiResp::TestallDone { results });
+            }
+            MpiCall::Probe { src, tag, blocking } => {
+                let found = w.engine.probe_match(rank, src, tag);
+                match (found, blocking) {
+                    (Some(status), _) => w.resume(
+                        rank,
+                        MpiResp::ProbeDone {
+                            status: Some(status),
+                        },
+                    ),
+                    (None, false) => w.resume(rank, MpiResp::ProbeDone { status: None }),
+                    (None, true) => {
+                        w.engine.ranks[rank].blocked = Some(Blocked::Probe { src, tag });
+                    }
+                }
+            }
+            MpiCall::Barrier { comm } => CollManager::barrier(w, sim, rank, comm),
+            MpiCall::Bcast { comm, root, data } => {
+                CollManager::bcast(w, sim, rank, comm, root, data)
+            }
+            MpiCall::Reduce {
+                comm,
+                root,
+                op,
+                dtype,
+                data,
+                all,
+            } => CollManager::reduce(w, sim, rank, comm, root, op, dtype, data, all),
+            MpiCall::CommSplit { parent, color, key } => {
+                // A collective over the parent: completes at the last
+                // arrival plus one hardware conditional (membership
+                // agreement rides the same control exchange as a barrier).
+                match w.engine.comms.arrive_split(parent, rank, color, key) {
+                    None => {} // caller stays blocked until the round closes
+                    Some(outcome) => {
+                        let span = w.engine.member_nodes(parent).len();
+                        let src = w.engine.node_of(rank);
+                        w.engine.fabric.conditional(sim, src, span, move |w: &mut QW, sim| {
+                            for (r, handle) in outcome.assignments {
+                                w.resume(r, MpiResp::CommSplitDone { handle });
+                            }
+                            drain(w, sim);
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn describe_pending(&self) -> String {
+        let mut out = String::new();
+        for (r, rc) in self.ranks.iter().enumerate() {
+            let blocked = match &rc.blocked {
+                None => continue,
+                Some(Blocked::SendDone(q)) => format!("blocking send {q:?}"),
+                Some(Blocked::WaitOne(q)) => format!("wait {q:?}"),
+                Some(Blocked::WaitAll(qs)) => format!("waitall {} reqs", qs.len()),
+                Some(Blocked::Probe { src, tag }) => format!("probe {src:?}/{tag:?}"),
+            };
+            out.push_str(&format!(
+                "  rank {r}: {blocked}; {} posted, {} unexpected\n",
+                rc.posted.len(),
+                rc.unexpected.len()
+            ));
+        }
+        out.push_str(&self.coll.describe());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_sane() {
+        let c = QuadricsConfig::default();
+        assert_eq!(c.eager_threshold, 32 * 1024);
+        assert!(c.noise.is_none());
+        assert_eq!(c.net.name, "QsNet");
+    }
+}

@@ -1,0 +1,30 @@
+//! # quadrics-mpi — the production-style baseline
+//!
+//! The paper compares BCS-MPI against Quadrics MPI, an MPICH-1.2.4-based
+//! production implementation whose design philosophy is the mainstream one:
+//! minimize point-to-point latency, move data asynchronously and as early as
+//! possible. This crate is that baseline, rebuilt on the same simulated
+//! fabric so the comparison is protocol-vs-protocol on identical hardware:
+//!
+//! * **eager protocol** for messages up to a threshold: the payload is
+//!   injected immediately, buffered at the receiver if no receive is posted
+//!   (unexpected-message queue), and the send completes locally;
+//! * **rendezvous protocol** above the threshold: RTS control message,
+//!   matched against the posted-receive queue, CTS back, then a zero-copy
+//!   DMA of the payload;
+//! * host-side matching (posted-receive / unexpected queues per rank,
+//!   wildcard sources and tags, non-overtaking order);
+//! * **hardware-assisted collectives**: barrier on the network conditional,
+//!   broadcast on the hardware multicast, reduce as a binomial
+//!   software tree with host arithmetic (Quadrics MPI did not reduce on the
+//!   NIC — that contrast with BCS-MPI's Reduce Helper is one of the paper's
+//!   points).
+//!
+//! Unlike BCS-MPI there is no global coordination: every operation proceeds
+//! the moment it is posted, which is exactly why its point-to-point latency
+//! is lower and why it has nothing like BCS-MPI's determinism.
+
+mod coll;
+mod engine;
+
+pub use engine::{QuadricsConfig, QuadricsMpi, QuadricsStats};

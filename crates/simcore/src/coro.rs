@@ -1,0 +1,381 @@
+//! Thread-backed cooperative processes.
+//!
+//! Simulated application ranks are ordinary Rust closures written in blocking
+//! style. Each runs on its own OS thread, but the harness enforces a strict
+//! lock-step handoff with the simulator thread: a process runs **only**
+//! between [`CoHarness::resume`] (or spawn) and its next [`ProcessHandle::call`],
+//! during which the simulator thread is blocked waiting for the yield. At
+//! most one thread in the whole simulation is ever runnable, so execution is
+//! deterministic and the process code needs no synchronization.
+//!
+//! ```text
+//! simulator thread                       process thread
+//! ----------------                       --------------
+//! resume(pid, resp)  --- resp ------->   call() returns resp
+//!        (blocked on yield_rx)           ... runs user code ...
+//! yield received    <--- Request(req) -- call(req) blocks
+//! ```
+//!
+//! The request/response types are chosen by the layer above (for MPI they are
+//! `MpiCall` / `MpiResp`). A process's closure may return a value; it is
+//! stashed as `Box<dyn Any>` and can be collected with
+//! [`CoHarness::take_result`] after the process finishes.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender, channel};
+use std::thread::JoinHandle;
+
+/// Identifier of a simulated process within one harness (dense, 0-based).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub usize);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// What a process did when it last ran.
+pub enum ProcYield<Req> {
+    /// The process issued a request and is now blocked awaiting the response.
+    Request(Req),
+    /// The process's closure returned; the boxed value is its result.
+    Finished(Box<dyn Any + Send>),
+}
+
+enum Outbound<Req> {
+    Yield(ProcYield<Req>),
+    /// The process panicked; payload is the rendered panic message.
+    Panicked(String),
+}
+
+/// Capability held by the process closure: issue a request to the simulator
+/// and block until it responds.
+pub struct ProcessHandle<Req, Resp> {
+    to_sim: Sender<Outbound<Req>>,
+    from_sim: Receiver<Resp>,
+}
+
+/// Sentinel panic payload used to unwind a process thread silently when the
+/// harness is dropped mid-simulation (e.g. a benchmark stopping at a horizon).
+struct HarnessShutdown;
+
+impl<Req, Resp> ProcessHandle<Req, Resp> {
+    /// Issue `req` and block this process until the simulator responds.
+    pub fn call(&mut self, req: Req) -> Resp {
+        if self.to_sim.send(Outbound::Yield(ProcYield::Request(req))).is_err() {
+            // Harness is gone: unwind quietly.
+            panic::panic_any(HarnessShutdown);
+        }
+        match self.from_sim.recv() {
+            Ok(resp) => resp,
+            Err(_) => panic::panic_any(HarnessShutdown),
+        }
+    }
+}
+
+struct Slot<Req, Resp> {
+    to_proc: Sender<Resp>,
+    from_proc: Receiver<Outbound<Req>>,
+    join: Option<JoinHandle<()>>,
+    finished: bool,
+    result: Option<Box<dyn Any + Send>>,
+}
+
+/// Harness owning all cooperative processes of one simulation.
+pub struct CoHarness<Req, Resp> {
+    slots: Vec<Slot<Req, Resp>>,
+    live: usize,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> Default for CoHarness<Req, Resp> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> CoHarness<Req, Resp> {
+    pub fn new() -> Self {
+        CoHarness {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of processes that have not yet finished.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total number of processes ever spawned.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Has the given process finished?
+    pub fn is_finished(&self, pid: ProcId) -> bool {
+        self.slots[pid.0].finished
+    }
+
+    /// Spawn a process and run it up to its first yield, which is returned
+    /// together with its id. The closure's return value is retrievable with
+    /// [`take_result`](Self::take_result) once the process finishes.
+    pub fn spawn<R, F>(&mut self, name: String, f: F) -> (ProcId, ProcYield<Req>)
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut ProcessHandle<Req, Resp>) -> R + Send + 'static,
+    {
+        let (to_proc, from_sim) = channel::<Resp>();
+        let (to_sim, from_proc) = channel::<Outbound<Req>>();
+        let join = std::thread::Builder::new()
+            .name(name)
+            .stack_size(1 << 20)
+            .spawn(move || {
+                let mut handle = ProcessHandle { to_sim, from_sim };
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
+                match outcome {
+                    Ok(result) => {
+                        // Ignore failure: harness may already be gone.
+                        let _ = handle
+                            .to_sim
+                            .send(Outbound::Yield(ProcYield::Finished(Box::new(result))));
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<HarnessShutdown>().is_some() {
+                            return; // orderly teardown
+                        }
+                        let msg = panic_message(payload.as_ref());
+                        let _ = handle.to_sim.send(Outbound::Panicked(msg));
+                    }
+                }
+            })
+            .expect("failed to spawn simulated process thread");
+
+        let pid = ProcId(self.slots.len());
+        self.slots.push(Slot {
+            to_proc,
+            from_proc,
+            join: Some(join),
+            finished: false,
+            result: None,
+        });
+        self.live += 1;
+        let y = self.await_yield(pid);
+        (pid, y)
+    }
+
+    /// Deliver `resp` to a blocked process, let it run, and return its next
+    /// yield.
+    ///
+    /// # Panics
+    /// Panics if the process already finished, or if the process itself
+    /// panicked (the panic message is propagated).
+    pub fn resume(&mut self, pid: ProcId, resp: Resp) -> ProcYield<Req> {
+        let slot = &mut self.slots[pid.0];
+        assert!(!slot.finished, "resume() on finished process {pid}");
+        slot.to_proc
+            .send(resp)
+            .unwrap_or_else(|_| panic!("process {pid} thread is gone"));
+        self.await_yield(pid)
+    }
+
+    fn await_yield(&mut self, pid: ProcId) -> ProcYield<Req> {
+        let slot = &mut self.slots[pid.0];
+        match slot.from_proc.recv() {
+            Ok(Outbound::Yield(y)) => {
+                if let ProcYield::Finished(result) = y {
+                    slot.finished = true;
+                    slot.result = Some(result);
+                    self.live -= 1;
+                    if let Some(j) = slot.join.take() {
+                        let _ = j.join();
+                    }
+                    // Hand a placeholder back: callers match on Finished and
+                    // must use take_result for the value.
+                    ProcYield::Finished(Box::new(()))
+                } else {
+                    y
+                }
+            }
+            Ok(Outbound::Panicked(msg)) => {
+                slot.finished = true;
+                self.live -= 1;
+                if let Some(j) = slot.join.take() {
+                    let _ = j.join();
+                }
+                panic!("simulated process {pid} panicked: {msg}");
+            }
+            Err(_) => panic!("simulated process {pid} disappeared without yielding"),
+        }
+    }
+
+    /// Take the result of a finished process, downcasting it to `R`.
+    ///
+    /// Returns `None` if the process has not finished, already had its result
+    /// taken, or the type does not match.
+    pub fn take_result<R: 'static>(&mut self, pid: ProcId) -> Option<R> {
+        let slot = &mut self.slots[pid.0];
+        if !slot.finished {
+            return None;
+        }
+        let boxed = slot.result.take()?;
+        match boxed.downcast::<R>() {
+            Ok(b) => Some(*b),
+            Err(orig) => {
+                slot.result = Some(orig);
+                None
+            }
+        }
+    }
+}
+
+impl<Req, Resp> Drop for CoHarness<Req, Resp> {
+    fn drop(&mut self) {
+        // Close response channels so blocked processes unwind via the
+        // HarnessShutdown sentinel, then join them.
+        for slot in &mut self.slots {
+            // Replace the sender with a dangling one; dropping the original
+            // disconnects the process's receiver.
+            let (dummy, _) = channel();
+            slot.to_proc = dummy;
+        }
+        for slot in &mut self.slots {
+            if let Some(j) = slot.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Req {
+        Add(u64, u64),
+        Done,
+    }
+
+    #[test]
+    fn basic_request_response_cycle() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        let (pid, y) = h.spawn("adder".into(), |handle| {
+            let s = handle.call(Req::Add(2, 3));
+            let s2 = handle.call(Req::Add(s, 10));
+            handle.call(Req::Done);
+            s2
+        });
+        let ProcYield::Request(Req::Add(2, 3)) = y else {
+            panic!("unexpected first yield")
+        };
+        let y = h.resume(pid, 5);
+        let ProcYield::Request(Req::Add(5, 10)) = y else {
+            panic!("unexpected second yield")
+        };
+        let y = h.resume(pid, 15);
+        let ProcYield::Request(Req::Done) = y else {
+            panic!("unexpected third yield")
+        };
+        let y = h.resume(pid, 0);
+        assert!(matches!(y, ProcYield::Finished(_)));
+        assert!(h.is_finished(pid));
+        assert_eq!(h.take_result::<u64>(pid), Some(15));
+        assert_eq!(h.live(), 0);
+    }
+
+    #[test]
+    fn immediate_finish_without_calls() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        let (pid, y) = h.spawn("noop".into(), |_| 42u64);
+        assert!(matches!(y, ProcYield::Finished(_)));
+        assert_eq!(h.take_result::<u64>(pid), Some(42));
+    }
+
+    #[test]
+    fn many_processes_interleave_deterministically() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        let mut pids = Vec::new();
+        for i in 0..16u64 {
+            let (pid, y) = h.spawn(format!("p{i}"), move |handle| {
+                let mut acc = i;
+                for _ in 0..10 {
+                    acc = handle.call(Req::Add(acc, 1));
+                }
+                acc
+            });
+            assert!(matches!(y, ProcYield::Request(Req::Add(_, 1))));
+            pids.push((pid, i));
+        }
+        // Round-robin drive them to completion.
+        let mut done = 0;
+        let mut vals: Vec<u64> = pids.iter().map(|&(_, i)| i).collect();
+        let mut rounds = vec![0usize; 16];
+        while done < 16 {
+            for (k, &(pid, _)) in pids.iter().enumerate() {
+                if h.is_finished(pid) {
+                    continue;
+                }
+                vals[k] += 1;
+                let y = h.resume(pid, vals[k]);
+                rounds[k] += 1;
+                if matches!(y, ProcYield::Finished(_)) {
+                    done += 1;
+                }
+            }
+        }
+        for (k, &(pid, i)) in pids.iter().enumerate() {
+            assert_eq!(rounds[k], 10);
+            assert_eq!(h.take_result::<u64>(pid), Some(i + 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked: boom")]
+    fn process_panic_propagates() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        let (pid, _) = h.spawn("bomb".into(), |handle| {
+            handle.call(Req::Done);
+            panic!("boom");
+        });
+        let _ = h.resume(pid, 0);
+    }
+
+    #[test]
+    fn dropping_harness_tears_down_blocked_processes() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        for i in 0..8 {
+            let (_, y) = h.spawn(format!("blocked{i}"), |handle| {
+                handle.call(Req::Done); // will never be answered
+                0u64
+            });
+            assert!(matches!(y, ProcYield::Request(Req::Done)));
+        }
+        drop(h); // must not hang or print panics
+    }
+
+    #[test]
+    fn take_result_wrong_type_returns_none_and_preserves() {
+        let mut h: CoHarness<Req, u64> = CoHarness::new();
+        let (pid, _) = h.spawn("typed".into(), |_| "hello".to_string());
+        assert_eq!(h.take_result::<u64>(pid), None);
+        assert_eq!(h.take_result::<String>(pid), Some("hello".to_string()));
+        // Second take yields None.
+        assert_eq!(h.take_result::<String>(pid), None);
+    }
+}

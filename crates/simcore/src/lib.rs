@@ -1,0 +1,33 @@
+//! # simcore — deterministic discrete-event simulation engine
+//!
+//! This crate is the foundation of the BCS-MPI reproduction. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time with nanosecond resolution;
+//! * [`Sim`] — a single-threaded discrete-event engine whose event queue is
+//!   ordered by `(time, sequence-number)` and therefore **fully
+//!   deterministic**: two runs with the same inputs produce identical event
+//!   interleavings and identical virtual-time results;
+//! * [`coro::CoHarness`] — a cooperative process harness that lets simulated
+//!   application processes be written in natural blocking style (each runs on
+//!   its own parked OS thread, with a strict lock-step handoff to the
+//!   simulator, so there is never more than one runnable thread);
+//! * [`rng::SimRng`] — a tiny, self-contained, splittable PRNG
+//!   (splitmix64/xoshiro256**) whose stream is stable forever, independent of
+//!   external crate versions;
+//! * [`stats`] — counters and fixed-bucket histograms used by the measurement
+//!   harness.
+//!
+//! The engine knows nothing about networks or MPI; higher layers (`qsnet`,
+//! `bcs-core`, `bcs-mpi`, `quadrics-mpi`) supply the world state `W` and the
+//! event closures.
+
+pub mod coro;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use coro::{CoHarness, ProcId, ProcYield, ProcessHandle};
+pub use rng::SimRng;
+pub use sim::Sim;
+pub use time::{SimDuration, SimTime};

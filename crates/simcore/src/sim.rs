@@ -1,0 +1,276 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<W>`] owns a priority queue of events, each a boxed `FnOnce(&mut W,
+//! &mut Sim<W>)`. Events at equal virtual time fire in the order they were
+//! scheduled (a monotone sequence number breaks ties), which makes runs
+//! reproducible bit-for-bit.
+//!
+//! The world `W` is supplied by the caller; the engine never inspects it.
+//! Handlers receive both the world and the engine so they can schedule
+//! follow-up events. The engine pops an event *before* invoking it, so the
+//! handler holds the only mutable borrow.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Type-erased event handler.
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over a world `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    seq: u64,
+    events_executed: u64,
+    /// Optional hard cap on virtual time; events beyond it are not executed.
+    horizon: Option<SimTime>,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Create an empty simulation at `t = 0`.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            events_executed: 0,
+            horizon: None,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostic).
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop executing events scheduled after `t` (they stay queued).
+    pub fn set_horizon(&mut self, t: SimTime) {
+        self.horizon = Some(t);
+    }
+
+    /// Schedule `f` to run at absolute virtual time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past: causality violations are always bugs in
+    /// the model, never recoverable conditions.
+    pub fn schedule_at(&mut self, t: SimTime, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        assert!(
+            t >= self.now,
+            "attempt to schedule event in the past: now={}, t={}",
+            self.now,
+            t
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: t,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` at the current virtual time, after all handlers already
+    /// queued for this instant.
+    #[inline]
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut W, &mut Sim<W>) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Execute a single event if one is pending (and within the horizon).
+    /// Returns `false` when the queue is exhausted or the horizon reached.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        if let Some(h) = self.horizon {
+            if self.queue.peek().is_some_and(|e| e.time > h) {
+                return false;
+            }
+        }
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now);
+                self.now = ev.time;
+                self.events_executed += 1;
+                (ev.f)(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain (or the horizon is reached).
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the given predicate over the world returns true, checking
+    /// after every event. Returns `true` if the predicate fired, `false` if
+    /// the event queue drained first.
+    pub fn run_until(&mut self, world: &mut W, mut done: impl FnMut(&W) -> bool) -> bool {
+        if done(world) {
+            return true;
+        }
+        while self.step(world) {
+            if done(world) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime(30), |w, s| w.log.push((s.now().0, "c")));
+        sim.schedule_at(SimTime(10), |w, s| w.log.push((s.now().0, "a")));
+        sim.schedule_at(SimTime(20), |w, s| w.log.push((s.now().0, "b")));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for name in ["first", "second", "third"] {
+            sim.schedule_at(SimTime(5), move |w, _| w.log.push((5, name)));
+        }
+        sim.run(&mut w);
+        assert_eq!(
+            w.log.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime(1), |_, s| {
+            s.schedule_in(SimDuration::nanos(9), |w: &mut World, s: &mut Sim<World>| {
+                w.log.push((s.now().0, "chained"));
+            });
+        });
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(10, "chained")]);
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime(100), |_, s| {
+            s.schedule_at(SimTime(50), |_, _| {});
+        });
+        sim.run(&mut w);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for i in 0..100u64 {
+            sim.schedule_at(SimTime(i), move |w, _| w.log.push((i, "x")));
+        }
+        let fired = sim.run_until(&mut w, |w| w.log.len() == 10);
+        assert!(fired);
+        assert_eq!(w.log.len(), 10);
+        assert_eq!(sim.pending(), 90);
+    }
+
+    #[test]
+    fn horizon_stops_execution() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime(i * 10), move |w, _| w.log.push((i, "x")));
+        }
+        sim.set_horizon(SimTime(45));
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 5); // t = 0,10,20,30,40
+        assert_eq!(sim.pending(), 5);
+    }
+
+    #[test]
+    fn schedule_now_runs_at_same_instant_after_queued() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.schedule_at(SimTime(7), |w, s| {
+            w.log.push((s.now().0, "outer"));
+            s.schedule_now(|w: &mut World, s: &mut Sim<World>| {
+                w.log.push((s.now().0, "inner"));
+            });
+        });
+        sim.schedule_at(SimTime(7), |w, _| w.log.push((7, "peer")));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(7, "outer"), (7, "peer"), (7, "inner")]);
+    }
+}

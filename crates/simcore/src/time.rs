@@ -1,0 +1,308 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! All protocol constants in the reproduction (slice length, microphase
+//! budgets, link latencies) are expressed in these types. `u64` nanoseconds
+//! give a simulated range of ~584 years, far beyond any experiment.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking so that measurement code can be written without ordering
+    /// proofs.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Round this instant *up* to the next multiple of `quantum` (used for
+    /// slice-boundary alignment). An instant already on a boundary is
+    /// returned unchanged.
+    #[inline]
+    pub fn round_up(self, quantum: SimDuration) -> SimTime {
+        debug_assert!(quantum.0 > 0);
+        let q = quantum.0;
+        SimTime(self.0.div_ceil(q) * q)
+    }
+
+    /// Round this instant *down* to the previous multiple of `quantum`.
+    #[inline]
+    pub fn round_down(self, quantum: SimDuration) -> SimTime {
+        debug_assert!(quantum.0 > 0);
+        SimTime(self.0 / quantum.0 * quantum.0)
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn nanos(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional microseconds (rounded to nearest ns).
+    #[inline]
+    pub fn micros_f64(us: f64) -> SimDuration {
+        debug_assert!(us >= 0.0);
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// Construct from fractional seconds (rounded to nearest ns).
+    #[inline]
+    pub fn secs_f64(s: f64) -> SimDuration {
+        debug_assert!(s >= 0.0);
+        SimDuration((s * 1_000_000_000.0).round() as u64)
+    }
+
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True when the duration is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+/// Human-readable rendering with an auto-selected unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(SimDuration::secs_f64(0.25).as_nanos(), 250_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::micros(500);
+        assert_eq!(t.as_nanos(), 500_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::micros(500));
+        // since() saturates
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+        assert_eq!((t - SimDuration::micros(100)).as_nanos(), 400_000);
+    }
+
+    #[test]
+    fn round_up_to_slice_boundary() {
+        let slice = SimDuration::micros(500);
+        assert_eq!(SimTime(0).round_up(slice), SimTime(0));
+        assert_eq!(SimTime(1).round_up(slice), SimTime(500_000));
+        assert_eq!(SimTime(500_000).round_up(slice), SimTime(500_000));
+        assert_eq!(SimTime(500_001).round_up(slice), SimTime(1_000_000));
+        assert_eq!(SimTime(999_999).round_down(slice), SimTime(500_000));
+    }
+
+    #[test]
+    fn duration_math_and_display() {
+        let d = SimDuration::millis(3) + SimDuration::micros(500);
+        assert_eq!(d.as_millis_f64(), 3.5);
+        assert_eq!((d * 2).as_nanos(), 7_000_000);
+        assert_eq!((d / 7).as_nanos(), 500_000);
+        assert_eq!(format!("{}", SimDuration::nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::secs(12)), "12.000s");
+        assert_eq!(
+            SimDuration::millis(1).saturating_sub(SimDuration::secs(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn as_fractional_views() {
+        let t = SimTime(1_500_000);
+        assert_eq!(t.as_micros_f64(), 1_500.0);
+        assert_eq!(t.as_millis_f64(), 1.5);
+        assert_eq!(t.as_secs_f64(), 0.0015);
+    }
+}

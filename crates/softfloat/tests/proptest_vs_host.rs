@@ -1,0 +1,144 @@
+//! Property tests: soft-float results must be bit-identical to the host FPU
+//! (round-to-nearest-even) over the *entire* bit pattern space, including
+//! subnormals, infinities and NaNs.
+
+use proptest::prelude::*;
+use softfloat::{F32, F64};
+
+/// Arbitrary f64 bit patterns, biased toward interesting exponent regions.
+fn any_f64_bits() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => any::<u64>(),
+        1 => any::<u64>().prop_map(|b| b & 0x000F_FFFF_FFFF_FFFF), // subnormals/zero
+        1 => any::<u64>().prop_map(|b| b | 0x7FE0_0000_0000_0000), // huge magnitudes
+        1 => Just(0u64),
+        1 => Just(0x8000_0000_0000_0000u64), // -0
+        1 => Just(f64::INFINITY.to_bits()),
+        1 => Just(f64::NEG_INFINITY.to_bits()),
+        1 => Just(f64::NAN.to_bits()),
+    ]
+}
+
+fn any_f32_bits() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        4 => any::<u32>(),
+        1 => any::<u32>().prop_map(|b| b & 0x007F_FFFF),
+        1 => any::<u32>().prop_map(|b| b | 0x7F00_0000),
+        1 => Just(0u32),
+        1 => Just(0x8000_0000u32),
+        1 => Just(f32::NAN.to_bits()),
+    ]
+}
+
+fn assert_same_f64(op: &str, soft: F64, hard: f64, a: u64, b: u64) {
+    if hard.is_nan() {
+        assert!(soft.is_nan(), "{op}({a:#x},{b:#x}) soft={:#x} host=NaN", soft.to_bits());
+    } else {
+        assert_eq!(
+            soft.to_bits(),
+            hard.to_bits(),
+            "{op}({a:#x},{b:#x}) soft={:#x} host={:#x}",
+            soft.to_bits(),
+            hard.to_bits()
+        );
+    }
+}
+
+fn assert_same_f32(op: &str, soft: F32, hard: f32, a: u32, b: u32) {
+    if hard.is_nan() {
+        assert!(soft.is_nan(), "{op}({a:#x},{b:#x})");
+    } else {
+        assert_eq!(soft.to_bits(), hard.to_bits(), "{op}({a:#x},{b:#x})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn f64_add_matches_host(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        assert_same_f64("add", F64(a).add(F64(b)), x + y, a, b);
+    }
+
+    #[test]
+    fn f64_sub_matches_host(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        assert_same_f64("sub", F64(a).sub(F64(b)), x - y, a, b);
+    }
+
+    #[test]
+    fn f64_mul_matches_host(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        assert_same_f64("mul", F64(a).mul(F64(b)), x * y, a, b);
+    }
+
+    #[test]
+    fn f64_div_matches_host(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        assert_same_f64("div", F64(a).div(F64(b)), x / y, a, b);
+    }
+
+    #[test]
+    fn f32_ops_match_host(a in any_f32_bits(), b in any_f32_bits()) {
+        let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+        assert_same_f32("add", F32(a).add(F32(b)), x + y, a, b);
+        assert_same_f32("sub", F32(a).sub(F32(b)), x - y, a, b);
+        assert_same_f32("mul", F32(a).mul(F32(b)), x * y, a, b);
+        assert_same_f32("div", F32(a).div(F32(b)), x / y, a, b);
+    }
+
+    #[test]
+    fn f64_cmp_matches_partial_cmp(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        prop_assert_eq!(F64(a).cmp_ieee(F64(b)), x.partial_cmp(&y));
+    }
+
+    #[test]
+    fn f64_int_roundtrip(i in any::<i64>()) {
+        prop_assert_eq!(F64::from_int(i).to_f64().to_bits(), (i as f64).to_bits());
+    }
+
+    #[test]
+    fn f64_to_int_matches_as_cast(a in any_f64_bits()) {
+        let x = f64::from_bits(a);
+        prop_assert_eq!(F64(a).to_int(), x as i64);
+    }
+
+    #[test]
+    fn f32_int_roundtrip(i in any::<i32>()) {
+        prop_assert_eq!(F32::from_int(i).to_f32().to_bits(), (i as f32).to_bits());
+    }
+
+    #[test]
+    fn f64_minmax_agree_with_host_on_distinct(a in any_f64_bits(), b in any_f64_bits()) {
+        let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+        // Host min/max leave the ±0 tie unspecified; skip exact-equal pairs.
+        if x.partial_cmp(&y) != Some(std::cmp::Ordering::Equal) {
+            let smin = F64(a).min(F64(b)).to_f64();
+            let smax = F64(a).max(F64(b)).to_f64();
+            let (hmin, hmax) = (x.min(y), x.max(y));
+            if hmin.is_nan() {
+                prop_assert!(smin.is_nan());
+            } else {
+                prop_assert_eq!(smin.to_bits(), hmin.to_bits());
+            }
+            if hmax.is_nan() {
+                prop_assert!(smax.is_nan());
+            } else {
+                prop_assert_eq!(smax.to_bits(), hmax.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f64_add_commutative_finite(a in any_f64_bits(), b in any_f64_bits()) {
+        let r1 = F64(a).add(F64(b));
+        let r2 = F64(b).add(F64(a));
+        if !r1.is_nan() {
+            prop_assert_eq!(r1.to_bits(), r2.to_bits());
+        } else {
+            prop_assert!(r2.is_nan());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # storm — the resource-management substrate
+//!
+//! BCS-MPI "is integrated in STORM, a scalable, flexible resource management
+//! system for clusters" (paper §4). STORM (Frachtenberg et al., SC'02) is
+//! itself built on the BCS core primitives and demonstrates them for job
+//! launching and resource management; this crate rebuilds the parts the
+//! BCS-MPI paper depends on:
+//!
+//! * the **Machine Manager / Node Manager** dæmon pair with its heartbeat
+//!   protocol (`Xfer-And-Signal` strobes from the MM, `Compare-And-Write`
+//!   liveness checks) — [`heartbeat`];
+//! * **job launching**: binary image dissemination with one hardware
+//!   multicast plus a global ready check, the mechanism STORM used to launch
+//!   jobs orders of magnitude faster than production systems — [`launch`];
+//! * **gang scheduling** of multiple parallel jobs at time-slice
+//!   granularity — the paper's first remedy for blocking-heavy applications
+//!   ("schedule a different parallel job whenever the application blocks",
+//!   §5.4) — [`gang`].
+
+pub mod gang;
+pub mod heartbeat;
+pub mod launch;
+
+use bcs_core::{BcsCluster, BcsWorld};
+use qsnet::{Fabric, NetModel, NodeId};
+
+/// A self-contained STORM simulation world: the management node is the last
+/// fabric port, like in the BCS-MPI engine.
+pub struct StormWorld {
+    pub bcs: BcsCluster<StormWorld>,
+    pub mgmt: NodeId,
+    pub compute_nodes: usize,
+    /// Per-node event log used by the tests.
+    pub log: Vec<(u64, String)>,
+}
+
+impl BcsWorld for StormWorld {
+    fn bcs(&mut self) -> &mut BcsCluster<StormWorld> {
+        &mut self.bcs
+    }
+}
+
+impl StormWorld {
+    /// Build a STORM world with `compute_nodes` nodes plus one management
+    /// node on the given network.
+    pub fn new(net: NetModel, compute_nodes: usize) -> StormWorld {
+        let fabric = Fabric::new(net, compute_nodes + 1);
+        StormWorld {
+            bcs: BcsCluster::new(fabric),
+            mgmt: NodeId(compute_nodes),
+            compute_nodes,
+            log: Vec::new(),
+        }
+    }
+
+    /// The compute nodes, in id order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.compute_nodes).map(NodeId).collect()
+    }
+}

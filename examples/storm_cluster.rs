@@ -1,0 +1,73 @@
+//! The STORM substrate in action: job launch over hardware multicast,
+//! heartbeat-based failure detection, and gang scheduling.
+//!
+//! ```sh
+//! cargo run --release --example storm_cluster
+//! ```
+
+use bcs_repro::qsnet::{NetModel, NodeId};
+use bcs_repro::simcore::{Sim, SimDuration, SimTime};
+use bcs_repro::storm::gang::{JobProfile, gang_schedule};
+use bcs_repro::storm::{StormWorld, heartbeat, launch};
+
+fn main() {
+    // --- Job launch -----------------------------------------------------
+    println!("job launch (8 MB binary, 2 processes/node):");
+    for nodes in [4, 16, 32, 64] {
+        let rep = launch::measure_launch(NetModel::qsnet(), nodes, 8 * 1024 * 1024, 2);
+        println!("  {nodes:>3} nodes: {:.1} ms", rep.total.as_millis_f64());
+    }
+    println!("  (hardware multicast makes dissemination flat in node count)");
+
+    // --- Heartbeats + failure detection ---------------------------------
+    let mut w = StormWorld::new(NetModel::qsnet(), 32);
+    let mut sim: Sim<StormWorld> = Sim::new();
+    let monitor = heartbeat::start(&mut w, &mut sim, SimDuration::millis(10));
+    let m2 = std::rc::Rc::clone(&monitor);
+    sim.schedule_at(
+        SimTime::ZERO + SimDuration::millis(300),
+        move |_w: &mut StormWorld, _sim| heartbeat::silence(&m2, NodeId(17)),
+    );
+    sim.set_horizon(SimTime::ZERO + SimDuration::millis(500));
+    sim.run(&mut w);
+    {
+        let m = monitor.borrow();
+        let (beat, node) = m.detections[0];
+        println!(
+            "\nheartbeats: node {} silenced at t=300ms, detected dead at beat {} (t≈{}ms)",
+            node.0,
+            beat,
+            beat * 10
+        );
+    }
+
+    // --- Gang scheduling -------------------------------------------------
+    let job = JobProfile {
+        name: "blocking-heavy",
+        compute: SimDuration::micros(3_500),
+        blocked: SimDuration::micros(1_200),
+        steps: 2_000,
+    };
+    let solo = gang_schedule(&[job.clone()], SimDuration::micros(500), SimDuration::micros(25));
+    let duo = gang_schedule(
+        &[job.clone(), job.clone()],
+        SimDuration::micros(500),
+        SimDuration::micros(25),
+    );
+    println!("\ngang scheduling a second job into the blocking holes (§5.4):");
+    println!(
+        "  1 job : makespan {:.2}s, CPU utilization {:.0}%",
+        solo.total.as_secs_f64(),
+        solo.utilization * 100.0
+    );
+    println!(
+        "  2 jobs: makespan {:.2}s, CPU utilization {:.0}% ({} context switches)",
+        duo.total.as_secs_f64(),
+        duo.utilization * 100.0,
+        duo.switches
+    );
+    println!(
+        "  serial would take {:.2}s — the second job runs nearly for free",
+        solo.total.as_secs_f64() * 2.0
+    );
+}

@@ -1,0 +1,15 @@
+//! # bcs-repro — umbrella crate
+//!
+//! Re-exports every crate of the BCS-MPI reproduction so examples and
+//! integration tests can `use bcs_repro::*`. See `README.md` for the
+//! architecture and `DESIGN.md` for the per-experiment index.
+
+pub use apps;
+pub use bcs_core;
+pub use bcs_mpi;
+pub use mpi_api;
+pub use qsnet;
+pub use quadrics_mpi;
+pub use simcore;
+pub use softfloat;
+pub use storm;

@@ -1,0 +1,106 @@
+//! Slice-boundary checkpointing (the paper's §6 fault-tolerance direction):
+//! the global communication state captured at slice boundaries must be
+//! meaningful (reflect in-flight traffic) and reproducible (two replicas of
+//! the same job produce identical digest streams).
+
+use bcs_repro::bcs_mpi::{BcsConfig, BcsMpi};
+use bcs_repro::mpi_api::message::{SrcSel, TagSel};
+use bcs_repro::mpi_api::runtime::{JobLayout, run_job};
+use bcs_repro::simcore::SimDuration;
+
+fn run_with_checkpoints(every: u64) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let layout = JobLayout::new(4, 2, 8);
+    let mut cfg = BcsConfig::default();
+    cfg.checkpoint_every = Some(every);
+    let out = run_job(BcsMpi::new(cfg, &layout), layout, |mpi| {
+        let me = mpi.rank();
+        let n = mpi.size();
+        for it in 0..8u64 {
+            mpi.compute(SimDuration::micros(700 + 137 * (me as u64 + it)));
+            let peer = (me + 1) % n;
+            let from = (me + n - 1) % n;
+            // Mix of large (chunked) and small traffic so checkpoints see
+            // in-flight transfers.
+            let sz = if it % 3 == 0 { 200 * 1024 } else { 512 };
+            let s = mpi.isend(peer, it as i32, &vec![it as u8; sz]);
+            let r = mpi.irecv(SrcSel::Rank(from), TagSel::Tag(it as i32));
+            let res = mpi.waitall(&[s, r]);
+            assert!(res[1].0.is_some());
+        }
+        mpi.now().as_nanos()
+    });
+    (out.engine.checkpoints.clone(), out.results)
+}
+
+#[test]
+fn digest_stream_replays_identically() {
+    let (a, ta) = run_with_checkpoints(1);
+    let (b, tb) = run_with_checkpoints(1);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "checkpoint digests must replicate");
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn checkpoint_interval_is_respected() {
+    let (every1, _) = run_with_checkpoints(1);
+    let (every4, _) = run_with_checkpoints(4);
+    assert!(every1.len() >= 4 * every4.len() - 4);
+    for (slice, _) in &every4 {
+        assert_eq!(slice % 4, 0);
+    }
+}
+
+#[test]
+fn captured_state_reflects_inflight_traffic() {
+    // Drive a large transfer and capture manually mid-flight.
+    let layout = JobLayout::new(2, 1, 2);
+    let mut cfg = BcsConfig::default();
+    cfg.checkpoint_every = Some(1);
+    let out = run_job(BcsMpi::new(cfg, &layout), layout, |mpi| {
+        if mpi.rank() == 0 {
+            mpi.send(1, 1, &vec![9u8; 1024 * 1024]); // ~11 slices of chunks
+        } else {
+            let d = mpi.recv_from(0, 1);
+            assert_eq!(d.len(), 1024 * 1024);
+        }
+    });
+    // At least one boundary must have seen a partially-moved transfer.
+    let final_ck = out.engine.capture_checkpoint();
+    assert_eq!(final_ck.inflight_bytes(), 0, "final state must be quiescent");
+    assert!(
+        out.engine.stats.chunked_messages >= 1,
+        "transfer must have been chunked"
+    );
+    // Digest stream is non-trivial (states differ across boundaries).
+    let digests: std::collections::HashSet<u64> =
+        out.engine.checkpoints.iter().map(|&(_, d)| d).collect();
+    assert!(digests.len() > 2, "checkpoints all identical: nothing captured");
+}
+
+#[test]
+fn quiescence_of_final_state() {
+    let (_, _) = run_with_checkpoints(2);
+    // run_with_checkpoints already asserts correct payloads; a fresh engine
+    // capture on a finished run must show empty queues.
+    let layout = JobLayout::new(2, 1, 2);
+    let out = run_job(
+        BcsMpi::new(BcsConfig::default(), &layout),
+        layout,
+        |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 1, b"x");
+            } else {
+                mpi.recv_from(0, 1);
+            }
+        },
+    );
+    let ck = out.engine.capture_checkpoint();
+    for n in &ck.nodes {
+        assert!(n.pending_sends.is_empty());
+        assert!(n.unmatched.is_empty());
+        assert!(n.inflight.is_empty());
+    }
+    assert!(ck.suspended_ranks.is_empty());
+    assert!(ck.open_collectives.is_empty());
+}
