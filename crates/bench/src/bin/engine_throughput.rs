@@ -1,0 +1,60 @@
+//! Simulator-cost benchmarks: discrete-event throughput of the core engine
+//! and the real-time cost of one BCS time slice (the fixed protocol
+//! machinery every 500 µs of virtual time).
+//!
+//! Run offline: `cargo run --release -p bench --bin engine_throughput
+//! [-- --quick]`. Emits `reports/microbench_engine_throughput.csv`.
+
+use bench::micro::Micro;
+use mpi_api::runtime::{JobLayout, run_job};
+use simcore::{Sim, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn main() {
+    let mut m = Micro::from_args("engine_throughput");
+
+    m.bench("engine", "sim_10k_events", || {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        for i in 0..10_000u64 {
+            sim.schedule_at(SimTime(i), |w: &mut u64, _| *w += 1);
+        }
+        sim.run(&mut world);
+        black_box(world)
+    });
+
+    // 100 ms of virtual time = 200 empty slices on a 16-node cluster:
+    // measures the strobe/poll machinery cost.
+    m.bench("engine", "bcs_200_idle_slices_16nodes", || {
+        let layout = JobLayout::new(16, 2, 32);
+        let out = run_job(
+            bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
+            layout,
+            |mpi| mpi.compute(SimDuration::millis(100)),
+        );
+        black_box(out.events)
+    });
+
+    // 62-rank allreduce + neighbour exchange: end-to-end engine cost.
+    m.bench("engine", "bcs_burst_62ranks", || {
+        let layout = JobLayout::crescendo(62);
+        let out = run_job(
+            bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
+            layout,
+            |mpi| {
+                let peer = (mpi.rank() + 1) % mpi.size();
+                let from = (mpi.rank() + mpi.size() - 1) % mpi.size();
+                let s = mpi.isend(peer, 1, &[0u8; 4096]);
+                let r = mpi.irecv(
+                    mpi_api::message::SrcSel::Rank(from),
+                    mpi_api::message::TagSel::Tag(1),
+                );
+                mpi.waitall(&[s, r]);
+                mpi.allreduce_i64(mpi_api::datatype::ReduceOp::Sum, &[1])
+            },
+        );
+        black_box(out.events)
+    });
+
+    m.finish();
+}

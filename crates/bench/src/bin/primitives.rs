@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the BCS core primitives on every Table 1 network
+//! model. Each iteration builds a fresh simulated fabric and runs one
+//! primitive to completion, so the numbers measure *simulator* cost; the
+//! reported virtual-time latencies are what `repro table1` prints.
+//!
+//! Run offline: `cargo run --release -p bench --bin primitives [-- --quick]`.
+//! Emits `reports/microbench_primitives.csv`.
+
+use bench::micro::Micro;
+use qsnet::NetModel;
+use simcore::Sim;
+use std::hint::black_box;
+use storm::StormWorld;
+
+fn main() {
+    let mut m = Micro::from_args("primitives");
+
+    for model in [NetModel::qsnet(), NetModel::myrinet()] {
+        m.bench("compare_and_write_sim", model.name, || {
+            let mut w = StormWorld::new(model.clone(), 32);
+            let mut sim: Sim<StormWorld> = Sim::new();
+            let nodes = w.nodes();
+            let mgmt = w.mgmt;
+            let t = bcs_core::BcsCluster::compare_and_write(
+                &mut w,
+                &mut sim,
+                mgmt,
+                &nodes,
+                1,
+                bcs_core::CmpOp::Ge,
+                0,
+                None,
+                |_, _, _| {},
+            );
+            sim.run(&mut w);
+            black_box(t)
+        });
+    }
+
+    for nodes in [8usize, 64] {
+        m.bench("xfer_and_signal_sim", &format!("qsnet_multicast_{nodes}"), || {
+            let mut w = StormWorld::new(NetModel::qsnet(), nodes);
+            let mut sim: Sim<StormWorld> = Sim::new();
+            let dests = w.nodes();
+            let mgmt = w.mgmt;
+            let t = bcs_core::BcsCluster::xfer_and_signal(
+                &mut w,
+                &mut sim,
+                mgmt,
+                &dests,
+                4096,
+                bcs_core::XsOpts::default(),
+            );
+            sim.run(&mut w);
+            black_box(t)
+        });
+    }
+
+    m.finish();
+}

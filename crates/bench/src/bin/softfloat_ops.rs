@@ -1,0 +1,54 @@
+//! Soft-float arithmetic throughput vs the host FPU — the cost the Reduce
+//! Helper pays for running on a processor with no floating-point unit.
+//!
+//! Run offline: `cargo run --release -p bench --bin softfloat_ops
+//! [-- --quick]`. Emits `reports/microbench_softfloat_ops.csv`.
+
+use bench::micro::Micro;
+use softfloat::F64;
+use std::hint::black_box;
+
+fn inputs() -> Vec<(f64, f64)> {
+    (0..256)
+        .map(|i| {
+            let x = (i as f64 * 0.731 - 90.0).exp();
+            let y = (i as f64 * 0.577 + 1.0).sin() * 1e10;
+            (x, y)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut m = Micro::from_args("softfloat_ops");
+
+    let xs = inputs();
+    let soft: Vec<(F64, F64)> = xs
+        .iter()
+        .map(|&(a, b)| (F64::from_f64(a), F64::from_f64(b)))
+        .collect();
+
+    m.bench("f64_add_256", "softfloat", || {
+        let mut acc = F64::ZERO;
+        for &(x, y) in &soft {
+            acc = acc.add(x.mul(y));
+        }
+        black_box(acc)
+    });
+    m.bench("f64_add_256", "host_fpu", || {
+        let mut acc = 0.0f64;
+        for &(x, y) in &xs {
+            acc += x * y;
+        }
+        black_box(acc)
+    });
+
+    m.bench("f64_div_256", "softfloat", || {
+        let mut acc = F64::from_f64(1.0);
+        for &(x, _) in &soft {
+            acc = acc.div(x.add(F64::from_f64(2.0)));
+        }
+        black_box(acc)
+    });
+
+    m.finish();
+}

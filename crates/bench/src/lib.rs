@@ -2,9 +2,11 @@
 //!
 //! Table/series formatting and CSV emission shared by the `repro` binary
 //! (which regenerates every table and figure of the paper) and the
-//! criterion micro-benchmarks.
+//! std-only micro-benchmarks in [`micro`] (run as ordinary binaries:
+//! `primitives`, `engine_throughput`, `softfloat_ops`, `apps_micro`).
 
 pub mod experiments;
+pub mod micro;
 
 use std::fmt::Write as _;
 use std::io::Write as _;

@@ -1,0 +1,184 @@
+//! # proplite — self-contained property testing
+//!
+//! A minimal, dependency-free property-testing harness with a surface
+//! close enough to proptest that this repo's suites ported with small
+//! diffs. Three pieces:
+//!
+//! * [`Source`] — a recording/replaying choice stream over the in-tree
+//!   [`simcore::SimRng`], so generation is deterministic and stable
+//!   across machines and toolchains.
+//! * [`Strategy`] — generator combinators: integer ranges, [`any`],
+//!   [`Just`], tuples, [`prop::collection::vec`], `.prop_map(...)`, and
+//!   the weighted [`prop_oneof!`] union.
+//! * The [`proplite!`] macro + runner — deterministic per-case seeds,
+//!   greedy choice-stream shrinking on failure, and a report that prints
+//!   the shrunk input *and* a `PROPLITE_SEED` value that reruns exactly
+//!   the failing case.
+//!
+//! ```
+//! use proplite::prelude::*;
+//!
+//! proplite! {
+//!     #![config(cases = 256)]
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Environment overrides: `PROPLITE_CASES` (case count), `PROPLITE_SEED`
+//! (rerun one exact case), `PROPLITE_MAX_SHRINK` (shrink budget).
+//!
+//! [`prop::collection::vec`]: strategy::collection::vec()
+
+mod runner;
+mod source;
+mod strategy;
+
+pub use runner::{CaseError, Config, Failure, TestResult, check, run};
+pub use source::Source;
+pub use strategy::{
+    Any, Arbitrary, BoxedStrategy, Just, Map, SizeRange, Strategy, Union, any, collection,
+};
+
+/// proptest-style module path, so suites keep `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::strategy::collection;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        CaseError, Config, Just, Strategy, TestResult, any, prop, prop_assert, prop_assert_eq,
+        prop_oneof, proplite,
+    };
+}
+
+/// Define property tests. Mirrors `proptest!`:
+///
+/// ```ignore
+/// proplite! {
+///     #![config(cases = 64, max_shrink_iters = 128)]
+///     #[test]
+///     fn my_prop(x in 0u32..100, flips in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proplite {
+    (#![config($($cfg:tt)*)] $($rest:tt)*) => {
+        $crate::__proplite_items!([$($cfg)*] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proplite_items!([] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proplite_items {
+    ([$($cfg:tt)*]) => {};
+    ([$($cfg:tt)*]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_mut)]
+            let mut cfg = $crate::Config::default();
+            $crate::__proplite_config!(cfg; $($cfg)*);
+            let strategy = ($($strat,)+);
+            $crate::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &cfg,
+                &strategy,
+                |($($arg,)+)| -> $crate::TestResult { $body Ok(()) },
+            );
+        }
+        $crate::__proplite_items!([$($cfg)*] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proplite_config {
+    ($cfg:ident;) => {};
+    ($cfg:ident; cases = $v:expr $(, $($rest:tt)*)?) => {
+        $cfg.cases = $v;
+        $crate::__proplite_config!($cfg; $($($rest)*)?);
+    };
+    ($cfg:ident; seed = $v:expr $(, $($rest:tt)*)?) => {
+        $cfg.seed = Some($v);
+        $crate::__proplite_config!($cfg; $($($rest)*)?);
+    };
+    ($cfg:ident; max_shrink_iters = $v:expr $(, $($rest:tt)*)?) => {
+        $cfg.max_shrink_iters = $v;
+        $crate::__proplite_config!($cfg; $($($rest)*)?);
+    };
+}
+
+/// Non-panicking assertion inside a property body: fails the case (and
+/// triggers shrinking) by returning early.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::CaseError::new(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Non-panicking equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::CaseError::new(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::CaseError::new(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Weighted union of strategies, proptest-style:
+/// `prop_oneof![s1, s2]` or `prop_oneof![4 => s1, 1 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

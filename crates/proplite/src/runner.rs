@@ -1,0 +1,301 @@
+//! Case execution, greedy stream shrinking, and failure reporting.
+//!
+//! Every case is generated from a per-case seed derived deterministically
+//! from the test name and case index, so a run is reproducible with no
+//! state files. On failure the recorded choice stream is shrunk greedily
+//! (chunk removal, then zero/halve/decrement of single entries), and the
+//! report prints both the shrunk input and the reproducing seed; setting
+//! `PROPLITE_SEED=<seed>` (or `Config::seed`) reruns exactly that case.
+
+use crate::source::Source;
+use crate::strategy::Strategy;
+use simcore::SimRng;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-test runner configuration, set via `#![config(...)]` inside
+/// [`proplite!`](crate::proplite).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases (env `PROPLITE_CASES` overrides).
+    pub cases: u32,
+    /// Run exactly one case from this seed (env `PROPLITE_SEED` overrides).
+    pub seed: Option<u64>,
+    /// Cap on test executions spent shrinking a failure
+    /// (env `PROPLITE_MAX_SHRINK` overrides).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            seed: None,
+            max_shrink_iters: 512,
+        }
+    }
+}
+
+/// A failed (non-panicking) assertion inside a property body, produced by
+/// `prop_assert!`/`prop_assert_eq!`.
+#[derive(Clone, Debug)]
+pub struct CaseError {
+    pub message: String,
+}
+
+impl CaseError {
+    pub fn new(message: impl Into<String>) -> CaseError {
+        CaseError { message: message.into() }
+    }
+}
+
+pub type TestResult = Result<(), CaseError>;
+
+/// A minimized property failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Seed reproducing this exact case (`PROPLITE_SEED=<seed>`).
+    pub seed: u64,
+    /// Index of the failing case within the run.
+    pub case: u32,
+    /// `Debug` rendering of the shrunk input.
+    pub value: String,
+    /// The assertion or panic message of the shrunk failure.
+    pub message: String,
+    /// Number of successful shrink adoptions.
+    pub shrink_steps: u32,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{key}={raw:?} is not a u64"),
+    }
+}
+
+// While shrinking, the same panic fires over and over; suppress the
+// default hook's per-panic spew and report only the final shrunk case.
+static QUIET_DEPTH: AtomicUsize = AtomicUsize::new(0);
+static HOOK_INSTALL: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK_INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if QUIET_DEPTH.load(Ordering::Relaxed) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct QuietGuard;
+
+impl QuietGuard {
+    fn new() -> QuietGuard {
+        install_quiet_hook();
+        QUIET_DEPTH.fetch_add(1, Ordering::Relaxed);
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        QUIET_DEPTH.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+enum Draws<'a> {
+    Fresh(u64),
+    Replay(&'a [u64]),
+}
+
+/// Generate from the given draws and execute the property once. Returns
+/// the effective choice record, the input's Debug form, and the failure
+/// message if the property failed (by `Err` or by panic).
+fn run_once<S, F>(strat: &S, f: &F, draws: Draws<'_>) -> (Vec<u64>, String, Option<String>)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let mut src = match draws {
+        Draws::Fresh(seed) => Source::fresh(SimRng::new(seed)),
+        Draws::Replay(stream) => Source::replay(stream),
+    };
+    let value = strat.generate(&mut src);
+    let rendered = format!("{value:?}");
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(value)));
+    let message = match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.message),
+        Err(payload) => Some(panic_message(payload.as_ref())),
+    };
+    (src.into_record(), rendered, message)
+}
+
+/// Shrink candidates for a stream, simplest-first within each family:
+/// chunk removals (large chunks first), then per-entry lowering — zero,
+/// halve, power-of-two subtractions (largest first, so repeated greedy
+/// rounds binary-search each entry down to its failure boundary), and
+/// finally decrement.
+fn candidates(stream: &[u64]) -> Vec<Vec<u64>> {
+    let n = stream.len();
+    let mut out = Vec::new();
+    let mut chunk = n;
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let mut c = Vec::with_capacity(n - (end - start));
+            c.extend_from_slice(&stream[..start]);
+            c.extend_from_slice(&stream[end..]);
+            out.push(c);
+            start += chunk;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    for (i, &v) in stream.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        let mut with = |nv: u64| {
+            let mut c = stream.to_vec();
+            c[i] = nv;
+            out.push(c);
+        };
+        if v > 1 {
+            with(0);
+            with(v / 2);
+        }
+        let mut k = 63 - v.leading_zeros();
+        while k >= 1 {
+            let step = 1u64 << k;
+            if step < v && v - step != v / 2 {
+                with(v - step);
+            }
+            k -= 1;
+        }
+        with(v - 1);
+    }
+    out
+}
+
+fn shrink<S, F>(
+    cfg: &Config,
+    strat: &S,
+    f: &F,
+    seed: u64,
+    case: u32,
+    first: (Vec<u64>, String, String),
+) -> Failure
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let _quiet = QuietGuard::new();
+    let max_runs = env_u64("PROPLITE_MAX_SHRINK")
+        .map(|v| v as u32)
+        .unwrap_or(cfg.max_shrink_iters);
+    let (mut stream, mut value, mut message) = first;
+    let mut runs = 0u32;
+    let mut steps = 0u32;
+    'outer: while runs < max_runs {
+        for cand in candidates(&stream) {
+            if runs >= max_runs {
+                break 'outer;
+            }
+            runs += 1;
+            let (rec, rendered, outcome) = run_once(strat, f, Draws::Replay(&cand));
+            if let Some(msg) = outcome {
+                if rec != stream {
+                    stream = rec;
+                    value = rendered;
+                    message = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    Failure { seed, case, value, message, shrink_steps: steps }
+}
+
+/// Run the property over all configured cases; on failure, shrink it and
+/// return the minimized [`Failure`] instead of panicking. `run` is the
+/// panicking wrapper the `proplite!` macro uses; `check` exists so the
+/// crate's own tests can assert on reported failures.
+pub fn check<S, F>(name: &str, cfg: &Config, strat: &S, f: &F) -> Option<Failure>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    let forced = env_u64("PROPLITE_SEED").or(cfg.seed);
+    let cases = match forced {
+        Some(_) => 1,
+        None => env_u64("PROPLITE_CASES").map(|v| v as u32).unwrap_or(cfg.cases),
+    };
+    let run_seed = mix(fnv1a(name), 0xB0C5_0001);
+    for case in 0..cases {
+        let seed = forced.unwrap_or_else(|| mix(run_seed, case as u64 + 1));
+        let (record, rendered, outcome) = run_once(strat, f, Draws::Fresh(seed));
+        if let Some(message) = outcome {
+            return Some(shrink(cfg, strat, f, seed, case, (record, rendered, message)));
+        }
+    }
+    None
+}
+
+/// Macro entry point: run the property, panicking with a report — shrunk
+/// input plus reproducing seed — if it fails.
+pub fn run<S, F>(name: &str, cfg: &Config, strat: &S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestResult,
+{
+    if let Some(fail) = check(name, cfg, strat, &f) {
+        panic!(
+            "[proplite] property {name} failed at case {}\n  \
+             shrunk input ({} shrink steps): {}\n  \
+             failure: {}\n  \
+             reproduce: PROPLITE_SEED={:#018x} (or Config {{ seed: Some(...) }})",
+            fail.case, fail.shrink_steps, fail.value, fail.message, fail.seed,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Choice streams: the randomness substrate strategies draw from.
+//!
+//! Every value a strategy generates is a deterministic function of the
+//! sequence of *resolved draws* it makes from a [`Source`] — the choice
+//! stream. A fresh source resolves draws from a [`SimRng`] and records
+//! them; a replay source resolves them from a previously recorded stream
+//! (clamping bounded draws, padding with zeros past the end). Shrinking
+//! then operates purely on the recorded stream: a candidate stream is
+//! replayed through the same strategy to regenerate a (simpler) value,
+//! with no per-strategy shrink code at all.
+//!
+//! Bounded draws record the *resolved value* (the offset within the
+//! bound), not the raw 64-bit output. This makes the stream monotone:
+//! decreasing an entry can only decrease (or preserve) the generated
+//! value, so greedy stream shrinking converges to locally minimal inputs
+//! with unit granularity.
+
+use simcore::SimRng;
+
+/// A recording/replaying stream of choices.
+pub struct Source {
+    replay: Vec<u64>,
+    pos: usize,
+    rng: Option<SimRng>,
+    record: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh source: draws come from `rng` and are recorded.
+    pub fn fresh(rng: SimRng) -> Source {
+        Source {
+            replay: Vec::new(),
+            pos: 0,
+            rng: Some(rng),
+            record: Vec::new(),
+        }
+    }
+
+    /// A replay source: draws come from `stream`; once it is exhausted,
+    /// every further draw resolves to zero (the simplest choice).
+    pub fn replay(stream: &[u64]) -> Source {
+        Source {
+            replay: stream.to_vec(),
+            pos: 0,
+            rng: None,
+            record: Vec::new(),
+        }
+    }
+
+    fn next_entry(&mut self) -> Option<u64> {
+        let e = if self.pos < self.replay.len() {
+            Some(self.replay[self.pos])
+        } else {
+            None
+        };
+        self.pos += 1;
+        e
+    }
+
+    /// An unbounded 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let v = match self.next_entry() {
+            Some(e) => e,
+            None => match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            },
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// A draw uniform in `[0, bound)`. `bound` must be non-zero. The
+    /// resolved value itself is recorded, so stream entries for bounded
+    /// draws are directly meaningful to the shrinker.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Source::below(0)");
+        let v = match self.next_entry() {
+            Some(e) => e.min(bound - 1),
+            None => match &mut self.rng {
+                Some(rng) => rng.next_below(bound),
+                None => 0,
+            },
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// The sequence of resolved draws made so far.
+    pub fn into_record(self) -> Vec<u64> {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaying_a_record_reproduces_the_draws() {
+        let mut a = Source::fresh(SimRng::new(7));
+        let drawn: Vec<u64> = vec![
+            a.next_u64(),
+            a.below(10),
+            a.below(1_000_000),
+            a.next_u64(),
+        ];
+        let rec = a.into_record();
+        let mut b = Source::replay(&rec);
+        assert_eq!(b.next_u64(), drawn[0]);
+        assert_eq!(b.below(10), drawn[1]);
+        assert_eq!(b.below(1_000_000), drawn[2]);
+        assert_eq!(b.next_u64(), drawn[3]);
+        assert_eq!(b.into_record(), rec);
+    }
+
+    #[test]
+    fn replay_clamps_and_pads() {
+        let mut s = Source::replay(&[500]);
+        assert_eq!(s.below(10), 9, "oversized entry clamps to bound-1");
+        assert_eq!(s.below(10), 0, "exhausted stream pads with zero");
+        assert_eq!(s.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_bounds() {
+        let mut s = Source::fresh(SimRng::new(99));
+        for bound in [1u64, 2, 3, 7, 1 << 40, u64::MAX] {
+            for _ in 0..100 {
+                assert!(s.below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Strategies: composable value generators over a choice [`Source`].
+//!
+//! The combinator surface deliberately mirrors proptest's so the existing
+//! property suites port with minimal diffs: integer ranges are strategies
+//! (`0usize..5000`), `any::<T>()`, `Just(v)`, tuples of strategies,
+//! `collection::vec(elem, size)`, `.prop_map(f)`, and the weighted
+//! `prop_oneof!` union (built on [`Union`]).
+
+use crate::source::Source;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values of type `Self::Value` from a choice stream.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, src: &mut Source) -> Self::Value;
+
+    /// Transform generated values. Shrinking happens on the underlying
+    /// choice stream, so mapped strategies shrink through the map for free.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Type-erase, e.g. to mix differently-shaped arms in a [`Union`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (**self).generate(src)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, src: &mut Source) -> Self::Value {
+        (**self).generate(src)
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! unsigned_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + src.below(span) as $t
+            }
+        }
+    )+};
+}
+unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut Source) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + src.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------- any
+
+/// Types with a canonical full-domain strategy, via [`any`].
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(src: &mut Source) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        T::arbitrary(src)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(src: &mut Source) -> bool {
+        src.below(2) == 1
+    }
+}
+
+// Small integers draw through `below` so the recorded entry *is* the
+// value and shrinks with unit granularity toward zero.
+macro_rules! arbitrary_small_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(src: &mut Source) -> $t {
+                src.below(1u64 << <$t>::BITS) as $t
+            }
+        }
+    )+};
+}
+arbitrary_small_uint!(u8, u16, u32);
+
+macro_rules! arbitrary_wide_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(src: &mut Source) -> $t {
+                src.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_wide_int!(u64, usize, i64, isize);
+
+macro_rules! arbitrary_small_int {
+    ($($t:ty => $u:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(src: &mut Source) -> $t {
+                src.below(1u64 << <$t>::BITS) as $u as $t
+            }
+        }
+    )+};
+}
+arbitrary_small_int!(i8 => u8, i16 => u16, i32 => u32);
+
+// ------------------------------------------------------------------ just
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut Source) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, src: &mut Source) -> Self::Value {
+                ($(self.$i.generate(src),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ------------------------------------------------------------------- map
+
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        (self.map)(self.source.generate(src))
+    }
+}
+
+// ----------------------------------------------------------------- union
+
+/// Weighted choice among same-typed strategies; backs [`prop_oneof!`].
+/// The first arm is the "simplest": the arm selector shrinks toward it.
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! with no arms");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all arm weights zero");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, src: &mut Source) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = src.below(total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(src);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ------------------------------------------------------------ collections
+
+/// Length specification for [`collection::vec`]: an exact `usize` or a
+/// half-open `Range<usize>` (proptest's convention).
+///
+/// [`collection::vec`]: collection::vec()
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_incl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max_incl: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max_incl: r.end - 1 }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `elem`-generated values with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, src: &mut Source) -> Vec<S::Value> {
+            let SizeRange { min, max_incl } = self.size;
+            let len = if max_incl > min {
+                min + src.below((max_incl - min + 1) as u64) as usize
+            } else {
+                min
+            };
+            (0..len).map(|_| self.elem.generate(src)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimRng;
+
+    fn gen<S: Strategy>(s: &S, seed: u64) -> S::Value {
+        s.generate(&mut Source::fresh(SimRng::new(seed)))
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        for seed in 0..200 {
+            let v = gen(&(10u32..20), seed);
+            assert!((10..20).contains(&v));
+            let w = gen(&(-5i32..5), seed);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn zero_stream_yields_simplest_values() {
+        let mut src = Source::replay(&[]);
+        let (a, b, c) = (3u32..9, any::<bool>(), collection::vec(0u64..100, 1..5))
+            .generate(&mut src);
+        assert_eq!(a, 3, "range shrinks to its start");
+        assert!(!b, "bool shrinks to false");
+        assert_eq!(c, vec![0], "vec shrinks to min length of simplest elems");
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let s = Union::new(vec![
+            (4, (0u32..10).prop_map(|v| v as u64).boxed()),
+            (1, Just(999u64).boxed()),
+        ]);
+        let mut seen_big = false;
+        for seed in 0..300 {
+            let v = gen(&s, seed);
+            assert!(v < 10 || v == 999);
+            seen_big |= v == 999;
+        }
+        assert!(seen_big, "low-weight arm never selected");
+        let zero = s.generate(&mut Source::replay(&[]));
+        assert_eq!(zero, 0, "union shrinks to first arm's simplest value");
+    }
+
+    #[test]
+    fn exact_size_vec_draws_no_length_entry() {
+        let s = collection::vec(0u8..10, 3usize);
+        let mut src = Source::fresh(SimRng::new(1));
+        let v = s.generate(&mut src);
+        assert_eq!(v.len(), 3);
+        assert_eq!(src.into_record().len(), 3, "no wasted length draw");
+    }
+}

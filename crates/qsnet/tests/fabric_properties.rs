@@ -2,7 +2,7 @@
 //! conservation, FIFO ordering and determinism over randomized operation
 //! sequences.
 
-use proptest::prelude::*;
+use proplite::prelude::*;
 use qsnet::{Fabric, NetModel, NodeId};
 use simcore::{Sim, SimDuration, SimTime};
 
@@ -79,8 +79,8 @@ fn run_script(model: NetModel, nodes: usize, ops: &[Op]) -> Vec<u64> {
     completions
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+proplite! {
+    #![config(cases = 64)]
 
     #[test]
     fn causality_and_bandwidth_bounds(

@@ -2,7 +2,7 @@
 //! (round-to-nearest-even) over the *entire* bit pattern space, including
 //! subnormals, infinities and NaNs.
 
-use proptest::prelude::*;
+use proplite::prelude::*;
 use softfloat::{F32, F64};
 
 /// Arbitrary f64 bit patterns, biased toward interesting exponent regions.
@@ -52,8 +52,8 @@ fn assert_same_f32(op: &str, soft: F32, hard: f32, a: u32, b: u32) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4096))]
+proplite! {
+    #![config(cases = 4096)]
 
     #[test]
     fn f64_add_matches_host(a in any_f64_bits(), b in any_f64_bits()) {
@@ -139,6 +139,85 @@ proptest! {
             prop_assert_eq!(r1.to_bits(), r2.to_bits());
         } else {
             prop_assert!(r2.is_nan());
+        }
+    }
+}
+
+/// Regression: bit-exact agreement with the host FPU on the canonical
+/// edge-value grid — NaN, ±0, ±inf, subnormals (smallest/largest), and
+/// boundary normals — for every binary32/binary64 add/sub/mul/div pair.
+/// Deterministic and exhaustive over the grid, independent of the
+/// randomized suites above.
+#[test]
+fn f64_edge_case_grid_bit_exact() {
+    let edges: &[u64] = &[
+        0x0000_0000_0000_0000, // +0
+        0x8000_0000_0000_0000, // -0
+        0x0000_0000_0000_0001, // smallest +subnormal
+        0x8000_0000_0000_0001, // smallest -subnormal
+        0x000F_FFFF_FFFF_FFFF, // largest +subnormal
+        0x800F_FFFF_FFFF_FFFF, // largest -subnormal
+        0x0010_0000_0000_0000, // smallest +normal
+        0x8010_0000_0000_0000, // smallest -normal
+        0x7FEF_FFFF_FFFF_FFFF, // +MAX
+        0xFFEF_FFFF_FFFF_FFFF, // -MAX
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        f64::NAN.to_bits(),
+        0xFFF8_0000_0000_0000, // -NaN
+        0x7FF0_0000_0000_0001, // signalling NaN
+        1.0f64.to_bits(),
+        (-1.0f64).to_bits(),
+        0.5f64.to_bits(),
+        2.0f64.to_bits(),
+        (1.0f64 + f64::EPSILON).to_bits(),
+        1e308f64.to_bits(),
+        (-1e-308f64).to_bits(),
+    ];
+    for &a in edges {
+        for &b in edges {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            assert_same_f64("add", F64(a).add(F64(b)), x + y, a, b);
+            assert_same_f64("sub", F64(a).sub(F64(b)), x - y, a, b);
+            assert_same_f64("mul", F64(a).mul(F64(b)), x * y, a, b);
+            assert_same_f64("div", F64(a).div(F64(b)), x / y, a, b);
+        }
+    }
+}
+
+#[test]
+fn f32_edge_case_grid_bit_exact() {
+    let edges: &[u32] = &[
+        0x0000_0000, // +0
+        0x8000_0000, // -0
+        0x0000_0001, // smallest +subnormal
+        0x8000_0001, // smallest -subnormal
+        0x007F_FFFF, // largest +subnormal
+        0x807F_FFFF, // largest -subnormal
+        0x0080_0000, // smallest +normal
+        0x8080_0000, // smallest -normal
+        0x7F7F_FFFF, // +MAX
+        0xFF7F_FFFF, // -MAX
+        f32::INFINITY.to_bits(),
+        f32::NEG_INFINITY.to_bits(),
+        f32::NAN.to_bits(),
+        0xFFC0_0000, // -NaN
+        0x7F80_0001, // signalling NaN
+        1.0f32.to_bits(),
+        (-1.0f32).to_bits(),
+        0.5f32.to_bits(),
+        2.0f32.to_bits(),
+        (1.0f32 + f32::EPSILON).to_bits(),
+        3.4e38f32.to_bits(),
+        (-1e-38f32).to_bits(),
+    ];
+    for &a in edges {
+        for &b in edges {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            assert_same_f32("add", F32(a).add(F32(b)), x + y, a, b);
+            assert_same_f32("sub", F32(a).sub(F32(b)), x - y, a, b);
+            assert_same_f32("mul", F32(a).mul(F32(b)), x * y, a, b);
+            assert_same_f32("div", F32(a).div(F32(b)), x / y, a, b);
         }
     }
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo verification, fully offline:
+#   1. tier-1: cargo build --release && cargo test -q   (covers the whole
+#      workspace via workspace.default-members)
+#   2. explicit --workspace test pass
+#   3. the four microbenches (quick mode), emitting reports/microbench_*.csv
+#
+# Any compile warning in any workspace crate is a failure (-D warnings).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace has zero external dependencies (dev-deps included); prove
+# it by forbidding registry/network access outright.
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== full workspace test pass"
+cargo test --workspace -q
+
+echo "== offline microbenches (quick mode) -> reports/microbench_*.csv"
+for b in primitives engine_throughput softfloat_ops apps_micro; do
+  MICROBENCH_QUICK=1 cargo run --release -q -p bench --bin "$b"
+done
+
+for b in primitives engine_throughput softfloat_ops apps_micro; do
+  csv="reports/microbench_$b.csv"
+  [ -s "$csv" ] || { echo "verify: missing $csv" >&2; exit 1; }
+done
+
+echo "verify: OK"

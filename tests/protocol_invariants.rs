@@ -10,7 +10,7 @@ use bcs_repro::apps::runner::{EngineSel, run_app};
 use bcs_repro::mpi_api::message::{SrcSel, TagSel};
 use bcs_repro::mpi_api::runtime::JobLayout;
 use bcs_repro::simcore::{SimDuration, SimRng};
-use proptest::prelude::*;
+use proplite::prelude::*;
 
 /// A randomly generated all-pairs communication round.
 #[derive(Clone, Debug)]
@@ -84,11 +84,9 @@ fn execute(sel: &EngineSel, ranks: usize, round: Round) -> Vec<Vec<(usize, usize
     out.results
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case runs two full simulations
-        .. ProptestConfig::default()
-    })]
+proplite! {
+    // Each case runs full simulations, so keep the shrink budget modest.
+    #![config(cases = 64, max_shrink_iters = 48)]
 
     #[test]
     fn random_rounds_complete_and_agree(round in round_strategy(5)) {
