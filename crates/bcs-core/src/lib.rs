@@ -26,6 +26,8 @@
 //! it; the [`BcsWorld`] accessor trait lets deferred completions find the
 //! cluster again.
 
+pub mod retry;
+
 use qsnet::{Fabric, NodeId};
 use simcore::{Sim, SimTime};
 use std::collections::HashMap;
@@ -130,10 +132,22 @@ impl<W> Default for NodeCtl<W> {
     }
 }
 
+/// Control-memory state of the whole cluster at a quiescent instant:
+/// every node's global words and pending (unconsumed) event counts, in a
+/// deterministic order. Captured only when no event *waiters* are parked —
+/// a closure cannot be checkpointed — which holds at BCS slice boundaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WordsSnapshot {
+    words: Vec<Vec<(GlobalWord, i64)>>,
+    pending: Vec<Vec<(EventWord, u32)>>,
+}
+
 /// The BCS abstract machine: global words + events on every node, over the
 /// simulated fabric.
 pub struct BcsCluster<W> {
     pub fabric: Fabric,
+    /// Reliable-delivery bookkeeping (see [`retry`]).
+    pub retry: retry::RetryState,
     nodes: Vec<NodeCtl<W>>,
 }
 
@@ -142,12 +156,62 @@ impl<W: BcsWorld> BcsCluster<W> {
         let n = fabric.nodes();
         BcsCluster {
             fabric,
+            retry: retry::RetryState::default(),
             nodes: (0..n).map(|_| NodeCtl::default()).collect(),
         }
     }
 
     pub fn nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Capture every node's global words and pending event counts.
+    /// Panics if any event waiter is parked: waiters are continuations and
+    /// cannot survive a checkpoint — callers must capture at quiescent
+    /// points only (slice boundaries in BCS-MPI).
+    pub fn snapshot_words(&self) -> WordsSnapshot {
+        let mut words = Vec::with_capacity(self.nodes.len());
+        let mut pending = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut ws: Vec<(GlobalWord, i64)> =
+                n.words.iter().map(|(&a, &v)| (a, v)).collect();
+            ws.sort_unstable();
+            words.push(ws);
+            let mut ps: Vec<(EventWord, u32)> = n
+                .events
+                .iter()
+                .inspect(|(ev, st)| {
+                    assert!(
+                        st.waiters.is_empty(),
+                        "snapshot_words with parked waiter on node {i} event {ev}"
+                    );
+                })
+                .filter(|(_, st)| st.pending > 0)
+                .map(|(&ev, st)| (ev, st.pending))
+                .collect();
+            ps.sort_unstable();
+            pending.push(ps);
+        }
+        WordsSnapshot { words, pending }
+    }
+
+    /// Restore global words and pending event counts from a snapshot,
+    /// discarding all current control-memory state.
+    pub fn restore_words(&mut self, s: &WordsSnapshot) {
+        assert_eq!(s.words.len(), self.nodes.len(), "snapshot node count");
+        for (n, (ws, ps)) in self.nodes.iter_mut().zip(s.words.iter().zip(&s.pending)) {
+            n.words = ws.iter().copied().collect();
+            n.events.clear();
+            for &(ev, pending) in ps {
+                n.events.insert(
+                    ev,
+                    EventState {
+                        pending,
+                        waiters: Vec::new(),
+                    },
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -519,6 +583,28 @@ mod tests {
         let v = w.bcs.word(NodeId(0), LOCK);
         assert!((1..=8).all(|n| w.bcs.word(NodeId(n - 1), LOCK) == v));
         assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn words_snapshot_round_trips() {
+        let (mut w, mut sim) = setup(3);
+        w.bcs.set_word(NodeId(0), 5, 42);
+        w.bcs.add_word(NodeId(2), 7, -3);
+        BcsCluster::signal_event(&mut w, &mut sim, NodeId(1), 9);
+        BcsCluster::signal_event(&mut w, &mut sim, NodeId(1), 9);
+        let snap = w.bcs.snapshot_words();
+        // Mutate everything, then restore.
+        w.bcs.set_word(NodeId(0), 5, 0);
+        w.bcs.set_word(NodeId(1), 99, 1);
+        assert!(w.bcs.test_event(NodeId(1), 9));
+        w.bcs.restore_words(&snap);
+        assert_eq!(w.bcs.snapshot_words(), snap);
+        assert_eq!(w.bcs.word(NodeId(0), 5), 42);
+        assert_eq!(w.bcs.word(NodeId(2), 7), -3);
+        assert_eq!(w.bcs.word(NodeId(1), 99), 0, "post-snapshot write discarded");
+        assert!(w.bcs.test_event(NodeId(1), 9));
+        assert!(w.bcs.test_event(NodeId(1), 9));
+        assert!(!w.bcs.test_event(NodeId(1), 9), "pending count restored exactly");
     }
 
     #[test]

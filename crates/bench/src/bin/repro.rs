@@ -9,7 +9,11 @@
 //!
 //! Experiments: table1, fig2, fig8a, fig8b, fig8c, fig8d, fig9, fig10,
 //! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
-//! ablation-chunk, ablation-multijob, storm-launch.
+//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch.
+//!
+//! After writing the CSVs, every regenerated headline value is compared
+//! against the tolerances recorded in EXPERIMENTS.md (see [`bench::gate`]);
+//! the process exits non-zero if any figure deviates.
 
 use bench::Report;
 use bench::experiments as ex;
@@ -33,7 +37,7 @@ fn main() {
                 println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
                 println!("             fig11a fig11b ablation-slice ablation-reduce");
                 println!("             ablation-noise ablation-chunk ablation-multijob");
-                println!("             storm-launch");
+                println!("             ablation-fault storm-launch");
                 return;
             }
             other => picks.push(other.to_string()),
@@ -102,6 +106,9 @@ fn main() {
     if want("ablation-multijob") {
         emit("ablation_multijob", ex::ablation_multijob());
     }
+    if want("ablation-fault") {
+        emit("ablation_fault", ex::ablation_fault(quick));
+    }
     if want("storm-launch") {
         emit("storm_launch", ex::storm_launch());
     }
@@ -112,4 +119,21 @@ fn main() {
         }
     }
     println!("wrote {} CSV file(s) to {}", emitted.len(), out_dir.display());
+
+    let mut checked = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+    for (name, r) in &emitted {
+        let (c, v) = bench::gate::check(name, r, quick);
+        checked += c;
+        violations.extend(v);
+    }
+    if violations.is_empty() {
+        println!("tolerance gate: {checked} headline value(s) within recorded tolerances");
+    } else {
+        eprintln!("tolerance gate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 }

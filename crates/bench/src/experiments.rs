@@ -109,6 +109,7 @@ pub fn fig2() -> Report {
     // records every post-to-restart delay.
     let h = blocking_delay_histogram();
     let mean_slices = h.mean().as_micros_f64() / 500.0;
+    r.metric("blocking_mean_slices", mean_slices);
     r.row(
         "blocking delay (mean)",
         vec![format!("{mean_slices:.2} slices"), "1.5 slices".into()],
@@ -138,6 +139,7 @@ pub fn fig2() -> Report {
         mpi.now().since(t0).as_millis_f64()
     });
     let overhead = (out.results[0] / 100.0 - 1.0) * 100.0;
+    r.metric("nonblocking_overhead_pct", overhead);
     r.row(
         "non-blocking overhead (5ms steps)",
         vec![format!("{overhead:+.2}%"), "~0% (full overlap)".into()],
@@ -192,12 +194,16 @@ pub fn fig8a(quick: bool) -> Report {
         };
         let b = run_app(&EngineSel::bcs(), layout(ranks), synthetic::barrier_loop(cfg.clone()));
         let q = run_app(&EngineSel::quadrics(), layout(ranks), synthetic::barrier_loop(cfg));
+        let sd = slowdown_pct(b.elapsed, q.elapsed);
+        if g_ms == 10 {
+            r.metric("slowdown_10ms_pct", sd);
+        }
         r.row(
             format!("{g_ms} ms"),
             vec![
                 secs(b.elapsed.as_secs_f64()),
                 secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
+                pct(sd),
             ],
         );
     }
@@ -246,12 +252,16 @@ pub fn fig8c(quick: bool) -> Report {
         let cfg = synthetic::NeighborLoopCfg::paper(g, fig8_iters(g));
         let b = run_app(&EngineSel::bcs(), layout(ranks), synthetic::neighbor_loop(cfg.clone()));
         let q = run_app(&EngineSel::quadrics(), layout(ranks), synthetic::neighbor_loop(cfg));
+        let sd = slowdown_pct(b.elapsed, q.elapsed);
+        if g_ms == 10 {
+            r.metric("slowdown_10ms_pct", sd);
+        }
         r.row(
             format!("{g_ms} ms"),
             vec![
                 secs(b.elapsed.as_secs_f64()),
                 secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
+                pct(sd),
             ],
         );
     }
@@ -347,16 +357,17 @@ pub fn fig9(quick: bool) -> (Report, Report) {
     }
 
     for (name, b, q, paper) in &entries {
-        runtimes.row(
-            *name,
-            vec![secs(*b), secs(*q), pct((b / q - 1.0) * 100.0)],
-        );
+        let sd = (b / q - 1.0) * 100.0;
+        runtimes.row(*name, vec![secs(*b), secs(*q), pct(sd)]);
         let paper_cell = if paper.is_nan() {
             "n/a (no groups)".to_string()
         } else {
             pct(*paper)
         };
-        table2.row(*name, vec![pct((b / q - 1.0) * 100.0), paper_cell]);
+        if matches!(*name, "SAGE" | "CG" | "LU") {
+            table2.metric(format!("slowdown_{name}_pct"), sd);
+        }
+        table2.row(*name, vec![pct(sd), paper_cell]);
     }
     runtimes.note("BCS-MPI runs include the one-time runtime initialization (see apps::calib)");
     table2.note("FT*: requires MPI groups, unimplemented in the paper's prototype; enabled here");
@@ -373,6 +384,7 @@ pub fn fig10(quick: bool) -> Report {
         "Figure 10: SAGE runtime vs processes",
         &["BCS-MPI", "Quadrics", "slowdown"],
     );
+    let mut max_abs = 0.0f64;
     for &p in ps {
         let cfg = if quick {
             sage::SageCfg::test()
@@ -385,15 +397,18 @@ pub fn fig10(quick: bool) -> Report {
         // Figure 9 / Table 2); these curves compare steady-state loop time.
         let b = run_app(&bcs_apps(true), layout(p), sage::sage_bench(cfg.clone()));
         let q = run_app(&EngineSel::quadrics(), layout(p), sage::sage_bench(cfg));
+        let sd = slowdown_pct(b.elapsed, q.elapsed);
+        max_abs = sd.abs().max(max_abs);
         r.row(
             format!("{p} procs"),
             vec![
                 secs(b.elapsed.as_secs_f64()),
                 secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
+                pct(sd),
             ],
         );
     }
+    r.metric("max_abs_slowdown_pct", max_abs);
     r.note("paper: -0.42% (parity; BCS-MPI marginally faster)");
     r
 }
@@ -413,6 +428,7 @@ pub fn fig11(quick: bool, variant: sweep3d::SweepVariant) -> Report {
         }
     };
     let mut r = Report::new(title, &["BCS-MPI", "Quadrics", "slowdown"]);
+    let mut max_sd = f64::NEG_INFINITY;
     for &p in ps {
         let cfg = if quick {
             sweep3d::SweepCfg::test(variant)
@@ -421,15 +437,18 @@ pub fn fig11(quick: bool, variant: sweep3d::SweepVariant) -> Report {
         };
         let b = run_app(&bcs_apps(true), layout(p), sweep3d::sweep3d_bench(cfg.clone()));
         let q = run_app(&EngineSel::quadrics(), layout(p), sweep3d::sweep3d_bench(cfg));
+        let sd = slowdown_pct(b.elapsed, q.elapsed);
+        max_sd = max_sd.max(sd);
         r.row(
             format!("{p} procs"),
             vec![
                 secs(b.elapsed.as_secs_f64()),
                 secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
+                pct(sd),
             ],
         );
     }
+    r.metric("max_slowdown_pct", max_sd);
     match variant {
         sweep3d::SweepVariant::Blocking => r.note("paper: ~30% slower in all configurations"),
         sweep3d::SweepVariant::NonBlocking => {
@@ -469,12 +488,13 @@ pub fn ablation_slice(quick: bool) -> Report {
             layout(ranks),
             sweep3d::sweep3d_bench(cfg.clone()),
         );
+        let sd = slowdown_pct(b.elapsed, q.elapsed);
+        if ts == 500 {
+            r.metric("slowdown_500us_pct", sd);
+        }
         r.row(
             format!("{ts} us slice"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
-            ],
+            vec![secs(b.elapsed.as_secs_f64()), pct(sd)],
         );
     }
     r.note("shorter slices cut blocking latency but raise strobe overhead");
@@ -725,6 +745,171 @@ pub fn ablation_multijob() -> Report {
     r
 }
 
+/// Fault ablation (the §6 transparent-fault-tolerance claim, quantified):
+/// checkpoint interval × MTBF. Reports the pure checkpointing overhead
+/// (fault-free run with images + serialization cost vs the plain run), and
+/// under injected crashes the recovery cost, restart count and
+/// crash-to-declaration latency. Every faulted run is verified
+/// bit-identical to the fault-free results before being reported.
+pub fn ablation_fault(quick: bool) -> Report {
+    use faultsim::{FaultPlan, FaultProfile, RecoveryCfg, fault_free_reference, run_with_recovery};
+    use mpi_api::runtime::RunOpts;
+
+    let (nodes, cpus, iters) = if quick { (4usize, 1usize, 5u64) } else { (8, 2, 10) };
+    let ranks = nodes * cpus;
+    let lay = move || JobLayout::new(nodes, cpus, ranks);
+    let intervals: &[u64] = if quick { &[2, 8] } else { &[2, 8, 32] };
+    let mtbfs: &[f64] = if quick { &[6.0] } else { &[12.0, 50.0] };
+    let ckpt_cost = SimDuration::micros(50);
+    let opts = RunOpts {
+        max_virtual: Some(SimDuration::secs(60)),
+    };
+
+    // Deterministic ring workload (specific receives, mixed chunked/small
+    // payloads, periodic NIC allreduce): the checksum is timing-invariant,
+    // so it detects any state lost or duplicated across a recovery.
+    let program = move |mpi: &mut mpi_api::Mpi| {
+        let me = mpi.rank();
+        let n = mpi.size();
+        let mut acc: u64 = (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for it in 0..iters {
+            mpi.compute(SimDuration::micros(200 + 53 * ((me as u64 + it) % 5)));
+            let sz = if it % 2 == 0 { 64 * 1024 } else { 512 };
+            let payload: Vec<u8> = (0..sz).map(|i| (acc ^ (i as u64)) as u8).collect();
+            let s = mpi.isend((me + 1) % n, it as i32, &payload);
+            let q = mpi.irecv(
+                mpi_api::message::SrcSel::Rank((me + n - 1) % n),
+                mpi_api::message::TagSel::Tag(it as i32),
+            );
+            let res = mpi.waitall(&[s, q]);
+            for (i, b) in res[1].0.as_ref().expect("payload").iter().enumerate() {
+                acc = acc.wrapping_mul(31).wrapping_add(*b as u64 ^ (i as u64 & 0xFF));
+            }
+            if it % 3 == 2 {
+                for v in mpi.allreduce_f64(ReduceOp::Sum, &[me as f64, (acc as u32) as f64]) {
+                    acc ^= v.to_bits();
+                }
+            }
+        }
+        acc
+    };
+
+    let mut r = Report::new(
+        format!("Ablation: fault tolerance — checkpoint interval x MTBF ({ranks} processes)"),
+        &["elapsed", "rework", "restarts", "detect latency (mean)"],
+    );
+
+    let base = fault_free_reference(&BcsConfig::default(), lay(), program, opts.clone());
+    let base_ms = base.elapsed.as_millis_f64();
+    r.row(
+        "no checkpoints, no faults",
+        vec![secs(base.elapsed.as_secs_f64()), "-".into(), "0".into(), "-".into()],
+    );
+
+    let rework_cell = |ms: f64| format!("{ms:.2}ms ({})", pct(ms / base_ms * 100.0));
+    let mut all_identical = true;
+    let mut max_latency_ms = 0.0f64;
+    for &k in intervals {
+        let mut rc = RecoveryCfg::new(BcsConfig::default(), k);
+        rc.bcs.checkpoint_cost = ckpt_cost;
+        rc.opts = opts.clone();
+
+        let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
+        assert!(clean.completed, "clean checkpointed run failed: {:?}", clean.abort);
+        // Slices start on a fixed global grid, so serialization that fits
+        // in slice slack costs nothing; spill shows up as whole slices.
+        let spill_ms = clean.elapsed.as_millis_f64() - base_ms;
+        r.metric(format!("ckpt_overhead_every{k}_pct"), spill_ms / base_ms * 100.0);
+        r.row(
+            format!("every {k} slices, no faults"),
+            vec![
+                secs(clean.elapsed.as_secs_f64()),
+                rework_cell(spill_ms),
+                "0".into(),
+                "-".into(),
+            ],
+        );
+
+        for &mtbf in mtbfs {
+            let horizon = iters * 4;
+            let plan = FaultPlan::generate(
+                0xBC5 + k * 31 + mtbf as u64,
+                &rc.bcs,
+                nodes,
+                horizon,
+                &FaultProfile::crashes(mtbf),
+            );
+            let out = run_with_recovery(&rc, lay(), &plan, program);
+            assert!(
+                out.completed,
+                "faulted run (interval {k}, MTBF {mtbf}) failed: {:?}",
+                out.abort
+            );
+            let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
+            all_identical &= got == base.results;
+            let lats: Vec<f64> = out
+                .detections
+                .iter()
+                .filter_map(|d| d.latency())
+                .map(|l| l.as_millis_f64())
+                .collect();
+            let mean_lat = if lats.is_empty() {
+                0.0
+            } else {
+                lats.iter().sum::<f64>() / lats.len() as f64
+            };
+            max_latency_ms = lats.iter().fold(max_latency_ms, |a, &b| a.max(b));
+            let rework_ms: f64 = out
+                .detections
+                .iter()
+                .filter_map(|d| d.rework())
+                .map(|w| w.as_millis_f64())
+                .sum();
+            r.row(
+                format!("every {k} slices, MTBF {mtbf} slices"),
+                vec![
+                    secs(out.elapsed.as_secs_f64()),
+                    rework_cell(rework_ms),
+                    out.restarts.to_string(),
+                    if lats.is_empty() {
+                        "-".into()
+                    } else {
+                        format!("{mean_lat:.2}ms")
+                    },
+                ],
+            );
+        }
+    }
+
+    // Serialization-cost cliff: a checkpoint stall that exceeds the slice
+    // slack pushes application work into extra slices.
+    for cost_us in [50u64, 200, 400] {
+        let mut rc = RecoveryCfg::new(BcsConfig::default(), 2);
+        rc.bcs.checkpoint_cost = SimDuration::micros(cost_us);
+        rc.opts = opts.clone();
+        let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
+        assert!(clean.completed, "cost sweep failed: {:?}", clean.abort);
+        let spill_ms = clean.elapsed.as_millis_f64() - base_ms;
+        r.row(
+            format!("every 2 slices, {cost_us} us serialization, no faults"),
+            vec![
+                secs(clean.elapsed.as_secs_f64()),
+                rework_cell(spill_ms),
+                "0".into(),
+                "-".into(),
+            ],
+        );
+    }
+
+    r.metric("recovered_bit_identical", if all_identical { 1.0 } else { 0.0 });
+    r.metric("max_detect_latency_ms", max_latency_ms);
+    r.note("baseline = same workload, no checkpoint images, no serialization cost");
+    r.note("every faulted row verified bit-identical to the fault-free results");
+    r.note("rework = virtual time rolled back and replayed (faulted rows) or grid spill (clean rows)");
+    r.note("detect latency = crash instant to heartbeat declaration (2 ms strobe period)");
+    r
+}
+
 /// STORM job-launch scaling (the substrate's flagship behavior).
 pub fn storm_launch() -> Report {
     let mut r = Report::new(
@@ -738,7 +923,10 @@ pub fn storm_launch() -> Report {
             qsnet::NetModel::myrinet(),
             qsnet::NetModel::gigabit_ethernet(),
         ] {
-            let rep = storm::launch::measure_launch(net, nodes, 8 * 1024 * 1024, 2);
+            let rep = storm::launch::measure_launch(net.clone(), nodes, 8 * 1024 * 1024, 2);
+            if nodes == 64 && net.name == "QsNet" {
+                r.metric("qsnet_launch_64nodes_ms", rep.total.as_millis_f64());
+            }
             cells.push(format!("{:.0}ms", rep.total.as_millis_f64()));
         }
         r.row(format!("{nodes} nodes"), cells);

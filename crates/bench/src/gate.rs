@@ -1,0 +1,138 @@
+//! Tolerance gating for regenerated figures.
+//!
+//! EXPERIMENTS.md records, for every figure the `repro` binary regenerates,
+//! a handful of headline values. Each experiment re-emits those values
+//! through [`Report::metric`], and `repro` compares them here against the
+//! recorded expectation ± tolerance, exiting non-zero on any deviation —
+//! so a regression in the protocol model shows up as a failed
+//! reproduction, not a silently drifted CSV.
+//!
+//! Expectations are keyed by `(experiment, metric, quick)`: quick mode runs
+//! smaller rank counts and shorter sweeps, so its headline numbers are
+//! legitimately different from the paper-scale run and are pinned
+//! separately (measured once, with tolerances wide enough to absorb
+//! cross-platform float noise — the simulation itself is deterministic).
+
+use crate::Report;
+
+/// One recorded headline value.
+pub struct Expectation {
+    pub experiment: &'static str,
+    pub metric: &'static str,
+    pub expected: f64,
+    pub tol: f64,
+}
+
+const E: fn(&'static str, &'static str, f64, f64) -> Expectation =
+    |experiment, metric, expected, tol| Expectation {
+        experiment,
+        metric,
+        expected,
+        tol,
+    };
+
+/// Paper-scale expectations — the values recorded in EXPERIMENTS.md.
+fn full() -> Vec<Expectation> {
+    vec![
+        E("fig2", "blocking_mean_slices", 1.48, 0.20),
+        E("fig2", "nonblocking_overhead_pct", 0.03, 0.30),
+        E("fig8a", "slowdown_10ms_pct", 4.9, 1.5),
+        E("fig8c", "slowdown_10ms_pct", 4.1, 1.5),
+        E("table2", "slowdown_SAGE_pct", 0.9, 1.0),
+        E("table2", "slowdown_CG_pct", 8.2, 2.5),
+        E("table2", "slowdown_LU_pct", 15.6, 4.0),
+        E("fig10", "max_abs_slowdown_pct", 0.02, 0.30),
+        E("fig11a", "max_slowdown_pct", 56.8, 6.0),
+        E("fig11b", "max_slowdown_pct", 0.11, 1.0),
+        E("ablation_slice", "slowdown_500us_pct", 54.0, 6.0),
+        E("storm_launch", "qsnet_launch_64nodes_ms", 45.0, 10.0),
+        E("ablation_fault", "recovered_bit_identical", 1.0, 0.0),
+        E("ablation_fault", "max_detect_latency_ms", 1.3, 1.2),
+        E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 1.0),
+    ]
+}
+
+/// Quick-mode (CI) expectations, measured on the shrunk configurations.
+fn quick() -> Vec<Expectation> {
+    vec![
+        E("fig2", "blocking_mean_slices", 1.48, 0.20),
+        E("fig2", "nonblocking_overhead_pct", 0.03, 0.30),
+        E("fig10", "max_abs_slowdown_pct", 24.5, 3.0),
+        E("ablation_slice", "slowdown_500us_pct", 50.5, 5.0),
+        E("storm_launch", "qsnet_launch_64nodes_ms", 45.0, 10.0),
+        E("ablation_fault", "recovered_bit_identical", 1.0, 0.0),
+        E("ablation_fault", "max_detect_latency_ms", 1.8, 1.2),
+        E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 0.5),
+    ]
+}
+
+/// Check one emitted report against every expectation registered for it.
+///
+/// Returns `(checked, violations)`: how many expectations applied, and a
+/// human-readable line per deviation. A registered metric missing from the
+/// report is itself a violation — dropped instrumentation must not pass.
+pub fn check(name: &str, report: &Report, quick_mode: bool) -> (usize, Vec<String>) {
+    let table = if quick_mode { quick() } else { full() };
+    let mut checked = 0usize;
+    let mut violations = Vec::new();
+    for e in table.iter().filter(|e| e.experiment == name) {
+        checked += 1;
+        match report.metrics.iter().find(|(m, _)| m == e.metric) {
+            None => violations.push(format!(
+                "{name}: metric `{}` not emitted (expected {} ± {})",
+                e.metric, e.expected, e.tol
+            )),
+            Some((_, got)) => {
+                let dev = (got - e.expected).abs();
+                if dev > e.tol {
+                    violations.push(format!(
+                        "{name}: `{}` = {got:.4} deviates from recorded {} by {dev:.4} (tolerance {})",
+                        e.metric, e.expected, e.tol
+                    ));
+                }
+            }
+        }
+    }
+    (checked, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_no_duplicate_keys_and_sane_tolerances() {
+        for (mode, table) in [("full", full()), ("quick", quick())] {
+            let mut seen = std::collections::BTreeSet::new();
+            for e in &table {
+                assert!(
+                    seen.insert((e.experiment, e.metric)),
+                    "{mode}: duplicate ({}, {})",
+                    e.experiment,
+                    e.metric
+                );
+                assert!(e.tol >= 0.0, "{mode}: negative tolerance");
+            }
+        }
+    }
+
+    #[test]
+    fn deviations_and_missing_metrics_are_flagged() {
+        let mut r = Report::new("t", &[]);
+        r.metric("blocking_mean_slices", 99.0);
+        let (checked, v) = check("fig2", &r, false);
+        assert_eq!(checked, 2);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("deviates"));
+        assert!(v[1].contains("not emitted"));
+
+        let mut ok = Report::new("t", &[]);
+        ok.metric("blocking_mean_slices", 1.48);
+        ok.metric("nonblocking_overhead_pct", 0.03);
+        let (_, v) = check("fig2", &ok, false);
+        assert!(v.is_empty(), "{v:?}");
+        let (checked, v) = check("unknown_experiment", &ok, false);
+        assert_eq!(checked, 0);
+        assert!(v.is_empty());
+    }
+}

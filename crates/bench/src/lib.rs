@@ -6,6 +6,7 @@
 //! `primitives`, `engine_throughput`, `softfloat_ops`, `apps_micro`).
 
 pub mod experiments;
+pub mod gate;
 pub mod micro;
 
 use std::fmt::Write as _;
@@ -18,6 +19,9 @@ pub struct Report {
     pub columns: Vec<String>,
     pub rows: Vec<(String, Vec<String>)>,
     pub notes: Vec<String>,
+    /// Machine-readable headline values, checked by [`gate`] against the
+    /// tolerances recorded in EXPERIMENTS.md.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -27,6 +31,7 @@ impl Report {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -37,6 +42,11 @@ impl Report {
 
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Record a headline value for tolerance gating (see [`gate`]).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
     }
 
     /// Render as an aligned text table.
@@ -65,6 +75,9 @@ impl Report {
         }
         for n in &self.notes {
             let _ = writeln!(out, "  note: {n}");
+        }
+        for (m, v) in &self.metrics {
+            let _ = writeln!(out, "  metric: {m} = {v:.4}");
         }
         out
     }

@@ -14,11 +14,44 @@
 //! snapshot. [`CommCheckpoint`] captures it; its digest is deterministic, so
 //! two replicas (or a replay after restart) can be validated cheaply.
 //!
-//! Restoring full application state would additionally need process-memory
-//! snapshots, which the NM would take during the same boundary; that part is
-//! host-OS territory and out of scope here.
+//! Two checkpoint granularities exist:
+//!
+//! * [`CommCheckpoint`] — the *public, digest-friendly* view: a canonical
+//!   listing of every queue, open request and collective round. Cheap to
+//!   capture, cheap to compare; this is what the per-boundary digest stream
+//!   in `BcsMpi::checkpoints` validates.
+//! * [`CheckpointImage`] — a *restorable* snapshot (`cfg.checkpoint_images`).
+//!   Its on-disk-equivalent format spans four layers, all captured at the
+//!   same quiescent boundary instant:
+//!
+//!   | layer      | contents                                                |
+//!   |------------|---------------------------------------------------------|
+//!   | fabric     | per-NIC port next-free times, stats, bulk DMA sequence  |
+//!   | primitives | every node's global words + pending event counts        |
+//!   | engine     | NIC FIFOs (posted/exchanging sends, posted recvs,       |
+//!   |            | unmatched remote sends), match lists with chunk budgets |
+//!   |            | and moved-byte counts, parked payloads, open requests,  |
+//!   |            | blocked ranks + restart queue, collective rounds &      |
+//!   |            | counters, communicator registry, per-slice budgets,     |
+//!   |            | noise RNG positions, gang state, stats/trace streams,   |
+//!   |            | id allocators                                           |
+//!   | runtime    | per-rank response logs + scheduled-but-undelivered      |
+//!   |            | completions ([`mpi_api::runtime::RuntimeImage`])        |
+//!
+//!   Restoring builds a fresh engine from the image and *replays* each rank
+//!   coroutine through its recorded responses (process memory is exactly a
+//!   function of the responses delivered so far, so the replay is the
+//!   simulation analogue of the NM's process-memory snapshot), then resumes
+//!   the strobe loop at the captured boundary on the original absolute
+//!   timeline.
+//!
+//! Capture is only legal at a slice boundary: no microphase in flight, no
+//! event waiter parked, no undelivered completion in the runtime queue —
+//! `capture_image` asserts all of it.
 
-use crate::engine::BcsMpi;
+use crate::engine::{BW, BcsConfig, BcsMpi};
+use mpi_api::runtime::{JobLayout, RuntimeImage};
+use simcore::SimTime;
 
 /// Snapshot of one in-flight (chunked) transfer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,7 +147,132 @@ impl CommCheckpoint {
     }
 }
 
+/// A restorable snapshot of the whole machine at one slice boundary: the
+/// engine's full state (private), the control-memory words, the fabric
+/// port clocks, and the runtime's replay log. See the module docs for the
+/// format.
+#[derive(Clone)]
+pub struct CheckpointImage {
+    /// Slice number about to start when the image was captured.
+    pub slice: u64,
+    /// Absolute virtual time of the boundary.
+    pub captured_at: SimTime,
+    /// Digest of the matching [`CommCheckpoint`] (cross-validation).
+    pub digest: u64,
+    /// Runtime layer: response logs + pending completions.
+    pub rt: RuntimeImage,
+    eng: EngineSnap,
+}
+
+/// Engine + primitives + fabric layers of an image (field-for-field clone
+/// of the mutable engine state).
+#[derive(Clone)]
+struct EngineSnap {
+    nic: Vec<crate::p2p::NicState>,
+    reqs: Vec<(mpi_api::call::ReqId, crate::engine::BcsReq)>,
+    payloads: Vec<(crate::p2p::MsgId, Vec<u8>)>,
+    blocked: Vec<Option<crate::engine::Blocked>>,
+    coll: crate::coll::CollState,
+    comms: mpi_api::comm::CommRegistry,
+    restart_queue: Vec<(usize, mpi_api::call::MpiResp)>,
+    src_budget: Vec<u64>,
+    dst_budget: Vec<u64>,
+    noise: Option<mpi_api::noise::NoiseModel>,
+    stats: crate::engine::BcsStats,
+    checkpoints: Vec<(u64, u64)>,
+    trace: Vec<crate::trace::SliceRecord>,
+    trace_cursor: crate::trace::TraceCursor,
+    gang: Option<crate::gang::GangState>,
+    next_req: u64,
+    next_msg: u64,
+    words: bcs_core::WordsSnapshot,
+    fabric: qsnet::FabricSnapshot,
+}
+
+/// Capture a full restorable image at the current (boundary) instant.
+/// Called by the slice-start checkpoint hook when `cfg.checkpoint_images`.
+pub(crate) fn capture_image(w: &BW, now: SimTime, digest: u64) -> CheckpointImage {
+    assert!(
+        w.recording(),
+        "checkpoint_images requires response recording \
+         (ClusterWorld::set_recording(true) in the run's setup hook)"
+    );
+    let e = &w.engine;
+    // Sort the hash maps into a canonical order so two captures of the same
+    // state produce identical images.
+    let mut reqs: Vec<_> = e.reqs.iter().map(|(&k, v)| (k, v.clone())).collect();
+    reqs.sort_unstable_by_key(|(k, _)| *k);
+    let mut payloads: Vec<_> = e.payloads.iter().map(|(&k, v)| (k, v.clone())).collect();
+    payloads.sort_unstable_by_key(|(k, _)| *k);
+    CheckpointImage {
+        slice: e.slice,
+        captured_at: now,
+        digest,
+        rt: w.runtime_image(now),
+        eng: EngineSnap {
+            nic: e.nic.clone(),
+            reqs,
+            payloads,
+            blocked: e.blocked.clone(),
+            coll: e.coll.clone(),
+            comms: e.comms.clone(),
+            restart_queue: e.restart_queue.clone(),
+            src_budget: e.src_budget.clone(),
+            dst_budget: e.dst_budget.clone(),
+            noise: e.noise.clone(),
+            stats: e.stats.clone(),
+            checkpoints: e.checkpoints.clone(),
+            trace: e.trace.clone(),
+            trace_cursor: e.trace_cursor,
+            gang: e.gang.clone(),
+            next_req: e.next_req,
+            next_msg: e.next_msg,
+            words: e.bcs.snapshot_words(),
+            fabric: e.bcs.fabric.snapshot(),
+        },
+    }
+}
+
 impl BcsMpi {
+    /// Rebuild an engine from a [`CheckpointImage`]: every layer of the
+    /// image is restored verbatim; fault state (dead nodes, planned drops,
+    /// degradations) is deliberately *not* part of an image — restore means
+    /// the machine is whole again, and a fault-injection driver re-arms
+    /// whatever faults remain on its plan. Pair with
+    /// `mpi_api::runtime::resume_job` and
+    /// [`crate::resume_from_boundary`] as the kickoff.
+    pub fn restore_from_image(
+        cfg: BcsConfig,
+        layout: &JobLayout,
+        img: &CheckpointImage,
+    ) -> BcsMpi {
+        let mut e = BcsMpi::new(cfg, layout);
+        let s = &img.eng;
+        e.slice = img.slice;
+        e.phase = 0;
+        e.slice_started_at = img.captured_at;
+        e.nic = s.nic.clone();
+        e.reqs = s.reqs.iter().cloned().collect();
+        e.payloads = s.payloads.iter().cloned().collect();
+        e.blocked = s.blocked.clone();
+        e.coll = s.coll.clone();
+        e.comms = s.comms.clone();
+        e.restart_queue = s.restart_queue.clone();
+        e.src_budget = s.src_budget.clone();
+        e.dst_budget = s.dst_budget.clone();
+        e.noise = s.noise.clone();
+        e.stats = s.stats.clone();
+        e.checkpoints = s.checkpoints.clone();
+        e.trace = s.trace.clone();
+        e.trace_cursor = s.trace_cursor;
+        e.gang = s.gang.clone();
+        e.next_req = s.next_req;
+        e.next_msg = s.next_msg;
+        e.bcs.restore_words(&s.words);
+        e.bcs.fabric.restore(&s.fabric);
+        e
+    }
+
     /// Capture the communication state. Intended to be taken at a slice
     /// boundary (the engine's checkpoint hook does exactly that); the state
     /// is then guaranteed quiescent: no microphase is active and every

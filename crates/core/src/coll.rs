@@ -50,6 +50,7 @@ pub(crate) fn flag_word(comm: CommId, slot: usize) -> u32 {
     16 + comm.0 * 4 + slot as u32
 }
 
+#[derive(Clone)]
 pub(crate) struct CollRound {
     pub kind: CollKind,
     pub comm: CommId,
@@ -68,6 +69,7 @@ pub(crate) struct CollRound {
 }
 
 /// Engine-wide collective bookkeeping.
+#[derive(Clone)]
 pub(crate) struct CollState {
     /// Per (rank, communicator) invocation counters, one per slot.
     counters: std::collections::HashMap<(usize, CommId), [u64; 3]>,

@@ -52,6 +52,21 @@ pub struct BcsConfig {
     /// Capture a communication-state checkpoint digest every `k` slices
     /// (the §6 transparent-fault-tolerance hook). `None` disables.
     pub checkpoint_every: Option<u64>,
+    /// Additionally capture a full *restorable* [`crate::CheckpointImage`]
+    /// at every checkpoint boundary (requires response recording on the
+    /// runtime — see `ClusterWorld::set_recording`). Digest-only
+    /// checkpoints stay cheap; images are what recovery restores from.
+    pub checkpoint_images: bool,
+    /// NM/NIC time charged at each checkpoint boundary before the DEM
+    /// strobe (serializing the image). Zero keeps checkpointing free, which
+    /// preserves the timing of every non-checkpointed experiment.
+    pub checkpoint_cost: SimDuration,
+    /// Wrap data-channel DMAs (DEM descriptor puts, P2P chunk gets) in the
+    /// reliable-delivery protocol of [`bcs_core::retry`]: timeout at the
+    /// expected delivery instant, exponential backoff, bounded re-issues.
+    /// `None` (the default) issues raw DMAs — QsNet is lossless in
+    /// hardware, so retries only matter under fault injection.
+    pub retry: Option<bcs_core::retry::RetryPolicy>,
     /// Record a per-slice activity [`crate::trace::SliceRecord`] (the §1
     /// "debugging mechanisms" claim made concrete).
     pub trace_slices: bool,
@@ -79,6 +94,9 @@ impl Default for BcsConfig {
             noise: None,
             init_delay: SimDuration::ZERO,
             checkpoint_every: None,
+            checkpoint_images: false,
+            checkpoint_cost: SimDuration::ZERO,
+            retry: None,
             trace_slices: false,
             gang: None,
         }
@@ -114,12 +132,24 @@ pub struct BcsStats {
     pub blocking_delay: LogHistogram,
 }
 
+/// A declared node failure: who, when, and what noticed it.
+#[derive(Clone, Debug)]
+pub struct FailureInfo {
+    /// The fabric node declared dead.
+    pub node: NodeId,
+    /// Virtual time of the declaration.
+    pub at: SimTime,
+    /// Human-readable detector ("heartbeat", "transfer abort", ...).
+    pub reason: String,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum ReqKind {
     Send,
     Recv,
 }
 
+#[derive(Clone)]
 pub(crate) struct BcsReq {
     pub owner: usize,
     pub kind: ReqKind,
@@ -132,6 +162,7 @@ pub(crate) struct BcsReq {
 }
 
 /// What a rank is blocked on (the NM suspended it).
+#[derive(Clone)]
 pub(crate) enum Blocked {
     /// Blocking send: respond `Ok`.
     SendDone(ReqId),
@@ -171,12 +202,18 @@ pub struct BcsMpi {
     pub stats: BcsStats,
     /// `(slice, digest)` stream captured by the checkpoint hook.
     pub checkpoints: Vec<(u64, u64)>,
+    /// Full restorable images (when `cfg.checkpoint_images`).
+    pub images: Vec<crate::checkpoint::CheckpointImage>,
+    /// Set when the machine declared a node failure (heartbeat detection or
+    /// a data-channel transfer abort); [`Engine::halted`] reports it so the
+    /// run driver stops instead of spinning on a stalled protocol.
+    pub failed: Option<FailureInfo>,
     /// Per-slice activity records (when `cfg.trace_slices`).
     pub trace: Vec<crate::trace::SliceRecord>,
     pub(crate) trace_cursor: crate::trace::TraceCursor,
     pub(crate) gang: Option<crate::gang::GangState>,
-    next_req: u64,
-    next_msg: u64,
+    pub(crate) next_req: u64,
+    pub(crate) next_msg: u64,
 }
 
 impl bcs_core::BcsHost<BW> for BcsMpi {
@@ -212,6 +249,8 @@ impl BcsMpi {
             noise,
             stats: BcsStats::default(),
             checkpoints: Vec::new(),
+            images: Vec::new(),
+            failed: None,
             trace: Vec::new(),
             trace_cursor: crate::trace::TraceCursor::default(),
             gang: cfg
@@ -223,6 +262,17 @@ impl BcsMpi {
             cfg,
             layout: layout.clone(),
         }
+    }
+
+    /// Fabric-level transfer counters (bytes, drops, dead-node skips) — the
+    /// wire-side evidence fault experiments assert against.
+    pub fn fabric_stats(&self) -> &qsnet::FabricStats {
+        self.bcs.fabric.stats()
+    }
+
+    /// Reliable-delivery counters (retries issued, transfers aborted).
+    pub fn retry_stats(&self) -> &bcs_core::retry::RetryState {
+        &self.bcs.retry
     }
 
     pub(crate) fn alloc_req(&mut self, owner: usize, kind: ReqKind, now: SimTime) -> ReqId {
@@ -373,6 +423,7 @@ impl BcsMpi {
             let st = w.engine.reqs.remove(&req).unwrap();
             let at = sim.now() + w.engine.cfg.post_cost;
             resume_at(
+                w,
                 sim,
                 at,
                 rank,
@@ -393,6 +444,10 @@ impl Engine for BcsMpi {
         crate::protocol::start_strobe_loop(w, sim);
     }
 
+    fn halted(w: &BW) -> bool {
+        w.engine.failed.is_some()
+    }
+
     fn on_call(w: &mut BW, sim: &mut Sim<BW>, rank: usize, call: MpiCall) {
         let post = w.engine.cfg.post_cost;
         match call {
@@ -411,7 +466,7 @@ impl Engine for BcsMpi {
                 if let Some(noise) = &mut w.engine.noise {
                     d = noise.inflate(node, start, d);
                 }
-                resume_at(sim, start + d, rank, MpiResp::Ok);
+                resume_at(w, sim, start + d, rank, MpiResp::Ok);
             }
             MpiCall::Now => {
                 w.resume(rank, MpiResp::Time(sim.now().as_nanos()));
@@ -448,6 +503,7 @@ impl Engine for BcsMpi {
                         })
                         .collect();
                     resume_at(
+                        w,
                         sim,
                         sim.now() + post,
                         rank,
@@ -548,6 +604,12 @@ impl Engine for BcsMpi {
             "  slice {} phase {} started at {}\n",
             self.slice, self.phase, self.slice_started_at
         );
+        if let Some(f) = &self.failed {
+            out.push_str(&format!(
+                "  FAILED: node {} declared dead at {} ({})\n",
+                f.node, f.at, f.reason
+            ));
+        }
         for (r, b) in self.blocked.iter().enumerate() {
             let what = match b {
                 None => continue,

@@ -68,6 +68,7 @@ pub(crate) struct PendingCompute {
 }
 
 /// Per-engine gang-scheduling state.
+#[derive(Clone)]
 pub(crate) struct GangState {
     pub cfg: GangConfig,
     pub job_of: Vec<usize>,

@@ -46,9 +46,10 @@ mod p2p;
 mod protocol;
 pub mod trace;
 
-pub use checkpoint::CommCheckpoint;
-pub use engine::{BcsConfig, BcsMpi, BcsStats};
+pub use checkpoint::{CheckpointImage, CommCheckpoint};
+pub use engine::{BcsConfig, BcsMpi, BcsStats, FailureInfo};
 pub use gang::GangConfig;
+pub use protocol::resume_from_boundary;
 pub use trace::SliceRecord;
 
 /// Global-word addresses used by the protocol (same "virtual address" on

@@ -27,6 +27,7 @@ use simcore::Sim;
 pub struct MsgId(pub u64);
 
 /// A send descriptor in BS memory.
+#[derive(Clone)]
 pub(crate) struct SendDesc {
     pub msg: MsgId,
     pub src_rank: usize,
@@ -37,6 +38,7 @@ pub(crate) struct SendDesc {
 }
 
 /// A send descriptor as received by the destination BR.
+#[derive(Clone)]
 pub(crate) struct RemoteSend {
     pub msg: MsgId,
     pub src_rank: usize,
@@ -47,6 +49,7 @@ pub(crate) struct RemoteSend {
 }
 
 /// A receive descriptor in BR memory.
+#[derive(Clone)]
 pub(crate) struct RecvDesc {
     pub req: ReqId,
     pub dst_rank: usize,
@@ -56,6 +59,7 @@ pub(crate) struct RecvDesc {
 
 /// A matching descriptor: transfer in progress, owned by the receiving node.
 #[allow(dead_code)] // dst_rank kept for diagnostics/tracing
+#[derive(Clone)]
 pub(crate) struct MatchItem {
     pub msg: MsgId,
     pub src_node: qsnet::NodeId,
@@ -69,7 +73,7 @@ pub(crate) struct MatchItem {
 }
 
 /// Per-node NIC-thread state (BS + BR + DH queues).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct NicState {
     /// Send descriptors posted by local processes (BS input FIFO).
     pub send_posted: Vec<SendDesc>,
@@ -138,7 +142,7 @@ pub(crate) fn post_send(
         e.blocked[rank] = Some(Blocked::SendDone(req));
     } else {
         let at = now + e.cfg.post_cost;
-        resume_at(sim, at, rank, MpiResp::Req(req));
+        resume_at(w, sim, at, rank, MpiResp::Req(req));
     }
 }
 
@@ -164,7 +168,7 @@ pub(crate) fn post_recv(
         e.blocked[rank] = Some(Blocked::WaitOne(req));
     } else {
         let at = now + e.cfg.post_cost;
-        resume_at(sim, at, rank, MpiResp::Req(req));
+        resume_at(w, sim, at, rank, MpiResp::Req(req));
     }
 }
 
@@ -182,7 +186,7 @@ pub(crate) fn probe(
     match (status, blocking) {
         (Some(st), _) => {
             let at = sim.now() + w.engine.cfg.post_cost;
-            resume_at(sim, at, rank, MpiResp::ProbeDone { status: Some(st) });
+            resume_at(w, sim, at, rank, MpiResp::ProbeDone { status: Some(st) });
         }
         (None, false) => {
             w.resume(rank, MpiResp::ProbeDone { status: None });
@@ -240,6 +244,7 @@ pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     let desc_cost = w.engine.cfg.desc_cost;
     let desc_bytes = w.engine.cfg.desc_bytes;
 
+    let retry = w.engine.cfg.retry;
     for d in descs {
         let dst_node = w.engine.node_of(d.dst_rank);
         let remote = RemoteSend {
@@ -250,14 +255,36 @@ pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
             bytes: d.bytes,
             send_req: d.req,
         };
-        w.engine
-            .bcs
-            .fabric
-            .put(sim, node, dst_node, desc_bytes, move |w: &mut BW, sim| {
-                w.engine.nic[dst_node.0].remote_sends.push(remote);
-                crate::protocol::work_item_done(w, sim, node);
-                mpi_api::runtime::drain(w, sim);
-            });
+        match retry {
+            None => {
+                w.engine
+                    .bcs
+                    .fabric
+                    .put(sim, node, dst_node, desc_bytes, move |w: &mut BW, sim| {
+                        w.engine.nic[dst_node.0].remote_sends.push(remote);
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+            }
+            Some(policy) => {
+                let deliver: bcs_core::retry::RetryFn<BW> =
+                    std::rc::Rc::new(move |w: &mut BW, sim| {
+                        w.engine.nic[dst_node.0].remote_sends.push(remote.clone());
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+                bcs_core::retry::reliable_put(
+                    w,
+                    sim,
+                    node,
+                    dst_node,
+                    desc_bytes,
+                    policy,
+                    deliver,
+                    transfer_abort(dst_node, "DEM descriptor put"),
+                );
+            }
+        }
     }
     // NIC thread processing time for the whole queue.
     let cost = desc_cost * (n.max(1) as u64);
@@ -421,6 +448,7 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     }
     w.engine.nic[node.0].outstanding = sched.len() as u32;
     let hdr = w.engine.cfg.desc_bytes;
+    let retry = w.engine.cfg.retry;
     let trace = std::env::var_os("BCS_TRACE_P2P").is_some();
     for (msg, chunk) in sched {
         let src_node = w.engine.nic[node.0]
@@ -431,18 +459,55 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
             .src_node;
         w.engine.stats.chunks += 1;
         w.engine.stats.p2p_bytes += chunk;
-        let t = w.engine
-            .bcs
-            .fabric
-            .get(sim, node, src_node, chunk + hdr, move |w: &mut BW, sim| {
-                chunk_arrived(w, sim, node, msg, chunk);
-                crate::protocol::work_item_done(w, sim, node);
-                mpi_api::runtime::drain(w, sim);
-            });
-        if trace {
-            eprintln!("  p2p get {node} <- {src_node} {chunk}B deliver at {t}");
+        match retry {
+            None => {
+                let t = w.engine
+                    .bcs
+                    .fabric
+                    .get(sim, node, src_node, chunk + hdr, move |w: &mut BW, sim| {
+                        chunk_arrived(w, sim, node, msg, chunk);
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+                if trace {
+                    eprintln!("  p2p get {node} <- {src_node} {chunk}B deliver at {t}");
+                }
+            }
+            Some(policy) => {
+                let deliver: bcs_core::retry::RetryFn<BW> =
+                    std::rc::Rc::new(move |w: &mut BW, sim| {
+                        chunk_arrived(w, sim, node, msg, chunk);
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+                bcs_core::retry::reliable_get(
+                    w,
+                    sim,
+                    node,
+                    src_node,
+                    chunk + hdr,
+                    policy,
+                    deliver,
+                    transfer_abort(src_node, "P2P chunk get"),
+                );
+            }
         }
     }
+}
+
+/// Abort hook of a reliable transfer: retries exhausted means the endpoint
+/// is unreachable — declare it failed so the run driver halts the machine
+/// (recovery or clean abort is the caller's decision).
+fn transfer_abort(peer: qsnet::NodeId, what: &'static str) -> bcs_core::retry::RetryFn<BW> {
+    std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+        if w.engine.failed.is_none() {
+            w.engine.failed = Some(crate::engine::FailureInfo {
+                node: peer,
+                at: sim.now(),
+                reason: format!("{what} aborted after retries"),
+            });
+        }
+    })
 }
 
 fn chunk_arrived(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId, msg: MsgId, chunk: u64) {

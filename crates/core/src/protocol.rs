@@ -82,13 +82,35 @@ fn slice_start(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
 
     // Fault-tolerance hook (§6): the protocol is quiescent at the boundary,
     // so the global communication state has a well-defined snapshot.
+    let mut ckpt_cost = simcore::SimDuration::ZERO;
     if let Some(k) = w.engine.cfg.checkpoint_every {
         if k > 0 && slice % k == 0 {
             let digest = w.engine.capture_checkpoint().digest();
             w.engine.checkpoints.push((slice, digest));
+            if w.engine.cfg.checkpoint_images {
+                let img = crate::checkpoint::capture_image(w, sim.now(), digest);
+                w.engine.images.push(img);
+            }
+            ckpt_cost = w.engine.cfg.checkpoint_cost;
         }
     }
 
+    // Serializing the checkpoint costs NM/NIC time; the DEM strobe (and the
+    // restarts) wait for it, so checkpointing overhead shows up as ordinary
+    // slice overrun pressure.
+    if ckpt_cost.as_nanos() > 0 {
+        sim.schedule_in(ckpt_cost, move |w: &mut BW, sim| {
+            boundary_resume(w, sim, slice);
+            drain(w, sim);
+        });
+    } else {
+        boundary_resume(w, sim, slice);
+    }
+}
+
+/// The post-checkpoint tail of a slice boundary: gang decisions, NM
+/// restarts, and the DEM strobe.
+fn boundary_resume(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
     // Gang scheduling (§5.4): pick each node's job for this slice and
     // advance pending computes, before restarts (freshly restarted ranks
     // compute under the decision just made).
@@ -103,6 +125,17 @@ fn slice_start(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
     }
 
     strobe_phase(w, sim, slice, 0);
+}
+
+/// Restart the protocol after an engine restore: runs the slice boundary's
+/// post-checkpoint tail (gang decision, NM restarts, DEM strobe) for the
+/// engine's current slice. Intended as the `kickoff` of
+/// `mpi_api::runtime::resume_job`, scheduled at the image's capture
+/// instant; the checkpoint hook is deliberately skipped — the boundary was
+/// already captured, and re-capturing would duplicate the image.
+pub fn resume_from_boundary(w: &mut BW, sim: &mut Sim<BW>) {
+    let slice = w.engine.slice;
+    boundary_resume(w, sim, slice);
 }
 
 /// SS: multicast the microstrobe for `phase`; SRs start the phase's NIC
@@ -273,7 +306,7 @@ pub(crate) fn gang_compute(w: &mut BW, sim: &mut Sim<BW>, rank: usize, ns: u64) 
     let remaining = if g.active[node] == job {
         let window = boundary.since(now).as_nanos();
         if ns <= window {
-            resume_at(sim, now + simcore::SimDuration::nanos(ns), rank, MpiResp::Ok);
+            resume_at(w, sim, now + simcore::SimDuration::nanos(ns), rank, MpiResp::Ok);
             return;
         }
         ns - window
@@ -356,6 +389,6 @@ fn gang_on_boundary(w: &mut BW, sim: &mut Sim<BW>) {
         }
     }
     for (rank, offset) in resumes {
-        resume_at(sim, now + simcore::SimDuration::nanos(offset), rank, MpiResp::Ok);
+        resume_at(w, sim, now + simcore::SimDuration::nanos(offset), rank, MpiResp::Ok);
     }
 }

@@ -1,0 +1,38 @@
+//! # faultsim — deterministic fault injection & slice-boundary recovery
+//!
+//! The BCS-MPI paper argues (§6) that global coscheduling buys more than
+//! performance: because every node reaches a *quiescent point* at each slice
+//! boundary, the machine can take globally consistent checkpoints and hide
+//! fault recovery inside the system software. This crate turns that claim
+//! into a runnable subsystem:
+//!
+//! * **Injection** — a [`FaultPlan`] describes node crashes (fail-stop at a
+//!   virtual instant), link degradation windows, and transient drops of
+//!   data-channel DMAs. Plans are generated from a seed with
+//!   [`FaultPlan::generate`], so every experiment is reproducible
+//!   bit-for-bit from `(seed, config)`.
+//! * **Detection** — the STORM heartbeat monitor
+//!   ([`storm::heartbeat::start_on`]) runs on the management node alongside
+//!   the strobe sender. A crashed node stops acknowledging the
+//!   `Xfer-And-Signal` strobes, the `Compare-And-Write` liveness check
+//!   catches the frozen counter within a bounded number of periods, and the
+//!   MM halts the machine ([`bcs_mpi::FailureInfo`]). Dropped DMAs are
+//!   masked by the retry layer ([`bcs_core::retry`]); retry exhaustion also
+//!   halts the machine.
+//! * **Recovery** — [`run_with_recovery`] restores every survivor from the
+//!   last slice-boundary [`bcs_mpi::CheckpointImage`], replays each rank's
+//!   recorded responses to rebuild its control state, and resumes the
+//!   protocol on the original absolute timeline
+//!   ([`bcs_mpi::resume_from_boundary`]). When no image exists or the
+//!   restart budget is exhausted, the machine aborts cleanly instead of
+//!   spinning.
+//!
+//! The headline invariant, asserted by the repo's property suite: a run
+//! that crashes, detects, restores and resumes produces **bit-identical
+//! application results** to the fault-free run of the same program.
+
+pub mod plan;
+pub mod recover;
+
+pub use plan::{CrashEvent, FaultPlan, FaultProfile};
+pub use recover::{Detection, RecoveryCfg, RecoveryOutcome, fault_free_reference, run_with_recovery};

@@ -1,0 +1,207 @@
+//! Seeded fault plans: what breaks, where, and when.
+//!
+//! A plan is pure data — generating one performs no simulation. The same
+//! `(seed, profile, config)` triple always yields the same plan, and the
+//! injection machinery it drives is itself deterministic, so a fault
+//! experiment can be replayed exactly from its seed.
+
+use bcs_mpi::BcsConfig;
+use qsnet::{Degradation, NodeId};
+use simcore::{SimDuration, SimRng, SimTime};
+
+/// One fail-stop node crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    pub node: NodeId,
+    /// Absolute virtual instant at which the node's NIC goes silent.
+    pub at: SimTime,
+}
+
+/// Intensity knobs for [`FaultPlan::generate`].
+#[derive(Clone, Debug)]
+pub struct FaultProfile {
+    /// Mean slices between node crashes (exponential inter-arrivals).
+    /// `None` injects no crashes.
+    pub mtbf_slices: Option<f64>,
+    /// Number of transient data-channel DMA drops to plan (each picks a
+    /// bulk-transfer sequence number at random; a seq that never occurs is
+    /// a no-op). Requires `BcsConfig::retry` to be recoverable.
+    pub drops: usize,
+    /// Number of link-degradation windows (a node's effective bandwidth is
+    /// scaled down between two instants).
+    pub degradations: usize,
+}
+
+impl FaultProfile {
+    /// Crashes only, at the given MTBF.
+    pub fn crashes(mtbf_slices: f64) -> FaultProfile {
+        FaultProfile {
+            mtbf_slices: Some(mtbf_slices),
+            drops: 0,
+            degradations: 0,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Fail-stop crashes, sorted by time.
+    pub crashes: Vec<CrashEvent>,
+    /// Link-degradation windows.
+    pub degradations: Vec<Degradation>,
+    /// Bulk-transfer sequence numbers whose delivery is suppressed
+    /// (transient loss on the data channel — the wire time is still
+    /// consumed, the payload never lands).
+    pub drops: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing breaks.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            degradations: Vec::new(),
+            drops: Vec::new(),
+        }
+    }
+
+    /// A single crash of `node` mid-way through slice `slice`.
+    pub fn single_crash(cfg: &BcsConfig, node: NodeId, slice: u64) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            crashes: vec![CrashEvent {
+                node,
+                at: crash_instant(cfg, slice, 0.4),
+            }],
+            degradations: Vec::new(),
+            drops: Vec::new(),
+        }
+    }
+
+    /// Generate a plan from `seed` for a machine of `compute_nodes` nodes
+    /// running up to `horizon_slices` slices.
+    ///
+    /// Crash inter-arrival times are exponential with the profile's MTBF;
+    /// the crashed node is uniform over the compute nodes (never the
+    /// management node — the paper's recovery model assumes the MM
+    /// survives). Crash instants fall strictly inside a slice, never on a
+    /// boundary, so detection always races an in-progress microphase.
+    pub fn generate(
+        seed: u64,
+        cfg: &BcsConfig,
+        compute_nodes: usize,
+        horizon_slices: u64,
+        profile: &FaultProfile,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed,
+            crashes: Vec::new(),
+            degradations: Vec::new(),
+            drops: Vec::new(),
+        };
+        let root = SimRng::new(seed);
+
+        if let Some(mtbf) = profile.mtbf_slices {
+            assert!(mtbf > 0.0, "MTBF must be positive");
+            let mut rng = root.split(1);
+            // First boundary with a checkpoint image is slice 0, at
+            // init_delay; crashes start in slice 1 so recovery always has
+            // an image to restore from.
+            let mut slice = 1.0 + rng.exp_f64(mtbf);
+            while (slice as u64) < horizon_slices {
+                let node = NodeId(rng.next_below(compute_nodes as u64) as usize);
+                plan.crashes.push(CrashEvent {
+                    node,
+                    at: crash_instant(cfg, slice as u64, rng.range_f64(0.1, 0.9)),
+                });
+                slice += rng.exp_f64(mtbf);
+            }
+        }
+
+        if profile.drops > 0 {
+            let mut rng = root.split(2);
+            // Bulk sequence numbers are monotone from run start; aim at the
+            // early traffic so quick runs still exercise the retry path.
+            let est_bulk = (horizon_slices * compute_nodes as u64).max(16);
+            for _ in 0..profile.drops {
+                plan.drops.push(rng.next_below(est_bulk));
+            }
+            plan.drops.sort_unstable();
+            plan.drops.dedup();
+        }
+
+        if profile.degradations > 0 {
+            let mut rng = root.split(3);
+            for _ in 0..profile.degradations {
+                let node = NodeId(rng.next_below(compute_nodes as u64) as usize);
+                let from_slice = rng.next_below(horizon_slices.max(2));
+                let len = 1 + rng.next_below(4);
+                plan.degradations.push(Degradation {
+                    node,
+                    from: boundary(cfg, from_slice),
+                    to: boundary(cfg, from_slice + len),
+                    factor: rng.range_u64(2, 9) as u32,
+                });
+            }
+        }
+
+        plan.crashes.sort_by_key(|c| c.at);
+        plan
+    }
+
+    /// Crashes strictly after `t` (survivor set after a repair at `t`).
+    pub fn crashes_after(&self, t: SimTime) -> Vec<CrashEvent> {
+        self.crashes.iter().filter(|c| c.at > t).cloned().collect()
+    }
+}
+
+/// The absolute start instant of slice `slice` (ignoring drift; good enough
+/// for placing faults, which need no alignment guarantee).
+fn boundary(cfg: &BcsConfig, slice: u64) -> SimTime {
+    SimTime::ZERO + cfg.init_delay + cfg.timeslice * slice
+}
+
+/// An instant `frac` of the way through slice `slice`.
+fn crash_instant(cfg: &BcsConfig, slice: u64, frac: f64) -> SimTime {
+    boundary(cfg, slice) + SimDuration::secs_f64(cfg.timeslice.as_secs_f64() * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BcsConfig::default();
+        let profile = FaultProfile {
+            mtbf_slices: Some(20.0),
+            drops: 8,
+            degradations: 3,
+        };
+        let a = FaultPlan::generate(42, &cfg, 8, 200, &profile);
+        let b = FaultPlan::generate(42, &cfg, 8, 200, &profile);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.drops, b.drops);
+        assert!(!a.crashes.is_empty());
+        let c = FaultPlan::generate(43, &cfg, 8, 200, &profile);
+        assert_ne!(a.crashes, c.crashes, "different seeds, different plans");
+    }
+
+    #[test]
+    fn crashes_never_hit_the_management_node_or_slice_zero() {
+        let cfg = BcsConfig::default();
+        let first = boundary(&cfg, 1);
+        for seed in 0..32 {
+            let plan =
+                FaultPlan::generate(seed, &cfg, 4, 400, &FaultProfile::crashes(10.0));
+            for c in &plan.crashes {
+                assert!(c.node.0 < 4);
+                assert!(c.at >= first, "crash before the first checkpointed boundary");
+            }
+        }
+    }
+}

@@ -80,8 +80,10 @@ pub enum MpiCall {
     },
 }
 
-/// Response from the engine to a rank program.
-#[derive(Debug)]
+/// Response from the engine to a rank program. `Clone` so the runtime can
+/// record delivered responses for deterministic replay after a checkpoint
+/// restore (see `runtime::RuntimeImage`).
+#[derive(Clone, Debug)]
 pub enum MpiResp {
     /// Generic completion (Compute, blocking Send, Barrier, ...).
     Ok,

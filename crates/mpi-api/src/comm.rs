@@ -41,7 +41,7 @@ impl CommHandle {
 }
 
 /// Engine-side membership registry, shared by both implementations.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct CommRegistry {
     groups: Vec<Vec<usize>>, // by CommId; [0] = world
     /// In-progress splits: key = (parent, per-parent split round).
@@ -50,6 +50,7 @@ pub struct CommRegistry {
     counters: std::collections::HashMap<(usize, CommId), u64>,
 }
 
+#[derive(Clone)]
 struct SplitRound {
     /// (world rank, color, key); `color < 0` = MPI_UNDEFINED (no comm).
     entries: Vec<(usize, i64, i64)>,

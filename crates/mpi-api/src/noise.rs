@@ -28,7 +28,9 @@ pub struct NoiseConfig {
     pub seed: u64,
 }
 
-/// Per-node noise state.
+/// Per-node noise state. `Clone` preserves the RNG stream positions, so a
+/// checkpoint restore resumes the exact noise sequence.
+#[derive(Clone)]
 pub struct NoiseModel {
     cfg: NoiseConfig,
     /// Next activation instant per node.

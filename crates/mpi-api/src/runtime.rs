@@ -15,7 +15,7 @@ use crate::call::{MpiCall, MpiResp};
 use crate::ctx::Mpi;
 use qsnet::NodeId;
 use simcore::{CoHarness, ProcYield, Sim, SimDuration, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Placement of an MPI job on the simulated cluster.
@@ -94,6 +94,13 @@ pub trait Engine: Sized + 'static {
     fn describe_pending(&self) -> String {
         String::new()
     }
+
+    /// True when the machine has declared itself failed and the run should
+    /// stop (e.g. a node death detected by the heartbeat monitor). Checked
+    /// by the driver after every event.
+    fn halted(_w: &ClusterWorld<Self>) -> bool {
+        false
+    }
 }
 
 /// The simulation world: engine + rank harness + completion queue.
@@ -105,6 +112,15 @@ pub struct ClusterWorld<E: Engine> {
     pub finished: usize,
     finish_times: Vec<Option<SimTime>>,
     draining: bool,
+    /// Scheduled-but-undelivered completions ([`resume_at`]), keyed by a
+    /// monotone id so iteration order equals scheduling order. Tracked in
+    /// the world (not closures) so checkpoints can capture them.
+    pending_resumes: BTreeMap<u64, (SimTime, usize, MpiResp)>,
+    next_resume_id: u64,
+    /// When set, every response delivered to a rank is appended to
+    /// `resp_log` — the raw material of deterministic replay.
+    record_resps: bool,
+    resp_log: Vec<Vec<MpiResp>>,
 }
 
 impl<E: Engine> ClusterWorld<E> {
@@ -118,6 +134,10 @@ impl<E: Engine> ClusterWorld<E> {
             finished: 0,
             finish_times: vec![None; ranks],
             draining: false,
+            pending_resumes: BTreeMap::new(),
+            next_resume_id: 0,
+            record_resps: false,
+            resp_log: vec![Vec::new(); ranks],
         }
     }
 
@@ -130,6 +150,55 @@ impl<E: Engine> ClusterWorld<E> {
     pub fn all_finished(&self) -> bool {
         self.finished == self.layout.ranks
     }
+
+    /// Turn response recording on (required before a [`RuntimeImage`] can
+    /// be captured). Must be enabled before any rank receives a response.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record_resps = on;
+    }
+
+    pub fn recording(&self) -> bool {
+        self.record_resps
+    }
+
+    /// Capture the runtime half of a checkpoint at a quiescent instant:
+    /// the full per-rank response history, every scheduled-but-undelivered
+    /// completion, and per-rank finish times. Together with an engine-state
+    /// snapshot this is sufficient to reconstruct the whole simulation on
+    /// the original (absolute) timeline — see [`resume_job`].
+    pub fn runtime_image(&self, captured_at: SimTime) -> RuntimeImage {
+        assert!(
+            self.record_resps,
+            "runtime_image requires response recording (ClusterWorld::set_recording)"
+        );
+        assert!(
+            self.pending.is_empty(),
+            "runtime_image at a non-quiescent instant: completion queue not drained"
+        );
+        RuntimeImage {
+            resp_log: self.resp_log.clone(),
+            pending_resumes: self.pending_resumes.values().cloned().collect(),
+            finish_times: self.finish_times.clone(),
+            captured_at,
+        }
+    }
+}
+
+/// Runtime half of a restorable checkpoint (the engine half is captured by
+/// the engine itself). See [`ClusterWorld::runtime_image`].
+#[derive(Clone, Debug)]
+pub struct RuntimeImage {
+    /// Every response delivered to each rank since program start, in
+    /// delivery order. Replaying them reconstructs each rank's control
+    /// state exactly (the call/response protocol is lock-step).
+    pub resp_log: Vec<Vec<MpiResp>>,
+    /// Completions scheduled but not yet delivered at capture, in
+    /// scheduling order, with their absolute delivery times.
+    pub pending_resumes: Vec<(SimTime, usize, MpiResp)>,
+    /// Per-rank finish times (`Some` for ranks already done at capture).
+    pub finish_times: Vec<Option<SimTime>>,
+    /// Absolute virtual time of the capture (a slice boundary in BCS-MPI).
+    pub captured_at: SimTime,
 }
 
 /// Process queued completions until quiescent. Must be called after any
@@ -141,6 +210,9 @@ pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>)
     }
     w.draining = true;
     while let Some((rank, resp)) = w.pending.pop_front() {
+        if w.record_resps {
+            w.resp_log[rank].push(resp.clone());
+        }
         let y = w.harness.resume(simcore::ProcId(rank), resp);
         match y {
             ProcYield::Request(call) => E::on_call(w, sim, rank, call),
@@ -155,15 +227,25 @@ pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>)
 }
 
 /// Schedule `resp` to be delivered to `rank` at virtual time `at`.
+///
+/// The pending completion is tracked in the world (see
+/// [`ClusterWorld::runtime_image`]); the scheduled event only carries its
+/// id, so a checkpoint restore can re-create the exact delivery schedule.
 pub fn resume_at<E: Engine>(
+    w: &mut ClusterWorld<E>,
     sim: &mut Sim<ClusterWorld<E>>,
     at: SimTime,
     rank: usize,
     resp: MpiResp,
 ) {
+    let id = w.next_resume_id;
+    w.next_resume_id += 1;
+    w.pending_resumes.insert(id, (at, rank, resp));
     sim.schedule_at(at, move |w: &mut ClusterWorld<E>, sim| {
-        w.resume(rank, resp);
-        drain(w, sim);
+        if let Some((_, rank, resp)) = w.pending_resumes.remove(&id) {
+            w.resume(rank, resp);
+            drain(w, sim);
+        }
     });
 }
 
@@ -224,12 +306,72 @@ where
     R: Send + 'static,
     F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
 {
+    let out = run_job_hooked(engine, layout, program, |_, _| {}, opts);
+    if !out.completed {
+        panic!("{}", out.diagnostic.as_deref().unwrap_or("MPI job did not complete"));
+    }
+    let finish_times: Vec<SimTime> = out
+        .finish_times
+        .iter()
+        .map(|t| t.expect("finished rank must have a finish time"))
+        .collect();
+    RunResult {
+        results: out
+            .results
+            .into_iter()
+            .map(|r| r.expect("finished rank must have a result"))
+            .collect(),
+        elapsed: out.elapsed,
+        finish_times,
+        engine: out.engine,
+        events: out.events,
+    }
+}
+
+/// Outcome of [`run_job_hooked`] / [`resume_job`]: like [`RunResult`] but
+/// non-panicking, so a halted run (node failure, horizon) can be inspected
+/// and recovered instead of aborting the process.
+pub struct RunOutcome<R, E> {
+    /// True when every rank's program returned.
+    pub completed: bool,
+    /// Per-rank results (`None` for ranks that never finished).
+    pub results: Vec<Option<R>>,
+    /// Virtual time of the last finish (completed) or of the stop instant.
+    pub elapsed: SimDuration,
+    /// Per-rank finish times.
+    pub finish_times: Vec<Option<SimTime>>,
+    /// The engine, for stats/checkpoint inspection.
+    pub engine: E,
+    /// Total discrete events executed.
+    pub events: u64,
+    /// Human-readable reason when `completed` is false.
+    pub diagnostic: Option<String>,
+}
+
+/// [`run_job_opts`]'s engine room, with two extra capabilities: a `setup`
+/// hook that runs after `bootstrap` but before any rank executes (fault
+/// injection, monitors, response recording), and a non-panicking outcome —
+/// the run also stops when [`Engine::halted`] turns true.
+pub fn run_job_hooked<E, R, F, S>(
+    engine: E,
+    layout: JobLayout,
+    program: F,
+    setup: S,
+    opts: RunOpts,
+) -> RunOutcome<R, E>
+where
+    E: Engine,
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+{
     let mut sim: Sim<ClusterWorld<E>> = Sim::new();
     if let Some(mv) = opts.max_virtual {
         sim.set_horizon(SimTime::ZERO + mv);
     }
     let mut w = ClusterWorld::new(engine, layout.clone());
     E::bootstrap(&mut w, &mut sim);
+    setup(&mut w, &mut sim);
 
     let program = Arc::new(program);
     let size = layout.ranks;
@@ -250,45 +392,136 @@ where
     }
     drain(&mut w, &mut sim);
 
-    let done = sim.run_until(&mut w, |w| w.all_finished());
-    if !done {
+    finish_run(w, sim)
+}
+
+/// Resume a job from a checkpoint: `engine` must already be restored to the
+/// image's state, `rt` is the matching [`RuntimeImage`], and `kickoff` is
+/// scheduled at the capture instant to restart the protocol (in BCS-MPI,
+/// the slice-boundary resume). Rank programs are re-spawned and silently
+/// replayed through their recorded responses — their yielded calls are
+/// discarded because every effect of those calls is already part of the
+/// restored engine state — leaving each rank parked exactly where the
+/// checkpoint caught it. The simulation then continues on the original
+/// absolute timeline.
+pub fn resume_job<E, R, F, S, K>(
+    engine: E,
+    layout: JobLayout,
+    program: F,
+    rt: &RuntimeImage,
+    kickoff: K,
+    setup: S,
+    opts: RunOpts,
+) -> RunOutcome<R, E>
+where
+    E: Engine,
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+    K: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>) + 'static,
+{
+    let size = layout.ranks;
+    assert_eq!(rt.resp_log.len(), size, "image rank count mismatch");
+    let mut sim: Sim<ClusterWorld<E>> = Sim::new();
+    if let Some(mv) = opts.max_virtual {
+        sim.set_horizon(SimTime::ZERO + mv);
+    }
+    let mut w = ClusterWorld::new(engine, layout.clone());
+    // No bootstrap: the restored engine state already contains the
+    // protocol's standing state; `kickoff` restarts its event loop.
+    w.record_resps = true;
+    w.resp_log = rt.resp_log.clone();
+
+    let program = Arc::new(program);
+    for rank in 0..size {
+        let prog = Arc::clone(&program);
+        let (pid, first) = w.harness.spawn(format!("rank{rank}"), move |h| {
+            let mut mpi = Mpi::new(h, rank, size);
+            prog(&mut mpi)
+        });
+        assert_eq!(pid.0, rank, "rank ids must be dense");
+        let mut y = first;
+        for resp in &rt.resp_log[rank] {
+            match y {
+                ProcYield::Request(_) => y = w.harness.resume(pid, resp.clone()),
+                ProcYield::Finished(_) => {
+                    panic!("rank {rank} finished before its response log was exhausted")
+                }
+            }
+        }
+        let finished = matches!(y, ProcYield::Finished(_));
+        assert_eq!(
+            finished,
+            rt.finish_times[rank].is_some(),
+            "rank {rank} replay diverged from the checkpoint image"
+        );
+        if finished {
+            w.finished += 1;
+            w.finish_times[rank] = rt.finish_times[rank];
+        }
+    }
+
+    // Re-create the delivery schedule (scheduling order = original issue
+    // order, so same-instant events keep their relative order), then the
+    // protocol kickoff at the capture instant.
+    for (at, rank, resp) in &rt.pending_resumes {
+        resume_at(&mut w, &mut sim, *at, *rank, resp.clone());
+    }
+    sim.schedule_at(rt.captured_at, move |w: &mut ClusterWorld<E>, sim| {
+        kickoff(w, sim);
+        drain(w, sim);
+    });
+    setup(&mut w, &mut sim);
+
+    finish_run(w, sim)
+}
+
+/// Shared tail of the drivers: run to completion/halt and collect.
+fn finish_run<E, R>(mut w: ClusterWorld<E>, mut sim: Sim<ClusterWorld<E>>) -> RunOutcome<R, E>
+where
+    E: Engine,
+    R: Send + 'static,
+{
+    let size = w.layout.ranks;
+    let done = sim.run_until(&mut w, |w| w.all_finished() || E::halted(w));
+    let completed = w.all_finished();
+    let diagnostic = if completed {
+        None
+    } else {
         let stuck: Vec<usize> = (0..size).filter(|&r| w.finish_times[r].is_none()).collect();
-        panic!(
+        Some(format!(
             "MPI job did not complete at t={} ({} of {} ranks finished; stuck ranks {:?}).\n\
-             Either the program deadlocked or the virtual-time horizon was hit.\n\
+             Either the program deadlocked, a failure halted the machine, or the\n\
+             virtual-time horizon was hit (run_until={done}).\n\
              Engine state:\n{}",
             sim.now(),
             w.finished,
             size,
             stuck,
             w.engine.describe_pending()
-        );
-    }
-
-    let finish_times: Vec<SimTime> = w
-        .finish_times
-        .iter()
-        .map(|t| t.expect("finished rank must have a finish time"))
+        ))
+    };
+    let elapsed = if completed {
+        w.finish_times
+            .iter()
+            .map(|t| t.expect("finished rank must have a finish time"))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .since(SimTime::ZERO)
+    } else {
+        sim.now().since(SimTime::ZERO)
+    };
+    let results: Vec<Option<R>> = (0..size)
+        .map(|r| w.harness.take_result::<R>(simcore::ProcId(r)))
         .collect();
-    let elapsed = finish_times
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        .since(SimTime::ZERO);
-    let results: Vec<R> = (0..size)
-        .map(|r| {
-            w.harness
-                .take_result::<R>(simcore::ProcId(r))
-                .expect("rank result of unexpected type")
-        })
-        .collect();
-    RunResult {
+    RunOutcome {
+        completed,
         results,
         elapsed,
-        finish_times,
+        finish_times: w.finish_times.clone(),
         engine: w.engine,
         events: sim.events_executed(),
+        diagnostic,
     }
 }
 
@@ -338,7 +571,7 @@ mod tests {
             match call {
                 MpiCall::Compute { ns } => {
                     let at = sim.now() + SimDuration::nanos(ns);
-                    resume_at(sim, at, rank, MpiResp::Ok);
+                    resume_at(w, sim, at, rank, MpiResp::Ok);
                 }
                 MpiCall::Now => {
                     w.resume(rank, MpiResp::Time(sim.now().as_nanos()));

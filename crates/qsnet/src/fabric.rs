@@ -30,6 +30,36 @@ pub struct FabricStats {
     pub multicasts: u64,
     pub multicast_bytes: u64,
     pub conditionals: u64,
+    /// Planned data-channel DMA drops that fired (fault injection).
+    pub drops: u64,
+    /// Deliveries suppressed because an endpoint was fail-stopped.
+    pub dead_skips: u64,
+}
+
+/// A link-degradation window for fault injection: while `[from, to)` is
+/// active, bulk transfers touching `node` have their serialization time
+/// multiplied by `factor`. A very large factor models a link flap (the
+/// transfer effectively stalls for the window).
+#[derive(Clone, Debug)]
+pub struct Degradation {
+    pub node: NodeId,
+    pub from: SimTime,
+    pub to: SimTime,
+    pub factor: u32,
+}
+
+/// Port-occupancy state of the fabric at a quiescent instant, for
+/// checkpoint/restore. Capturing the free times (rather than resetting
+/// them) keeps post-restore timing identical to the original run; fault
+/// state (dead nodes, drop plans, degradations) is deliberately *not*
+/// captured — a restore revives the machine.
+#[derive(Clone, Debug)]
+pub struct FabricSnapshot {
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    coll_free: SimTime,
+    stats: FabricStats,
+    bulk_seq: u64,
 }
 
 /// The simulated interconnect.
@@ -41,6 +71,19 @@ pub struct Fabric {
     /// Root serializer: totally orders collective wire operations.
     coll_free: SimTime,
     stats: FabricStats,
+    /// Fail-stopped nodes: deliveries from/to them are suppressed at issue
+    /// time. A transfer already in flight when the node dies still lands
+    /// (its delivery was scheduled at issue) — matching a NIC whose DMA
+    /// completed before the crash.
+    dead: Vec<bool>,
+    degradations: Vec<Degradation>,
+    /// Sorted bulk-DMA sequence numbers to drop (transient data-channel
+    /// faults): the wire time is still consumed but the payload never
+    /// lands, so the delivery callback is not scheduled.
+    drop_seqs: Vec<u64>,
+    /// Monotone count of bulk (non-control) transfers issued; the
+    /// coordinate system of `drop_seqs`.
+    bulk_seq: u64,
 }
 
 impl Fabric {
@@ -52,6 +95,10 @@ impl Fabric {
             rx_free: vec![SimTime::ZERO; nodes],
             coll_free: SimTime::ZERO,
             stats: FabricStats::default(),
+            dead: vec![false; nodes],
+            degradations: Vec::new(),
+            drop_seqs: Vec::new(),
+            bulk_seq: 0,
         }
     }
 
@@ -75,6 +122,85 @@ impl Fabric {
         self.stats = FabricStats::default();
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection (see `faultsim`)
+    // ------------------------------------------------------------------
+
+    /// Fail-stop `node`: from now on no delivery originates from or lands
+    /// on it. Timing reservations still account for its traffic already in
+    /// the FIFOs, keeping the model deterministic.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.dead[node.0] = true;
+    }
+
+    /// Undo [`Fabric::kill_node`] (spare-node replacement semantics).
+    pub fn revive_node(&mut self, node: NodeId) {
+        self.dead[node.0] = false;
+    }
+
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead[node.0]
+    }
+
+    /// Register a link-degradation window (additive with existing ones;
+    /// overlapping windows take the worst factor).
+    pub fn degrade_link(&mut self, d: Degradation) {
+        assert!(d.factor >= 1);
+        self.degradations.push(d);
+    }
+
+    pub fn clear_degradations(&mut self) {
+        self.degradations.clear();
+    }
+
+    /// Replace the planned set of bulk-DMA sequence numbers to drop.
+    pub fn plan_drops(&mut self, mut seqs: Vec<u64>) {
+        seqs.sort_unstable();
+        seqs.dedup();
+        self.drop_seqs = seqs;
+    }
+
+    /// Bulk transfers issued so far (the coordinate of the drop plan).
+    pub fn bulk_seq(&self) -> u64 {
+        self.bulk_seq
+    }
+
+    /// Capture the port-occupancy state (see [`FabricSnapshot`]).
+    pub fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot {
+            tx_free: self.tx_free.clone(),
+            rx_free: self.rx_free.clone(),
+            coll_free: self.coll_free,
+            stats: self.stats.clone(),
+            bulk_seq: self.bulk_seq,
+        }
+    }
+
+    /// Restore port occupancy from a snapshot and clear all fault state
+    /// (every node revived, degradations and drop plans forgotten). The
+    /// recovery driver re-injects whatever faults remain in its plan.
+    pub fn restore(&mut self, s: &FabricSnapshot) {
+        assert_eq!(s.tx_free.len(), self.tx_free.len(), "snapshot node count");
+        self.tx_free = s.tx_free.clone();
+        self.rx_free = s.rx_free.clone();
+        self.coll_free = s.coll_free;
+        self.stats = s.stats.clone();
+        self.bulk_seq = s.bulk_seq;
+        self.dead.iter_mut().for_each(|d| *d = false);
+        self.degradations.clear();
+        self.drop_seqs.clear();
+    }
+
+    /// Worst degradation factor touching `node` at instant `t`.
+    fn degrade_factor(&self, node: NodeId, t: SimTime) -> u64 {
+        self.degradations
+            .iter()
+            .filter(|d| d.node == node && d.from <= t && t < d.to)
+            .map(|d| d.factor as u64)
+            .max()
+            .unwrap_or(1)
+    }
+
     /// Remote put (one-sided write): DMA `bytes` from `src` to `dst`.
     /// `on_delivered` runs when the last byte lands in destination memory.
     /// Returns the delivery time.
@@ -88,8 +214,12 @@ impl Fabric {
     ) -> SimTime {
         self.stats.puts += 1;
         self.stats.put_bytes += bytes;
-        let deliver = self.reserve_put(sim.now(), src, dst, bytes);
-        sim.schedule_at(deliver, on_delivered);
+        let (deliver, landed) = self.reserve_put(sim.now(), src, dst, bytes);
+        if self.is_dead(src) || self.is_dead(dst) {
+            self.stats.dead_skips += 1;
+        } else if landed {
+            sim.schedule_at(deliver, on_delivered);
+        }
         deliver
     }
 
@@ -108,12 +238,16 @@ impl Fabric {
         self.stats.gets += 1;
         self.stats.get_bytes += bytes;
         // Request leg.
-        let req_at = self.reserve_put(sim.now(), requester, target, CTRL_BYTES);
+        let (req_at, _) = self.reserve_put(sim.now(), requester, target, CTRL_BYTES);
         // Data leg, reserved now (FIFO in issue order) but starting only
         // after the request arrives and the target NIC turns it around.
         let data_issue = req_at + self.model.nic_op;
-        let deliver = self.reserve_put(data_issue, target, requester, bytes);
-        sim.schedule_at(deliver, on_delivered);
+        let (deliver, landed) = self.reserve_put(data_issue, target, requester, bytes);
+        if self.is_dead(requester) || self.is_dead(target) {
+            self.stats.dead_skips += 1;
+        } else if landed {
+            sim.schedule_at(deliver, on_delivered);
+        }
         deliver
     }
 
@@ -168,6 +302,10 @@ impl Fabric {
                 deliver
             };
             last = last.max(deliver);
+            if self.is_dead(d) || self.is_dead(src) {
+                self.stats.dead_skips += 1;
+                continue;
+            }
             if let Some(cb) = &per_dest {
                 let cb = Rc::clone(cb);
                 sim.schedule_at(deliver, move |w, s| cb(w, s, d));
@@ -199,28 +337,46 @@ impl Fabric {
         fire
     }
 
-    /// Reserve the tx/rx ports for a unicast and return its delivery time.
-    fn reserve_put(&mut self, issue: SimTime, src: NodeId, dst: NodeId, bytes: u64) -> SimTime {
+    /// Reserve the tx/rx ports for a unicast. Returns the delivery time and
+    /// whether the payload actually lands (false when the transfer is a
+    /// planned data-channel drop: wire time is consumed, delivery is not).
+    fn reserve_put(
+        &mut self,
+        issue: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> (SimTime, bool) {
         if src == dst {
             // Local copy through the NIC; charge DMA time but no wire.
-            return issue + self.model.nic_op + self.model.tx_time(bytes);
+            return (issue + self.model.nic_op + self.model.tx_time(bytes), true);
         }
         if bytes <= CTRL_BYTES {
             // Control packets (descriptors, get requests, strobes) ride the
             // high-priority system virtual channel: latency only, no
             // occupancy — they never queue behind bulk DMA.
-            return issue
-                + self.model.unicast_latency(self.topo.hops(src, dst))
-                + self.model.tx_time(bytes);
+            return (
+                issue
+                    + self.model.unicast_latency(self.topo.hops(src, dst))
+                    + self.model.tx_time(bytes),
+                true,
+            );
         }
-        let tx = self.model.tx_time(bytes);
+        let seq = self.bulk_seq;
+        self.bulk_seq += 1;
+        let dropped = self.drop_seqs.binary_search(&seq).is_ok();
+        if dropped {
+            self.stats.drops += 1;
+        }
+        let factor = self.degrade_factor(src, issue).max(self.degrade_factor(dst, issue));
+        let tx = self.model.tx_time(bytes) * factor;
         let start = issue.max(self.tx_free[src.0]);
         self.tx_free[src.0] = start + tx;
         let first_bit = start + self.model.unicast_latency(self.topo.hops(src, dst));
         let rx_start = first_bit.max(self.rx_free[dst.0]);
         let deliver = rx_start + tx;
         self.rx_free[dst.0] = deliver;
-        deliver
+        (deliver, !dropped)
     }
 }
 
@@ -380,6 +536,127 @@ mod tests {
         let mut sim: Sim<W> = Sim::new();
         let t = fab.put(&mut sim, NodeId(2), NodeId(2), 64, |_, _| {});
         assert_eq!(t.since(SimTime::ZERO), m.nic_op + m.tx_time(64));
+    }
+
+    #[test]
+    fn dead_node_gets_no_deliveries_but_timing_is_unchanged() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 8);
+        let mut alive = Fabric::new(m, 8);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        fab.kill_node(NodeId(3));
+        let t_dead = fab.put(&mut sim, NodeId(0), NodeId(3), 320_000, |w, s| {
+            w.delivered.push((s.now().0, "lost"));
+        });
+        let t_alive = alive.put(&mut sim, NodeId(0), NodeId(3), 320_000, |_, _| {});
+        sim.run(&mut w);
+        assert_eq!(t_dead, t_alive, "reservations stay deterministic");
+        assert!(w.delivered.is_empty(), "delivery suppressed");
+        assert_eq!(fab.stats().dead_skips, 1);
+        let dests: Vec<NodeId> = (0..8).map(NodeId).collect();
+        fab.multicast(
+            &mut sim,
+            NodeId(0),
+            &dests,
+            CTRL_BYTES,
+            Some(Rc::new(|w: &mut W, s: &mut Sim<W>, d: NodeId| {
+                w.per_dest.push((s.now().0, d.0));
+            })),
+            |_, _| {},
+        );
+        sim.run(&mut w);
+        assert_eq!(w.per_dest.len(), 7, "dead node skipped by multicast");
+        assert!(w.per_dest.iter().all(|&(_, d)| d != 3));
+        fab.revive_node(NodeId(3));
+        fab.put(&mut sim, NodeId(0), NodeId(3), 64, |w, s| {
+            w.delivered.push((s.now().0, "revived"));
+        });
+        sim.run(&mut w);
+        assert_eq!(w.delivered.len(), 1);
+    }
+
+    #[test]
+    fn planned_drop_consumes_wire_time_without_delivering() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m, 8);
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = world();
+        fab.plan_drops(vec![1]);
+        // seq 0: bulk, delivered. seq 1: dropped. Control puts don't count.
+        fab.put(&mut sim, NodeId(0), NodeId(1), 64, |w, s| {
+            w.delivered.push((s.now().0, "ctrl"));
+        });
+        fab.put(&mut sim, NodeId(0), NodeId(1), 320_000, |w, s| {
+            w.delivered.push((s.now().0, "bulk0"));
+        });
+        fab.put(&mut sim, NodeId(0), NodeId(1), 320_000, |w, s| {
+            w.delivered.push((s.now().0, "bulk1"));
+        });
+        fab.put(&mut sim, NodeId(0), NodeId(1), 320_000, |w, s| {
+            w.delivered.push((s.now().0, "bulk2"));
+        });
+        sim.run(&mut w);
+        let tags: Vec<&str> = w.delivered.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec!["ctrl", "bulk0", "bulk2"]);
+        assert_eq!(fab.stats().drops, 1);
+        assert_eq!(fab.bulk_seq(), 3);
+    }
+
+    #[test]
+    fn degradation_window_scales_bulk_tx_time() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m.clone(), 8);
+        let mut sim: Sim<W> = Sim::new();
+        let bytes = 320_000;
+        fab.degrade_link(Degradation {
+            node: NodeId(1),
+            from: SimTime::ZERO,
+            to: SimTime(1_000_000_000),
+            factor: 4,
+        });
+        let t = fab.put(&mut sim, NodeId(0), NodeId(1), bytes, |_, _| {});
+        let expect = m.unicast_latency(2) + m.tx_time(bytes) * 4;
+        assert_eq!(t.since(SimTime::ZERO), expect);
+        // Outside the window the factor no longer applies.
+        let mut fab2 = Fabric::new(m.clone(), 8);
+        fab2.degrade_link(Degradation {
+            node: NodeId(1),
+            from: SimTime(10),
+            to: SimTime(20),
+            factor: 4,
+        });
+        let mut sim2: Sim<W> = Sim::new();
+        sim2.schedule_at(SimTime(1_000), |_, _| {});
+        let mut w = world();
+        sim2.run(&mut w); // advance past the window
+        let t2 = fab2.put(&mut sim2, NodeId(0), NodeId(1), bytes, |_, _| {});
+        assert_eq!(
+            t2.since(SimTime(1_000)),
+            m.unicast_latency(2) + m.tx_time(bytes)
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_occupancy_and_revives() {
+        let m = NetModel::qsnet();
+        let mut fab = Fabric::new(m, 8);
+        let mut sim: Sim<W> = Sim::new();
+        fab.put(&mut sim, NodeId(0), NodeId(1), 320_000, |_, _| {});
+        fab.get(&mut sim, NodeId(2), NodeId(3), 100_000, |_, _| {});
+        let snap = fab.snapshot();
+        fab.kill_node(NodeId(5));
+        fab.plan_drops(vec![7, 9]);
+        fab.put(&mut sim, NodeId(0), NodeId(2), 640_000, |_, _| {});
+        let t_before = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});
+        fab.restore(&snap);
+        assert!(!fab.is_dead(NodeId(5)));
+        assert_eq!(fab.bulk_seq(), snap.bulk_seq);
+        assert_eq!(fab.stats().puts, snap.stats.puts);
+        // Occupancy is back to the snapshot instant: the same put issued
+        // again completes no later than it did post-snapshot.
+        let t_after = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});
+        assert!(t_after <= t_before);
     }
 
     #[test]

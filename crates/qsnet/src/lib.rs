@@ -26,6 +26,6 @@ pub mod fabric;
 pub mod model;
 pub mod topology;
 
-pub use fabric::{Fabric, FabricStats};
+pub use fabric::{Degradation, Fabric, FabricSnapshot, FabricStats};
 pub use model::{CondImpl, McastImpl, NetModel};
 pub use topology::{NodeId, Topology};

@@ -242,7 +242,7 @@ impl CollManager {
         if !all && rank != root_world {
             // Leaf of the software tree: locally complete once the partial
             // is handed to the NIC.
-            resume_at(sim, sim.now() + host_overhead, rank, MpiResp::RootData(None));
+            resume_at(w, sim, sim.now() + host_overhead, rank, MpiResp::RootData(None));
         }
 
         let arrived = w.engine.coll.rounds.get(&key).unwrap().arrived;
@@ -287,7 +287,7 @@ impl CollManager {
             } else {
                 MpiResp::RootData(None)
             };
-            resume_at(sim, done_at, r, resp);
+            resume_at(w, sim, done_at, r, resp);
         }
     }
 }

@@ -217,7 +217,7 @@ impl QuadricsMpi {
             });
             w.engine.reqs.get_mut(&req).unwrap().complete = true;
             if blocking {
-                resume_at(sim, sim.now() + overhead, rank, MpiResp::Ok);
+                resume_at(w, sim, sim.now() + overhead, rank, MpiResp::Ok);
             } else {
                 w.resume(rank, MpiResp::Req(req));
             }
@@ -469,7 +469,7 @@ impl Engine for QuadricsMpi {
                 if let Some(noise) = &mut w.engine.noise {
                     d = noise.inflate(node, sim.now(), d);
                 }
-                resume_at(sim, sim.now() + d, rank, MpiResp::Ok);
+                resume_at(w, sim, sim.now() + d, rank, MpiResp::Ok);
             }
             MpiCall::Now => {
                 w.resume(rank, MpiResp::Time(sim.now().as_nanos()));

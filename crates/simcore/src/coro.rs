@@ -61,6 +61,23 @@ pub struct ProcessHandle<Req, Resp> {
 /// harness is dropped mid-simulation (e.g. a benchmark stopping at a horizon).
 struct HarnessShutdown;
 
+/// The default panic hook prints a message and backtrace before the unwind
+/// reaches our `catch_unwind`, so the orderly [`HarnessShutdown`] teardown
+/// would spam stderr on every truncated run. Chain a hook (once per
+/// process) that swallows exactly that sentinel and delegates everything
+/// else to the previous hook.
+fn silence_shutdown_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<HarnessShutdown>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
 impl<Req, Resp> ProcessHandle<Req, Resp> {
     /// Issue `req` and block this process until the simulator responds.
     pub fn call(&mut self, req: Req) -> Resp {
@@ -97,6 +114,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> Default for CoHarness<Req, Resp>
 
 impl<Req: Send + 'static, Resp: Send + 'static> CoHarness<Req, Resp> {
     pub fn new() -> Self {
+        silence_shutdown_panics();
         CoHarness {
             slots: Vec::new(),
             live: 0,

@@ -8,7 +8,7 @@
 //! count.
 
 use crate::StormWorld;
-use bcs_core::{BcsCluster, CmpOp, XsOpts};
+use bcs_core::{BcsCluster, BcsWorld, CmpOp, XsOpts};
 use qsnet::NodeId;
 use simcore::{Sim, SimDuration};
 use std::cell::RefCell;
@@ -16,6 +16,20 @@ use std::rc::Rc;
 
 /// Global word: per-node count of acknowledged heartbeats.
 const WORD_ACK: u32 = 200;
+
+/// Where the monitor runs: the strobing management node and the compute
+/// nodes it watches.
+#[derive(Clone, Debug)]
+pub struct HeartbeatConfig {
+    pub period: SimDuration,
+    /// Node issuing the strobes (the MM).
+    pub mgmt: NodeId,
+    /// Nodes expected to acknowledge.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Failure callback: `(world, sim, dead node, beat at which it was caught)`.
+pub type DetectFn<W> = Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId, u64)>;
 
 /// Shared state of a heartbeat monitor.
 pub struct HeartbeatMonitor {
@@ -33,17 +47,42 @@ pub struct HeartbeatMonitor {
 
 pub type MonitorRef = Rc<RefCell<HeartbeatMonitor>>;
 
-/// Create a monitor and start its periodic strobe.
+/// Create a monitor and start its periodic strobe on the STORM world.
 pub fn start(w: &mut StormWorld, sim: &mut Sim<StormWorld>, period: SimDuration) -> MonitorRef {
-    let m = Rc::new(RefCell::new(HeartbeatMonitor {
+    let cfg = HeartbeatConfig {
         period,
+        mgmt: w.mgmt,
+        nodes: w.nodes(),
+    };
+    start_on(w, sim, cfg, None)
+}
+
+/// Create a monitor on any world embedding a BCS cluster (the MPI engine's
+/// world, a STORM world, a test rig). `on_detect` runs once per newly
+/// declared dead node, in addition to the monitor's own bookkeeping — the
+/// MM uses it to halt the machine and begin recovery.
+///
+/// The per-node ack words are reset at start, so a monitor installed over
+/// *restored* control memory (whose ack counts are from a previous
+/// incarnation) cannot mistake a stale high count for liveness.
+pub fn start_on<W: BcsWorld>(
+    w: &mut W,
+    sim: &mut Sim<W>,
+    cfg: HeartbeatConfig,
+    on_detect: Option<DetectFn<W>>,
+) -> MonitorRef {
+    let m = Rc::new(RefCell::new(HeartbeatMonitor {
+        period: cfg.period,
         dead: Vec::new(),
         silenced: Vec::new(),
         beats: 0,
         detections: Vec::new(),
         running: true,
     }));
-    schedule_beat(w, sim, Rc::clone(&m));
+    for &n in &cfg.nodes {
+        w.bcs().set_word(n, WORD_ACK, 0);
+    }
+    schedule_beat(sim, Rc::clone(&m), Rc::new(cfg), on_detect.map(Rc::new));
     m
 }
 
@@ -57,13 +96,23 @@ pub fn silence(m: &MonitorRef, node: NodeId) {
     m.borrow_mut().silenced.push(node);
 }
 
-fn schedule_beat(w: &mut StormWorld, sim: &mut Sim<StormWorld>, m: MonitorRef) {
-    let _ = w;
+fn schedule_beat<W: BcsWorld>(
+    sim: &mut Sim<W>,
+    m: MonitorRef,
+    cfg: Rc<HeartbeatConfig>,
+    on_detect: Option<Rc<DetectFn<W>>>,
+) {
     let period = m.borrow().period;
-    sim.schedule_in(period, move |w: &mut StormWorld, sim| beat(w, sim, m));
+    sim.schedule_in(period, move |w: &mut W, sim| beat(w, sim, m, cfg, on_detect));
 }
 
-fn beat(w: &mut StormWorld, sim: &mut Sim<StormWorld>, m: MonitorRef) {
+fn beat<W: BcsWorld>(
+    w: &mut W,
+    sim: &mut Sim<W>,
+    m: MonitorRef,
+    cfg: Rc<HeartbeatConfig>,
+    on_detect: Option<Rc<DetectFn<W>>>,
+) {
     if !m.borrow().running {
         return;
     }
@@ -72,21 +121,22 @@ fn beat(w: &mut StormWorld, sim: &mut Sim<StormWorld>, m: MonitorRef) {
         mm.beats += 1;
         mm.beats
     };
-    let mgmt = w.mgmt;
-    let nodes = w.nodes();
-    // Strobe: every live NM acks by bumping its WORD_ACK.
+    let mgmt = cfg.mgmt;
+    // Strobe: every live NM acks by bumping its WORD_ACK. A fabric-dead
+    // node never receives the strobe (the delivery is suppressed), so its
+    // ack word freezes — no NM cooperation needed for fail-stop detection.
     let m_ack = Rc::clone(&m);
-    let per_dest: Rc<dyn Fn(&mut StormWorld, &mut Sim<StormWorld>, NodeId)> =
-        Rc::new(move |w: &mut StormWorld, _sim, node| {
+    let per_dest: Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)> =
+        Rc::new(move |w: &mut W, _sim, node| {
             if !m_ack.borrow().silenced.contains(&node) {
-                w.bcs.add_word(node, WORD_ACK, 1);
+                w.bcs().add_word(node, WORD_ACK, 1);
             }
         });
     BcsCluster::xfer_and_signal(
         w,
         sim,
         mgmt,
-        &nodes,
+        &cfg.nodes,
         64,
         XsOpts {
             remote_event: None,
@@ -96,30 +146,40 @@ fn beat(w: &mut StormWorld, sim: &mut Sim<StormWorld>, m: MonitorRef) {
     );
     // Liveness check: all acks must have reached this beat's count.
     let m_chk = Rc::clone(&m);
+    let watched = cfg.nodes.clone();
     BcsCluster::compare_and_write(
         w,
         sim,
         mgmt,
-        &nodes,
+        &watched,
         WORD_ACK,
         CmpOp::Ge,
         beat_no as i64,
         None,
-        move |w: &mut StormWorld, sim, ok| {
+        move |w: &mut W, sim, ok| {
             if !ok {
                 // Identify the dead node(s) by direct inspection (the real
                 // MM would bisect with further conditionals).
-                let nodes = w.nodes();
-                let mut mm = m_chk.borrow_mut();
-                for nd in nodes {
-                    if w.bcs.word(nd, WORD_ACK) < beat_no as i64 && !mm.dead.contains(&nd) {
-                        mm.dead.push(nd);
-                        mm.detections.push((beat_no, nd));
+                let mut fresh = Vec::new();
+                {
+                    let mut mm = m_chk.borrow_mut();
+                    for &nd in &cfg.nodes {
+                        if w.bcs().word(nd, WORD_ACK) < beat_no as i64
+                            && !mm.dead.contains(&nd)
+                        {
+                            mm.dead.push(nd);
+                            mm.detections.push((beat_no, nd));
+                            fresh.push(nd);
+                        }
+                    }
+                }
+                if let Some(cb) = &on_detect {
+                    for nd in fresh {
+                        cb(w, sim, nd, beat_no);
                     }
                 }
             }
-            drop(m_chk.borrow());
-            schedule_beat(w, sim, Rc::clone(&m_chk));
+            schedule_beat(sim, Rc::clone(&m_chk), cfg, on_detect);
         },
     );
 }

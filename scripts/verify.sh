@@ -3,7 +3,11 @@
 #   1. tier-1: cargo build --release && cargo test -q   (covers the whole
 #      workspace via workspace.default-members)
 #   2. explicit --workspace test pass
-#   3. the four microbenches (quick mode), emitting reports/microbench_*.csv
+#   3. the fault-recovery property suite (random fault plans: bit-identical
+#      recovery + same-seed replay)
+#   4. the fault ablation (quick), tolerance-gated, emitting
+#      reports/ablation_fault.csv
+#   5. the four microbenches (quick mode), emitting reports/microbench_*.csv
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -20,6 +24,13 @@ cargo test -q
 
 echo "== full workspace test pass"
 cargo test --workspace -q
+
+echo "== fault-recovery property suite"
+cargo test --release -q --test fault_recovery
+
+echo "== fault ablation (quick, tolerance-gated) -> reports/ablation_fault.csv"
+cargo run --release -q -p bench --bin repro -- ablation-fault --quick
+[ -s reports/ablation_fault.csv ] || { echo "verify: missing reports/ablation_fault.csv" >&2; exit 1; }
 
 echo "== offline microbenches (quick mode) -> reports/microbench_*.csv"
 for b in primitives engine_throughput softfloat_ops apps_micro; do

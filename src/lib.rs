@@ -7,6 +7,7 @@
 pub use apps;
 pub use bcs_core;
 pub use bcs_mpi;
+pub use faultsim;
 pub use mpi_api;
 pub use qsnet;
 pub use quadrics_mpi;
