@@ -11,8 +11,8 @@
 //!   for completion, in a loop (Figures 8c/8d; the paper uses 4 neighbors
 //!   and 4 KB messages).
 
-use mpi_api::Mpi;
-use mpi_api::message::{SrcSel, TagSel};
+use mpi_api::message::{SrcSel, Status, TagSel};
+use mpi_api::{Mpi, MpiResp, ReqId};
 use simcore::SimDuration;
 
 /// Configuration of the compute+barrier benchmark.
@@ -28,8 +28,10 @@ pub struct BarrierLoopCfg {
 pub fn barrier_loop(cfg: BarrierLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
     move |mpi| {
         for _ in 0..cfg.iters {
-            mpi.compute(cfg.granularity);
-            mpi.barrier();
+            // One handoff per iteration: the runtime issues the barrier to
+            // the engine at the compute's completion instant, exactly when
+            // a `compute(); barrier()` pair would have.
+            mpi.compute_then_barrier(cfg.granularity);
         }
         cfg.iters
     }
@@ -75,28 +77,58 @@ pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + 
             }
         }
         let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me + i) as u8).collect();
+        // Fold each exchange's received payloads into a checksum; the recv
+        // results follow the `peers.len()` send results in request order.
+        let absorb = |checksum: &mut u64, results: &[(Option<Vec<u8>>, Option<Status>)]| {
+            for (data, _) in &results[peers.len()..] {
+                let data = data.as_ref().expect("recv payload");
+                assert_eq!(data.len(), cfg.msg_bytes);
+                *checksum = checksum
+                    .wrapping_add(data[0] as u64)
+                    .wrapping_add(data[cfg.msg_bytes - 1] as u64);
+            }
+        };
         let mut checksum = 0u64;
+        // One harness handoff per iteration: batch the previous exchange's
+        // waitall together with this iteration's compute and 2k posts. The
+        // runtime issues each sub-call at the exact virtual instant the
+        // unbatched `compute; post*2k; waitall` loop would have (the
+        // waitall of iteration i-1 at the instant its posts completed, the
+        // compute at the waitall's completion), so timing and results are
+        // identical — only OS-thread traffic changes (see `Mpi::batch`).
+        let mut reqs: Vec<ReqId> = Vec::new();
         for it in 0..cfg.iters {
-            mpi.compute(cfg.granularity);
             let tag = (it % 1024) as i32;
-            let mut reqs = Vec::with_capacity(2 * peers.len());
+            let mut calls = Vec::with_capacity(2 + 2 * peers.len());
+            if !reqs.is_empty() {
+                calls.push(mpi.waitall_desc(&reqs));
+            }
+            calls.push(mpi.compute_desc(cfg.granularity));
             for &p in &peers {
-                reqs.push(mpi.isend(p, tag, &payload));
+                calls.push(mpi.isend_desc(p, tag, &payload));
             }
             for &p in &peers {
-                reqs.push(mpi.irecv(SrcSel::Rank(p), TagSel::Tag(tag)));
+                calls.push(mpi.irecv_desc(SrcSel::Rank(p), TagSel::Tag(tag)));
             }
-            let results = mpi.waitall(&reqs);
-            for (i, (data, _)) in results.iter().enumerate() {
-                if i >= peers.len() {
-                    let data = data.as_ref().expect("recv payload");
-                    assert_eq!(data.len(), cfg.msg_bytes);
-                    checksum = checksum
-                        .wrapping_add(data[0] as u64)
-                        .wrapping_add(data[cfg.msg_bytes - 1] as u64);
+            let mut resps = mpi.batch(calls).into_iter();
+            if !reqs.is_empty() {
+                match resps.next() {
+                    Some(MpiResp::WaitallDone { results }) => absorb(&mut checksum, &results),
+                    other => unreachable!("batched waitall -> {other:?}"),
                 }
             }
+            match resps.next() {
+                Some(MpiResp::Ok) => {}
+                other => unreachable!("batched compute -> {other:?}"),
+            }
+            reqs = resps
+                .map(|r| match r {
+                    MpiResp::Req(id) => id,
+                    other => unreachable!("batched post -> {other:?}"),
+                })
+                .collect();
         }
+        absorb(&mut checksum, &mpi.waitall(&reqs));
         checksum
     }
 }

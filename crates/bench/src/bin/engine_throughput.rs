@@ -2,6 +2,11 @@
 //! and the real-time cost of one BCS time slice (the fixed protocol
 //! machinery every 500 µs of virtual time).
 //!
+//! Every benchmark is a deterministic simulation, so its event count is
+//! measured once up front and each row reports an events/sec throughput
+//! alongside the per-iteration times — the comparable figure for event
+//! queue changes.
+//!
 //! Run offline: `cargo run --release -p bench --bin engine_throughput
 //! [-- --quick]`. Emits `reports/microbench_engine_throughput.csv`.
 
@@ -10,10 +15,43 @@ use mpi_api::runtime::{JobLayout, run_job};
 use simcore::{Sim, SimDuration, SimTime};
 use std::hint::black_box;
 
+fn idle_slices() -> u64 {
+    // 100 ms of virtual time = 200 empty slices on a 16-node cluster:
+    // measures the strobe/poll machinery cost.
+    let layout = JobLayout::new(16, 2, 32);
+    let out = run_job(
+        bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
+        layout,
+        |mpi| mpi.compute(SimDuration::millis(100)),
+    );
+    black_box(out.events)
+}
+
+fn burst_62ranks() -> u64 {
+    // 62-rank allreduce + neighbour exchange: end-to-end engine cost.
+    let layout = JobLayout::crescendo(62);
+    let out = run_job(
+        bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
+        layout,
+        |mpi| {
+            let peer = (mpi.rank() + 1) % mpi.size();
+            let from = (mpi.rank() + mpi.size() - 1) % mpi.size();
+            let s = mpi.isend(peer, 1, &[0u8; 4096]);
+            let r = mpi.irecv(
+                mpi_api::message::SrcSel::Rank(from),
+                mpi_api::message::TagSel::Tag(1),
+            );
+            mpi.waitall(&[s, r]);
+            mpi.allreduce_i64(mpi_api::datatype::ReduceOp::Sum, &[1])
+        },
+    );
+    black_box(out.events)
+}
+
 fn main() {
     let mut m = Micro::from_args("engine_throughput");
 
-    m.bench("engine", "sim_10k_events", || {
+    m.bench_rated("engine", "sim_10k_events", 10_000.0, || {
         let mut sim: Sim<u64> = Sim::new();
         let mut world = 0u64;
         for i in 0..10_000u64 {
@@ -23,38 +61,16 @@ fn main() {
         black_box(world)
     });
 
-    // 100 ms of virtual time = 200 empty slices on a 16-node cluster:
-    // measures the strobe/poll machinery cost.
-    m.bench("engine", "bcs_200_idle_slices_16nodes", || {
-        let layout = JobLayout::new(16, 2, 32);
-        let out = run_job(
-            bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
-            layout,
-            |mpi| mpi.compute(SimDuration::millis(100)),
-        );
-        black_box(out.events)
-    });
+    let events = idle_slices();
+    m.bench_rated(
+        "engine",
+        "bcs_200_idle_slices_16nodes",
+        events as f64,
+        idle_slices,
+    );
 
-    // 62-rank allreduce + neighbour exchange: end-to-end engine cost.
-    m.bench("engine", "bcs_burst_62ranks", || {
-        let layout = JobLayout::crescendo(62);
-        let out = run_job(
-            bcs_mpi::BcsMpi::new(bcs_mpi::BcsConfig::default(), &layout),
-            layout,
-            |mpi| {
-                let peer = (mpi.rank() + 1) % mpi.size();
-                let from = (mpi.rank() + mpi.size() - 1) % mpi.size();
-                let s = mpi.isend(peer, 1, &[0u8; 4096]);
-                let r = mpi.irecv(
-                    mpi_api::message::SrcSel::Rank(from),
-                    mpi_api::message::TagSel::Tag(1),
-                );
-                mpi.waitall(&[s, r]);
-                mpi.allreduce_i64(mpi_api::datatype::ReduceOp::Sum, &[1])
-            },
-        );
-        black_box(out.events)
-    });
+    let events = burst_62ranks();
+    m.bench_rated("engine", "bcs_burst_62ranks", events as f64, burst_62ranks);
 
     m.finish();
 }

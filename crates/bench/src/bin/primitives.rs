@@ -17,7 +17,7 @@ fn main() {
 
     for model in [NetModel::qsnet(), NetModel::myrinet()] {
         m.bench("compare_and_write_sim", model.name, || {
-            let mut w = StormWorld::new(model.clone(), 32);
+            let mut w = StormWorld::new(model, 32);
             let mut sim: Sim<StormWorld> = Sim::new();
             let nodes = w.nodes();
             let mgmt = w.mgmt;

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the BCS-MPI paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <experiment>...
+//! repro [--quick] [--out DIR] [--wallclock-baseline FILE] <experiment>...
 //! repro all            # everything (slow: paper-scale 62-rank runs)
 //! repro --quick all    # CI-sized sweep of every experiment
 //! repro fig9 fig11a    # selected experiments
@@ -11,18 +11,29 @@
 //! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
 //! ablation-chunk, ablation-multijob, ablation-fault, storm-launch.
 //!
+//! Every selected experiment is decomposed into independent sweep points
+//! (see [`bench::experiments`]) and the points of *all* experiments are
+//! pooled onto one work-stealing scheduler ([`bench::sweep`]) with
+//! `REPRO_THREADS` workers (default: all cores). Reports and CSVs are
+//! byte-identical at any thread count; only wall-clock time changes.
+//!
 //! After writing the CSVs, every regenerated headline value is compared
 //! against the tolerances recorded in EXPERIMENTS.md (see [`bench::gate`]);
-//! the process exits non-zero if any figure deviates.
+//! the process exits non-zero if any figure deviates. Wall-clock cost is
+//! recorded in `bench_wallclock.json`; pass `--wallclock-baseline` to also
+//! gate harness performance against a previous run's file.
 
 use bench::Report;
-use bench::experiments as ex;
+use bench::experiments::{Experiment, registry};
+use bench::sweep::{self, PointFn};
+use bench::wallclock::{ExperimentTime, WallclockReport};
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_dir = PathBuf::from("reports");
+    let mut baseline: Option<PathBuf> = None;
     let mut picks: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -32,12 +43,21 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
             }
+            "--wallclock-baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(
+                    args.get(i).expect("--wallclock-baseline needs a file"),
+                ));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--out DIR] <experiment>... | all");
+                println!(
+                    "usage: repro [--quick] [--out DIR] [--wallclock-baseline FILE] <experiment>... | all"
+                );
                 println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
                 println!("             fig11a fig11b ablation-slice ablation-reduce");
                 println!("             ablation-noise ablation-chunk ablation-multijob");
                 println!("             ablation-fault storm-launch");
+                println!("REPRO_THREADS controls the sweep worker count (default: all cores)");
                 return;
             }
             other => picks.push(other.to_string()),
@@ -50,67 +70,40 @@ fn main() {
     let all = picks.iter().any(|p| p == "all");
     let want = |name: &str| all || picks.iter().any(|p| p == name);
 
-    let mut emitted: Vec<(String, Report)> = Vec::new();
-    let mut emit = |name: &str, r: Report| {
-        println!("{}", r.render());
-        emitted.push((name.to_string(), r));
-    };
+    let selected: Vec<Experiment> = registry(quick).into_iter().filter(|e| want(e.cli)).collect();
+    if !all {
+        for p in &picks {
+            if !selected.iter().any(|e| e.cli == *p) {
+                eprintln!("warning: unknown experiment `{p}` (see --help)");
+            }
+        }
+    }
 
-    if want("table1") {
-        emit("table1", ex::table1());
+    // Pool every selected experiment's points into one global sweep so a
+    // straggler point of one figure overlaps with the next figure's work.
+    let mut pool: Vec<PointFn> = Vec::new();
+    let mut pending = Vec::new(); // (name, point span, assemble)
+    for e in selected {
+        let start = pool.len();
+        let count = e.points.len();
+        pool.extend(e.points);
+        pending.push((e.name, start..start + count, e.assemble));
     }
-    if want("fig2") {
-        emit("fig2", ex::fig2());
-    }
-    if want("fig8a") {
-        emit("fig8a", ex::fig8a(quick));
-    }
-    if want("fig8b") {
-        emit("fig8b", ex::fig8b(quick));
-    }
-    if want("fig8c") {
-        emit("fig8c", ex::fig8c(quick));
-    }
-    if want("fig8d") {
-        emit("fig8d", ex::fig8d(quick));
-    }
-    if want("fig9") {
-        let (runtimes, table2) = ex::fig9(quick);
-        emit("fig9_runtimes", runtimes);
-        emit("table2", table2);
-    }
-    if want("fig10") {
-        emit("fig10", ex::fig10(quick));
-    }
-    if want("fig11a") {
-        emit("fig11a", ex::fig11(quick, apps::sweep3d::SweepVariant::Blocking));
-    }
-    if want("fig11b") {
-        emit(
-            "fig11b",
-            ex::fig11(quick, apps::sweep3d::SweepVariant::NonBlocking),
-        );
-    }
-    if want("ablation-slice") {
-        emit("ablation_slice", ex::ablation_slice(quick));
-    }
-    if want("ablation-reduce") {
-        emit("ablation_reduce", ex::ablation_reduce(quick));
-    }
-    if want("ablation-noise") {
-        emit("ablation_noise", ex::ablation_noise(quick));
-    }
-    if want("ablation-chunk") {
-        emit("ablation_chunk", ex::ablation_chunk(quick));
-    }
-    if want("ablation-multijob") {
-        emit("ablation_multijob", ex::ablation_multijob());
-    }
-    if want("ablation-fault") {
-        emit("ablation_fault", ex::ablation_fault(quick));
-    }
-    if want("storm-launch") {
-        emit("storm_launch", ex::storm_launch());
+    let threads = sweep::threads_from_env();
+    let (outs, stats) = sweep::run_points(pool, threads);
+
+    let mut emitted: Vec<(&'static str, Report)> = Vec::new();
+    let mut experiment_times: Vec<ExperimentTime> = Vec::new();
+    for (name, span, assemble) in pending {
+        experiment_times.push(ExperimentTime {
+            name: name.to_string(),
+            points: span.len(),
+            busy_secs: stats.point_secs[span.clone()].iter().sum(),
+        });
+        for (rname, r) in assemble(outs[span].to_vec()) {
+            println!("{}", r.render());
+            emitted.push((rname, r));
+        }
     }
 
     for (name, r) in &emitted {
@@ -120,12 +113,48 @@ fn main() {
     }
     println!("wrote {} CSV file(s) to {}", emitted.len(), out_dir.display());
 
+    let wallclock = WallclockReport {
+        quick,
+        threads: stats.threads,
+        wall_secs: stats.wall_secs,
+        worker_busy_secs: stats.worker_busy_secs.clone(),
+        experiments: experiment_times,
+    };
+    let wc_path = out_dir.join("bench_wallclock.json");
+    if let Err(e) = std::fs::write(&wc_path, wallclock.to_json()) {
+        eprintln!("warning: failed to write {}: {e}", wc_path.display());
+    }
+    println!(
+        "sweep: {} point(s) on {} thread(s) in {:.2}s wall ({:.2}s busy, {:.0}% utilization)",
+        stats.point_secs.len(),
+        stats.threads,
+        wallclock.wall_secs,
+        wallclock.total_busy_secs(),
+        wallclock.utilization() * 100.0
+    );
+
     let mut checked = 0usize;
     let mut violations: Vec<String> = Vec::new();
     for (name, r) in &emitted {
         let (c, v) = bench::gate::check(name, r, quick);
         checked += c;
         violations.extend(v);
+    }
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| WallclockReport::from_json(&t))
+        {
+            Ok(base) => {
+                let (c, v) = bench::gate::check_wallclock(&base, &wallclock);
+                checked += c;
+                violations.extend(v);
+            }
+            Err(e) => violations.push(format!(
+                "wallclock baseline {} unreadable: {e}",
+                path.display()
+            )),
+        }
     }
     if violations.is_empty() {
         println!("tolerance gate: {checked} headline value(s) within recorded tolerances");

@@ -1,10 +1,19 @@
-//! One function per table/figure of the paper (see DESIGN.md §5).
+//! One experiment per table/figure of the paper (see DESIGN.md §5, §8).
 //!
-//! Every function returns [`Report`]s that the `repro` binary prints and
-//! writes as CSV. `quick` mode shrinks the sweeps so the full suite can run
-//! in CI; the full mode reproduces the paper-scale configurations (62
-//! processes on the 32-node "crescendo" layout).
+//! Each experiment is an [`Experiment`]: a flat list of independent sweep
+//! *points* (one simulation run each — every granularity × engine pair,
+//! every Table 1 (model, n) cell, every fault-injection configuration)
+//! plus an `assemble` step that folds the point outputs into [`Report`]s.
+//! The `repro` binary pools the points of every selected experiment onto
+//! the work-stealing scheduler in [`crate::sweep`]; because points return
+//! plain numbers and all formatting happens in `assemble` in point order,
+//! the emitted reports and CSVs are byte-identical at any thread count.
+//!
+//! `quick` mode shrinks the sweeps so the full suite can run in CI; the
+//! full mode reproduces the paper-scale configurations (62 processes on
+//! the 32-node "crescendo" layout).
 
+use crate::sweep::{PointFn, PointOut};
 use crate::{Report, pct, secs};
 use apps::npb::{cg, ep, ft, is, lu, mg};
 use apps::runner::{EngineSel, run_app, slowdown_pct};
@@ -17,9 +26,66 @@ use quadrics_mpi::QuadricsConfig;
 use simcore::{Sim, SimDuration, SimTime};
 use storm::StormWorld;
 
+/// A figure/table decomposed for the parallel sweep scheduler.
+pub struct Experiment {
+    /// Experiment key: wall-clock accounting name and (for single-report
+    /// experiments) the CSV stem / gate key of its report.
+    pub name: &'static str,
+    /// Name accepted on the `repro` command line (`ablation-fault` style).
+    pub cli: &'static str,
+    /// Independent sweep points, each a self-contained simulation run.
+    pub points: Vec<PointFn>,
+    /// Folds the point outputs (in point order) into named reports.
+    /// Pure formatting — never runs simulations.
+    pub assemble: Box<dyn FnOnce(Vec<PointOut>) -> Vec<(&'static str, Report)> + Send>,
+}
+
+impl Experiment {
+    /// Run every point in order on the calling thread and assemble.
+    /// The byte-identity reference for any parallel execution.
+    pub fn run_sequential(self) -> Vec<(&'static str, Report)> {
+        let outs: Vec<PointOut> = self.points.into_iter().map(|p| p()).collect();
+        (self.assemble)(outs)
+    }
+}
+
+/// Every experiment, in the order `repro` emits them.
+pub fn registry(quick: bool) -> Vec<Experiment> {
+    vec![
+        table1_exp(),
+        fig2_exp(),
+        fig8a_exp(quick),
+        fig8b_exp(quick),
+        fig8c_exp(quick),
+        fig8d_exp(quick),
+        fig9_exp(quick),
+        fig10_exp(quick),
+        fig11_exp(quick, sweep3d::SweepVariant::Blocking),
+        fig11_exp(quick, sweep3d::SweepVariant::NonBlocking),
+        ablation_slice_exp(quick),
+        ablation_reduce_exp(quick),
+        ablation_noise_exp(quick),
+        ablation_chunk_exp(quick),
+        ablation_multijob_exp(),
+        ablation_fault_exp(quick),
+        storm_launch_exp(),
+    ]
+}
+
 /// Paper-default cluster: 31 usable nodes × 2 CPUs for 62 ranks.
 fn layout(ranks: usize) -> JobLayout {
     JobLayout::crescendo(ranks)
+}
+
+/// Reconstruct a virtual duration a point shipped as nanoseconds.
+fn dur(ns: u64) -> SimDuration {
+    SimDuration::nanos(ns)
+}
+
+/// Extract the single report of a single-report experiment.
+fn only(mut reports: Vec<(&'static str, Report)>) -> Report {
+    assert_eq!(reports.len(), 1, "expected exactly one report");
+    reports.pop().unwrap().1
 }
 
 // ======================================================================
@@ -27,37 +93,62 @@ fn layout(ranks: usize) -> JobLayout {
 // ======================================================================
 
 pub fn table1() -> Report {
-    let mut r = Report::new(
-        "Table 1: BCS core mechanisms vs interconnect (measured on the simulated fabrics)",
-        &["C&W n=32", "C&W n=1024", "X&S n=32", "X&S n=1024", "paper C&W", "paper X&S"],
-    );
-    let paper = [
-        ("Gigabit Ethernet", "46·log n us", "n/a"),
-        ("Myrinet", "20·log n us", "~15n MB/s"),
-        ("InfiniBand", "20·log n us", "n/a"),
-        ("QsNet", "< 10 us", "> 150n MB/s"),
-        ("BlueGene/L", "< 2 us", "700n MB/s"),
-    ];
-    for (model, (_, pcw, pxs)) in qsnet::NetModel::table1_models().into_iter().zip(paper) {
-        let mut cells = Vec::new();
-        for &n in &[32usize, 1024] {
-            cells.push(format!("{:.1}us", measure_cw_us(model.clone(), n)));
+    only(table1_exp().run_sequential())
+}
+
+/// One point per (model, n) cell: both the C&W latency and the X&S
+/// aggregate bandwidth for that node count.
+pub fn table1_exp() -> Experiment {
+    let models = qsnet::NetModel::table1_models();
+    let ns = [32usize, 1024];
+    let mut points: Vec<PointFn> = Vec::new();
+    for &model in &models {
+        for &n in &ns {
+            points.push(Box::new(move || {
+                PointOut::new(
+                    vec![measure_cw_us(&model, n), measure_xs_aggregate_mbps(&model, n)],
+                    vec![],
+                )
+            }));
         }
-        for &n in &[32usize, 1024] {
-            let bw = measure_xs_aggregate_mbps(model.clone(), n);
-            cells.push(format!("{:.0}MB/s", bw));
-        }
-        cells.push(pcw.to_string());
-        cells.push(pxs.to_string());
-        r.row(model.name, cells);
     }
-    r.note("X&S aggregate bandwidth = n x bytes / completion time of a 1 MB multicast");
-    r
+    Experiment {
+        name: "table1",
+        cli: "table1",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Table 1: BCS core mechanisms vs interconnect (measured on the simulated fabrics)",
+                &["C&W n=32", "C&W n=1024", "X&S n=32", "X&S n=1024", "paper C&W", "paper X&S"],
+            );
+            let paper = [
+                ("Gigabit Ethernet", "46·log n us", "n/a"),
+                ("Myrinet", "20·log n us", "~15n MB/s"),
+                ("InfiniBand", "20·log n us", "n/a"),
+                ("QsNet", "< 10 us", "> 150n MB/s"),
+                ("BlueGene/L", "< 2 us", "700n MB/s"),
+            ];
+            for (mi, (model, (_, pcw, pxs))) in models.into_iter().zip(paper).enumerate() {
+                let mut cells = Vec::new();
+                for ni in 0..ns.len() {
+                    cells.push(format!("{:.1}us", outs[mi * ns.len() + ni].nums[0]));
+                }
+                for ni in 0..ns.len() {
+                    cells.push(format!("{:.0}MB/s", outs[mi * ns.len() + ni].nums[1]));
+                }
+                cells.push(pcw.to_string());
+                cells.push(pxs.to_string());
+                r.row(model.name, cells);
+            }
+            r.note("X&S aggregate bandwidth = n x bytes / completion time of a 1 MB multicast");
+            vec![("table1", r)]
+        }),
+    }
 }
 
 /// Completion latency of one Compare-And-Write over `n` nodes.
-fn measure_cw_us(net: qsnet::NetModel, n: usize) -> f64 {
-    let mut w = StormWorld::new(net, n);
+fn measure_cw_us(net: &qsnet::NetModel, n: usize) -> f64 {
+    let mut w = StormWorld::new(*net, n);
     let mut sim: Sim<StormWorld> = Sim::new();
     let nodes = w.nodes();
     let mgmt = w.mgmt;
@@ -77,9 +168,9 @@ fn measure_cw_us(net: qsnet::NetModel, n: usize) -> f64 {
 }
 
 /// Aggregate Xfer-And-Signal bandwidth: 1 MB multicast to `n` nodes.
-fn measure_xs_aggregate_mbps(net: qsnet::NetModel, n: usize) -> f64 {
+fn measure_xs_aggregate_mbps(net: &qsnet::NetModel, n: usize) -> f64 {
     let bytes = 1_048_576u64;
-    let mut w = StormWorld::new(net, n);
+    let mut w = StormWorld::new(*net, n);
     let mut sim: Sim<StormWorld> = Sim::new();
     let nodes = w.nodes();
     let mgmt = w.mgmt;
@@ -101,50 +192,69 @@ fn measure_xs_aggregate_mbps(net: qsnet::NetModel, n: usize) -> f64 {
 // ======================================================================
 
 pub fn fig2() -> Report {
-    let mut r = Report::new(
-        "Figure 2: blocking vs non-blocking primitive timing under BCS-MPI",
-        &["measured", "paper"],
-    );
-    // Blocking: ping exchanges posted at varying slice offsets; the engine
-    // records every post-to-restart delay.
-    let h = blocking_delay_histogram();
-    let mean_slices = h.mean().as_micros_f64() / 500.0;
-    r.metric("blocking_mean_slices", mean_slices);
-    r.row(
-        "blocking delay (mean)",
-        vec![format!("{mean_slices:.2} slices"), "1.5 slices".into()],
-    );
-    r.row(
-        "blocking delay (p95)",
-        vec![
-            format!("{:.2} slices", h.quantile(0.95).as_micros_f64() / 500.0),
-            "~2 slices".into(),
-        ],
-    );
+    only(fig2_exp().run_sequential())
+}
 
-    // Non-blocking: overlap ratio.
-    let l = JobLayout::new(2, 1, 2);
-    let out = run_app(&EngineSel::bcs(), l, |mpi| {
-        let peer = 1 - mpi.rank();
-        let t0 = mpi.now();
-        for _ in 0..20 {
-            let s = mpi.isend(peer, 1, &[0u8; 4096]);
-            let q = mpi.irecv(
-                mpi_api::message::SrcSel::Rank(peer),
-                mpi_api::message::TagSel::Tag(1),
+/// Two points: the blocking-delay histogram run and the overlap run.
+pub fn fig2_exp() -> Experiment {
+    let points: Vec<PointFn> = vec![
+        Box::new(|| {
+            let h = blocking_delay_histogram();
+            PointOut::new(
+                vec![h.mean().as_micros_f64(), h.quantile(0.95).as_micros_f64()],
+                vec![],
+            )
+        }),
+        Box::new(|| {
+            let l = JobLayout::new(2, 1, 2);
+            let out = run_app(&EngineSel::bcs(), l, |mpi| {
+                let peer = 1 - mpi.rank();
+                let t0 = mpi.now();
+                for _ in 0..20 {
+                    let s = mpi.isend(peer, 1, &[0u8; 4096]);
+                    let q = mpi.irecv(
+                        mpi_api::message::SrcSel::Rank(peer),
+                        mpi_api::message::TagSel::Tag(1),
+                    );
+                    mpi.compute(SimDuration::millis(5));
+                    mpi.waitall(&[s, q]);
+                }
+                mpi.now().since(t0).as_millis_f64()
+            });
+            PointOut::new(vec![out.results[0]], vec![])
+        }),
+    ];
+    Experiment {
+        name: "fig2",
+        cli: "fig2",
+        points,
+        assemble: Box::new(|outs| {
+            let mut r = Report::new(
+                "Figure 2: blocking vs non-blocking primitive timing under BCS-MPI",
+                &["measured", "paper"],
             );
-            mpi.compute(SimDuration::millis(5));
-            mpi.waitall(&[s, q]);
-        }
-        mpi.now().since(t0).as_millis_f64()
-    });
-    let overhead = (out.results[0] / 100.0 - 1.0) * 100.0;
-    r.metric("nonblocking_overhead_pct", overhead);
-    r.row(
-        "non-blocking overhead (5ms steps)",
-        vec![format!("{overhead:+.2}%"), "~0% (full overlap)".into()],
-    );
-    r
+            let mean_slices = outs[0].nums[0] / 500.0;
+            r.metric("blocking_mean_slices", mean_slices);
+            r.row(
+                "blocking delay (mean)",
+                vec![format!("{mean_slices:.2} slices"), "1.5 slices".into()],
+            );
+            r.row(
+                "blocking delay (p95)",
+                vec![
+                    format!("{:.2} slices", outs[0].nums[1] / 500.0),
+                    "~2 slices".into(),
+                ],
+            );
+            let overhead = (outs[1].nums[0] / 100.0 - 1.0) * 100.0;
+            r.metric("nonblocking_overhead_pct", overhead);
+            r.row(
+                "non-blocking overhead (5ms steps)",
+                vec![format!("{overhead:+.2}%"), "~0% (full overlap)".into()],
+            );
+            vec![("fig2", r)]
+        }),
+    }
 }
 
 /// Run a 2-rank blocking workload and return the engine's blocking-delay
@@ -179,117 +289,183 @@ fn fig8_iters(g: SimDuration) -> u64 {
     (SimDuration::millis(1500).as_nanos() / g.as_nanos()).clamp(10, 300)
 }
 
+/// A (BCS, Quadrics) point pair returning each run's virtual elapsed ns.
+/// `lay` and `make` build the layout and app program inside each point so
+/// the closures only capture plain scalars.
+fn engine_pair_points<L, F, P, R>(points: &mut Vec<PointFn>, bcs: EngineSel, lay: L, make: F)
+where
+    L: Fn() -> JobLayout + Send + Clone + 'static,
+    F: Fn() -> P + Send + Clone + 'static,
+    P: Fn(&mut mpi_api::Mpi) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let mk = make.clone();
+    let l = lay.clone();
+    points.push(Box::new(move || {
+        let out = run_app(&bcs, l(), mk());
+        PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+    }));
+    points.push(Box::new(move || {
+        let out = run_app(&EngineSel::quadrics(), lay(), make());
+        PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+    }));
+}
+
+/// Assemble the shared Figure 8/10/11 row shape from a (bcs, quadrics)
+/// point pair: `[elapsed_b, elapsed_q, slowdown]`.
+fn pair_cells(outs: &[PointOut], pair: usize) -> (Vec<String>, f64) {
+    let b = dur(outs[pair * 2].words[0]);
+    let q = dur(outs[pair * 2 + 1].words[0]);
+    let sd = slowdown_pct(b, q);
+    (
+        vec![secs(b.as_secs_f64()), secs(q.as_secs_f64()), pct(sd)],
+        sd,
+    )
+}
+
 pub fn fig8a(quick: bool) -> Report {
+    only(fig8a_exp(quick).run_sequential())
+}
+
+pub fn fig8a_exp(quick: bool) -> Experiment {
     let ranks = if quick { 16 } else { 62 };
-    let gs: &[u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
-    let mut r = Report::new(
-        format!("Figure 8(a): computation+barrier, {ranks} processes — slowdown vs granularity"),
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
+    let gs: &'static [u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
+    let mut points: Vec<PointFn> = Vec::new();
     for &g_ms in gs {
         let g = SimDuration::millis(g_ms);
-        let cfg = synthetic::BarrierLoopCfg {
-            granularity: g,
-            iters: fig8_iters(g),
-        };
-        let b = run_app(&EngineSel::bcs(), layout(ranks), synthetic::barrier_loop(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(ranks), synthetic::barrier_loop(cfg));
-        let sd = slowdown_pct(b.elapsed, q.elapsed);
-        if g_ms == 10 {
-            r.metric("slowdown_10ms_pct", sd);
-        }
-        r.row(
-            format!("{g_ms} ms"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(sd),
-            ],
-        );
+        engine_pair_points(&mut points, EngineSel::bcs(), move || layout(ranks), move || {
+            synthetic::barrier_loop(synthetic::BarrierLoopCfg {
+                granularity: g,
+                iters: fig8_iters(g),
+            })
+        });
     }
-    r.note("paper: slowdown < 7.5% at 10 ms granularity on the full machine");
-    r
+    Experiment {
+        name: "fig8a",
+        cli: "fig8a",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                format!(
+                    "Figure 8(a): computation+barrier, {ranks} processes — slowdown vs granularity"
+                ),
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            for (gi, &g_ms) in gs.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, gi);
+                if g_ms == 10 {
+                    r.metric("slowdown_10ms_pct", sd);
+                }
+                r.row(format!("{g_ms} ms"), cells);
+            }
+            r.note("paper: slowdown < 7.5% at 10 ms granularity on the full machine");
+            vec![("fig8a", r)]
+        }),
+    }
 }
 
 pub fn fig8b(quick: bool) -> Report {
-    let ps: &[usize] = if quick { &[8, 16] } else { &[4, 8, 16, 32, 48, 62] };
+    only(fig8b_exp(quick).run_sequential())
+}
+
+pub fn fig8b_exp(quick: bool) -> Experiment {
+    let ps: &'static [usize] = if quick { &[8, 16] } else { &[4, 8, 16, 32, 48, 62] };
     let g = SimDuration::millis(10);
-    let mut r = Report::new(
-        "Figure 8(b): computation+barrier, 10 ms granularity — slowdown vs processes",
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
+    let mut points: Vec<PointFn> = Vec::new();
     for &p in ps {
-        let cfg = synthetic::BarrierLoopCfg {
-            granularity: g,
-            iters: 100,
-        };
-        let b = run_app(&EngineSel::bcs(), layout(p), synthetic::barrier_loop(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(p), synthetic::barrier_loop(cfg));
-        r.row(
-            format!("{p} procs"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
-            ],
-        );
+        engine_pair_points(&mut points, EngineSel::bcs(), move || layout(p), move || {
+            synthetic::barrier_loop(synthetic::BarrierLoopCfg {
+                granularity: g,
+                iters: 100,
+            })
+        });
     }
-    r.note("paper: almost insensitive to the number of processors");
-    r
+    Experiment {
+        name: "fig8b",
+        cli: "fig8b",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Figure 8(b): computation+barrier, 10 ms granularity — slowdown vs processes",
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            for (pi, &p) in ps.iter().enumerate() {
+                let (cells, _) = pair_cells(&outs, pi);
+                r.row(format!("{p} procs"), cells);
+            }
+            r.note("paper: almost insensitive to the number of processors");
+            vec![("fig8b", r)]
+        }),
+    }
 }
 
 pub fn fig8c(quick: bool) -> Report {
+    only(fig8c_exp(quick).run_sequential())
+}
+
+pub fn fig8c_exp(quick: bool) -> Experiment {
     let ranks = if quick { 16 } else { 62 };
-    let gs: &[u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
-    let mut r = Report::new(
-        format!(
-            "Figure 8(c): computation+nearest-neighbour (4 neighbours, 4 KB), {ranks} processes — slowdown vs granularity"
-        ),
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
+    let gs: &'static [u64] = if quick { &[2, 10] } else { &[1, 2, 5, 10, 20, 50] };
+    let mut points: Vec<PointFn> = Vec::new();
     for &g_ms in gs {
         let g = SimDuration::millis(g_ms);
-        let cfg = synthetic::NeighborLoopCfg::paper(g, fig8_iters(g));
-        let b = run_app(&EngineSel::bcs(), layout(ranks), synthetic::neighbor_loop(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(ranks), synthetic::neighbor_loop(cfg));
-        let sd = slowdown_pct(b.elapsed, q.elapsed);
-        if g_ms == 10 {
-            r.metric("slowdown_10ms_pct", sd);
-        }
-        r.row(
-            format!("{g_ms} ms"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(sd),
-            ],
-        );
+        engine_pair_points(&mut points, EngineSel::bcs(), move || layout(ranks), move || {
+            synthetic::neighbor_loop(synthetic::NeighborLoopCfg::paper(g, fig8_iters(g)))
+        });
     }
-    r.note("paper: below 8% for granularities larger than 10 ms");
-    r
+    Experiment {
+        name: "fig8c",
+        cli: "fig8c",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                format!(
+                    "Figure 8(c): computation+nearest-neighbour (4 neighbours, 4 KB), {ranks} processes — slowdown vs granularity"
+                ),
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            for (gi, &g_ms) in gs.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, gi);
+                if g_ms == 10 {
+                    r.metric("slowdown_10ms_pct", sd);
+                }
+                r.row(format!("{g_ms} ms"), cells);
+            }
+            r.note("paper: below 8% for granularities larger than 10 ms");
+            vec![("fig8c", r)]
+        }),
+    }
 }
 
 pub fn fig8d(quick: bool) -> Report {
-    let ps: &[usize] = if quick { &[8, 16] } else { &[6, 8, 16, 32, 48, 62] };
+    only(fig8d_exp(quick).run_sequential())
+}
+
+pub fn fig8d_exp(quick: bool) -> Experiment {
+    let ps: &'static [usize] = if quick { &[8, 16] } else { &[6, 8, 16, 32, 48, 62] };
     let g = SimDuration::millis(10);
-    let mut r = Report::new(
-        "Figure 8(d): computation+nearest-neighbour, 10 ms granularity — slowdown vs processes",
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
+    let mut points: Vec<PointFn> = Vec::new();
     for &p in ps {
-        let cfg = synthetic::NeighborLoopCfg::paper(g, 100);
-        let b = run_app(&EngineSel::bcs(), layout(p), synthetic::neighbor_loop(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(p), synthetic::neighbor_loop(cfg));
-        r.row(
-            format!("{p} procs"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(slowdown_pct(b.elapsed, q.elapsed)),
-            ],
-        );
+        engine_pair_points(&mut points, EngineSel::bcs(), move || layout(p), move || {
+            synthetic::neighbor_loop(synthetic::NeighborLoopCfg::paper(g, 100))
+        });
     }
-    r
+    Experiment {
+        name: "fig8d",
+        cli: "fig8d",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Figure 8(d): computation+nearest-neighbour, 10 ms granularity — slowdown vs processes",
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            for (pi, &p) in ps.iter().enumerate() {
+                let (cells, _) = pair_cells(&outs, pi);
+                r.row(format!("{p} procs"), cells);
+            }
+            vec![("fig8d", r)]
+        }),
+    }
 }
 
 // ======================================================================
@@ -309,69 +485,84 @@ fn bcs_apps(quick: bool) -> EngineSel {
 }
 
 pub fn fig9(quick: bool) -> (Report, Report) {
+    let mut v = fig9_exp(quick).run_sequential().into_iter();
+    let runtimes = v.next().expect("fig9 runtimes").1;
+    let table2 = v.next().expect("table2").1;
+    (runtimes, table2)
+}
+
+/// One (BCS, Quadrics) point pair per application: 14 points.
+pub fn fig9_exp(quick: bool) -> Experiment {
     let ranks = if quick { 8 } else { 62 };
-    let lay = || layout(ranks);
-    let mut runtimes = Report::new(
-        format!("Figure 9: NPB + SAGE runtimes, {ranks} processes"),
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
-    let mut table2 = Report::new(
-        "Table 2: application slowdown (BCS-MPI vs Quadrics MPI)",
-        &["measured", "paper"],
-    );
+    let mut points: Vec<PointFn> = Vec::new();
 
-    type Entry = (&'static str, f64, f64, f64); // name, bcs, quadrics, paper pct
-    let mut entries: Vec<Entry> = Vec::new();
-
-    macro_rules! run_pair {
-        ($name:expr, $prog:expr, $paper:expr) => {{
-            let b = run_app(&bcs_apps(quick), lay(), $prog);
-            let q = run_app(&EngineSel::quadrics(), lay(), $prog);
-            entries.push((
-                $name,
-                b.elapsed.as_secs_f64(),
-                q.elapsed.as_secs_f64(),
-                $paper,
-            ));
+    macro_rules! pair {
+        ($prog:expr) => {{
+            engine_pair_points(&mut points, bcs_apps(quick), move || layout(ranks), move || $prog);
         }};
     }
 
-    if quick {
-        run_pair!("SAGE", sage::sage_bench(sage::SageCfg::test()), -0.42);
-        run_pair!("IS", is::is_bench(is::IsCfg::test()), 10.14);
-        run_pair!("EP", ep::ep_bench(ep::EpCfg::test()), 5.35);
-        run_pair!("MG", mg::mg_bench(mg::MgCfg::test()), 4.37);
-        run_pair!("CG", cg::cg_bench(cg::CgCfg::test()), 10.83);
-        run_pair!("LU", lu::lu_bench(lu::LuCfg::test()), 15.04);
-        run_pair!("FT*", ft::ft_bench(ft::FtCfg::test()), f64::NAN);
+    pair!(sage::sage_bench(if quick {
+        sage::SageCfg::test()
     } else {
-        run_pair!("SAGE", sage::sage_bench(sage::SageCfg::timing_input()), -0.42);
-        run_pair!("IS", is::is_bench(is::IsCfg::class_c()), 10.14);
-        run_pair!("EP", ep::ep_bench(ep::EpCfg::class_c()), 5.35);
-        run_pair!("MG", mg::mg_bench(mg::MgCfg::class_c()), 4.37);
-        run_pair!("CG", cg::cg_bench(cg::CgCfg::class_c()), 10.83);
-        run_pair!("LU", lu::lu_bench(lu::LuCfg::class_c()), 15.04);
-        // Beyond the paper: FT needs the MPI-group support the prototype
-        // lacked (§4.5).
-        run_pair!("FT*", ft::ft_bench(ft::FtCfg::class_c()), f64::NAN);
-    }
+        sage::SageCfg::timing_input()
+    }));
+    pair!(is::is_bench(if quick { is::IsCfg::test() } else { is::IsCfg::class_c() }));
+    pair!(ep::ep_bench(if quick { ep::EpCfg::test() } else { ep::EpCfg::class_c() }));
+    pair!(mg::mg_bench(if quick { mg::MgCfg::test() } else { mg::MgCfg::class_c() }));
+    pair!(cg::cg_bench(if quick { cg::CgCfg::test() } else { cg::CgCfg::class_c() }));
+    pair!(lu::lu_bench(if quick { lu::LuCfg::test() } else { lu::LuCfg::class_c() }));
+    // Beyond the paper: FT needs the MPI-group support the prototype
+    // lacked (§4.5).
+    pair!(ft::ft_bench(if quick { ft::FtCfg::test() } else { ft::FtCfg::class_c() }));
 
-    for (name, b, q, paper) in &entries {
-        let sd = (b / q - 1.0) * 100.0;
-        runtimes.row(*name, vec![secs(*b), secs(*q), pct(sd)]);
-        let paper_cell = if paper.is_nan() {
-            "n/a (no groups)".to_string()
-        } else {
-            pct(*paper)
-        };
-        if matches!(*name, "SAGE" | "CG" | "LU") {
-            table2.metric(format!("slowdown_{name}_pct"), sd);
-        }
-        table2.row(*name, vec![pct(sd), paper_cell]);
+    // name, paper pct — row order matches the point-pair order above.
+    let entries: &'static [(&'static str, f64)] = &[
+        ("SAGE", -0.42),
+        ("IS", 10.14),
+        ("EP", 5.35),
+        ("MG", 4.37),
+        ("CG", 10.83),
+        ("LU", 15.04),
+        ("FT*", f64::NAN),
+    ];
+
+    Experiment {
+        name: "fig9",
+        cli: "fig9",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut runtimes = Report::new(
+                format!("Figure 9: NPB + SAGE runtimes, {ranks} processes"),
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            let mut table2 = Report::new(
+                "Table 2: application slowdown (BCS-MPI vs Quadrics MPI)",
+                &["measured", "paper"],
+            );
+            for (i, (name, paper)) in entries.iter().enumerate() {
+                let b = dur(outs[i * 2].words[0]).as_secs_f64();
+                let q = dur(outs[i * 2 + 1].words[0]).as_secs_f64();
+                let sd = (b / q - 1.0) * 100.0;
+                runtimes.row(*name, vec![secs(b), secs(q), pct(sd)]);
+                let paper_cell = if paper.is_nan() {
+                    "n/a (no groups)".to_string()
+                } else {
+                    pct(*paper)
+                };
+                if matches!(*name, "SAGE" | "CG" | "LU") {
+                    table2.metric(format!("slowdown_{name}_pct"), sd);
+                }
+                table2.row(*name, vec![pct(sd), paper_cell]);
+            }
+            runtimes
+                .note("BCS-MPI runs include the one-time runtime initialization (see apps::calib)");
+            table2.note(
+                "FT*: requires MPI groups, unimplemented in the paper's prototype; enabled here",
+            );
+            vec![("fig9_runtimes", runtimes), ("table2", table2)]
+        }),
     }
-    runtimes.note("BCS-MPI runs include the one-time runtime initialization (see apps::calib)");
-    table2.note("FT*: requires MPI groups, unimplemented in the paper's prototype; enabled here");
-    (runtimes, table2)
 }
 
 // ======================================================================
@@ -379,38 +570,46 @@ pub fn fig9(quick: bool) -> (Report, Report) {
 // ======================================================================
 
 pub fn fig10(quick: bool) -> Report {
-    let ps: &[usize] = if quick { &[4, 8] } else { &[8, 16, 32, 48, 62] };
-    let mut r = Report::new(
-        "Figure 10: SAGE runtime vs processes",
-        &["BCS-MPI", "Quadrics", "slowdown"],
-    );
-    let mut max_abs = 0.0f64;
+    only(fig10_exp(quick).run_sequential())
+}
+
+pub fn fig10_exp(quick: bool) -> Experiment {
+    let ps: &'static [usize] = if quick { &[4, 8] } else { &[8, 16, 32, 48, 62] };
+    let mut points: Vec<PointFn> = Vec::new();
     for &p in ps {
-        let cfg = if quick {
-            sage::SageCfg::test()
-        } else {
-            let mut c = sage::SageCfg::timing_input();
-            c.steps = 15; // per-point sweep uses shorter runs
-            c
-        };
         // Per-point sweeps exclude the one-time runtime init (reported in
         // Figure 9 / Table 2); these curves compare steady-state loop time.
-        let b = run_app(&bcs_apps(true), layout(p), sage::sage_bench(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(p), sage::sage_bench(cfg));
-        let sd = slowdown_pct(b.elapsed, q.elapsed);
-        max_abs = sd.abs().max(max_abs);
-        r.row(
-            format!("{p} procs"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(sd),
-            ],
-        );
+        engine_pair_points(&mut points, bcs_apps(true), move || layout(p), move || {
+            let cfg = if quick {
+                sage::SageCfg::test()
+            } else {
+                let mut c = sage::SageCfg::timing_input();
+                c.steps = 15; // per-point sweep uses shorter runs
+                c
+            };
+            sage::sage_bench(cfg)
+        });
     }
-    r.metric("max_abs_slowdown_pct", max_abs);
-    r.note("paper: -0.42% (parity; BCS-MPI marginally faster)");
-    r
+    Experiment {
+        name: "fig10",
+        cli: "fig10",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Figure 10: SAGE runtime vs processes",
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            let mut max_abs = 0.0f64;
+            for (pi, &p) in ps.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, pi);
+                max_abs = sd.abs().max(max_abs);
+                r.row(format!("{p} procs"), cells);
+            }
+            r.metric("max_abs_slowdown_pct", max_abs);
+            r.note("paper: -0.42% (parity; BCS-MPI marginally faster)");
+            vec![("fig10", r)]
+        }),
+    }
 }
 
 // ======================================================================
@@ -418,194 +617,239 @@ pub fn fig10(quick: bool) -> Report {
 // ======================================================================
 
 pub fn fig11(quick: bool, variant: sweep3d::SweepVariant) -> Report {
-    let ps: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32, 48, 62] };
-    let title = match variant {
-        sweep3d::SweepVariant::Blocking => {
-            "Figure 11(a): SWEEP3D with blocking send/receive — runtime vs processes"
-        }
-        sweep3d::SweepVariant::NonBlocking => {
-            "Figure 11(b): SWEEP3D transformed to Isend/Irecv+Waitall — runtime vs processes"
-        }
-    };
-    let mut r = Report::new(title, &["BCS-MPI", "Quadrics", "slowdown"]);
-    let mut max_sd = f64::NEG_INFINITY;
+    only(fig11_exp(quick, variant).run_sequential())
+}
+
+pub fn fig11_exp(quick: bool, variant: sweep3d::SweepVariant) -> Experiment {
+    let ps: &'static [usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32, 48, 62] };
+    let mut points: Vec<PointFn> = Vec::new();
     for &p in ps {
-        let cfg = if quick {
-            sweep3d::SweepCfg::test(variant)
-        } else {
-            sweep3d::SweepCfg::paper(variant)
-        };
-        let b = run_app(&bcs_apps(true), layout(p), sweep3d::sweep3d_bench(cfg.clone()));
-        let q = run_app(&EngineSel::quadrics(), layout(p), sweep3d::sweep3d_bench(cfg));
-        let sd = slowdown_pct(b.elapsed, q.elapsed);
-        max_sd = max_sd.max(sd);
-        r.row(
-            format!("{p} procs"),
-            vec![
-                secs(b.elapsed.as_secs_f64()),
-                secs(q.elapsed.as_secs_f64()),
-                pct(sd),
-            ],
-        );
+        engine_pair_points(&mut points, bcs_apps(true), move || layout(p), move || {
+            sweep3d::sweep3d_bench(if quick {
+                sweep3d::SweepCfg::test(variant)
+            } else {
+                sweep3d::SweepCfg::paper(variant)
+            })
+        });
     }
-    r.metric("max_slowdown_pct", max_sd);
-    match variant {
-        sweep3d::SweepVariant::Blocking => r.note("paper: ~30% slower in all configurations"),
-        sweep3d::SweepVariant::NonBlocking => {
-            r.note("paper: -2.23% (BCS-MPI slightly outperforms)")
-        }
+    let (name, title, note): (&'static str, &'static str, &'static str) = match variant {
+        sweep3d::SweepVariant::Blocking => (
+            "fig11a",
+            "Figure 11(a): SWEEP3D with blocking send/receive — runtime vs processes",
+            "paper: ~30% slower in all configurations",
+        ),
+        sweep3d::SweepVariant::NonBlocking => (
+            "fig11b",
+            "Figure 11(b): SWEEP3D transformed to Isend/Irecv+Waitall — runtime vs processes",
+            "paper: -2.23% (BCS-MPI slightly outperforms)",
+        ),
+    };
+    Experiment {
+        name,
+        cli: name,
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(title, &["BCS-MPI", "Quadrics", "slowdown"]);
+            let mut max_sd = f64::NEG_INFINITY;
+            for (pi, &p) in ps.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, pi);
+                max_sd = max_sd.max(sd);
+                r.row(format!("{p} procs"), cells);
+            }
+            r.metric("max_slowdown_pct", max_sd);
+            r.note(note);
+            vec![(name, r)]
+        }),
     }
-    r
 }
 
 // ======================================================================
 // Ablations
 // ======================================================================
 
-/// Time-slice length ablation: the 500 µs default against alternatives.
 pub fn ablation_slice(quick: bool) -> Report {
+    only(ablation_slice_exp(quick).run_sequential())
+}
+
+/// Time-slice length ablation: the 500 µs default against alternatives.
+/// Point 0 is the Quadrics baseline; one point per slice length follows.
+pub fn ablation_slice_exp(quick: bool) -> Experiment {
     let ranks = if quick { 8 } else { 32 };
-    let slices_us: &[u64] = if quick { &[250, 500] } else { &[100, 250, 500, 1000, 2000] };
-    let mut r = Report::new(
-        "Ablation: time-slice length (SWEEP3D blocking, fine grain)",
-        &["BCS-MPI", "slowdown vs Quadrics"],
-    );
-    let cfg = sweep3d::SweepCfg {
+    let slices_us: &'static [u64] = if quick { &[250, 500] } else { &[100, 250, 500, 1000, 2000] };
+    let cfg = move || sweep3d::SweepCfg {
         steps: if quick { 20 } else { 100 },
         step_compute: SimDuration::micros(3_500),
         face_elems: 128,
         variant: sweep3d::SweepVariant::Blocking,
     };
-    let q = run_app(
-        &EngineSel::quadrics(),
-        layout(ranks),
-        sweep3d::sweep3d_bench(cfg.clone()),
-    );
+    let mut points: Vec<PointFn> = Vec::new();
+    points.push(Box::new(move || {
+        let q = run_app(&EngineSel::quadrics(), layout(ranks), sweep3d::sweep3d_bench(cfg()));
+        PointOut::new(vec![], vec![q.elapsed.as_nanos()])
+    }));
     for &ts in slices_us {
-        let bcfg = BcsConfig::default().with_timeslice(SimDuration::micros(ts));
-        let b = run_app(
-            &EngineSel::Bcs(bcfg),
-            layout(ranks),
-            sweep3d::sweep3d_bench(cfg.clone()),
-        );
-        let sd = slowdown_pct(b.elapsed, q.elapsed);
-        if ts == 500 {
-            r.metric("slowdown_500us_pct", sd);
-        }
-        r.row(
-            format!("{ts} us slice"),
-            vec![secs(b.elapsed.as_secs_f64()), pct(sd)],
-        );
+        points.push(Box::new(move || {
+            let bcfg = BcsConfig::default().with_timeslice(SimDuration::micros(ts));
+            let b = run_app(&EngineSel::Bcs(bcfg), layout(ranks), sweep3d::sweep3d_bench(cfg()));
+            PointOut::new(vec![], vec![b.elapsed.as_nanos()])
+        }));
     }
-    r.note("shorter slices cut blocking latency but raise strobe overhead");
-    r
-}
-
-/// NIC-side reduce arithmetic cost ablation (§4.4 / reference \[16\]).
-pub fn ablation_reduce(quick: bool) -> Report {
-    let ranks = if quick { 8 } else { 32 };
-    let elem_counts: &[usize] = if quick { &[8, 512] } else { &[1, 8, 64, 512, 4096] };
-    let mut r = Report::new(
-        "Ablation: allreduce cost vs element count and NIC arithmetic speed",
-        &["NIC softfloat (20ns/B)", "host-FPU-speed (1ns/B)", "slow NIC (100ns/B)"],
-    );
-    for &elems in elem_counts {
-        let mut cells = Vec::new();
-        for ns_per_byte in [20.0, 1.0, 100.0] {
-            let mut cfg = BcsConfig::default();
-            cfg.reduce_ns_per_byte = ns_per_byte;
-            let iters = 20u64;
-            let out = run_app(&EngineSel::Bcs(cfg), layout(ranks), move |mpi| {
-                let data = vec![1.0f64; elems];
-                let t0 = mpi.now();
-                for _ in 0..iters {
-                    mpi.allreduce_f64(ReduceOp::Sum, &data);
+    Experiment {
+        name: "ablation_slice",
+        cli: "ablation-slice",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Ablation: time-slice length (SWEEP3D blocking, fine grain)",
+                &["BCS-MPI", "slowdown vs Quadrics"],
+            );
+            let q = dur(outs[0].words[0]);
+            for (i, &ts) in slices_us.iter().enumerate() {
+                let b = dur(outs[1 + i].words[0]);
+                let sd = slowdown_pct(b, q);
+                if ts == 500 {
+                    r.metric("slowdown_500us_pct", sd);
                 }
-                mpi.now().since(t0).as_micros_f64() / iters as f64
-            });
-            cells.push(format!("{:.0}us", out.results[0]));
-        }
-        r.row(format!("{elems} f64"), cells);
+                r.row(
+                    format!("{ts} us slice"),
+                    vec![secs(b.as_secs_f64()), pct(sd)],
+                );
+            }
+            r.note("shorter slices cut blocking latency but raise strobe overhead");
+            vec![("ablation_slice", r)]
+        }),
     }
-    r.note("slice quantization dominates small reduces: NIC softfloat is effectively free (paper [16])");
-    r
 }
 
-/// OS-noise ablation (§4.5, reference \[20\]): fine-grained bulk-synchronous workload.
+pub fn ablation_reduce(quick: bool) -> Report {
+    only(ablation_reduce_exp(quick).run_sequential())
+}
+
+/// NIC-side reduce arithmetic cost ablation (§4.4 / reference \[16\]):
+/// one point per (element count, ns-per-byte) grid cell.
+pub fn ablation_reduce_exp(quick: bool) -> Experiment {
+    let ranks = if quick { 8 } else { 32 };
+    let elem_counts: &'static [usize] = if quick { &[8, 512] } else { &[1, 8, 64, 512, 4096] };
+    const SPEEDS: [f64; 3] = [20.0, 1.0, 100.0];
+    let mut points: Vec<PointFn> = Vec::new();
+    for &elems in elem_counts {
+        for ns_per_byte in SPEEDS {
+            points.push(Box::new(move || {
+                let mut cfg = BcsConfig::default();
+                cfg.reduce_ns_per_byte = ns_per_byte;
+                let iters = 20u64;
+                let out = run_app(&EngineSel::Bcs(cfg), layout(ranks), move |mpi| {
+                    let data = vec![1.0f64; elems];
+                    let t0 = mpi.now();
+                    for _ in 0..iters {
+                        mpi.allreduce_f64(ReduceOp::Sum, &data);
+                    }
+                    mpi.now().since(t0).as_micros_f64() / iters as f64
+                });
+                PointOut::new(vec![out.results[0]], vec![])
+            }));
+        }
+    }
+    Experiment {
+        name: "ablation_reduce",
+        cli: "ablation-reduce",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Ablation: allreduce cost vs element count and NIC arithmetic speed",
+                &["NIC softfloat (20ns/B)", "host-FPU-speed (1ns/B)", "slow NIC (100ns/B)"],
+            );
+            for (ei, &elems) in elem_counts.iter().enumerate() {
+                let cells = (0..SPEEDS.len())
+                    .map(|si| format!("{:.0}us", outs[ei * SPEEDS.len() + si].nums[0]))
+                    .collect();
+                r.row(format!("{elems} f64"), cells);
+            }
+            r.note(
+                "slice quantization dominates small reduces: NIC softfloat is effectively free (paper [16])",
+            );
+            vec![("ablation_reduce", r)]
+        }),
+    }
+}
+
 pub fn ablation_noise(quick: bool) -> Report {
+    only(ablation_noise_exp(quick).run_sequential())
+}
+
+/// OS-noise ablation (§4.5, reference \[20\]): four points — Quadrics and
+/// BCS, clean and with the noise injector.
+pub fn ablation_noise_exp(quick: bool) -> Experiment {
     let ranks = if quick { 8 } else { 62 };
     let iters = if quick { 50 } else { 200 };
-    let cfg = synthetic::BarrierLoopCfg {
+    let cfg = move || synthetic::BarrierLoopCfg {
         granularity: SimDuration::millis(1),
         iters,
     };
-    let noise = NoiseConfig {
+    let noise = || NoiseConfig {
         mean_interval: SimDuration::millis(10),
         hole: SimDuration::micros(800),
         seed: 99,
     };
-    let mut r = Report::new(
-        "Ablation: OS noise on a fine-grained (1 ms) barrier loop",
-        &["runtime", "vs clean"],
-    );
-    let q_clean = run_app(
-        &EngineSel::quadrics(),
-        layout(ranks),
-        synthetic::barrier_loop(cfg.clone()),
-    );
-    let mut qn_cfg = QuadricsConfig::default();
-    qn_cfg.noise = Some(noise.clone());
-    let q_noise = run_app(
-        &EngineSel::Quadrics(qn_cfg),
-        layout(ranks),
-        synthetic::barrier_loop(cfg.clone()),
-    );
-    let b_clean = run_app(&EngineSel::bcs(), layout(ranks), synthetic::barrier_loop(cfg.clone()));
-    let mut bn_cfg = BcsConfig::default();
-    bn_cfg.noise = Some(noise);
-    let b_noise = run_app(
-        &EngineSel::Bcs(bn_cfg),
-        layout(ranks),
-        synthetic::barrier_loop(cfg),
-    );
-    let rel = |x: &apps::runner::AppOutcome<u64>, base: &apps::runner::AppOutcome<u64>| {
-        pct((x.elapsed.as_secs_f64() / base.elapsed.as_secs_f64() - 1.0) * 100.0)
-    };
-    r.row(
-        "Quadrics clean",
-        vec![secs(q_clean.elapsed.as_secs_f64()), "-".into()],
-    );
-    r.row(
-        "Quadrics + noise",
-        vec![secs(q_noise.elapsed.as_secs_f64()), rel(&q_noise, &q_clean)],
-    );
-    r.row(
-        "BCS-MPI clean",
-        vec![secs(b_clean.elapsed.as_secs_f64()), "-".into()],
-    );
-    r.row(
-        "BCS-MPI + noise",
-        vec![secs(b_noise.elapsed.as_secs_f64()), rel(&b_noise, &b_clean)],
-    );
-    r.note("slice slack absorbs holes that hit while a rank would be waiting anyway");
-    r
+    let sels: Vec<EngineSel> = vec![
+        EngineSel::quadrics(),
+        {
+            let mut qn_cfg = QuadricsConfig::default();
+            qn_cfg.noise = Some(noise());
+            EngineSel::Quadrics(qn_cfg)
+        },
+        EngineSel::bcs(),
+        {
+            let mut bn_cfg = BcsConfig::default();
+            bn_cfg.noise = Some(noise());
+            EngineSel::Bcs(bn_cfg)
+        },
+    ];
+    let points: Vec<PointFn> = sels
+        .into_iter()
+        .map(|sel| {
+            Box::new(move || {
+                let out = run_app(&sel, layout(ranks), synthetic::barrier_loop(cfg()));
+                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+            }) as PointFn
+        })
+        .collect();
+    Experiment {
+        name: "ablation_noise",
+        cli: "ablation-noise",
+        points,
+        assemble: Box::new(|outs| {
+            let mut r = Report::new(
+                "Ablation: OS noise on a fine-grained (1 ms) barrier loop",
+                &["runtime", "vs clean"],
+            );
+            let t = |i: usize| dur(outs[i].words[0]).as_secs_f64();
+            let rel = |x: f64, base: f64| pct((x / base - 1.0) * 100.0);
+            r.row("Quadrics clean", vec![secs(t(0)), "-".into()]);
+            r.row("Quadrics + noise", vec![secs(t(1)), rel(t(1), t(0))]);
+            r.row("BCS-MPI clean", vec![secs(t(2)), "-".into()]);
+            r.row("BCS-MPI + noise", vec![secs(t(3)), rel(t(3), t(2))]);
+            r.note("slice slack absorbs holes that hit while a rank would be waiting anyway");
+            vec![("ablation_noise", r)]
+        }),
+    }
 }
 
-/// Chunking ablation: achieved point-to-point bandwidth vs message size.
 pub fn ablation_chunk(quick: bool) -> Report {
-    let sizes: &[usize] = if quick {
+    only(ablation_chunk_exp(quick).run_sequential())
+}
+
+/// Chunking ablation: one point per (message size, engine).
+pub fn ablation_chunk_exp(quick: bool) -> Experiment {
+    let sizes: &'static [usize] = if quick {
         &[16 * 1024, 1024 * 1024]
     } else {
         &[4 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024]
     };
-    let mut r = Report::new(
-        "Ablation: effective bandwidth vs message size (chunking over slices)",
-        &["BCS-MPI", "Quadrics", "BCS/link", "notes"],
-    );
-    for &sz in sizes {
-        let measure = |sel: &EngineSel| {
+    let measure = |sel: EngineSel, sz: usize| -> PointFn {
+        Box::new(move || {
             let l = JobLayout::new(2, 1, 2);
-            let out = run_app(sel, l, move |mpi| {
+            let out = run_app(&sel, l, move |mpi| {
                 let reps = 4;
                 mpi.barrier();
                 let t0 = mpi.now();
@@ -619,68 +863,54 @@ pub fn ablation_chunk(quick: bool) -> Report {
                 mpi.barrier();
                 (sz as f64 * reps as f64) / mpi.now().since(t0).as_secs_f64() / 1e6
             });
-            out.results[1]
-        };
-        let b = measure(&EngineSel::bcs());
-        let q = measure(&EngineSel::quadrics());
-        r.row(
-            format!("{} KiB", sz / 1024),
-            vec![
-                format!("{b:.0} MB/s"),
-                format!("{q:.0} MB/s"),
-                format!("{:.0}%", b / 320.0 * 100.0),
-                if sz > 96 * 1024 { "chunked".into() } else { "single slice".into() },
-            ],
-        );
+            PointOut::new(vec![out.results[1]], vec![])
+        })
+    };
+    let mut points: Vec<PointFn> = Vec::new();
+    for &sz in sizes {
+        points.push(measure(EngineSel::bcs(), sz));
+        points.push(measure(EngineSel::quadrics(), sz));
     }
-    r.note("per-slice budget = 0.6 x slice x link bandwidth (~96 KiB at 500 us)");
-    r
+    Experiment {
+        name: "ablation_chunk",
+        cli: "ablation-chunk",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Ablation: effective bandwidth vs message size (chunking over slices)",
+                &["BCS-MPI", "Quadrics", "BCS/link", "notes"],
+            );
+            for (i, &sz) in sizes.iter().enumerate() {
+                let b = outs[i * 2].nums[0];
+                let q = outs[i * 2 + 1].nums[0];
+                r.row(
+                    format!("{} KiB", sz / 1024),
+                    vec![
+                        format!("{b:.0} MB/s"),
+                        format!("{q:.0} MB/s"),
+                        format!("{:.0}%", b / 320.0 * 100.0),
+                        if sz > 96 * 1024 { "chunked".into() } else { "single slice".into() },
+                    ],
+                );
+            }
+            r.note("per-slice budget = 0.6 x slice x link bandwidth (~96 KiB at 500 us)");
+            vec![("ablation_chunk", r)]
+        }),
+    }
+}
+
+pub fn ablation_multijob() -> Report {
+    only(ablation_multijob_exp().run_sequential())
 }
 
 /// Multiprogramming ablation (§5.4 option 1): gang-schedule two jobs —
 /// first with STORM's analytic scheduler, then for real inside the BCS-MPI
 /// engine (two communicator-scoped jobs sharing every node's CPUs).
-pub fn ablation_multijob() -> Report {
-    use storm::gang::{JobProfile, gang_schedule};
-    let sweep_like = JobProfile {
-        name: "sweep3d-like",
-        compute: SimDuration::micros(3_500),
-        blocked: SimDuration::micros(1_100),
-        steps: 2_000,
-    };
-    let quantum = SimDuration::micros(500);
-    let cs = SimDuration::micros(25);
-    let solo = gang_schedule(&[sweep_like.clone()], quantum, cs);
-    let duo = gang_schedule(&[sweep_like.clone(), sweep_like.clone()], quantum, cs);
-    let mut r = Report::new(
-        "Ablation: gang-scheduling a second job into blocked slices (STORM, §5.4)",
-        &["makespan", "utilization", "switches"],
-    );
-    r.row(
-        "1 job",
-        vec![
-            secs(solo.total.as_secs_f64()),
-            format!("{:.0}%", solo.utilization * 100.0),
-            solo.switches.to_string(),
-        ],
-    );
-    r.row(
-        "2 jobs (gang)",
-        vec![
-            secs(duo.total.as_secs_f64()),
-            format!("{:.0}%", duo.utilization * 100.0),
-            duo.switches.to_string(),
-        ],
-    );
-    let ideal_serial = solo.total.as_secs_f64() * 2.0;
-    r.note(format!(
-        "2 jobs finish in {:.2}s vs {:.2}s run back-to-back: the second job fills the blocking holes",
-        duo.total.as_secs_f64(),
-        ideal_serial
-    ));
-
-    // The same experiment inside the real BCS-MPI engine: two jobs of
-    // blocking ring exchanges, gang-scheduled on shared nodes.
+///
+/// Three points: the analytic solo/duo schedules, the dedicated-CPU engine
+/// run, and the gang-shared engine run.
+pub fn ablation_multijob_exp() -> Experiment {
+    // Two jobs of blocking ring exchanges, gang-scheduled on shared nodes.
     let steps = 60u64;
     let compute = SimDuration::micros(1_300);
     let program = move |mpi: &mut mpi_api::Mpi| {
@@ -704,45 +934,114 @@ pub fn ablation_multijob() -> Report {
         }
     };
     let lay = || JobLayout::new(4, 4, 16);
-    let dedicated = mpi_api::runtime::run_job(
-        bcs_mpi::BcsMpi::new(BcsConfig::default(), &lay()),
-        lay(),
-        program,
-    );
-    let mut gcfg = BcsConfig::default();
-    let mut jobs = vec![Vec::new(), Vec::new()];
-    for rank in 0..16 {
-        jobs[(rank % 4) / 2].push(rank);
+
+    let points: Vec<PointFn> = vec![
+        Box::new(|| {
+            use storm::gang::{JobProfile, gang_schedule};
+            let sweep_like = JobProfile {
+                name: "sweep3d-like",
+                compute: SimDuration::micros(3_500),
+                blocked: SimDuration::micros(1_100),
+                steps: 2_000,
+            };
+            let quantum = SimDuration::micros(500);
+            let cs = SimDuration::micros(25);
+            let solo = gang_schedule(&[sweep_like.clone()], quantum, cs);
+            let duo = gang_schedule(&[sweep_like.clone(), sweep_like.clone()], quantum, cs);
+            PointOut::new(
+                vec![
+                    solo.total.as_secs_f64(),
+                    solo.utilization,
+                    duo.total.as_secs_f64(),
+                    duo.utilization,
+                ],
+                vec![solo.switches, duo.switches],
+            )
+        }),
+        Box::new(move || {
+            let dedicated = mpi_api::runtime::run_job(
+                bcs_mpi::BcsMpi::new(BcsConfig::default(), &lay()),
+                lay(),
+                program,
+            );
+            PointOut::new(vec![], vec![dedicated.elapsed.as_nanos()])
+        }),
+        Box::new(move || {
+            let mut gcfg = BcsConfig::default();
+            let mut jobs = vec![Vec::new(), Vec::new()];
+            for rank in 0..16 {
+                jobs[(rank % 4) / 2].push(rank);
+            }
+            gcfg.gang = Some(bcs_mpi::GangConfig {
+                jobs,
+                switch_cost: SimDuration::micros(25),
+            });
+            let gang = mpi_api::runtime::run_job(bcs_mpi::BcsMpi::new(gcfg, &lay()), lay(), program);
+            PointOut::new(
+                vec![],
+                vec![gang.elapsed.as_nanos(), gang.engine.gang_switches()],
+            )
+        }),
+    ];
+    Experiment {
+        name: "ablation_multijob",
+        cli: "ablation-multijob",
+        points,
+        assemble: Box::new(|outs| {
+            let mut r = Report::new(
+                "Ablation: gang-scheduling a second job into blocked slices (STORM, §5.4)",
+                &["makespan", "utilization", "switches"],
+            );
+            let [solo_total, solo_util, duo_total, duo_util] = outs[0].nums[..] else {
+                panic!("analytic point shape");
+            };
+            r.row(
+                "1 job",
+                vec![
+                    secs(solo_total),
+                    format!("{:.0}%", solo_util * 100.0),
+                    outs[0].words[0].to_string(),
+                ],
+            );
+            r.row(
+                "2 jobs (gang)",
+                vec![
+                    secs(duo_total),
+                    format!("{:.0}%", duo_util * 100.0),
+                    outs[0].words[1].to_string(),
+                ],
+            );
+            let ideal_serial = solo_total * 2.0;
+            r.note(format!(
+                "2 jobs finish in {:.2}s vs {:.2}s run back-to-back: the second job fills the blocking holes",
+                duo_total, ideal_serial
+            ));
+            let ded = dur(outs[1].words[0]).as_secs_f64();
+            let g = dur(outs[2].words[0]).as_secs_f64();
+            r.row(
+                "BCS engine: dedicated CPUs",
+                vec![secs(ded), "100% of 2x hardware".into(), "0".into()],
+            );
+            r.row(
+                "BCS engine: 2 jobs gang-shared",
+                vec![
+                    secs(g),
+                    format!("{:.0}% of serial", g / (2.0 * ded) * 100.0),
+                    outs[2].words[1].to_string(),
+                ],
+            );
+            r.note(format!(
+                "real engine: two jobs on half the CPUs finish in {:.2}s vs {:.2}s serially —          in-flight communication keeps progressing on the NIC while a job is descheduled",
+                g,
+                2.0 * ded
+            ));
+            vec![("ablation_multijob", r)]
+        }),
     }
-    gcfg.gang = Some(bcs_mpi::GangConfig {
-        jobs,
-        switch_cost: SimDuration::micros(25),
-    });
-    let gang = mpi_api::runtime::run_job(
-        bcs_mpi::BcsMpi::new(gcfg, &lay()),
-        lay(),
-        program,
-    );
-    let ded = dedicated.elapsed.as_secs_f64();
-    let g = gang.elapsed.as_secs_f64();
-    r.row(
-        "BCS engine: dedicated CPUs",
-        vec![secs(ded), "100% of 2x hardware".into(), "0".into()],
-    );
-    r.row(
-        "BCS engine: 2 jobs gang-shared",
-        vec![
-            secs(g),
-            format!("{:.0}% of serial", g / (2.0 * ded) * 100.0),
-            gang.engine.gang_switches().to_string(),
-        ],
-    );
-    r.note(format!(
-        "real engine: two jobs on half the CPUs finish in {:.2}s vs {:.2}s serially —          in-flight communication keeps progressing on the NIC while a job is descheduled",
-        g,
-        2.0 * ded
-    ));
-    r
+}
+
+pub fn ablation_fault(quick: bool) -> Report {
+    only(ablation_fault_exp(quick).run_sequential())
 }
 
 /// Fault ablation (the §6 transparent-fault-tolerance claim, quantified):
@@ -751,17 +1050,21 @@ pub fn ablation_multijob() -> Report {
 /// under injected crashes the recovery cost, restart count and
 /// crash-to-declaration latency. Every faulted run is verified
 /// bit-identical to the fault-free results before being reported.
-pub fn ablation_fault(quick: bool) -> Report {
+///
+/// Point layout: `[baseline, {clean(k), faulted(k, mtbf)...}..., cost...]`.
+/// Faulted points ship their per-rank checksums so `assemble` can verify
+/// them against the baseline's without rerunning anything.
+pub fn ablation_fault_exp(quick: bool) -> Experiment {
     use faultsim::{FaultPlan, FaultProfile, RecoveryCfg, fault_free_reference, run_with_recovery};
     use mpi_api::runtime::RunOpts;
 
     let (nodes, cpus, iters) = if quick { (4usize, 1usize, 5u64) } else { (8, 2, 10) };
     let ranks = nodes * cpus;
     let lay = move || JobLayout::new(nodes, cpus, ranks);
-    let intervals: &[u64] = if quick { &[2, 8] } else { &[2, 8, 32] };
-    let mtbfs: &[f64] = if quick { &[6.0] } else { &[12.0, 50.0] };
+    let intervals: &'static [u64] = if quick { &[2, 8] } else { &[2, 8, 32] };
+    let mtbfs: &'static [f64] = if quick { &[6.0] } else { &[12.0, 50.0] };
     let ckpt_cost = SimDuration::micros(50);
-    let opts = RunOpts {
+    let opts = move || RunOpts {
         max_virtual: Some(SimDuration::secs(60)),
     };
 
@@ -794,143 +1097,217 @@ pub fn ablation_fault(quick: bool) -> Report {
         acc
     };
 
-    let mut r = Report::new(
-        format!("Ablation: fault tolerance — checkpoint interval x MTBF ({ranks} processes)"),
-        &["elapsed", "rework", "restarts", "detect latency (mean)"],
-    );
-
-    let base = fault_free_reference(&BcsConfig::default(), lay(), program, opts.clone());
-    let base_ms = base.elapsed.as_millis_f64();
-    r.row(
-        "no checkpoints, no faults",
-        vec![secs(base.elapsed.as_secs_f64()), "-".into(), "0".into(), "-".into()],
-    );
-
-    let rework_cell = |ms: f64| format!("{ms:.2}ms ({})", pct(ms / base_ms * 100.0));
-    let mut all_identical = true;
-    let mut max_latency_ms = 0.0f64;
+    let mut points: Vec<PointFn> = Vec::new();
+    // Baseline: elapsed ns followed by the per-rank checksums.
+    points.push(Box::new(move || {
+        let base = fault_free_reference(&BcsConfig::default(), lay(), program, opts());
+        let mut words = vec![base.elapsed.as_nanos()];
+        words.extend(base.results.iter().copied());
+        PointOut::new(vec![], words)
+    }));
     for &k in intervals {
-        let mut rc = RecoveryCfg::new(BcsConfig::default(), k);
-        rc.bcs.checkpoint_cost = ckpt_cost;
-        rc.opts = opts.clone();
-
-        let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
-        assert!(clean.completed, "clean checkpointed run failed: {:?}", clean.abort);
-        // Slices start on a fixed global grid, so serialization that fits
-        // in slice slack costs nothing; spill shows up as whole slices.
-        let spill_ms = clean.elapsed.as_millis_f64() - base_ms;
-        r.metric(format!("ckpt_overhead_every{k}_pct"), spill_ms / base_ms * 100.0);
-        r.row(
-            format!("every {k} slices, no faults"),
-            vec![
-                secs(clean.elapsed.as_secs_f64()),
-                rework_cell(spill_ms),
-                "0".into(),
-                "-".into(),
-            ],
-        );
-
+        points.push(Box::new(move || {
+            let mut rc = RecoveryCfg::new(BcsConfig::default(), k);
+            rc.bcs.checkpoint_cost = ckpt_cost;
+            rc.opts = opts();
+            let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
+            assert!(clean.completed, "clean checkpointed run failed: {:?}", clean.abort);
+            PointOut::new(vec![], vec![clean.elapsed.as_nanos()])
+        }));
         for &mtbf in mtbfs {
-            let horizon = iters * 4;
-            let plan = FaultPlan::generate(
-                0xBC5 + k * 31 + mtbf as u64,
-                &rc.bcs,
-                nodes,
-                horizon,
-                &FaultProfile::crashes(mtbf),
-            );
-            let out = run_with_recovery(&rc, lay(), &plan, program);
-            assert!(
-                out.completed,
-                "faulted run (interval {k}, MTBF {mtbf}) failed: {:?}",
-                out.abort
-            );
-            let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
-            all_identical &= got == base.results;
-            let lats: Vec<f64> = out
-                .detections
-                .iter()
-                .filter_map(|d| d.latency())
-                .map(|l| l.as_millis_f64())
-                .collect();
-            let mean_lat = if lats.is_empty() {
-                0.0
-            } else {
-                lats.iter().sum::<f64>() / lats.len() as f64
-            };
-            max_latency_ms = lats.iter().fold(max_latency_ms, |a, &b| a.max(b));
-            let rework_ms: f64 = out
-                .detections
-                .iter()
-                .filter_map(|d| d.rework())
-                .map(|w| w.as_millis_f64())
-                .sum();
-            r.row(
-                format!("every {k} slices, MTBF {mtbf} slices"),
-                vec![
-                    secs(out.elapsed.as_secs_f64()),
-                    rework_cell(rework_ms),
-                    out.restarts.to_string(),
-                    if lats.is_empty() {
-                        "-".into()
-                    } else {
-                        format!("{mean_lat:.2}ms")
-                    },
-                ],
-            );
+            points.push(Box::new(move || {
+                let mut rc = RecoveryCfg::new(BcsConfig::default(), k);
+                rc.bcs.checkpoint_cost = ckpt_cost;
+                rc.opts = opts();
+                let horizon = iters * 4;
+                let plan = FaultPlan::generate(
+                    0xBC5 + k * 31 + mtbf as u64,
+                    &rc.bcs,
+                    nodes,
+                    horizon,
+                    &FaultProfile::crashes(mtbf),
+                );
+                let out = run_with_recovery(&rc, lay(), &plan, program);
+                assert!(
+                    out.completed,
+                    "faulted run (interval {k}, MTBF {mtbf}) failed: {:?}",
+                    out.abort
+                );
+                let lats: Vec<f64> = out
+                    .detections
+                    .iter()
+                    .filter_map(|d| d.latency())
+                    .map(|l| l.as_millis_f64())
+                    .collect();
+                let mean_lat = if lats.is_empty() {
+                    0.0
+                } else {
+                    lats.iter().sum::<f64>() / lats.len() as f64
+                };
+                let max_lat = lats.iter().fold(0.0f64, |a, &b| a.max(b));
+                let rework_ms: f64 = out
+                    .detections
+                    .iter()
+                    .filter_map(|d| d.rework())
+                    .map(|w| w.as_millis_f64())
+                    .sum();
+                let mut words = vec![
+                    out.elapsed.as_nanos(),
+                    out.restarts as u64,
+                    lats.len() as u64,
+                ];
+                words.extend(out.results.iter().map(|r| r.unwrap()));
+                PointOut::new(vec![rework_ms, mean_lat, max_lat], words)
+            }));
         }
     }
-
     // Serialization-cost cliff: a checkpoint stall that exceeds the slice
     // slack pushes application work into extra slices.
-    for cost_us in [50u64, 200, 400] {
-        let mut rc = RecoveryCfg::new(BcsConfig::default(), 2);
-        rc.bcs.checkpoint_cost = SimDuration::micros(cost_us);
-        rc.opts = opts.clone();
-        let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
-        assert!(clean.completed, "cost sweep failed: {:?}", clean.abort);
-        let spill_ms = clean.elapsed.as_millis_f64() - base_ms;
-        r.row(
-            format!("every 2 slices, {cost_us} us serialization, no faults"),
-            vec![
-                secs(clean.elapsed.as_secs_f64()),
-                rework_cell(spill_ms),
-                "0".into(),
-                "-".into(),
-            ],
-        );
+    const COSTS_US: [u64; 3] = [50, 200, 400];
+    for cost_us in COSTS_US {
+        points.push(Box::new(move || {
+            let mut rc = RecoveryCfg::new(BcsConfig::default(), 2);
+            rc.bcs.checkpoint_cost = SimDuration::micros(cost_us);
+            rc.opts = opts();
+            let clean = run_with_recovery(&rc, lay(), &FaultPlan::none(), program);
+            assert!(clean.completed, "cost sweep failed: {:?}", clean.abort);
+            PointOut::new(vec![], vec![clean.elapsed.as_nanos()])
+        }));
     }
 
-    r.metric("recovered_bit_identical", if all_identical { 1.0 } else { 0.0 });
-    r.metric("max_detect_latency_ms", max_latency_ms);
-    r.note("baseline = same workload, no checkpoint images, no serialization cost");
-    r.note("every faulted row verified bit-identical to the fault-free results");
-    r.note("rework = virtual time rolled back and replayed (faulted rows) or grid spill (clean rows)");
-    r.note("detect latency = crash instant to heartbeat declaration (2 ms strobe period)");
-    r
+    Experiment {
+        name: "ablation_fault",
+        cli: "ablation-fault",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                format!(
+                    "Ablation: fault tolerance — checkpoint interval x MTBF ({ranks} processes)"
+                ),
+                &["elapsed", "rework", "restarts", "detect latency (mean)"],
+            );
+            let base_elapsed = dur(outs[0].words[0]);
+            let base_results = &outs[0].words[1..];
+            let base_ms = base_elapsed.as_millis_f64();
+            r.row(
+                "no checkpoints, no faults",
+                vec![secs(base_elapsed.as_secs_f64()), "-".into(), "0".into(), "-".into()],
+            );
+            let rework_cell = |ms: f64| format!("{ms:.2}ms ({})", pct(ms / base_ms * 100.0));
+            let mut all_identical = true;
+            let mut max_latency_ms = 0.0f64;
+            let mut i = 1usize;
+            for &k in intervals {
+                let clean_elapsed = dur(outs[i].words[0]);
+                i += 1;
+                // Slices start on a fixed global grid, so serialization
+                // that fits in slice slack costs nothing; spill shows up
+                // as whole slices.
+                let spill_ms = clean_elapsed.as_millis_f64() - base_ms;
+                r.metric(format!("ckpt_overhead_every{k}_pct"), spill_ms / base_ms * 100.0);
+                r.row(
+                    format!("every {k} slices, no faults"),
+                    vec![
+                        secs(clean_elapsed.as_secs_f64()),
+                        rework_cell(spill_ms),
+                        "0".into(),
+                        "-".into(),
+                    ],
+                );
+                for &mtbf in mtbfs {
+                    let o = &outs[i];
+                    i += 1;
+                    let [rework_ms, mean_lat, max_lat] = o.nums[..] else {
+                        panic!("faulted point shape");
+                    };
+                    let restarts = o.words[1];
+                    let lat_count = o.words[2];
+                    all_identical &= o.words[3..] == *base_results;
+                    max_latency_ms = max_latency_ms.max(max_lat);
+                    r.row(
+                        format!("every {k} slices, MTBF {mtbf} slices"),
+                        vec![
+                            secs(dur(o.words[0]).as_secs_f64()),
+                            rework_cell(rework_ms),
+                            restarts.to_string(),
+                            if lat_count == 0 {
+                                "-".into()
+                            } else {
+                                format!("{mean_lat:.2}ms")
+                            },
+                        ],
+                    );
+                }
+            }
+            for cost_us in COSTS_US {
+                let clean_elapsed = dur(outs[i].words[0]);
+                i += 1;
+                let spill_ms = clean_elapsed.as_millis_f64() - base_ms;
+                r.row(
+                    format!("every 2 slices, {cost_us} us serialization, no faults"),
+                    vec![
+                        secs(clean_elapsed.as_secs_f64()),
+                        rework_cell(spill_ms),
+                        "0".into(),
+                        "-".into(),
+                    ],
+                );
+            }
+            r.metric("recovered_bit_identical", if all_identical { 1.0 } else { 0.0 });
+            r.metric("max_detect_latency_ms", max_latency_ms);
+            r.note("baseline = same workload, no checkpoint images, no serialization cost");
+            r.note("every faulted row verified bit-identical to the fault-free results");
+            r.note("rework = virtual time rolled back and replayed (faulted rows) or grid spill (clean rows)");
+            r.note("detect latency = crash instant to heartbeat declaration (2 ms strobe period)");
+            vec![("ablation_fault", r)]
+        }),
+    }
 }
 
-/// STORM job-launch scaling (the substrate's flagship behavior).
 pub fn storm_launch() -> Report {
-    let mut r = Report::new(
-        "STORM: job launch time (8 MB image, 2 procs/node)",
-        &["QsNet", "Myrinet", "GigE"],
-    );
-    for nodes in [4usize, 16, 32, 64] {
-        let mut cells = Vec::new();
-        for net in [
-            qsnet::NetModel::qsnet(),
-            qsnet::NetModel::myrinet(),
-            qsnet::NetModel::gigabit_ethernet(),
-        ] {
-            let rep = storm::launch::measure_launch(net.clone(), nodes, 8 * 1024 * 1024, 2);
-            if nodes == 64 && net.name == "QsNet" {
-                r.metric("qsnet_launch_64nodes_ms", rep.total.as_millis_f64());
-            }
-            cells.push(format!("{:.0}ms", rep.total.as_millis_f64()));
+    only(storm_launch_exp().run_sequential())
+}
+
+/// STORM job-launch scaling (the substrate's flagship behavior):
+/// one point per (node count, network).
+pub fn storm_launch_exp() -> Experiment {
+    const NODES: [usize; 4] = [4, 16, 32, 64];
+    let nets = || [
+        qsnet::NetModel::qsnet(),
+        qsnet::NetModel::myrinet(),
+        qsnet::NetModel::gigabit_ethernet(),
+    ];
+    let mut points: Vec<PointFn> = Vec::new();
+    for nodes in NODES {
+        for net in nets() {
+            points.push(Box::new(move || {
+                let rep = storm::launch::measure_launch(net, nodes, 8 * 1024 * 1024, 2);
+                PointOut::new(vec![rep.total.as_millis_f64()], vec![])
+            }));
         }
-        r.row(format!("{nodes} nodes"), cells);
     }
-    r.note("hardware multicast keeps QsNet launch flat in node count");
-    r
+    Experiment {
+        name: "storm_launch",
+        cli: "storm-launch",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "STORM: job launch time (8 MB image, 2 procs/node)",
+                &["QsNet", "Myrinet", "GigE"],
+            );
+            for (ni, nodes) in NODES.into_iter().enumerate() {
+                let mut cells = Vec::new();
+                for (mi, net) in nets().into_iter().enumerate() {
+                    let ms = outs[ni * 3 + mi].nums[0];
+                    if nodes == 64 && net.name == "QsNet" {
+                        r.metric("qsnet_launch_64nodes_ms", ms);
+                    }
+                    cells.push(format!("{ms:.0}ms"));
+                }
+                r.row(format!("{nodes} nodes"), cells);
+            }
+            r.note("hardware multicast keeps QsNet launch flat in node count");
+            vec![("storm_launch", r)]
+        }),
+    }
 }

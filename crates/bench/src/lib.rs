@@ -8,6 +8,8 @@
 pub mod experiments;
 pub mod gate;
 pub mod micro;
+pub mod sweep;
+pub mod wallclock;
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -82,23 +84,29 @@ impl Report {
         out
     }
 
+    /// The table as CSV text (commas in cells become semicolons).
+    pub fn csv_string(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "label");
+        for c in &self.columns {
+            let _ = write!(s, ",{}", c.replace(',', ";"));
+        }
+        let _ = writeln!(s);
+        for (label, cells) in &self.rows {
+            let _ = write!(s, "{}", label.replace(',', ";"));
+            for c in cells {
+                let _ = write!(s, ",{}", c.replace(',', ";"));
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
     /// Write the table as CSV under `dir`.
     pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
-        write!(f, "label")?;
-        for c in &self.columns {
-            write!(f, ",{}", c.replace(',', ";"))?;
-        }
-        writeln!(f)?;
-        for (label, cells) in &self.rows {
-            write!(f, "{}", label.replace(',', ";"))?;
-            for c in cells {
-                write!(f, ",{}", c.replace(',', ";"))?;
-            }
-            writeln!(f)?;
-        }
-        Ok(())
+        f.write_all(self.csv_string().as_bytes())
     }
 }
 

@@ -29,6 +29,10 @@ struct Row {
     group: String,
     name: String,
     stats: Stats,
+    /// Simulation events executed per iteration, when the benchmark is a
+    /// discrete-event run (deterministic, so measured once up front);
+    /// turns per-iteration time into an events/sec throughput figure.
+    events_per_iter: Option<f64>,
 }
 
 /// A micro-benchmark session: run benches, then [`finish`](Micro::finish)
@@ -110,7 +114,31 @@ impl Micro {
             group: group.to_string(),
             name: name.to_string(),
             stats,
+            events_per_iter: None,
         });
+        &self.rows.last().unwrap().stats
+    }
+
+    /// Like [`bench`](Micro::bench), for a benchmark that executes
+    /// `events_per_iter` simulation events per call: additionally reports
+    /// an events/sec throughput (from the median) on stdout and in the
+    /// CSV, so queue/engine changes have a directly comparable rate.
+    pub fn bench_rated<T>(
+        &mut self,
+        group: &str,
+        name: &str,
+        events_per_iter: f64,
+        f: impl FnMut() -> T,
+    ) -> &Stats {
+        assert!(events_per_iter > 0.0, "rate needs a positive event count");
+        self.bench(group, name, f);
+        let row = self.rows.last_mut().expect("bench pushed a row");
+        row.events_per_iter = Some(events_per_iter);
+        println!(
+            "    -> {} events/iter, {} events/sec (median)",
+            events_per_iter,
+            fmt_rate(events_per_iter * 1e9 / row.stats.median_ns)
+        );
         &self.rows.last().unwrap().stats
     }
 
@@ -119,12 +147,17 @@ impl Micro {
         let dir = reports_dir();
         std::fs::create_dir_all(&dir).expect("create reports dir");
         let path = dir.join(format!("microbench_{}.csv", self.stem));
-        let mut csv =
-            String::from("group,bench,samples,iters_per_sample,min_ns,mean_ns,median_ns,p95_ns\n");
+        let mut csv = String::from(
+            "group,bench,samples,iters_per_sample,min_ns,mean_ns,median_ns,p95_ns,events_per_iter,events_per_sec\n",
+        );
         for r in &self.rows {
             let s = &r.stats;
+            let rate = match r.events_per_iter {
+                Some(e) => format!("{e:.0},{:.0}", e * 1e9 / s.median_ns),
+                None => ",".to_string(),
+            };
             csv.push_str(&format!(
-                "{},{},{},{},{:.1},{:.1},{:.1},{:.1}\n",
+                "{},{},{},{},{:.1},{:.1},{:.1},{:.1},{rate}\n",
                 r.group,
                 r.name,
                 s.samples,
@@ -146,6 +179,16 @@ fn reports_dir() -> PathBuf {
     match std::env::var_os("MICROBENCH_OUT") {
         Some(dir) => PathBuf::from(dir),
         None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../reports"),
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0}")
     }
 }
 
@@ -180,10 +223,26 @@ mod tests {
         });
         assert!(s.min_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+        let s = m.bench_rated("g", "rated", 100.0, || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            acc
+        });
+        assert!(s.median_ns > 0.0);
         let path = m.finish();
         let csv = std::fs::read_to_string(path).unwrap();
         assert!(csv.starts_with("group,bench,"));
+        assert!(csv.ends_with("_sec\n") || csv.contains("events_per_sec"));
         assert!(csv.contains("g,spin,"));
+        // The unrated row leaves the rate columns empty; the rated row
+        // carries the event count and a positive throughput.
+        let spin = csv.lines().find(|l| l.starts_with("g,spin,")).unwrap();
+        assert!(spin.ends_with(",,"), "{spin}");
+        let rated = csv.lines().find(|l| l.starts_with("g,rated,")).unwrap();
+        let cols: Vec<&str> = rated.split(',').collect();
+        assert_eq!(cols[8], "100");
+        assert!(cols[9].parse::<f64>().unwrap() > 0.0);
         std::env::remove_var("MICROBENCH_OUT");
         std::env::remove_var("MICROBENCH_QUICK");
     }

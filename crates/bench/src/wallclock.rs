@@ -1,0 +1,240 @@
+//! Wall-clock observability for the `repro` harness.
+//!
+//! The simulator's *virtual* time is deterministic; this module records
+//! how much *real* time the harness spent regenerating each figure, so
+//! harness performance regressions are visible and gateable. `repro`
+//! writes one [`WallclockReport`] per run as `bench_wallclock.json`
+//! (hand-rolled JSON — the workspace is offline and serde-free), and
+//! [`crate::gate::check_wallclock`] compares two such files.
+//!
+//! `busy_secs` — the sum of each experiment's point execution times — is
+//! the gateable quantity: it measures work done, independent of how many
+//! workers the sweep happened to run on. `wall_secs` and per-worker
+//! utilization describe how well that work was overlapped.
+
+use std::fmt::Write as _;
+
+/// Wall-clock cost of one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentTime {
+    /// Experiment name (CSV stem of its primary report).
+    pub name: String,
+    /// Number of sweep points the experiment decomposed into.
+    pub points: usize,
+    /// Total real seconds spent executing this experiment's points,
+    /// summed across workers (thread-count independent).
+    pub busy_secs: f64,
+}
+
+/// One `repro` run's wall-clock record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WallclockReport {
+    /// Quick (CI-sized) or paper-scale run — their costs are not
+    /// comparable, so the gate refuses to mix them.
+    pub quick: bool,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Wall seconds for the whole sweep (all experiments' points pooled).
+    pub wall_secs: f64,
+    /// Per-worker busy seconds; `busy/wall` is that worker's utilization.
+    pub worker_busy_secs: Vec<f64>,
+    /// Per-experiment cost, in emission order.
+    pub experiments: Vec<ExperimentTime>,
+}
+
+impl WallclockReport {
+    /// Total busy seconds across all experiments.
+    pub fn total_busy_secs(&self) -> f64 {
+        self.experiments.iter().map(|e| e.busy_secs).sum()
+    }
+
+    /// Mean worker utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_secs <= 0.0 || self.worker_busy_secs.is_empty() {
+            return 1.0;
+        }
+        self.worker_busy_secs.iter().sum::<f64>()
+            / (self.wall_secs * self.worker_busy_secs.len() as f64)
+    }
+
+    /// Serialize as JSON. One experiment per line so diffs stay readable.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"wall_secs\": {:.6},", self.wall_secs);
+        let workers: Vec<String> =
+            self.worker_busy_secs.iter().map(|b| format!("{b:.6}")).collect();
+        let _ = writeln!(s, "  \"worker_busy_secs\": [{}],", workers.join(", "));
+        let _ = writeln!(s, "  \"experiments\": [");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"points\": {}, \"busy_secs\": {:.6}}}{comma}",
+                e.name, e.points, e.busy_secs
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Parse the JSON produced by [`Self::to_json`].
+    ///
+    /// This is a schema-specific parser, not a general JSON reader: it
+    /// accepts any whitespace layout but requires exactly the fields we
+    /// emit (names never need escaping — they are `[a-z0-9_]` CSV stems).
+    pub fn from_json(text: &str) -> Result<WallclockReport, String> {
+        let quick = scalar_field(text, "quick")?
+            .parse::<bool>()
+            .map_err(|e| format!("bad `quick`: {e}"))?;
+        let threads = scalar_field(text, "threads")?
+            .parse::<usize>()
+            .map_err(|e| format!("bad `threads`: {e}"))?;
+        let wall_secs = scalar_field(text, "wall_secs")?
+            .parse::<f64>()
+            .map_err(|e| format!("bad `wall_secs`: {e}"))?;
+        let workers_raw = bracketed_field(text, "worker_busy_secs", '[', ']')?;
+        let worker_busy_secs = workers_raw
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse::<f64>().map_err(|e| format!("bad worker time `{t}`: {e}")))
+            .collect::<Result<Vec<f64>, String>>()?;
+        let exps_raw = bracketed_field(text, "experiments", '[', ']')?;
+        let mut experiments = Vec::new();
+        let mut rest = exps_raw;
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .ok_or_else(|| "unterminated experiment object".to_string())?;
+            let obj = &rest[open..open + close + 1];
+            experiments.push(ExperimentTime {
+                name: string_field(obj, "name")?,
+                points: scalar_field(obj, "points")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad `points`: {e}"))?,
+                busy_secs: scalar_field(obj, "busy_secs")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad `busy_secs`: {e}"))?,
+            });
+            rest = &rest[open + close + 1..];
+        }
+        Ok(WallclockReport {
+            quick,
+            threads,
+            wall_secs,
+            worker_busy_secs,
+            experiments,
+        })
+    }
+
+    /// Look up one experiment's record by name.
+    pub fn experiment(&self, name: &str) -> Option<&ExperimentTime> {
+        self.experiments.iter().find(|e| e.name == name)
+    }
+}
+
+/// Value of `"key": <scalar>` up to the next `,`, `}` or newline.
+fn scalar_field<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle).ok_or_else(|| format!("missing field `{key}`"))?;
+    let after = &text[at + needle.len()..];
+    let colon = after.find(':').ok_or_else(|| format!("missing `:` after `{key}`"))?;
+    let v = &after[colon + 1..];
+    let end = v.find([',', '}', '\n']).unwrap_or(v.len());
+    Ok(v[..end].trim())
+}
+
+/// Value of `"key": "<string>"`.
+fn string_field(text: &str, key: &str) -> Result<String, String> {
+    let raw = scalar_field(text, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` is not a string: `{raw}`"))
+}
+
+/// Contents between the `open`/`close` pair that follows `"key":`,
+/// handling one level of nesting (enough for the experiments array of
+/// flat objects).
+fn bracketed_field<'a>(
+    text: &'a str,
+    key: &str,
+    open: char,
+    close: char,
+) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle).ok_or_else(|| format!("missing field `{key}`"))?;
+    let after = &text[at + needle.len()..];
+    let start = after.find(open).ok_or_else(|| format!("missing `{open}` after `{key}`"))?;
+    let mut depth = 0usize;
+    for (i, c) in after[start..].char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Ok(&after[start + 1..start + i]);
+            }
+        }
+    }
+    Err(format!("unterminated `{key}` array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WallclockReport {
+        WallclockReport {
+            quick: true,
+            threads: 4,
+            wall_secs: 1.25,
+            worker_busy_secs: vec![1.0, 0.9, 1.1, 0.8],
+            experiments: vec![
+                ExperimentTime { name: "fig2".into(), points: 2, busy_secs: 0.5 },
+                ExperimentTime { name: "storm_launch".into(), points: 12, busy_secs: 3.3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = WallclockReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let r = sample();
+        assert!((r.total_busy_secs() - 3.8).abs() < 1e-9);
+        assert!((r.utilization() - 0.76).abs() < 1e-9);
+        assert_eq!(r.experiment("fig2").unwrap().points, 2);
+        assert!(r.experiment("nope").is_none());
+    }
+
+    #[test]
+    fn empty_experiments_parse() {
+        let r = WallclockReport {
+            quick: false,
+            threads: 1,
+            wall_secs: 0.0,
+            worker_busy_secs: vec![],
+            experiments: vec![],
+        };
+        let parsed = WallclockReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, parsed);
+        assert_eq!(parsed.utilization(), 1.0);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        assert!(WallclockReport::from_json("{}").is_err());
+        assert!(WallclockReport::from_json("").is_err());
+        assert!(WallclockReport::from_json("{\"quick\": maybe}").is_err());
+    }
+}

@@ -225,7 +225,7 @@ impl bcs_core::BcsHost<BW> for BcsMpi {
 impl BcsMpi {
     pub fn new(cfg: BcsConfig, layout: &JobLayout) -> BcsMpi {
         // One extra fabric port for the management node.
-        let fabric = Fabric::new(cfg.net.clone(), layout.compute_nodes + 1);
+        let fabric = Fabric::new(cfg.net, layout.compute_nodes + 1);
         let mgmt = NodeId(layout.compute_nodes);
         let noise = cfg
             .noise
@@ -595,6 +595,9 @@ impl Engine for BcsMpi {
                             .push((r, MpiResp::CommSplitDone { handle }));
                     }
                 }
+            }
+            MpiCall::Batch { .. } => {
+                unreachable!("MpiCall::Batch is unpacked by the runtime, never seen by engines")
             }
         }
     }

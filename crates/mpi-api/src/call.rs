@@ -16,8 +16,10 @@ use crate::message::{SrcSel, Status, TagSel};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub u64);
 
-/// A request from a rank program to its MPI engine.
-#[derive(Debug)]
+/// A request from a rank program to its MPI engine. `Clone` so an
+/// in-flight [`MpiCall::Batch`]'s unissued sub-calls can be captured in a
+/// checkpoint image (`runtime::BatchState`).
+#[derive(Clone, Debug)]
 pub enum MpiCall {
     /// Spend `ns` of virtual CPU time (the application's computation).
     Compute { ns: u64 },
@@ -78,6 +80,14 @@ pub enum MpiCall {
         color: i64,
         key: i64,
     },
+    /// A batch of calls (see [`MpiCall::is_batchable`]) issued in one
+    /// harness handoff. The runtime feeds the sub-calls to the engine one
+    /// at a time — each at the exact virtual instant the rank would have
+    /// issued it unbatched — and resumes the rank once with
+    /// [`MpiResp::Batch`], so a rank issuing k operations back-to-back
+    /// pays one OS-thread round trip instead of k. Engines never see this
+    /// variant.
+    Batch { calls: Vec<MpiCall> },
 }
 
 /// Response from the engine to a rank program. `Clone` so the runtime can
@@ -117,6 +127,8 @@ pub enum MpiResp {
     ProbeDone { status: Option<Status> },
     /// Comm-split outcome: `None` when this rank passed MPI_UNDEFINED.
     CommSplitDone { handle: Option<CommHandle> },
+    /// Responses to a [`MpiCall::Batch`], one per sub-call, in issue order.
+    Batch { resps: Vec<MpiResp> },
 }
 
 impl MpiCall {
@@ -139,7 +151,41 @@ impl MpiCall {
             MpiCall::Reduce { all: false, .. } => "reduce",
             MpiCall::Reduce { all: true, .. } => "allreduce",
             MpiCall::CommSplit { .. } => "comm_split",
+            MpiCall::Batch { .. } => "batch",
         }
+    }
+
+    /// Whether the call is a non-blocking post answered by exactly one
+    /// [`MpiResp::Req`] — what [`crate::ctx::Mpi::post_batch`] accepts.
+    pub fn is_nonblocking_post(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Send { blocking: false, .. } | MpiCall::Recv { blocking: false, .. }
+        )
+    }
+
+    /// Whether the call is legal inside a [`MpiCall::Batch`].
+    ///
+    /// The requirement is that the *program* cannot need the call's response
+    /// to construct the next sub-call — the runtime issues sub-call *i+1*
+    /// the instant response *i* arrives, sight unseen. That rules out calls
+    /// whose responses carry handles later sub-calls would reference
+    /// (wait/test on a request posted earlier in the same batch cannot be
+    /// expressed, since `ReqId`s are engine-allocated) and admits compute,
+    /// sends, non-blocking receive posts, barrier, and waitall over
+    /// requests posted *before* the batch. Blocking members simply delay
+    /// the *following* sub-call to their completion instant — exactly as
+    /// an unbatched caller would be delayed — so virtual timing is
+    /// unchanged.
+    pub fn is_batchable(&self) -> bool {
+        matches!(
+            self,
+            MpiCall::Compute { .. }
+                | MpiCall::Send { .. }
+                | MpiCall::Recv { blocking: false, .. }
+                | MpiCall::Barrier { .. }
+                | MpiCall::Waitall { .. }
+        )
     }
 }
 

@@ -59,6 +59,118 @@ impl<'a> Mpi<'a> {
         self.handle.call(call)
     }
 
+    /// Post several non-blocking operations (isend/irecv) in **one**
+    /// harness handoff, returning their request handles in issue order.
+    ///
+    /// The runtime unpacks the batch and feeds each sub-call to the engine
+    /// at the exact virtual instant a sequential caller would have issued
+    /// it, so results and timing are identical to k separate calls — the
+    /// rank's OS thread just pays one channel round trip instead of k. The
+    /// composed collectives below route their post loops through this.
+    pub fn post_batch(&mut self, calls: Vec<MpiCall>) -> Vec<ReqId> {
+        assert!(
+            calls.iter().all(MpiCall::is_nonblocking_post),
+            "post_batch accepts only non-blocking posts"
+        );
+        self.batch(calls)
+            .into_iter()
+            .map(|resp| match resp {
+                MpiResp::Req(r) => r,
+                other => unreachable!("batched post -> {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Issue several batchable calls (see [`MpiCall::is_batchable`]) in
+    /// **one** harness handoff, returning the responses in issue order.
+    ///
+    /// Blocking members (compute, send, barrier) delay the following
+    /// sub-call to their completion instant, exactly as they would delay an
+    /// unbatched caller, so virtual timing is identical; the rank's OS
+    /// thread regains control once all sub-calls have completed.
+    pub fn batch(&mut self, mut calls: Vec<MpiCall>) -> Vec<MpiResp> {
+        assert!(
+            calls.iter().all(MpiCall::is_batchable),
+            "batch accepts only batchable calls (see MpiCall::is_batchable)"
+        );
+        match calls.len() {
+            0 => Vec::new(),
+            1 => vec![self.call(calls.pop().expect("len checked"))],
+            _ => match self.call(MpiCall::Batch { calls }) {
+                MpiResp::Batch { resps } => resps,
+                other => unreachable!("batch -> {other:?}"),
+            },
+        }
+    }
+
+    /// Compute for `d`, then barrier over MPI_COMM_WORLD, in one harness
+    /// handoff — the bulk-synchronous inner loop as a single OS-thread
+    /// round trip. Timing-identical to `compute(d); barrier()`.
+    pub fn compute_then_barrier(&mut self, d: SimDuration) {
+        let resps = self.batch(vec![
+            MpiCall::Compute { ns: d.as_nanos() },
+            MpiCall::Barrier {
+                comm: CommId::WORLD,
+            },
+        ]);
+        debug_assert!(
+            resps.iter().all(|r| matches!(r, MpiResp::Ok)),
+            "compute/barrier -> {resps:?}"
+        );
+    }
+
+    /// Build a `Compute` descriptor for [`Self::batch`].
+    pub fn compute_desc(&self, d: SimDuration) -> MpiCall {
+        MpiCall::Compute { ns: d.as_nanos() }
+    }
+
+    /// Build an `MPI_Barrier` (MPI_COMM_WORLD) descriptor for
+    /// [`Self::batch`].
+    pub fn barrier_desc(&self) -> MpiCall {
+        MpiCall::Barrier {
+            comm: CommId::WORLD,
+        }
+    }
+
+    /// Build an `MPI_Waitall` descriptor for [`Self::batch`]. The requests
+    /// must have been posted *before* the batch is issued (a batch cannot
+    /// wait on its own posts — their `ReqId`s don't exist yet).
+    pub fn waitall_desc(&self, reqs: &[ReqId]) -> MpiCall {
+        MpiCall::Waitall {
+            reqs: reqs.to_vec(),
+        }
+    }
+
+    /// Build an `MPI_Isend` descriptor for [`Self::post_batch`], with the
+    /// same argument checks as [`Self::isend`].
+    pub fn isend_desc(&self, dest: usize, tag: i32, data: &[u8]) -> MpiCall {
+        assert!(tag >= 0, "user tags must be non-negative");
+        assert!(dest < self.size, "isend to rank {dest} of {}", self.size);
+        Self::isend_call(dest, tag, data)
+    }
+
+    /// Build an `MPI_Irecv` descriptor for [`Self::post_batch`].
+    pub fn irecv_desc(&self, src: SrcSel, tag: TagSel) -> MpiCall {
+        Self::irecv_call(src, tag)
+    }
+
+    fn isend_call(dest: usize, tag: i32, data: &[u8]) -> MpiCall {
+        MpiCall::Send {
+            dest,
+            tag,
+            data: data.to_vec(),
+            blocking: false,
+        }
+    }
+
+    fn irecv_call(src: SrcSel, tag: TagSel) -> MpiCall {
+        MpiCall::Recv {
+            src,
+            tag,
+            blocking: false,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Time
     // ------------------------------------------------------------------
@@ -148,9 +260,13 @@ impl<'a> Mpi<'a> {
         src: SrcSel,
         recv_tag: TagSel,
     ) -> (Vec<u8>, Status) {
-        let r = self.irecv(src, recv_tag);
-        let s = self.isend(dest, send_tag, data);
-        let mut results = self.waitall(&[r, s]);
+        assert!(send_tag >= 0, "user tags must be non-negative");
+        assert!(dest < self.size, "sendrecv to rank {dest} of {}", self.size);
+        let reqs = self.post_batch(vec![
+            Self::irecv_call(src, recv_tag),
+            Self::isend_call(dest, send_tag, data),
+        ]);
+        let mut results = self.waitall(&reqs);
         let (payload, status) = results.swap_remove(0);
         (
             payload.expect("sendrecv recv payload"),
@@ -373,28 +489,31 @@ impl<'a> Mpi<'a> {
         assert_eq!(chunks.len(), comm.size(), "one chunk per member");
         let tag = self.next_coll_tag();
         let me_local = comm.rank;
-        let mut sends = Vec::new();
-        let mut recvs = Vec::new();
+        // All posts (sends first, then receives — the sequential issue
+        // order) cross the harness boundary in one batch.
+        let mut calls = Vec::with_capacity(2 * (comm.size() - 1));
+        let mut recv_peers = Vec::with_capacity(comm.size() - 1);
         for (i, chunk) in chunks.iter().enumerate() {
             if i != me_local {
-                let w = comm.world_rank(i);
-                sends.push(self.isend_raw(w, tag, chunk));
+                calls.push(Self::isend_call(comm.world_rank(i), tag, chunk));
             }
         }
         for i in 0..comm.size() {
             if i != me_local {
                 let w = comm.world_rank(i);
-                recvs.push((i, self.irecv(SrcSel::Rank(w), TagSel::Tag(tag))));
+                calls.push(Self::irecv_call(SrcSel::Rank(w), TagSel::Tag(tag)));
+                recv_peers.push(i);
             }
         }
+        let reqs = self.post_batch(calls);
+        let (sends, recvs) = reqs.split_at(comm.size() - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
         out[me_local] = chunks[me_local].clone();
-        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
-        let results = self.waitall(&reqs);
-        for ((i, _), (payload, _)) in recvs.iter().zip(results) {
-            out[*i] = payload.expect("alltoall recv payload");
+        let results = self.waitall(recvs);
+        for (&i, (payload, _)) in recv_peers.iter().zip(results) {
+            out[i] = payload.expect("alltoall recv payload");
         }
-        self.waitall(&sends);
+        self.waitall(sends);
         out
     }
 
@@ -431,12 +550,13 @@ impl<'a> Mpi<'a> {
         if self.rank == root {
             let chunks = chunks.expect("scatterv root must supply chunks");
             assert_eq!(chunks.len(), self.size, "one chunk per rank");
-            let mut reqs = Vec::with_capacity(self.size - 1);
+            let mut calls = Vec::with_capacity(self.size - 1);
             for (r, chunk) in chunks.iter().enumerate() {
                 if r != root {
-                    reqs.push(self.isend_raw(r, tag, chunk));
+                    calls.push(Self::isend_call(r, tag, chunk));
                 }
             }
+            let reqs = self.post_batch(calls);
             self.waitall(&reqs);
             chunks[root].clone()
         } else {
@@ -462,12 +582,13 @@ impl<'a> Mpi<'a> {
     pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
         let tag = self.next_coll_tag();
         if self.rank == root {
-            let mut reqs = Vec::with_capacity(self.size - 1);
+            let mut calls = Vec::with_capacity(self.size - 1);
             for r in 0..self.size {
                 if r != root {
-                    reqs.push(self.irecv(SrcSel::Rank(r), TagSel::Tag(tag)));
+                    calls.push(Self::irecv_call(SrcSel::Rank(r), TagSel::Tag(tag)));
                 }
             }
+            let reqs = self.post_batch(calls);
             let results = self.waitall(&reqs);
             let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size);
             let mut it = results.into_iter();
@@ -503,26 +624,28 @@ impl<'a> Mpi<'a> {
     /// order. All-pairs non-blocking exchange.
     pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
         let tag = self.next_coll_tag();
-        let mut sends = Vec::with_capacity(self.size - 1);
-        let mut recvs = Vec::with_capacity(self.size - 1);
+        let mut calls = Vec::with_capacity(2 * (self.size - 1));
+        let mut recv_peers = Vec::with_capacity(self.size - 1);
         for r in 0..self.size {
             if r != self.rank {
-                sends.push(self.isend_raw(r, tag, data));
+                calls.push(Self::isend_call(r, tag, data));
             }
         }
         for r in 0..self.size {
             if r != self.rank {
-                recvs.push((r, self.irecv(SrcSel::Rank(r), TagSel::Tag(tag))));
+                calls.push(Self::irecv_call(SrcSel::Rank(r), TagSel::Tag(tag)));
+                recv_peers.push(r);
             }
         }
+        let reqs = self.post_batch(calls);
+        let (sends, recvs) = reqs.split_at(self.size - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = data.to_vec();
-        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
-        let results = self.waitall(&reqs);
-        for ((r, _), (payload, _)) in recvs.iter().zip(results) {
-            out[*r] = payload.expect("allgather recv payload");
+        let results = self.waitall(recvs);
+        for (&r, (payload, _)) in recv_peers.iter().zip(results) {
+            out[r] = payload.expect("allgather recv payload");
         }
-        self.waitall(&sends);
+        self.waitall(sends);
         out
     }
 
@@ -542,26 +665,28 @@ impl<'a> Mpi<'a> {
     pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
         assert_eq!(chunks.len(), self.size, "one chunk per destination");
         let tag = self.next_coll_tag();
-        let mut sends = Vec::with_capacity(self.size - 1);
-        let mut recvs = Vec::with_capacity(self.size - 1);
+        let mut calls = Vec::with_capacity(2 * (self.size - 1));
+        let mut recv_peers = Vec::with_capacity(self.size - 1);
         for (r, chunk) in chunks.iter().enumerate() {
             if r != self.rank {
-                sends.push(self.isend_raw(r, tag, chunk));
+                calls.push(Self::isend_call(r, tag, chunk));
             }
         }
         for r in 0..self.size {
             if r != self.rank {
-                recvs.push((r, self.irecv(SrcSel::Rank(r), TagSel::Tag(tag))));
+                calls.push(Self::irecv_call(SrcSel::Rank(r), TagSel::Tag(tag)));
+                recv_peers.push(r);
             }
         }
+        let reqs = self.post_batch(calls);
+        let (sends, recvs) = reqs.split_at(self.size - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = chunks[self.rank].clone();
-        let reqs: Vec<ReqId> = recvs.iter().map(|&(_, q)| q).collect();
-        let results = self.waitall(&reqs);
-        for ((r, _), (payload, _)) in recvs.iter().zip(results) {
-            out[*r] = payload.expect("alltoall recv payload");
+        let results = self.waitall(recvs);
+        for (&r, (payload, _)) in recv_peers.iter().zip(results) {
+            out[r] = payload.expect("alltoall recv payload");
         }
-        self.waitall(&sends);
+        self.waitall(sends);
         out
     }
 

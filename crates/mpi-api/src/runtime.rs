@@ -103,6 +103,19 @@ pub trait Engine: Sized + 'static {
     }
 }
 
+/// In-flight state of one rank's [`MpiCall::Batch`]: the sub-calls not yet
+/// issued to the engine and the responses accumulated so far. The runtime
+/// feeds sub-call *i+1* to the engine at the exact virtual instant sub-call
+/// *i*'s response arrives — which is when an unbatched rank would have
+/// issued it — so batching changes OS-thread traffic, never virtual timing.
+#[derive(Clone, Debug)]
+pub struct BatchState {
+    /// Sub-calls still to be issued, in order.
+    pub queue: VecDeque<MpiCall>,
+    /// Engine responses collected so far, in issue order.
+    pub resps: Vec<MpiResp>,
+}
+
 /// The simulation world: engine + rank harness + completion queue.
 pub struct ClusterWorld<E: Engine> {
     pub engine: E,
@@ -112,6 +125,9 @@ pub struct ClusterWorld<E: Engine> {
     pub finished: usize,
     finish_times: Vec<Option<SimTime>>,
     draining: bool,
+    /// Per-rank in-flight batch (see [`BatchState`]); `None` when the rank
+    /// is not inside a [`MpiCall::Batch`].
+    batches: Vec<Option<BatchState>>,
     /// Scheduled-but-undelivered completions ([`resume_at`]), keyed by a
     /// monotone id so iteration order equals scheduling order. Tracked in
     /// the world (not closures) so checkpoints can capture them.
@@ -134,6 +150,7 @@ impl<E: Engine> ClusterWorld<E> {
             finished: 0,
             finish_times: vec![None; ranks],
             draining: false,
+            batches: (0..ranks).map(|_| None).collect(),
             pending_resumes: BTreeMap::new(),
             next_resume_id: 0,
             record_resps: false,
@@ -179,6 +196,7 @@ impl<E: Engine> ClusterWorld<E> {
             resp_log: self.resp_log.clone(),
             pending_resumes: self.pending_resumes.values().cloned().collect(),
             finish_times: self.finish_times.clone(),
+            batches: self.batches.clone(),
             captured_at,
         }
     }
@@ -197,8 +215,42 @@ pub struct RuntimeImage {
     pub pending_resumes: Vec<(SimTime, usize, MpiResp)>,
     /// Per-rank finish times (`Some` for ranks already done at capture).
     pub finish_times: Vec<Option<SimTime>>,
+    /// Per-rank in-flight batches at capture: sub-calls not yet issued are
+    /// genuinely new work on replay, while the accumulated sub-responses
+    /// are folded into the eventual [`MpiResp::Batch`] (which is what the
+    /// response log records).
+    pub batches: Vec<Option<BatchState>>,
     /// Absolute virtual time of the capture (a slice boundary in BCS-MPI).
     pub captured_at: SimTime,
+}
+
+/// Route one rank-yielded call: [`MpiCall::Batch`] is unpacked by the
+/// runtime (the engine only ever sees ordinary calls); everything else goes
+/// straight to the engine.
+fn dispatch_call<E: Engine>(
+    w: &mut ClusterWorld<E>,
+    sim: &mut Sim<ClusterWorld<E>>,
+    rank: usize,
+    call: MpiCall,
+) {
+    match call {
+        MpiCall::Batch { calls } => {
+            assert!(
+                w.batches[rank].is_none(),
+                "rank {rank} issued a batch while one is in flight"
+            );
+            let mut queue: VecDeque<MpiCall> = calls.into();
+            let first = queue.pop_front().expect("empty MpiCall::Batch");
+            assert!(
+                first.is_batchable() && queue.iter().all(MpiCall::is_batchable),
+                "MpiCall::Batch may contain only batchable calls (see MpiCall::is_batchable)"
+            );
+            let resps = Vec::with_capacity(queue.len() + 1);
+            w.batches[rank] = Some(BatchState { queue, resps });
+            E::on_call(w, sim, rank, first);
+        }
+        call => E::on_call(w, sim, rank, call),
+    }
 }
 
 /// Process queued completions until quiescent. Must be called after any
@@ -210,12 +262,31 @@ pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>)
     }
     w.draining = true;
     while let Some((rank, resp)) = w.pending.pop_front() {
+        // A rank inside a batch is not resumed per sub-response: the
+        // response is accumulated and the next sub-call issued in its
+        // place, at the same virtual instant.
+        let resp = if w.batches[rank].is_some() {
+            let st = w.batches[rank].as_mut().expect("checked above");
+            st.resps.push(resp);
+            match st.queue.pop_front() {
+                Some(next) => {
+                    E::on_call(w, sim, rank, next);
+                    continue;
+                }
+                None => {
+                    let st = w.batches[rank].take().expect("checked above");
+                    MpiResp::Batch { resps: st.resps }
+                }
+            }
+        } else {
+            resp
+        };
         if w.record_resps {
             w.resp_log[rank].push(resp.clone());
         }
         let y = w.harness.resume(simcore::ProcId(rank), resp);
         match y {
-            ProcYield::Request(call) => E::on_call(w, sim, rank, call),
+            ProcYield::Request(call) => dispatch_call(w, sim, rank, call),
             ProcYield::Finished(_) => {
                 w.finished += 1;
                 w.finish_times[rank] = Some(sim.now());
@@ -383,7 +454,7 @@ where
         });
         assert_eq!(pid.0, rank, "rank ids must be dense");
         match y {
-            ProcYield::Request(call) => E::on_call(&mut w, &mut sim, rank, call),
+            ProcYield::Request(call) => dispatch_call(&mut w, &mut sim, rank, call),
             ProcYield::Finished(_) => {
                 w.finished += 1;
                 w.finish_times[rank] = Some(SimTime::ZERO);
@@ -422,6 +493,7 @@ where
 {
     let size = layout.ranks;
     assert_eq!(rt.resp_log.len(), size, "image rank count mismatch");
+    assert_eq!(rt.batches.len(), size, "image rank count mismatch");
     let mut sim: Sim<ClusterWorld<E>> = Sim::new();
     if let Some(mv) = opts.max_virtual {
         sim.set_horizon(SimTime::ZERO + mv);
@@ -431,6 +503,7 @@ where
     // protocol's standing state; `kickoff` restarts its event loop.
     w.record_resps = true;
     w.resp_log = rt.resp_log.clone();
+    w.batches = rt.batches.clone();
 
     let program = Arc::new(program);
     for rank in 0..size {

@@ -21,7 +21,7 @@ use std::rc::Rc;
 pub const CTRL_BYTES: u64 = 64;
 
 /// Traffic counters, cheap enough to update on every operation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FabricStats {
     pub puts: u64,
     pub put_bytes: u64,
@@ -167,24 +167,41 @@ impl Fabric {
 
     /// Capture the port-occupancy state (see [`FabricSnapshot`]).
     pub fn snapshot(&self) -> FabricSnapshot {
-        FabricSnapshot {
-            tx_free: self.tx_free.clone(),
-            rx_free: self.rx_free.clone(),
-            coll_free: self.coll_free,
-            stats: self.stats.clone(),
-            bulk_seq: self.bulk_seq,
-        }
+        let mut s = FabricSnapshot {
+            tx_free: Vec::new(),
+            rx_free: Vec::new(),
+            coll_free: SimTime::ZERO,
+            stats: FabricStats::default(),
+            bulk_seq: 0,
+        };
+        self.snapshot_into(&mut s);
+        s
+    }
+
+    /// Capture port occupancy into an existing snapshot, reusing its
+    /// buffers. After the first call on a given snapshot this allocates
+    /// nothing, which keeps tight checkpoint intervals (every slice or two
+    /// under `ablation-fault`) off the allocator.
+    pub fn snapshot_into(&self, s: &mut FabricSnapshot) {
+        s.tx_free.clear();
+        s.tx_free.extend_from_slice(&self.tx_free);
+        s.rx_free.clear();
+        s.rx_free.extend_from_slice(&self.rx_free);
+        s.coll_free = self.coll_free;
+        s.stats = self.stats;
+        s.bulk_seq = self.bulk_seq;
     }
 
     /// Restore port occupancy from a snapshot and clear all fault state
     /// (every node revived, degradations and drop plans forgotten). The
     /// recovery driver re-injects whatever faults remain in its plan.
+    /// Copies in place — no allocation.
     pub fn restore(&mut self, s: &FabricSnapshot) {
         assert_eq!(s.tx_free.len(), self.tx_free.len(), "snapshot node count");
-        self.tx_free = s.tx_free.clone();
-        self.rx_free = s.rx_free.clone();
+        self.tx_free.copy_from_slice(&s.tx_free);
+        self.rx_free.copy_from_slice(&s.rx_free);
         self.coll_free = s.coll_free;
-        self.stats = s.stats.clone();
+        self.stats = s.stats;
         self.bulk_seq = s.bulk_seq;
         self.dead.iter_mut().for_each(|d| *d = false);
         self.degradations.clear();
@@ -401,7 +418,7 @@ mod tests {
     #[test]
     fn uncontended_put_latency_is_base_plus_serialization() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 32);
+        let mut fab = Fabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let bytes = 320_000; // 1 ms at 320 MB/s
@@ -417,7 +434,7 @@ mod tests {
     #[test]
     fn puts_on_same_tx_port_serialize() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 32);
+        let mut fab = Fabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 3_200_000; // 10 ms of wire time
         let t1 = fab.put(&mut sim, NodeId(0), NodeId(1), bytes, |_, _| {});
@@ -432,7 +449,7 @@ mod tests {
     #[test]
     fn puts_into_same_rx_port_serialize() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 32);
+        let mut fab = Fabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 3_200_000;
         let t1 = fab.put(&mut sim, NodeId(0), NodeId(9), bytes, |_, _| {});
@@ -443,7 +460,7 @@ mod tests {
     #[test]
     fn get_costs_request_roundtrip_plus_data() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 32);
+        let mut fab = Fabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let bytes = 320_000;
@@ -498,7 +515,7 @@ mod tests {
     #[test]
     fn multicasts_are_totally_ordered_through_the_root() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 8);
+        let mut fab = Fabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let dests: Vec<NodeId> = (0..8).map(NodeId).collect();
         let bytes = 320_000;
@@ -513,7 +530,7 @@ mod tests {
     fn conditional_fires_at_model_latency_and_serializes() {
         let m = NetModel::qsnet();
         let levels = Topology::fat_tree(32).levels();
-        let mut fab = Fabric::new(m.clone(), 32);
+        let mut fab = Fabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let t1 = fab.conditional(&mut sim, NodeId(0), 32, |w, s| {
@@ -532,7 +549,7 @@ mod tests {
     #[test]
     fn self_put_is_local() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 4);
+        let mut fab = Fabric::new(m, 4);
         let mut sim: Sim<W> = Sim::new();
         let t = fab.put(&mut sim, NodeId(2), NodeId(2), 64, |_, _| {});
         assert_eq!(t.since(SimTime::ZERO), m.nic_op + m.tx_time(64));
@@ -541,7 +558,7 @@ mod tests {
     #[test]
     fn dead_node_gets_no_deliveries_but_timing_is_unchanged() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 8);
+        let mut fab = Fabric::new(m, 8);
         let mut alive = Fabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
@@ -606,7 +623,7 @@ mod tests {
     #[test]
     fn degradation_window_scales_bulk_tx_time() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m.clone(), 8);
+        let mut fab = Fabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 320_000;
         fab.degrade_link(Degradation {
@@ -619,7 +636,7 @@ mod tests {
         let expect = m.unicast_latency(2) + m.tx_time(bytes) * 4;
         assert_eq!(t.since(SimTime::ZERO), expect);
         // Outside the window the factor no longer applies.
-        let mut fab2 = Fabric::new(m.clone(), 8);
+        let mut fab2 = Fabric::new(m, 8);
         fab2.degrade_link(Degradation {
             node: NodeId(1),
             from: SimTime(10),

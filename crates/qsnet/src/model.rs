@@ -43,8 +43,10 @@ pub enum CondImpl {
     SoftwareTree { stage: SimDuration },
 }
 
-/// Complete timing model of one interconnect.
-#[derive(Clone, Debug)]
+/// Complete timing model of one interconnect. All fields are scalar
+/// constants, so the model is `Copy` — pass it by value or borrow it, but
+/// never `.clone()` it per measurement point.
+#[derive(Clone, Copy, Debug)]
 pub struct NetModel {
     pub name: &'static str,
     /// Point-to-point wire latency excluding switch hops (first-bit).

@@ -151,7 +151,7 @@ proplite! {
         // Control traffic rides the priority channel: a conditional's
         // latency must not depend on prior bulk transfers.
         let model = NetModel::qsnet();
-        let mut fab = Fabric::new(model.clone(), 8);
+        let mut fab = Fabric::new(model, 8);
         let mut sim: Sim<()> = Sim::new();
         for &b in &warm {
             fab.put(&mut sim, NodeId(1), NodeId(2), b as u64, |_, _| {});

@@ -122,7 +122,7 @@ pub struct QuadricsMpi {
 
 impl QuadricsMpi {
     pub fn new(cfg: QuadricsConfig, layout: &JobLayout) -> QuadricsMpi {
-        let fabric = Fabric::new(cfg.net.clone(), layout.compute_nodes);
+        let fabric = Fabric::new(cfg.net, layout.compute_nodes);
         let noise = cfg
             .noise
             .clone()
@@ -568,6 +568,9 @@ impl Engine for QuadricsMpi {
                         });
                     }
                 }
+            }
+            MpiCall::Batch { .. } => {
+                unreachable!("MpiCall::Batch is unpacked by the runtime, never seen by engines")
             }
         }
     }

@@ -1,6 +1,6 @@
 //! The discrete-event engine.
 //!
-//! [`Sim<W>`] owns a priority queue of events, each a boxed `FnOnce(&mut W,
+//! [`Sim<W>`] owns a priority queue of events, each an `FnOnce(&mut W,
 //! &mut Sim<W>)`. Events at equal virtual time fire in the order they were
 //! scheduled (a monotone sequence number breaks ties), which makes runs
 //! reproducible bit-for-bit.
@@ -9,45 +9,108 @@
 //! Handlers receive both the world and the engine so they can schedule
 //! follow-up events. The engine pops an event *before* invoking it, so the
 //! handler holds the only mutable borrow.
+//!
+//! ## Storage layout
+//!
+//! The queue is split so the ordering structure stays plain-old-data:
+//!
+//! * a manual binary min-heap of [`HeapEntry`] — `(time, seq, slot)`, 24
+//!   bytes, no drop glue — ordered by `(time, seq)`;
+//! * a slot arena of [`EventCell`]s addressed by the heap entries, with a
+//!   vacant-slot free list so steady-state scheduling recycles slots
+//!   instead of growing.
+//!
+//! Handlers small enough for [`INLINE_WORDS`] machine words (the dominant
+//! fabric events: DMA hop completions, port releases, rank resumes) are
+//! stored *inline* in the cell — no heap allocation per event. Larger
+//! captures fall back to a `Box`. The inline path stores the closure bytes
+//! in a `MaybeUninit` buffer plus two erased function pointers (call and
+//! drop), so `schedule_*`/`step` allocate nothing at all for the common
+//! case.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
 
-/// Type-erased event handler.
+/// Type-erased boxed event handler (fallback for large captures).
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 
-struct Scheduled<W> {
+/// Capture budget (in machine words) for the allocation-free inline path.
+const INLINE_WORDS: usize = 6;
+
+type InlineBuf = MaybeUninit<[usize; INLINE_WORDS]>;
+
+/// A closure stored inline: raw capture bytes plus erased call/drop glue.
+///
+/// Invariant: `buf` holds a valid, initialized `F` (for the `F` the two
+/// function pointers were instantiated with) until exactly one of `call`
+/// (consumes it) or `drop_fn` (drops it in place) is invoked.
+struct InlineEvent<W> {
+    buf: InlineBuf,
+    call: unsafe fn(*mut u8, &mut W, &mut Sim<W>),
+    drop_fn: unsafe fn(*mut u8),
+}
+
+/// One arena slot. `Vacant` threads the free list through the arena.
+enum EventCell<W> {
+    Vacant { next_free: u32 },
+    Inline(InlineEvent<W>),
+    Boxed(EventFn<W>),
+}
+
+/// POD heap node; ordered by `(time, seq)`, pointing into the slot arena.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    f: EventFn<W>,
+    slot: u32,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+#[inline]
+fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
+    (a.time, a.seq) < (b.time, b.seq)
 }
 
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+unsafe fn call_inline<W, F: FnOnce(&mut W, &mut Sim<W>)>(
+    buf: *mut u8,
+    world: &mut W,
+    sim: &mut Sim<W>,
+) {
+    // Safety: caller guarantees `buf` holds an initialized `F`; reading it
+    // out transfers ownership to this frame (consumed by the call below).
+    let f = unsafe { (buf as *mut F).read() };
+    f(world, sim);
+}
+
+unsafe fn drop_inline<F>(buf: *mut u8) {
+    // Safety: caller guarantees `buf` holds an initialized `F` that will
+    // never be read again.
+    unsafe { std::ptr::drop_in_place(buf as *mut F) };
+}
+
+fn make_cell<W, F: FnOnce(&mut W, &mut Sim<W>) + 'static>(f: F) -> EventCell<W> {
+    if size_of::<F>() <= size_of::<InlineBuf>() && align_of::<F>() <= align_of::<InlineBuf>() {
+        let mut ev = InlineEvent {
+            buf: MaybeUninit::uninit(),
+            call: call_inline::<W, F>,
+            drop_fn: drop_inline::<F>,
+        };
+        // Safety: size/alignment checked above; the buffer is exclusively
+        // owned by this fresh cell.
+        unsafe { (ev.buf.as_mut_ptr() as *mut F).write(f) };
+        EventCell::Inline(ev)
+    } else {
+        EventCell::Boxed(Box::new(f))
     }
 }
+
+const NIL: u32 = u32::MAX;
 
 /// A deterministic discrete-event simulator over a world `W`.
 pub struct Sim<W> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<EventCell<W>>,
+    free_head: u32,
     seq: u64,
     events_executed: u64,
     /// Optional hard cap on virtual time; events beyond it are not executed.
@@ -60,12 +123,29 @@ impl<W> Default for Sim<W> {
     }
 }
 
+impl<W> Drop for Sim<W> {
+    fn drop(&mut self) {
+        // Boxed cells drop themselves with the arena; inline cells need
+        // their erased drop glue run for any event still pending.
+        for cell in &mut self.slots {
+            if let EventCell::Inline(ev) = cell {
+                // Safety: an `Inline` cell still in the arena was never
+                // consumed by `step`, so its buffer holds a live closure.
+                unsafe { (ev.drop_fn)(ev.buf.as_mut_ptr() as *mut u8) };
+                *cell = EventCell::Vacant { next_free: NIL };
+            }
+        }
+    }
+}
+
 impl<W> Sim<W> {
     /// Create an empty simulation at `t = 0`.
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free_head: NIL,
             seq: 0,
             events_executed: 0,
             horizon: None,
@@ -87,12 +167,61 @@ impl<W> Sim<W> {
     /// Number of events currently pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.heap.len()
     }
 
     /// Stop executing events scheduled after `t` (they stay queued).
     pub fn set_horizon(&mut self, t: SimTime) {
         self.horizon = Some(t);
+    }
+
+    fn alloc_slot(&mut self, cell: EventCell<W>) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            match self.slots[slot as usize] {
+                EventCell::Vacant { next_free } => self.free_head = next_free,
+                _ => unreachable!("free list points at an occupied slot"),
+            }
+            self.slots[slot as usize] = cell;
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+            self.slots.push(cell);
+            slot
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if heap_less(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut min = left;
+            if right < len && heap_less(&self.heap[right], &self.heap[left]) {
+                min = right;
+            }
+            if heap_less(&self.heap[min], &self.heap[i]) {
+                self.heap.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
     }
 
     /// Schedule `f` to run at absolute virtual time `t`.
@@ -109,11 +238,9 @@ impl<W> Sim<W> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time: t,
-            seq,
-            f: Box::new(f),
-        });
+        let slot = self.alloc_slot(make_cell(f));
+        self.heap.push(HeapEntry { time: t, seq, slot });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -136,21 +263,42 @@ impl<W> Sim<W> {
     /// Execute a single event if one is pending (and within the horizon).
     /// Returns `false` when the queue is exhausted or the horizon reached.
     pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(&root) = self.heap.first() else {
+            return false;
+        };
         if let Some(h) = self.horizon {
-            if self.queue.peek().is_some_and(|e| e.time > h) {
+            if root.time > h {
                 return false;
             }
         }
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.time >= self.now);
-                self.now = ev.time;
-                self.events_executed += 1;
-                (ev.f)(world, self);
-                true
-            }
-            None => false,
+        // Pop the min heap entry, then vacate its slot (returning it to the
+        // free list) *before* invoking the handler, so the handler can
+        // schedule freely into the recycled capacity.
+        self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
         }
+        let cell = std::mem::replace(
+            &mut self.slots[root.slot as usize],
+            EventCell::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = root.slot;
+        debug_assert!(root.time >= self.now);
+        self.now = root.time;
+        self.events_executed += 1;
+        match cell {
+            EventCell::Inline(mut ev) => {
+                // Safety: the cell was occupied, so the buffer holds a live
+                // closure; `call` consumes it and it is never touched again
+                // (`InlineEvent` has no drop glue of its own).
+                unsafe { (ev.call)(ev.buf.as_mut_ptr() as *mut u8, world, self) };
+            }
+            EventCell::Boxed(f) => f(world, self),
+            EventCell::Vacant { .. } => unreachable!("heap entry points at a vacant slot"),
+        }
+        true
     }
 
     /// Run until no events remain (or the horizon is reached).
@@ -177,6 +325,7 @@ impl<W> Sim<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::rc::Rc;
 
     #[derive(Default)]
     struct World {
@@ -272,5 +421,66 @@ mod tests {
         sim.schedule_at(SimTime(7), |w, _| w.log.push((7, "peer")));
         sim.run(&mut w);
         assert_eq!(w.log, vec![(7, "outer"), (7, "peer"), (7, "inner")]);
+    }
+
+    #[test]
+    fn large_captures_fall_back_to_boxed_and_still_run_in_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let big = [7u64; 32]; // 256 bytes: over the inline budget.
+        sim.schedule_at(SimTime(2), move |w: &mut World, _| {
+            assert_eq!(big[31], 7);
+            w.log.push((2, "big"));
+        });
+        sim.schedule_at(SimTime(1), |w, _| w.log.push((1, "small")));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(1, "small"), (2, "big")]);
+    }
+
+    #[test]
+    fn pending_inline_and_boxed_events_drop_their_captures() {
+        let token = Rc::new(());
+        {
+            let mut sim: Sim<World> = Sim::new();
+            let small = Rc::clone(&token);
+            let (pad, big) = ([0u64; 32], Rc::clone(&token));
+            sim.schedule_at(SimTime(1), move |_w: &mut World, _| drop(small));
+            sim.schedule_at(SimTime(2), move |_w: &mut World, _| {
+                let _ = pad;
+                drop(big);
+            });
+            assert_eq!(Rc::strong_count(&token), 3);
+            // Dropped with both events still queued.
+        }
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn executed_events_consume_their_captures_exactly_once() {
+        let token = Rc::new(());
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let held = Rc::clone(&token);
+        sim.schedule_at(SimTime(1), move |_w, _| drop(held));
+        sim.run(&mut w);
+        assert_eq!(Rc::strong_count(&token), 1);
+        drop(sim);
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_under_steady_state_churn() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        fn chain(s: &mut Sim<World>, left: u32) {
+            if left > 0 {
+                s.schedule_in(SimDuration::nanos(1), move |_w, s| chain(s, left - 1));
+            }
+        }
+        chain(&mut sim, 10_000);
+        sim.run(&mut w);
+        assert_eq!(sim.events_executed(), 10_000);
+        // One live event at a time: the arena never needs a second slot.
+        assert_eq!(sim.slots.len(), 1);
     }
 }

@@ -7,7 +7,11 @@
 #      recovery + same-seed replay)
 #   4. the fault ablation (quick), tolerance-gated, emitting
 #      reports/ablation_fault.csv
-#   5. the four microbenches (quick mode), emitting reports/microbench_*.csv
+#   5. the quick repro sequentially and with REPRO_THREADS=4: the CSVs
+#      must be byte-identical across thread counts, and the parallel run
+#      is gated against the sequential run's wall-clock baseline (the
+#      gate's 5x + 2s threshold is deliberately tolerant of CI noise)
+#   6. the four microbenches (quick mode), emitting reports/microbench_*.csv
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -31,6 +35,21 @@ cargo test --release -q --test fault_recovery
 echo "== fault ablation (quick, tolerance-gated) -> reports/ablation_fault.csv"
 cargo run --release -q -p bench --bin repro -- ablation-fault --quick
 [ -s reports/ablation_fault.csv ] || { echo "verify: missing reports/ablation_fault.csv" >&2; exit 1; }
+
+echo "== parallel repro determinism (quick, REPRO_THREADS=1 vs 4) + wall-clock gate"
+seq_dir="$(mktemp -d)"; par_dir="$(mktemp -d)"
+trap 'rm -rf "$seq_dir" "$par_dir"' EXIT
+REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick all --out "$seq_dir" >/dev/null
+REPRO_THREADS=4 cargo run --release -q -p bench --bin repro -- --quick all --out "$par_dir" \
+  --wallclock-baseline "$seq_dir/bench_wallclock.json" >/dev/null
+n=0
+for f in "$seq_dir"/*.csv; do
+  cmp -s "$f" "$par_dir/$(basename "$f")" \
+    || { echo "verify: $(basename "$f") differs between REPRO_THREADS=1 and 4" >&2; exit 1; }
+  n=$((n + 1))
+done
+[ "$n" -gt 0 ] || { echo "verify: quick repro emitted no CSVs" >&2; exit 1; }
+echo "   $n CSVs byte-identical across thread counts; wall-clock gate passed"
 
 echo "== offline microbenches (quick mode) -> reports/microbench_*.csv"
 for b in primitives engine_throughput softfloat_ops apps_micro; do
