@@ -79,15 +79,22 @@ pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + 
         let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me + i) as u8).collect();
         // Fold each exchange's received payloads into a checksum; the recv
         // results follow the `peers.len()` send results in request order.
-        let absorb = |checksum: &mut u64, results: &[(Option<Vec<u8>>, Option<Status>)]| {
-            for (data, _) in &results[peers.len()..] {
+        // Generic over the payload representation: the batched path yields
+        // shared `Payload`s, the trailing waitall yields owned `Vec<u8>`s.
+        fn absorb<P: std::ops::Deref<Target = [u8]>>(
+            checksum: &mut u64,
+            sends: usize,
+            msg_bytes: usize,
+            results: &[(Option<P>, Option<Status>)],
+        ) {
+            for (data, _) in &results[sends..] {
                 let data = data.as_ref().expect("recv payload");
-                assert_eq!(data.len(), cfg.msg_bytes);
+                assert_eq!(data.len(), msg_bytes);
                 *checksum = checksum
                     .wrapping_add(data[0] as u64)
-                    .wrapping_add(data[cfg.msg_bytes - 1] as u64);
+                    .wrapping_add(data[msg_bytes - 1] as u64);
             }
-        };
+        }
         let mut checksum = 0u64;
         // One harness handoff per iteration: batch the previous exchange's
         // waitall together with this iteration's compute and 2k posts. The
@@ -113,7 +120,9 @@ pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + 
             let mut resps = mpi.batch(calls).into_iter();
             if !reqs.is_empty() {
                 match resps.next() {
-                    Some(MpiResp::WaitallDone { results }) => absorb(&mut checksum, &results),
+                    Some(MpiResp::WaitallDone { results }) => {
+                        absorb(&mut checksum, peers.len(), cfg.msg_bytes, &results)
+                    }
                     other => unreachable!("batched waitall -> {other:?}"),
                 }
             }
@@ -128,7 +137,7 @@ pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + 
                 })
                 .collect();
         }
-        absorb(&mut checksum, &mpi.waitall(&reqs));
+        absorb(&mut checksum, peers.len(), cfg.msg_bytes, &mpi.waitall(&reqs));
         checksum
     }
 }

@@ -148,6 +148,31 @@ fn mode(quick: bool) -> &'static str {
     if quick { "quick" } else { "full" }
 }
 
+/// Paired-microbench speedup gate: the optimized variant's median
+/// per-iteration time must beat the baseline variant's by at least
+/// `min_factor`. Both measurements come from the same process seconds
+/// apart, so — unlike absolute wall-clock thresholds — the ratio is stable
+/// across machines and CI load; the factor can therefore be demanding.
+/// Returns the achieved factor, or a human-readable violation.
+pub fn check_speedup(
+    name: &str,
+    baseline_median_ns: f64,
+    optimized_median_ns: f64,
+    min_factor: f64,
+) -> Result<f64, String> {
+    assert!(baseline_median_ns > 0.0 && optimized_median_ns > 0.0);
+    let factor = baseline_median_ns / optimized_median_ns;
+    if factor < min_factor {
+        Err(format!(
+            "{name}: optimized variant is only {factor:.2}x the baseline \
+             ({optimized_median_ns:.0} ns vs {baseline_median_ns:.0} ns per iter, \
+             gate requires >= {min_factor}x)"
+        ))
+    } else {
+        Ok(factor)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +253,17 @@ mod tests {
         let extra = wc(true, &[("fig2", 1.0), ("fig9", 4.0), ("fig10", 99.0)]);
         let (_, v) = check_wallclock(&base, &extra);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn speedup_gate_passes_and_fails_on_the_ratio() {
+        let ok = check_speedup("t", 1000.0, 100.0, 5.0);
+        assert!((ok.unwrap() - 10.0).abs() < 1e-9);
+        let at_limit = check_speedup("t", 500.0, 100.0, 5.0);
+        assert!(at_limit.is_ok());
+        let slow = check_speedup("t", 400.0, 100.0, 5.0);
+        let msg = slow.unwrap_err();
+        assert!(msg.contains("4.00x") && msg.contains(">= 5x"), "{msg}");
     }
 
     #[test]

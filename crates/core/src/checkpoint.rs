@@ -168,15 +168,17 @@ pub struct CheckpointImage {
 /// of the mutable engine state).
 #[derive(Clone)]
 struct EngineSnap {
-    nic: Vec<crate::p2p::NicState>,
+    /// Shared with the live engine copy-on-write: capturing clones `Arc`s,
+    /// and only nodes whose state changes after the capture are copied.
+    nic: Vec<std::sync::Arc<crate::p2p::NicState>>,
     reqs: Vec<(mpi_api::call::ReqId, crate::engine::BcsReq)>,
-    payloads: Vec<(crate::p2p::MsgId, Vec<u8>)>,
+    payloads: Vec<(crate::p2p::MsgId, mpi_api::payload::Payload)>,
     blocked: Vec<Option<crate::engine::Blocked>>,
     coll: crate::coll::CollState,
     comms: mpi_api::comm::CommRegistry,
     restart_queue: Vec<(usize, mpi_api::call::MpiResp)>,
-    src_budget: Vec<u64>,
-    dst_budget: Vec<u64>,
+    src_budget: crate::match_index::LazyBudget,
+    dst_budget: crate::match_index::LazyBudget,
     noise: Option<mpi_api::noise::NoiseModel>,
     stats: crate::engine::BcsStats,
     checkpoints: Vec<(u64, u64)>,
@@ -191,15 +193,17 @@ struct EngineSnap {
 
 /// Capture a full restorable image at the current (boundary) instant.
 /// Called by the slice-start checkpoint hook when `cfg.checkpoint_images`.
-pub(crate) fn capture_image(w: &BW, now: SimTime, digest: u64) -> CheckpointImage {
+pub(crate) fn capture_image(w: &mut BW, now: SimTime, digest: u64) -> CheckpointImage {
     assert!(
         w.recording(),
         "checkpoint_images requires response recording \
          (ClusterWorld::set_recording(true) in the run's setup hook)"
     );
-    let e = &w.engine;
+    let rt = w.runtime_image(now);
+    let e = &mut w.engine;
     // Sort the hash maps into a canonical order so two captures of the same
-    // state produce identical images.
+    // state produce identical images. Request and payload clones are
+    // refcount bumps (`Payload` is a shared buffer), not byte copies.
     let mut reqs: Vec<_> = e.reqs.iter().map(|(&k, v)| (k, v.clone())).collect();
     reqs.sort_unstable_by_key(|(k, _)| *k);
     let mut payloads: Vec<_> = e.payloads.iter().map(|(&k, v)| (k, v.clone())).collect();
@@ -208,7 +212,7 @@ pub(crate) fn capture_image(w: &BW, now: SimTime, digest: u64) -> CheckpointImag
         slice: e.slice,
         captured_at: now,
         digest,
-        rt: w.runtime_image(now),
+        rt,
         eng: EngineSnap {
             nic: e.nic.clone(),
             reqs,
@@ -230,6 +234,42 @@ pub(crate) fn capture_image(w: &BW, now: SimTime, digest: u64) -> CheckpointImag
             words: e.bcs.snapshot_words(),
             fabric: e.bcs.fabric.snapshot(),
         },
+    }
+}
+
+impl CheckpointImage {
+    /// Deep-clone the image so it shares *nothing* with the live engine or
+    /// other images: fresh NIC state behind fresh `Arc`s, payload bytes
+    /// copied into fresh buffers, the response logs flattened, the fabric
+    /// snapshot unshared. Restoring from the result must be byte-identical
+    /// to restoring from `self` — the property `tests/fault_recovery.rs`
+    /// checks to validate the copy-on-write capture path.
+    /// Total bytes of payload data the image references (parked send
+    /// payloads awaiting their receiver). Capturing shares these buffers
+    /// with the live engine; [`Self::materialize`] copies them. Useful for
+    /// sizing what a serialized image would occupy, and for selecting a
+    /// representative image in benchmarks.
+    pub fn payload_bytes(&self) -> usize {
+        self.eng.payloads.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    pub fn materialize(&self) -> CheckpointImage {
+        let mut img = self.clone();
+        img.rt = self.rt.materialize();
+        img.eng.nic = self
+            .eng
+            .nic
+            .iter()
+            .map(|n| std::sync::Arc::new((**n).clone()))
+            .collect();
+        img.eng.payloads = self
+            .eng
+            .payloads
+            .iter()
+            .map(|(k, p)| (*k, mpi_api::payload::Payload::from(&p[..])))
+            .collect();
+        img.eng.fabric = self.eng.fabric.materialize();
+        img
     }
 }
 
@@ -273,6 +313,65 @@ impl BcsMpi {
         e
     }
 
+    /// Streaming equivalent of `capture_checkpoint().digest()`: folds the
+    /// same canonical encoding, in the same order, directly into the FNV-1a
+    /// accumulator without materializing a [`CommCheckpoint`]. The
+    /// digest-only checkpoint path (`checkpoint_images: false`) uses this so
+    /// a boundary digest allocates nothing per node and never touches a
+    /// payload refcount — only the open-request triples are collected (for
+    /// the canonical sort, they are three plain words each).
+    pub fn checkpoint_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.slice);
+        for (i, nic) in self.nic.iter().enumerate() {
+            mix(i as u64 ^ 0x1111);
+            for d in nic.send_posted.iter() {
+                mix(d.msg.0);
+                mix(d.dst_rank as u64);
+                mix(d.bytes as u64);
+            }
+            for (_, sel, req) in nic.recv_posted.iter() {
+                mix(req.0 ^ 0x2222);
+                mix(sel.dst_rank as u64);
+            }
+            for (_, key, rs) in nic.remote_sends.iter() {
+                mix(rs.msg.0 ^ 0x3333);
+                mix(key.src_rank as u64);
+            }
+            for it in nic.inflight.iter() {
+                mix(it.msg.0 ^ 0x4444);
+                mix(it.moved);
+                mix(it.total);
+            }
+        }
+        let mut open_requests: Vec<(u64, usize, bool)> = self
+            .reqs
+            .iter()
+            .map(|(id, st)| (id.0, st.owner, st.complete))
+            .collect();
+        open_requests.sort_unstable();
+        for (id, owner, complete) in open_requests {
+            mix(id ^ 0x5555);
+            mix(owner as u64);
+            mix(complete as u64);
+        }
+        for r in 0..self.blocked.len() {
+            if self.blocked[r].is_some() {
+                mix(r as u64 ^ 0x6666);
+            }
+        }
+        for (&(_comm, slot, round), st) in self.coll.rounds.iter() {
+            mix(slot as u64 ^ 0x7777);
+            mix(round);
+            mix(st.arrived as u64);
+        }
+        h
+    }
+
     /// Capture the communication state. Intended to be taken at a slice
     /// boundary (the engine's checkpoint hook does exactly that); the state
     /// is then guaranteed quiescent: no microphase is active and every
@@ -287,11 +386,15 @@ impl BcsMpi {
                     .iter()
                     .map(|d| (d.msg.0, d.dst_rank, d.bytes))
                     .collect(),
-                pending_recvs: nic.recv_posted.iter().map(|r| (r.req.0, r.dst_rank)).collect(),
+                pending_recvs: nic
+                    .recv_posted
+                    .iter()
+                    .map(|(_, sel, req)| (req.0, sel.dst_rank))
+                    .collect(),
                 unmatched: nic
                     .remote_sends
                     .iter()
-                    .map(|r| (r.msg.0, r.src_rank))
+                    .map(|(_, key, rs)| (rs.msg.0, key.src_rank))
                     .collect(),
                 inflight: nic
                     .inflight

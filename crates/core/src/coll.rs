@@ -18,6 +18,7 @@ use bcs_core::{BcsCluster, CmpOp};
 use mpi_api::call::MpiResp;
 use mpi_api::comm::CommId;
 use mpi_api::datatype::{Datatype, ReduceOp, combine_native};
+use mpi_api::payload::Payload;
 use mpi_api::runtime::JobLayout;
 use qsnet::NodeId;
 use qsnet::model::log2_ceil;
@@ -58,7 +59,7 @@ pub(crate) struct CollRound {
     pub root: usize,
     pub params: Option<(ReduceOp, Datatype)>,
     /// Reduce contributions / the bcast payload (by communicator rank).
-    pub contribs: Vec<Option<Vec<u8>>>,
+    pub contribs: Vec<Option<Payload>>,
     pub arrived: usize,
     /// Arrivals per compute node.
     pub arrived_on_node: Vec<usize>,
@@ -111,7 +112,7 @@ pub(crate) fn post_collective(
     comm: CommId,
     kind: CollKind,
     root: usize,
-    data: Option<Vec<u8>>,
+    data: Option<Payload>,
     params: Option<(ReduceOp, Datatype)>,
 ) {
     let _ = sim;
@@ -258,15 +259,15 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         finish_phase_with_delay(w, sim, node);
         return;
     }
-    w.engine.nic[node.0].outstanding = todo.len() as u32;
+    w.engine.outstanding[node.0] = todo.len() as u32;
     for key in todo {
         let round = w.engine.coll.rounds.get(&key).unwrap();
         let kind = round.kind;
         let comm = round.comm;
-        let payload: Vec<u8> = if kind == CollKind::Bcast {
+        let payload: Payload = if kind == CollKind::Bcast {
             round.contribs[round.root].clone().expect("bcast payload")
         } else {
-            Vec::new()
+            Payload::empty()
         };
         match kind {
             CollKind::Barrier => w.engine.stats.barriers += 1,
@@ -277,9 +278,8 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         let member_nodes = w.engine.member_nodes(comm);
         let members = std::rc::Rc::new(w.engine.comms.members(comm).to_vec());
         let layout = w.engine.layout.clone();
-        let payload = std::rc::Rc::new(payload);
         let per_dest: std::rc::Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)> = {
-            let payload = std::rc::Rc::clone(&payload);
+            let payload = payload.clone();
             let members = std::rc::Rc::clone(&members);
             std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
                 // Delivery at node d completes the collective for its local
@@ -291,7 +291,7 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
                 for rank in ranks {
                     let resp = match kind {
                         CollKind::Barrier => MpiResp::Ok,
-                        CollKind::Bcast => MpiResp::Data((*payload).clone()),
+                        CollKind::Bcast => MpiResp::Data(payload.clone()),
                         CollKind::Reduce { .. } => unreachable!(),
                     };
                     debug_assert!(matches!(
@@ -350,7 +350,7 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         finish_phase_with_delay(w, sim, node);
         return;
     }
-    w.engine.nic[node.0].outstanding = todo.len() as u32;
+    w.engine.outstanding[node.0] = todo.len() as u32;
 
     for key in todo {
         let mut round = w.engine.coll.rounds.remove(&key).unwrap();
@@ -369,11 +369,11 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         for c in round.contribs.iter_mut() {
             let c = c.take().expect("missing reduce contribution");
             match &mut acc {
-                None => acc = Some(c),
+                None => acc = Some(c.into_vec()),
                 Some(a) => combine_nic(op, dtype, a, &c),
             }
         }
-        let value = acc.unwrap_or_default();
+        let value = Payload::from_vec(acc.unwrap_or_default());
         let bytes = value.len();
 
         // Tree timing: ceil(log2 member-nodes) stages of (latency + wire +
@@ -396,9 +396,8 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
             let members = std::rc::Rc::new(members);
             sim.schedule_at(gather_done, move |w: &mut BW, sim| {
                 let member_nodes = w.engine.member_nodes(comm);
-                let value = std::rc::Rc::new(value);
                 let per_dest: std::rc::Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)> = {
-                    let value = std::rc::Rc::clone(&value);
+                    let value = value.clone();
                     let members = std::rc::Rc::clone(&members);
                     let layout = layout.clone();
                     std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
@@ -410,7 +409,7 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
                             w.engine.blocked[rank] = None;
                             w.engine
                                 .restart_queue
-                                .push((rank, MpiResp::Data((*value).clone())));
+                                .push((rank, MpiResp::Data(value.clone())));
                         }
                         mpi_api::runtime::drain(w, sim);
                     })
@@ -454,7 +453,7 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
 }
 
 fn finish_phase_with_delay(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
-    w.engine.nic[node.0].outstanding = 1;
+    w.engine.outstanding[node.0] = 1;
     let cost = w.engine.cfg.desc_cost;
     sim.schedule_in(cost, move |w: &mut BW, sim| {
         crate::protocol::work_item_done(w, sim, node);

@@ -13,6 +13,7 @@ use mpi_api::call::{MpiCall, MpiResp, ReqId};
 use mpi_api::comm::{CommId, CommRegistry};
 use mpi_api::message::{SrcSel, Status, TagSel};
 use mpi_api::noise::{NoiseConfig, NoiseModel};
+use mpi_api::payload::Payload;
 use mpi_api::runtime::{ClusterWorld, Engine, JobLayout, resume_at};
 use qsnet::{Fabric, NetModel, NodeId};
 use simcore::stats::LogHistogram;
@@ -154,7 +155,7 @@ pub(crate) struct BcsReq {
     pub owner: usize,
     pub kind: ReqKind,
     pub complete: bool,
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Payload>,
     pub status: Option<Status>,
     /// Slice-boundary time at which the descriptor was posted (for the
     /// blocking-delay statistic).
@@ -183,7 +184,16 @@ pub struct BcsMpi {
     pub(crate) bcs: BcsCluster<BW>,
     /// The management node hosting the MM/SS (last fabric node).
     pub(crate) mgmt: NodeId,
-    pub(crate) nic: Vec<NicState>,
+    /// Per-node NIC state, shared copy-on-write with checkpoint images: a
+    /// capture clones the `Arc`s; a node's state is deep-copied only on its
+    /// first mutation afterwards.
+    pub(crate) nic: Vec<std::sync::Arc<NicState>>,
+    /// Outstanding async work items of the current microphase, per node
+    /// (protocol transient — zero at every slice boundary).
+    pub(crate) outstanding: Vec<u32>,
+    /// Chunks scheduled for this slice's P2P microphase, per node:
+    /// `(msg, bytes)` (protocol transient — empty at every boundary).
+    pub(crate) sched: Vec<Vec<(MsgId, u64)>>,
     /// Current slice number and microphase (0=DEM..4=RM).
     pub(crate) slice: u64,
     pub(crate) phase: u32,
@@ -191,13 +201,14 @@ pub struct BcsMpi {
     /// Ranks to restart at the next slice boundary, with their responses.
     pub(crate) restart_queue: Vec<(usize, MpiResp)>,
     pub(crate) reqs: HashMap<ReqId, BcsReq>,
-    pub(crate) payloads: HashMap<MsgId, Vec<u8>>,
+    pub(crate) payloads: HashMap<MsgId, Payload>,
     pub(crate) blocked: Vec<Option<Blocked>>,
     pub(crate) coll: CollState,
     pub(crate) comms: CommRegistry,
-    /// Per-node remaining P2P byte budget for the current slice.
-    pub(crate) src_budget: Vec<u64>,
-    pub(crate) dst_budget: Vec<u64>,
+    /// Per-node remaining P2P byte budget for the current slice
+    /// (generation-stamped: a slice boundary refills all nodes in O(1)).
+    pub(crate) src_budget: crate::match_index::LazyBudget,
+    pub(crate) dst_budget: crate::match_index::LazyBudget,
     pub(crate) noise: Option<NoiseModel>,
     pub stats: BcsStats,
     /// `(slice, digest)` stream captured by the checkpoint hook.
@@ -234,7 +245,11 @@ impl BcsMpi {
         BcsMpi {
             bcs: BcsCluster::new(fabric),
             mgmt,
-            nic: (0..layout.compute_nodes).map(|_| NicState::default()).collect(),
+            nic: (0..layout.compute_nodes)
+                .map(|_| std::sync::Arc::new(NicState::default()))
+                .collect(),
+            outstanding: vec![0; layout.compute_nodes],
+            sched: (0..layout.compute_nodes).map(|_| Vec::new()).collect(),
             slice: 0,
             phase: 0,
             slice_started_at: SimTime::ZERO,
@@ -244,8 +259,8 @@ impl BcsMpi {
             blocked: (0..layout.ranks).map(|_| None).collect(),
             coll: CollState::new(layout),
             comms: CommRegistry::new(layout.ranks),
-            src_budget: vec![0; layout.compute_nodes],
-            dst_budget: vec![0; layout.compute_nodes],
+            src_budget: crate::match_index::LazyBudget::new(layout.compute_nodes),
+            dst_budget: crate::match_index::LazyBudget::new(layout.compute_nodes),
             noise,
             stats: BcsStats::default(),
             checkpoints: Vec::new(),

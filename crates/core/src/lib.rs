@@ -42,6 +42,7 @@ pub mod checkpoint;
 mod coll;
 mod engine;
 pub mod gang;
+pub mod match_index;
 mod p2p;
 mod protocol;
 pub mod trace;

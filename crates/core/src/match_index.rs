@@ -1,0 +1,671 @@
+//! Indexed descriptor matching — the large-N replacement for the BR's
+//! linear scans.
+//!
+//! The paper's BR matches each incoming send descriptor against the local
+//! receive-descriptor list, first match in post order (MPI non-overtaking).
+//! A literal list scan costs O(posted receives) per descriptor, which makes
+//! the *harness* quadratic on exactly the sweeps the paper scales (§5). The
+//! structures here make every hot operation O(log n) or amortized O(1)
+//! while reproducing the scan's results bit for bit:
+//!
+//! * [`RecvIndex`] — posted receives, bucketed by selector specificity.
+//!   Every receive carries a monotonically increasing *post sequence* and
+//!   lands in exactly one bucket: `(dst, src, tag)` exact, `(dst, tag)`
+//!   source-wildcard, `(dst, src)` tag-wildcard, or `(dst)` fully wild.
+//!   An incoming `(dst, src, tag)` can only be matched by those four
+//!   buckets, each of which is FIFO in post order — so the first eligible
+//!   receive in post order is simply the minimum head sequence of the four
+//!   queues. Cancellation removes from the master map only; stale queue
+//!   heads are skipped lazily (each skip is paid for by one cancellation).
+//! * [`SendIndex`] — unmatched remote send descriptors in arrival order,
+//!   with per-`(dst, src, tag)` FIFO queues so probes are O(1) for exact
+//!   selectors and O(distinct keys) for wildcards (taking the *minimum*
+//!   arrival sequence over matching keys, so hash-iteration order never
+//!   leaks into results). The index also remembers how many entries have
+//!   already been examined against the current receive set: a backlog of
+//!   unmatched sends is only re-examined when a new receive has been
+//!   posted, so an idle backlog costs nothing per slice.
+//! * [`InflightQueue`] — matching descriptors keyed by message, iterated
+//!   in match order (the order chunk budgets are granted in), with O(1)
+//!   lookup replacing the per-chunk list scans.
+//! * [`LazyBudget`] — per-node P2P byte budgets with generation-stamped
+//!   lazy reset: a slice boundary bumps one generation counter instead of
+//!   rewriting O(nodes) entries, so idle nodes cost nothing per slice.
+//!
+//! Determinism: all iteration that can reach an observable result (matching,
+//! probing, checkpoint capture) goes through sequence-ordered `BTreeMap`s or
+//! takes numeric minima; the interior `HashMap`s are reached only by exact
+//! key. [`reference`] keeps the original linear-scan matcher alive as the
+//! executable specification; `crates/core/tests/match_equivalence.rs`
+//! property-checks the two against each other, and the `engine_throughput`
+//! microbench races them (`matching gate` in `scripts/verify.sh`).
+
+use mpi_api::message::{SrcSel, TagSel};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Cheap, deterministic 64-bit hasher (FxHash-style rotate-xor-multiply)
+/// for the fixed-width keys of the match index. std's default SipHash
+/// costs more than the rest of a match step on these ~16-byte keys;
+/// hash-order determinism is irrelevant here because no observable path
+/// iterates a map — winners are always chosen by sequence-number minima.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+#[derive(Clone, Copy)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// The selector triple a receive is posted with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvSel {
+    pub dst_rank: usize,
+    pub src: SrcSel,
+    pub tag: TagSel,
+}
+
+/// The envelope triple a send descriptor is addressed with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SendKey {
+    pub dst_rank: usize,
+    pub src_rank: usize,
+    pub tag: i32,
+}
+
+impl RecvSel {
+    pub fn accepts(&self, key: &SendKey) -> bool {
+        self.dst_rank == key.dst_rank
+            && self.src.matches(key.src_rank)
+            && self.tag.matches(key.tag)
+    }
+}
+
+/// One bucket per selector-specificity class; a receive lives in exactly
+/// one, so a `(dst, src, tag)` lookup touches at most four buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum ClassKey {
+    Exact { dst: usize, src: usize, tag: i32 },
+    AnySrc { dst: usize, tag: i32 },
+    AnyTag { dst: usize, src: usize },
+    AnyAny { dst: usize },
+}
+
+fn class_of(sel: &RecvSel) -> ClassKey {
+    match (sel.src, sel.tag) {
+        (SrcSel::Rank(src), TagSel::Tag(tag)) => ClassKey::Exact {
+            dst: sel.dst_rank,
+            src,
+            tag,
+        },
+        (SrcSel::Any, TagSel::Tag(tag)) => ClassKey::AnySrc {
+            dst: sel.dst_rank,
+            tag,
+        },
+        (SrcSel::Rank(src), TagSel::Any) => ClassKey::AnyTag {
+            dst: sel.dst_rank,
+            src,
+        },
+        (SrcSel::Any, TagSel::Any) => ClassKey::AnyAny { dst: sel.dst_rank },
+    }
+}
+
+// ----------------------------------------------------------------------
+// RecvIndex
+// ----------------------------------------------------------------------
+
+/// Posted receives indexed for O(log n) first-in-post-order matching.
+#[derive(Clone)]
+pub struct RecvIndex<T> {
+    /// Source of truth, keyed by post sequence (= post order).
+    master: BTreeMap<u64, (RecvSel, T)>,
+    /// FIFO of post sequences per specificity bucket. May hold sequences
+    /// already cancelled from `master`; heads are pruned lazily.
+    classes: FxHashMap<ClassKey, VecDeque<u64>>,
+    next_seq: u64,
+}
+
+impl<T> Default for RecvIndex<T> {
+    fn default() -> Self {
+        RecvIndex {
+            master: BTreeMap::new(),
+            classes: FxHashMap::default(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> RecvIndex<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a receive; returns its post sequence (usable with `cancel`).
+    pub fn post(&mut self, sel: RecvSel, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.classes.entry(class_of(&sel)).or_default().push_back(seq);
+        self.master.insert(seq, (sel, item));
+        seq
+    }
+
+    /// Live head sequence of one bucket, pruning cancelled entries.
+    fn head(&mut self, key: ClassKey) -> Option<u64> {
+        let q = self.classes.get_mut(&key)?;
+        while let Some(&seq) = q.front() {
+            if self.master.contains_key(&seq) {
+                return Some(seq);
+            }
+            q.pop_front();
+        }
+        self.classes.remove(&key);
+        None
+    }
+
+    /// Remove and return the first receive in post order whose selectors
+    /// accept `(dst_rank, src_rank, tag)` — exactly what the linear scan's
+    /// `position(|rd| rd.matches(...))` yields.
+    pub fn match_first(&mut self, key: &SendKey) -> Option<(RecvSel, T)> {
+        let candidates = [
+            ClassKey::Exact {
+                dst: key.dst_rank,
+                src: key.src_rank,
+                tag: key.tag,
+            },
+            ClassKey::AnySrc {
+                dst: key.dst_rank,
+                tag: key.tag,
+            },
+            ClassKey::AnyTag {
+                dst: key.dst_rank,
+                src: key.src_rank,
+            },
+            ClassKey::AnyAny { dst: key.dst_rank },
+        ];
+        let mut best: Option<(u64, ClassKey)> = None;
+        for ck in candidates {
+            if let Some(seq) = self.head(ck) {
+                if best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, ck));
+                }
+            }
+        }
+        let (seq, ck) = best?;
+        let q = self.classes.get_mut(&ck).expect("winning bucket vanished");
+        debug_assert_eq!(q.front(), Some(&seq));
+        q.pop_front();
+        if q.is_empty() {
+            self.classes.remove(&ck);
+        }
+        self.master.remove(&seq)
+    }
+
+    /// Cancel the receive with the given post sequence (tombstones its
+    /// bucket entry; pruned lazily).
+    pub fn cancel(&mut self, seq: u64) -> Option<(RecvSel, T)> {
+        self.master.remove(&seq)
+    }
+
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    /// Live receives in post order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &RecvSel, &T)> {
+        self.master.iter().map(|(&seq, (sel, item))| (seq, sel, item))
+    }
+}
+
+// ----------------------------------------------------------------------
+// SendIndex
+// ----------------------------------------------------------------------
+
+/// Unmatched remote send descriptors in arrival order, with per-envelope
+/// FIFO queues for probing and an examined-watermark so a stale backlog is
+/// not re-matched every slice.
+#[derive(Clone)]
+pub struct SendIndex<T> {
+    /// Source of truth, keyed by arrival sequence (= arrival order).
+    master: BTreeMap<u64, (SendKey, T)>,
+    /// Arrival sequences per envelope, ascending. Kept exact (no
+    /// tombstones): removal happens only via the drain calls below, which
+    /// maintain the queues.
+    by_key: FxHashMap<SendKey, VecDeque<u64>>,
+    next_seq: u64,
+    /// Sequences below this were already matched against every receive
+    /// currently posted (and failed); count cached for O(1) cost
+    /// accounting.
+    examined_seq: u64,
+    examined_len: usize,
+}
+
+impl<T> Default for SendIndex<T> {
+    fn default() -> Self {
+        SendIndex {
+            master: BTreeMap::new(),
+            by_key: FxHashMap::default(),
+            next_seq: 0,
+            examined_seq: 0,
+            examined_len: 0,
+        }
+    }
+}
+
+impl<T> SendIndex<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, key: SendKey, item: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.by_key.entry(key).or_default().push_back(seq);
+        self.master.insert(seq, (key, item));
+        seq
+    }
+
+    /// Earliest-arrival entry matching the probe selectors — what the
+    /// linear scan's `find(|rs| ...)` over the arrival-order list yields.
+    /// Exact selectors are O(1); wildcards take the minimum arrival
+    /// sequence over matching envelope keys, so the interior hash map's
+    /// iteration order cannot influence the result.
+    pub fn probe(&self, dst_rank: usize, src: SrcSel, tag: TagSel) -> Option<(&SendKey, &T)> {
+        let seq = match (src, tag) {
+            (SrcSel::Rank(src_rank), TagSel::Tag(t)) => {
+                let key = SendKey {
+                    dst_rank,
+                    src_rank,
+                    tag: t,
+                };
+                self.by_key.get(&key).and_then(|q| q.front().copied())
+            }
+            _ => self
+                .by_key
+                .iter()
+                .filter(|(k, _)| k.dst_rank == dst_rank && src.matches(k.src_rank) && tag.matches(k.tag))
+                .filter_map(|(_, q)| q.front().copied())
+                .min(),
+        }?;
+        self.master.get(&seq).map(|(k, item)| (k, item))
+    }
+
+    /// Remove and return every entry, in arrival order.
+    pub fn drain_all(&mut self) -> Vec<(SendKey, T)> {
+        self.by_key.clear();
+        self.examined_seq = 0;
+        self.examined_len = 0;
+        std::mem::take(&mut self.master).into_values().collect()
+    }
+
+    /// Remove and return only the entries pushed since [`Self::mark_examined`],
+    /// in arrival order; the examined backlog stays put untouched.
+    pub fn drain_new(&mut self) -> Vec<(SendKey, T)> {
+        let newer = self.master.split_off(&self.examined_seq);
+        for (key, _) in newer.values() {
+            // Drained sequences are the largest of their queue, so they sit
+            // at the back; one pop per drained entry removes exactly them.
+            let q = self.by_key.get_mut(key).expect("send entry without queue");
+            let back = q.pop_back();
+            debug_assert!(back.is_some_and(|s| s >= self.examined_seq));
+            if q.is_empty() {
+                self.by_key.remove(key);
+            }
+        }
+        newer.into_values().collect()
+    }
+
+    /// Declare every current entry examined against the current receive
+    /// set: until a new receive is posted, none of them can match, and
+    /// [`Self::drain_new`] will skip them.
+    pub fn mark_examined(&mut self) {
+        self.examined_seq = self.next_seq;
+        self.examined_len = self.master.len();
+    }
+
+    /// Number of entries the examined-watermark skips.
+    pub fn examined_len(&self) -> usize {
+        self.examined_len
+    }
+
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    /// Live entries in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &SendKey, &T)> {
+        self.master.iter().map(|(&seq, (key, item))| (seq, key, item))
+    }
+}
+
+// ----------------------------------------------------------------------
+// InflightQueue
+// ----------------------------------------------------------------------
+
+/// Matching descriptors in match order with O(1) lookup by key.
+#[derive(Clone)]
+pub struct InflightQueue<K, T> {
+    master: BTreeMap<u64, T>,
+    by_key: FxHashMap<K, u64>,
+    next_seq: u64,
+}
+
+impl<K, T> Default for InflightQueue<K, T> {
+    fn default() -> Self {
+        InflightQueue {
+            master: BTreeMap::new(),
+            by_key: FxHashMap::default(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Copy, T> InflightQueue<K, T> {
+    pub fn push(&mut self, key: K, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let prev = self.by_key.insert(key, seq);
+        debug_assert!(prev.is_none(), "duplicate in-flight key");
+        self.master.insert(seq, item);
+    }
+
+    pub fn get(&self, key: &K) -> Option<&T> {
+        self.by_key.get(key).and_then(|seq| self.master.get(seq))
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut T> {
+        let seq = self.by_key.get(key)?;
+        self.master.get_mut(seq)
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<T> {
+        let seq = self.by_key.remove(key)?;
+        self.master.remove(&seq)
+    }
+
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.master.is_empty()
+    }
+
+    /// Items in match (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.master.values()
+    }
+}
+
+// ----------------------------------------------------------------------
+// LazyBudget
+// ----------------------------------------------------------------------
+
+/// Per-node byte budgets with generation-stamped lazy refill: a slice
+/// boundary bumps the generation instead of rewriting every entry, so a
+/// refill is O(1) regardless of node count and nodes that move no bytes
+/// never touch their entry at all.
+#[derive(Clone)]
+pub struct LazyBudget {
+    generation: u64,
+    /// Value an entry implicitly holds when its stamp is stale.
+    fill: u64,
+    /// `(generation stamp, value)` per node.
+    entries: Vec<(u64, u64)>,
+}
+
+impl LazyBudget {
+    pub fn new(n: usize) -> LazyBudget {
+        LazyBudget {
+            generation: 0,
+            fill: 0,
+            entries: vec![(0, 0); n],
+        }
+    }
+
+    /// Reset every entry to `value` — O(1).
+    pub fn refill(&mut self, value: u64) {
+        self.generation += 1;
+        self.fill = value;
+    }
+
+    pub fn get(&self, i: usize) -> u64 {
+        let (stamp, value) = self.entries[i];
+        if stamp == self.generation { value } else { self.fill }
+    }
+
+    pub fn sub(&mut self, i: usize, amount: u64) {
+        let current = self.get(i);
+        debug_assert!(amount <= current, "budget underflow");
+        self.entries[i] = (self.generation, current - amount);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reference matcher (the executable specification)
+// ----------------------------------------------------------------------
+
+/// The original linear-scan matcher, kept as the executable specification
+/// the indexed structures are property-tested and benchmarked against.
+pub mod reference {
+    use super::{RecvSel, SendKey};
+    use mpi_api::message::{SrcSel, TagSel};
+
+    /// Posted receives as a flat list in post order; every operation is the
+    /// literal scan the BR used to perform.
+    #[derive(Clone, Default)]
+    pub struct LinearRecvList<T> {
+        entries: Vec<(u64, RecvSel, T)>,
+        next_seq: u64,
+    }
+
+    impl<T> LinearRecvList<T> {
+        pub fn new() -> Self {
+            LinearRecvList {
+                entries: Vec::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn post(&mut self, sel: RecvSel, item: T) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.entries.push((seq, sel, item));
+            seq
+        }
+
+        pub fn match_first(&mut self, key: &SendKey) -> Option<(RecvSel, T)> {
+            let pos = self.entries.iter().position(|(_, sel, _)| sel.accepts(key))?;
+            let (_, sel, item) = self.entries.remove(pos);
+            Some((sel, item))
+        }
+
+        pub fn cancel(&mut self, seq: u64) -> Option<(RecvSel, T)> {
+            let pos = self.entries.iter().position(|(s, _, _)| *s == seq)?;
+            let (_, sel, item) = self.entries.remove(pos);
+            Some((sel, item))
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (u64, &RecvSel, &T)> {
+            self.entries.iter().map(|(seq, sel, item)| (*seq, sel, item))
+        }
+    }
+
+    /// Unmatched sends as a flat list in arrival order.
+    #[derive(Clone, Default)]
+    pub struct LinearSendList<T> {
+        entries: Vec<(SendKey, T)>,
+    }
+
+    impl<T> LinearSendList<T> {
+        pub fn new() -> Self {
+            LinearSendList { entries: Vec::new() }
+        }
+
+        pub fn push(&mut self, key: SendKey, item: T) {
+            self.entries.push((key, item));
+        }
+
+        pub fn probe(&self, dst_rank: usize, src: SrcSel, tag: TagSel) -> Option<(&SendKey, &T)> {
+            self.entries
+                .iter()
+                .find(|(k, _)| k.dst_rank == dst_rank && src.matches(k.src_rank) && tag.matches(k.tag))
+                .map(|(k, item)| (k, item))
+        }
+
+        pub fn drain_all(&mut self) -> Vec<(SendKey, T)> {
+            std::mem::take(&mut self.entries)
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (&SendKey, &T)> {
+            self.entries.iter().map(|(k, item)| (k, item))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(dst: usize, src: SrcSel, tag: TagSel) -> RecvSel {
+        RecvSel {
+            dst_rank: dst,
+            src,
+            tag,
+        }
+    }
+
+    fn key(dst: usize, src: usize, tag: i32) -> SendKey {
+        SendKey {
+            dst_rank: dst,
+            src_rank: src,
+            tag,
+        }
+    }
+
+    #[test]
+    fn match_first_prefers_post_order_across_classes() {
+        let mut idx = RecvIndex::new();
+        idx.post(sel(0, SrcSel::Any, TagSel::Any), 'a');
+        idx.post(sel(0, SrcSel::Rank(1), TagSel::Tag(7)), 'b');
+        // Both buckets accept (0, 1, 7); the wildcard was posted first.
+        assert_eq!(idx.match_first(&key(0, 1, 7)).unwrap().1, 'a');
+        assert_eq!(idx.match_first(&key(0, 1, 7)).unwrap().1, 'b');
+        assert!(idx.match_first(&key(0, 1, 7)).is_none());
+    }
+
+    #[test]
+    fn cancel_tombstones_are_skipped() {
+        let mut idx = RecvIndex::new();
+        let s0 = idx.post(sel(0, SrcSel::Rank(2), TagSel::Tag(1)), 0);
+        idx.post(sel(0, SrcSel::Rank(2), TagSel::Tag(1)), 1);
+        assert!(idx.cancel(s0).is_some());
+        assert_eq!(idx.match_first(&key(0, 2, 1)).unwrap().1, 1);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn send_index_probe_and_watermark() {
+        let mut idx = SendIndex::new();
+        idx.push(key(0, 1, 5), "early");
+        idx.push(key(0, 2, 5), "late");
+        // Wildcard probe returns the earliest arrival.
+        assert_eq!(idx.probe(0, SrcSel::Any, TagSel::Tag(5)).unwrap().1, &"early");
+        assert_eq!(idx.probe(0, SrcSel::Rank(2), TagSel::Tag(5)).unwrap().1, &"late");
+        assert!(idx.probe(1, SrcSel::Any, TagSel::Any).is_none());
+
+        idx.mark_examined();
+        assert_eq!(idx.examined_len(), 2);
+        idx.push(key(0, 3, 9), "new");
+        let fresh = idx.drain_new();
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].1, "new");
+        assert_eq!(idx.len(), 2);
+        // The retained entries are still probeable.
+        assert!(idx.probe(0, SrcSel::Rank(1), TagSel::Tag(5)).is_some());
+        let all = idx.drain_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, "early");
+    }
+
+    #[test]
+    fn lazy_budget_refills_in_o1() {
+        let mut b = LazyBudget::new(3);
+        assert_eq!(b.get(0), 0);
+        b.refill(100);
+        assert_eq!(b.get(2), 100);
+        b.sub(2, 30);
+        assert_eq!(b.get(2), 70);
+        assert_eq!(b.get(1), 100);
+        b.refill(100);
+        assert_eq!(b.get(2), 100);
+    }
+}

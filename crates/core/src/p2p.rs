@@ -15,12 +15,20 @@
 //! 4. P2P microphase: the DH of the *receiving* node performs a one-sided
 //!    get for every scheduled chunk — no intervention from either
 //!    application process.
+//!
+//! The BR's queues are held in the [`crate::match_index`] structures, so
+//! matching, probing and chunk bookkeeping stay sub-linear at large
+//! descriptor counts while producing bit-identical results to the
+//! list-scan specification (`match_index::reference`).
 
 use crate::engine::{BW, Blocked, BcsMpi, ReqKind};
+use crate::match_index::{InflightQueue, RecvIndex, RecvSel, SendIndex, SendKey};
 use mpi_api::call::{MpiResp, ReqId};
 use mpi_api::message::{SrcSel, Status, TagSel};
+use mpi_api::payload::Payload;
 use mpi_api::runtime::resume_at;
 use simcore::Sim;
+use std::sync::Arc;
 
 /// Identifier of one in-flight message (sender-assigned).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -37,24 +45,13 @@ pub(crate) struct SendDesc {
     pub req: ReqId,
 }
 
-/// A send descriptor as received by the destination BR.
+/// A send descriptor as received by the destination BR. The envelope triple
+/// lives in the [`SendKey`] it is indexed under.
 #[derive(Clone)]
 pub(crate) struct RemoteSend {
     pub msg: MsgId,
-    pub src_rank: usize,
-    pub dst_rank: usize,
-    pub tag: i32,
     pub bytes: usize,
     pub send_req: ReqId,
-}
-
-/// A receive descriptor in BR memory.
-#[derive(Clone)]
-pub(crate) struct RecvDesc {
-    pub req: ReqId,
-    pub dst_rank: usize,
-    pub src: SrcSel,
-    pub tag: TagSel,
 }
 
 /// A matching descriptor: transfer in progress, owned by the receiving node.
@@ -73,22 +70,33 @@ pub(crate) struct MatchItem {
 }
 
 /// Per-node NIC-thread state (BS + BR + DH queues).
+///
+/// Held in the engine behind an `Arc` and mutated through
+/// `Arc::make_mut`: a checkpoint capture clones only the `Arc`s, and a
+/// node's state is deep-copied lazily, the first time it changes after a
+/// capture — so checkpointing an idle node is a refcount bump regardless
+/// of how deep its queues are. Per-microphase transients (`outstanding`
+/// work counts, the slice's chunk schedule) live directly in the engine so
+/// protocol bookkeeping never unshares an idle node.
 #[derive(Clone, Default)]
 pub(crate) struct NicState {
     /// Send descriptors posted by local processes (BS input FIFO).
     pub send_posted: Vec<SendDesc>,
     /// Snapshot taken at the slice strobe: descriptors to exchange in DEM.
     pub send_exchanging: Vec<SendDesc>,
-    /// Receive descriptors posted by local processes (BR).
-    pub recv_posted: Vec<RecvDesc>,
-    /// Send descriptors received from remote BSs, in arrival order (BR).
-    pub remote_sends: Vec<RemoteSend>,
-    /// Matching descriptors with bytes still to move (BR/DH).
-    pub inflight: Vec<MatchItem>,
-    /// Chunks scheduled for this slice's P2P microphase: `(msg, bytes)`.
-    pub sched: Vec<(MsgId, u64)>,
-    /// Outstanding async work items of the current microphase.
-    pub outstanding: u32,
+    /// Receive descriptors posted by local processes (BR), indexed by
+    /// selector class, matched in post order.
+    pub recv_posted: RecvIndex<ReqId>,
+    /// Send descriptors received from remote BSs, in arrival order (BR),
+    /// indexed by envelope.
+    pub remote_sends: SendIndex<RemoteSend>,
+    /// Matching descriptors with bytes still to move (BR/DH), in match
+    /// order.
+    pub inflight: InflightQueue<MsgId, MatchItem>,
+    /// Set when a receive is posted, cleared by the MSM pass. While clear,
+    /// the retained unmatched backlog provably cannot match (the receive
+    /// set has only shrunk since it was last examined) and is skipped.
+    pub recvs_since_msm: bool,
 }
 
 impl NicState {
@@ -120,7 +128,7 @@ pub(crate) fn post_send(
     rank: usize,
     dest: usize,
     tag: i32,
-    data: Vec<u8>,
+    data: Payload,
     blocking: bool,
 ) {
     let e = &mut w.engine;
@@ -130,7 +138,7 @@ pub(crate) fn post_send(
     let node = e.node_of(rank);
     let bytes = data.len();
     e.payloads.insert(msg, data);
-    e.nic[node.0].send_posted.push(SendDesc {
+    Arc::make_mut(&mut e.nic[node.0]).send_posted.push(SendDesc {
         msg,
         src_rank: rank,
         dst_rank: dest,
@@ -158,12 +166,16 @@ pub(crate) fn post_recv(
     let now = sim.now();
     let req = e.alloc_req(rank, ReqKind::Recv, now);
     let node = e.node_of(rank);
-    e.nic[node.0].recv_posted.push(RecvDesc {
+    let nic = Arc::make_mut(&mut e.nic[node.0]);
+    nic.recv_posted.post(
+        RecvSel {
+            dst_rank: rank,
+            src,
+            tag,
+        },
         req,
-        dst_rank: rank,
-        src,
-        tag,
-    });
+    );
+    nic.recvs_since_msm = true;
     if blocking {
         e.blocked[rank] = Some(Blocked::WaitOne(req));
     } else {
@@ -201,11 +213,10 @@ pub(crate) fn probe_match(e: &BcsMpi, rank: usize, src: SrcSel, tag: TagSel) -> 
     let node = e.node_of(rank);
     e.nic[node.0]
         .remote_sends
-        .iter()
-        .find(|rs| rs.dst_rank == rank && src.matches(rs.src_rank) && tag.matches(rs.tag))
-        .map(|rs| Status {
-            source: rs.src_rank,
-            tag: rs.tag,
+        .probe(rank, src, tag)
+        .map(|(key, rs)| Status {
+            source: key.src_rank,
+            tag: key.tag,
             bytes: rs.bytes,
         })
 }
@@ -235,44 +246,53 @@ pub(crate) fn check_blocked_probes(w: &mut BW, _sim: &mut Sim<BW>, node: qsnet::
 /// destination BR. The node's DEM is done when the NIC thread has processed
 /// the queue and every descriptor has landed.
 pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId) {
-    let descs = std::mem::take(&mut w.engine.nic[node.0].send_exchanging);
+    let descs = if w.engine.nic[node.0].send_exchanging.is_empty() {
+        Vec::new() // don't unshare an idle node's state
+    } else {
+        std::mem::take(&mut Arc::make_mut(&mut w.engine.nic[node.0]).send_exchanging)
+    };
     let n = descs.len() as u32;
     w.engine.stats.descriptors_exchanged += n as u64;
     // One work item per descriptor delivery, plus one for the NIC thread's
     // own processing pass.
-    w.engine.nic[node.0].outstanding = n + 1;
+    w.engine.outstanding[node.0] = n + 1;
     let desc_cost = w.engine.cfg.desc_cost;
     let desc_bytes = w.engine.cfg.desc_bytes;
 
     let retry = w.engine.cfg.retry;
     for d in descs {
         let dst_node = w.engine.node_of(d.dst_rank);
+        let key = SendKey {
+            dst_rank: d.dst_rank,
+            src_rank: d.src_rank,
+            tag: d.tag,
+        };
         let remote = RemoteSend {
             msg: d.msg,
-            src_rank: d.src_rank,
-            dst_rank: d.dst_rank,
-            tag: d.tag,
             bytes: d.bytes,
             send_req: d.req,
+        };
+        // One delivery path for both transports: the descriptor sits in a
+        // take-once slot so the closure is `Fn` (as the retry layer needs)
+        // yet moves the payload out without cloning on delivery. The retry
+        // layer invokes it at most once (drops mean it never fires).
+        let slot = std::cell::Cell::new(Some((key, remote)));
+        let deliver = move |w: &mut BW, sim: &mut Sim<BW>| {
+            let (key, remote) = slot.take().expect("DEM descriptor delivered twice");
+            Arc::make_mut(&mut w.engine.nic[dst_node.0])
+                .remote_sends
+                .push(key, remote);
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
         };
         match retry {
             None => {
                 w.engine
                     .bcs
                     .fabric
-                    .put(sim, node, dst_node, desc_bytes, move |w: &mut BW, sim| {
-                        w.engine.nic[dst_node.0].remote_sends.push(remote);
-                        crate::protocol::work_item_done(w, sim, node);
-                        mpi_api::runtime::drain(w, sim);
-                    });
+                    .put(sim, node, dst_node, desc_bytes, deliver);
             }
             Some(policy) => {
-                let deliver: bcs_core::retry::RetryFn<BW> =
-                    std::rc::Rc::new(move |w: &mut BW, sim| {
-                        w.engine.nic[dst_node.0].remote_sends.push(remote.clone());
-                        crate::protocol::work_item_done(w, sim, node);
-                        mpi_api::runtime::drain(w, sim);
-                    });
                 bcs_core::retry::reliable_put(
                     w,
                     sim,
@@ -280,7 +300,7 @@ pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
                     dst_node,
                     desc_bytes,
                     policy,
-                    deliver,
+                    std::rc::Rc::new(deliver),
                     transfer_abort(dst_node, "DEM descriptor put"),
                 );
             }
@@ -309,67 +329,69 @@ pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     //    (§4.3: "the remaining chunks in the following time slices").
     {
         let e = &mut w.engine;
-        let nic = &mut e.nic[node.0];
-        let mut sched = std::mem::take(&mut nic.sched);
+        let mut sched = std::mem::take(&mut e.sched[node.0]);
         debug_assert!(sched.is_empty());
-        for item in &nic.inflight {
+        for item in e.nic[node.0].inflight.iter() {
+            // Completed transfers leave the queue in `chunk_arrived` and
+            // zero-byte messages never enter it, so bytes always remain.
             let remaining = item.total - item.moved;
-            if remaining == 0 {
-                continue;
-            }
-            let already: u64 = sched
-                .iter()
-                .filter(|&&(m, _)| m == item.msg)
-                .map(|&(_, c)| c)
-                .sum();
+            debug_assert!(remaining > 0);
             let chunk = remaining
-                .saturating_sub(already)
-                .min(e.src_budget[item.src_node.0])
-                .min(e.dst_budget[node.0]);
+                .min(e.src_budget.get(item.src_node.0))
+                .min(e.dst_budget.get(node.0));
             if chunk > 0 {
-                e.src_budget[item.src_node.0] -= chunk;
-                e.dst_budget[node.0] -= chunk;
+                e.src_budget.sub(item.src_node.0, chunk);
+                e.dst_budget.sub(node.0, chunk);
                 sched.push((item.msg, chunk));
             }
             processed += 1;
         }
-        nic.sched = sched;
+        e.sched[node.0] = sched;
     }
 
     // 2. New matches: remote send descriptors in arrival order against the
-    //    first eligible receive in post order.
+    //    first eligible receive in post order. If no receive has been
+    //    posted since the last pass, the examined backlog cannot match (the
+    //    receive set has only shrunk) — the BR still walks the list, so its
+    //    NIC-thread cost is charged, but no matching work is done for it.
     let mut completions: Vec<(ReqId, ReqId)> = Vec::new(); // zero-byte messages
     {
         let e = &mut w.engine;
-        // Take the two queues out of the NIC so the matching loop can also
-        // touch budgets, stats and the request table.
-        let incoming = std::mem::take(&mut e.nic[node.0].remote_sends);
-        let mut recv_posted = std::mem::take(&mut e.nic[node.0].recv_posted);
-        let mut unmatched: Vec<RemoteSend> = Vec::with_capacity(incoming.len());
-        for rs in incoming {
+        let fresh_recvs = e.nic[node.0].recvs_since_msm;
+        let has_new =
+            e.nic[node.0].remote_sends.len() > e.nic[node.0].remote_sends.examined_len();
+        let incoming = if fresh_recvs {
+            let nic = Arc::make_mut(&mut e.nic[node.0]);
+            nic.recvs_since_msm = false;
+            nic.remote_sends.drain_all()
+        } else {
+            processed += e.nic[node.0].remote_sends.examined_len() as u64;
+            if has_new {
+                Arc::make_mut(&mut e.nic[node.0]).remote_sends.drain_new()
+            } else {
+                Vec::new() // idle BR: nothing to examine, nothing unshared
+            }
+        };
+        for (key, rs) in incoming {
             processed += 1;
             // The BR matches against the receive-descriptor list as of MSM
             // execution (§4.3) — no slice-age requirement.
-            let pos = recv_posted.iter().position(|rd| {
-                rd.dst_rank == rs.dst_rank
-                    && rd.src.matches(rs.src_rank)
-                    && rd.tag.matches(rs.tag)
-            });
-            match pos {
-                None => unmatched.push(rs),
-                Some(i) => {
-                    let rd = recv_posted.remove(i);
+            match Arc::make_mut(&mut e.nic[node.0]).recv_posted.match_first(&key) {
+                None => {
+                    Arc::make_mut(&mut e.nic[node.0]).remote_sends.push(key, rs);
+                }
+                Some((_sel, recv_req)) => {
                     e.stats.matches += 1;
-                    let src_node = e.layout.node_of(rs.src_rank);
+                    let src_node = e.layout.node_of(key.src_rank);
                     let total = rs.bytes as u64;
                     if total == 0 {
                         // Metadata-only message: complete in MSM.
-                        completions.push((rs.send_req, rd.req));
-                        let st = e.reqs.get_mut(&rd.req).unwrap();
-                        st.data = Some(Vec::new());
+                        completions.push((rs.send_req, recv_req));
+                        let st = e.reqs.get_mut(&recv_req).unwrap();
+                        st.data = Some(Payload::empty());
                         st.status = Some(Status {
-                            source: rs.src_rank,
-                            tag: rs.tag,
+                            source: key.src_rank,
+                            tag: key.tag,
                             bytes: 0,
                         });
                         continue;
@@ -377,36 +399,35 @@ pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
                     let item = MatchItem {
                         msg: rs.msg,
                         src_node,
-                        src_rank: rs.src_rank,
-                        dst_rank: rs.dst_rank,
-                        tag: rs.tag,
+                        src_rank: key.src_rank,
+                        dst_rank: key.dst_rank,
+                        tag: key.tag,
                         send_req: rs.send_req,
-                        recv_req: rd.req,
+                        recv_req,
                         total,
                         moved: 0,
                     };
                     let chunk = total
-                        .min(e.src_budget[src_node.0])
-                        .min(e.dst_budget[node.0]);
+                        .min(e.src_budget.get(src_node.0))
+                        .min(e.dst_budget.get(node.0));
                     if chunk > 0 {
-                        e.src_budget[src_node.0] -= chunk;
-                        e.dst_budget[node.0] -= chunk;
-                        e.nic[node.0].sched.push((item.msg, chunk));
+                        e.src_budget.sub(src_node.0, chunk);
+                        e.dst_budget.sub(node.0, chunk);
+                        e.sched[node.0].push((item.msg, chunk));
                     }
                     if chunk < total {
                         e.stats.chunked_messages += 1;
                     }
-                    e.nic[node.0].inflight.push(item);
+                    Arc::make_mut(&mut e.nic[node.0]).inflight.push(item.msg, item);
                 }
             }
         }
-        // recv_posted was taken empty-swapped above; restore leftovers plus
-        // anything posted while the loop ran (nothing can post mid-event,
-        // but be defensive about ordering).
-        let nic = &mut e.nic[node.0];
-        debug_assert!(nic.recv_posted.is_empty());
-        nic.recv_posted = recv_posted;
-        nic.remote_sends = unmatched;
+        // Everything now in the index has been examined against the current
+        // receive set; until a new receive arrives it stays parked. (An
+        // idle BR skips this: its watermark is already current.)
+        if fresh_recvs || has_new {
+            Arc::make_mut(&mut e.nic[node.0]).remote_sends.mark_examined();
+        }
     }
     for (sreq, rreq) in completions {
         BcsMpi::complete_req(w, sim, sreq);
@@ -423,7 +444,7 @@ pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     // The matching pass costs NIC-thread time proportional to the
     // descriptors examined.
     let cost = w.engine.cfg.desc_cost * processed.max(1);
-    w.engine.nic[node.0].outstanding = work_items;
+    w.engine.outstanding[node.0] = work_items;
     sim.schedule_in(cost, move |w: &mut BW, sim| {
         crate::protocol::work_item_done(w, sim, node);
         mpi_api::runtime::drain(w, sim);
@@ -436,9 +457,9 @@ pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
 
 /// DH work for one node: one one-sided get per scheduled chunk.
 pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId) {
-    let sched = std::mem::take(&mut w.engine.nic[node.0].sched);
+    let sched = std::mem::take(&mut w.engine.sched[node.0]);
     if sched.is_empty() {
-        w.engine.nic[node.0].outstanding = 1;
+        w.engine.outstanding[node.0] = 1;
         let cost = w.engine.cfg.desc_cost;
         sim.schedule_in(cost, move |w: &mut BW, sim| {
             crate::protocol::work_item_done(w, sim, node);
@@ -446,15 +467,14 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
         });
         return;
     }
-    w.engine.nic[node.0].outstanding = sched.len() as u32;
+    w.engine.outstanding[node.0] = sched.len() as u32;
     let hdr = w.engine.cfg.desc_bytes;
     let retry = w.engine.cfg.retry;
     let trace = std::env::var_os("BCS_TRACE_P2P").is_some();
     for (msg, chunk) in sched {
         let src_node = w.engine.nic[node.0]
             .inflight
-            .iter()
-            .find(|it| it.msg == msg)
+            .get(&msg)
             .expect("scheduled chunk without match item")
             .src_node;
         w.engine.stats.chunks += 1;
@@ -512,19 +532,17 @@ fn transfer_abort(peer: qsnet::NodeId, what: &'static str) -> bcs_core::retry::R
 
 fn chunk_arrived(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId, msg: MsgId, chunk: u64) {
     let e = &mut w.engine;
-    let idx = e.nic[node.0]
-        .inflight
-        .iter()
-        .position(|it| it.msg == msg)
-        .expect("chunk for unknown match item");
     let done = {
-        let item = &mut e.nic[node.0].inflight[idx];
+        let item = Arc::make_mut(&mut e.nic[node.0])
+            .inflight
+            .get_mut(&msg)
+            .expect("chunk for unknown match item");
         item.moved += chunk;
         debug_assert!(item.moved <= item.total);
         item.moved == item.total
     };
     if done {
-        let item = e.nic[node.0].inflight.remove(idx);
+        let item = Arc::make_mut(&mut e.nic[node.0]).inflight.remove(&msg).unwrap();
         let payload = e
             .payloads
             .remove(&item.msg)

@@ -49,12 +49,8 @@ fn slice_start(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
         e.slice_started_at = sim.now();
         e.stats.slices += 1;
         let budget = e.cfg.p2p_budget;
-        for b in &mut e.src_budget {
-            *b = budget;
-        }
-        for b in &mut e.dst_budget {
-            *b = budget;
-        }
+        e.src_budget.refill(budget);
+        e.dst_budget.refill(budget);
     }
     // Debug trace (§1): close out the previous slice's activity record.
     if w.engine.cfg.trace_slices && slice > 0 {
@@ -85,7 +81,7 @@ fn slice_start(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
     let mut ckpt_cost = simcore::SimDuration::ZERO;
     if let Some(k) = w.engine.cfg.checkpoint_every {
         if k > 0 && slice % k == 0 {
-            let digest = w.engine.capture_checkpoint().digest();
+            let digest = w.engine.checkpoint_digest();
             w.engine.checkpoints.push((slice, digest));
             if w.engine.cfg.checkpoint_images {
                 let img = crate::checkpoint::capture_image(w, sim.now(), digest);
@@ -180,9 +176,11 @@ fn on_microstrobe(w: &mut BW, sim: &mut Sim<BW>, slice: u64, phase: u32, node: N
             // this slice's DEM (descriptors posted by processes the NM just
             // restarted therefore make the current slice, like in the real
             // runtime).
-            let nic = &mut w.engine.nic[node.0];
-            debug_assert!(nic.send_exchanging.is_empty());
-            nic.send_exchanging = std::mem::take(&mut nic.send_posted);
+            debug_assert!(w.engine.nic[node.0].send_exchanging.is_empty());
+            if !w.engine.nic[node.0].send_posted.is_empty() {
+                let nic = std::sync::Arc::make_mut(&mut w.engine.nic[node.0]);
+                nic.send_exchanging = std::mem::take(&mut nic.send_posted);
+            }
             crate::p2p::node_begin_dem(w, sim, node);
         }
         1 => crate::p2p::node_begin_msm(w, sim, node),
@@ -199,10 +197,10 @@ fn on_microstrobe(w: &mut BW, sim: &mut Sim<BW>, slice: u64, phase: u32, node: N
 pub(crate) fn work_item_done(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     let _ = sim;
     let e = &mut w.engine;
-    let nic = &mut e.nic[node.0];
-    debug_assert!(nic.outstanding > 0, "work_item_done underflow on {node}");
-    nic.outstanding -= 1;
-    if nic.outstanding == 0 {
+    let outstanding = &mut e.outstanding[node.0];
+    debug_assert!(*outstanding > 0, "work_item_done underflow on {node}");
+    *outstanding -= 1;
+    if *outstanding == 0 {
         let target = (e.slice * PHASES as u64 + e.phase as u64 + 1) as i64;
         e.bcs.set_word(node, words::MP_DONE, target);
     }

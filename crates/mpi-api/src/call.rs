@@ -11,6 +11,7 @@
 use crate::comm::{CommHandle, CommId};
 use crate::datatype::{Datatype, ReduceOp};
 use crate::message::{SrcSel, Status, TagSel};
+use crate::payload::Payload;
 
 /// Identifier of a pending non-blocking operation (`BCS_Request`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -30,7 +31,7 @@ pub enum MpiCall {
     Send {
         dest: usize,
         tag: i32,
-        data: Vec<u8>,
+        data: Payload,
         blocking: bool,
     },
     /// `bcs_recv`: post a receive descriptor. `blocking` selects
@@ -61,7 +62,7 @@ pub enum MpiCall {
     Bcast {
         comm: CommId,
         root: usize,
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
     },
     /// `bcs_reduce`: `MPI_Reduce` (`all = false`) / `MPI_Allreduce`
     /// (`all = true`); `root` is a communicator rank.
@@ -70,7 +71,7 @@ pub enum MpiCall {
         root: usize,
         op: ReduceOp,
         dtype: Datatype,
-        data: Vec<u8>,
+        data: Payload,
         all: bool,
     },
     /// `MPI_Comm_split` over `parent` (a collective; `color < 0` =
@@ -102,25 +103,25 @@ pub enum MpiResp {
     /// Handle of a freshly posted non-blocking operation.
     Req(ReqId),
     /// Blocking receive / bcast / allreduce completion carrying a payload.
-    Data(Vec<u8>),
+    Data(Payload),
     /// Reduce completion: payload only on the root.
-    RootData(Option<Vec<u8>>),
+    RootData(Option<Payload>),
     /// Wait completion: receive payload (None for sends) + status.
     WaitDone {
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
         status: Option<Status>,
     },
     /// Waitall completion: one entry per request, in the order requested.
     WaitallDone {
-        results: Vec<(Option<Vec<u8>>, Option<Status>)>,
+        results: Vec<(Option<Payload>, Option<Status>)>,
     },
     /// MPI_Test outcome: `None` = not yet complete.
     TestDone {
-        result: Option<(Option<Vec<u8>>, Option<Status>)>,
+        result: Option<(Option<Payload>, Option<Status>)>,
     },
     /// MPI_Testall outcome: `None` = not all complete (nothing consumed).
     TestallDone {
-        results: Option<Vec<(Option<Vec<u8>>, Option<Status>)>>,
+        results: Option<Vec<(Option<Payload>, Option<Status>)>>,
     },
     /// Probe outcome: `None` only for a non-blocking probe that found
     /// nothing.
@@ -199,7 +200,7 @@ mod tests {
             MpiCall::Send {
                 dest: 0,
                 tag: 0,
-                data: vec![],
+                data: Payload::empty(),
                 blocking: true
             }
             .op_name(),
@@ -209,7 +210,7 @@ mod tests {
             MpiCall::Send {
                 dest: 0,
                 tag: 0,
-                data: vec![],
+                data: Payload::empty(),
                 blocking: false
             }
             .op_name(),
@@ -221,7 +222,7 @@ mod tests {
                 root: 0,
                 op: ReduceOp::Sum,
                 dtype: Datatype::F64,
-                data: vec![],
+                data: Payload::empty(),
                 all: true
             }
             .op_name(),

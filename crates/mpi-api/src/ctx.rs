@@ -158,7 +158,7 @@ impl<'a> Mpi<'a> {
         MpiCall::Send {
             dest,
             tag,
-            data: data.to_vec(),
+            data: data.into(),
             blocking: false,
         }
     }
@@ -202,7 +202,7 @@ impl<'a> Mpi<'a> {
         match self.call(MpiCall::Send {
             dest,
             tag,
-            data: data.to_vec(),
+            data: data.into(),
             blocking: true,
         }) {
             MpiResp::Ok => {}
@@ -221,7 +221,7 @@ impl<'a> Mpi<'a> {
         match self.call(MpiCall::Send {
             dest,
             tag,
-            data: data.to_vec(),
+            data: data.into(),
             blocking: false,
         }) {
             MpiResp::Req(r) => r,
@@ -239,7 +239,7 @@ impl<'a> Mpi<'a> {
             MpiResp::WaitDone {
                 data: Some(d),
                 status: Some(s),
-            } => (d, s),
+            } => (d.into_vec(), s),
             other => unreachable!("recv -> {other:?}"),
         }
     }
@@ -289,7 +289,7 @@ impl<'a> Mpi<'a> {
     /// MPI_Wait: returns the receive payload (None for a send request).
     pub fn wait(&mut self, req: ReqId) -> (Option<Vec<u8>>, Option<Status>) {
         match self.call(MpiCall::Wait { req }) {
-            MpiResp::WaitDone { data, status } => (data, status),
+            MpiResp::WaitDone { data, status } => (data.map(|d| d.into_vec()), status),
             other => unreachable!("wait -> {other:?}"),
         }
     }
@@ -306,7 +306,7 @@ impl<'a> Mpi<'a> {
     /// MPI_Test: `None` if the request is still in flight.
     pub fn test(&mut self, req: ReqId) -> Option<(Option<Vec<u8>>, Option<Status>)> {
         match self.call(MpiCall::Test { req }) {
-            MpiResp::TestDone { result } => result,
+            MpiResp::TestDone { result } => result.map(|(d, s)| (d.map(|d| d.into_vec()), s)),
             other => unreachable!("test -> {other:?}"),
         }
     }
@@ -319,7 +319,9 @@ impl<'a> Mpi<'a> {
         match self.call(MpiCall::Waitall {
             reqs: reqs.to_vec(),
         }) {
-            MpiResp::WaitallDone { results } => results,
+            MpiResp::WaitallDone { results } => {
+                results.into_iter().map(|(d, s)| (d.map(|d| d.into_vec()), s)).collect()
+            }
             other => unreachable!("waitall -> {other:?}"),
         }
     }
@@ -329,7 +331,9 @@ impl<'a> Mpi<'a> {
         match self.call(MpiCall::Testall {
             reqs: reqs.to_vec(),
         }) {
-            MpiResp::TestallDone { results } => results,
+            MpiResp::TestallDone { results } => results.map(|rs| {
+                rs.into_iter().map(|(d, s)| (d.map(|d| d.into_vec()), s)).collect()
+            }),
             other => unreachable!("testall -> {other:?}"),
         }
     }
@@ -402,9 +406,9 @@ impl<'a> Mpi<'a> {
         match self.call(MpiCall::Bcast {
             comm,
             root,
-            data: data.map(|d| d.to_vec()),
+            data: data.map(|d| d.into()),
         }) {
-            MpiResp::Data(d) => d,
+            MpiResp::Data(d) => d.into_vec(),
             other => unreachable!("bcast -> {other:?}"),
         }
     }
@@ -423,10 +427,10 @@ impl<'a> Mpi<'a> {
             root,
             op,
             dtype,
-            data: data.to_vec(),
+            data: data.into(),
             all: false,
         }) {
-            MpiResp::RootData(d) => d,
+            MpiResp::RootData(d) => d.map(|d| d.into_vec()),
             other => unreachable!("reduce -> {other:?}"),
         }
     }
@@ -459,10 +463,10 @@ impl<'a> Mpi<'a> {
             root: 0,
             op,
             dtype,
-            data: data.to_vec(),
+            data: data.into(),
             all: true,
         }) {
-            MpiResp::Data(d) => d,
+            MpiResp::Data(d) => d.into_vec(),
             other => unreachable!("allreduce -> {other:?}"),
         }
     }

@@ -28,9 +28,11 @@ pub mod ctx;
 pub mod datatype;
 pub mod message;
 pub mod noise;
+pub mod payload;
 pub mod runtime;
 
 pub use call::{MpiCall, MpiResp, ReqId};
+pub use payload::Payload;
 pub use comm::{CommHandle, CommId, CommRegistry};
 pub use ctx::Mpi;
 pub use datatype::{Datatype, ReduceOp};

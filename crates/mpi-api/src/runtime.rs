@@ -136,7 +136,65 @@ pub struct ClusterWorld<E: Engine> {
     /// When set, every response delivered to a rank is appended to
     /// `resp_log` — the raw material of deterministic replay.
     record_resps: bool,
-    resp_log: Vec<Vec<MpiResp>>,
+    resp_log: Vec<RespLog>,
+}
+
+/// One rank's response history, chunked for incremental checkpointing.
+///
+/// Capturing a [`RuntimeImage`] seals the growing tail into an immutable,
+/// reference-counted chunk shared between the live log and every image
+/// that contains it — so a capture copies only the responses delivered
+/// since the previous capture, not the whole history since program start.
+#[derive(Clone, Debug, Default)]
+pub struct RespLog {
+    /// Sealed history, oldest first. Never mutated once sealed.
+    sealed: Vec<Arc<Vec<MpiResp>>>,
+    /// Responses delivered since the last seal.
+    tail: Vec<MpiResp>,
+}
+
+impl RespLog {
+    pub fn push(&mut self, resp: MpiResp) {
+        self.tail.push(resp);
+    }
+
+    /// Seal the tail and return a structurally-shared copy of the whole
+    /// log (per-chunk refcount bumps; nothing is deep-copied).
+    pub fn snapshot(&mut self) -> RespLog {
+        if !self.tail.is_empty() {
+            self.sealed.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+        RespLog {
+            sealed: self.sealed.clone(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// All responses in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = &MpiResp> {
+        self.sealed
+            .iter()
+            .flat_map(|chunk| chunk.iter())
+            .chain(self.tail.iter())
+    }
+
+    pub fn len(&self) -> usize {
+        self.sealed.iter().map(|chunk| chunk.len()).sum::<usize>() + self.tail.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Deep copy with no structural sharing: the full history flattened
+    /// into a fresh unsealed log. Replays identically to the chunked
+    /// original (`iter` order is the only observable).
+    pub fn materialized(&self) -> RespLog {
+        RespLog {
+            sealed: Vec::new(),
+            tail: self.iter().cloned().collect(),
+        }
+    }
 }
 
 impl<E: Engine> ClusterWorld<E> {
@@ -154,7 +212,7 @@ impl<E: Engine> ClusterWorld<E> {
             pending_resumes: BTreeMap::new(),
             next_resume_id: 0,
             record_resps: false,
-            resp_log: vec![Vec::new(); ranks],
+            resp_log: vec![RespLog::default(); ranks],
         }
     }
 
@@ -183,7 +241,11 @@ impl<E: Engine> ClusterWorld<E> {
     /// completion, and per-rank finish times. Together with an engine-state
     /// snapshot this is sufficient to reconstruct the whole simulation on
     /// the original (absolute) timeline — see [`resume_job`].
-    pub fn runtime_image(&self, captured_at: SimTime) -> RuntimeImage {
+    ///
+    /// Takes `&mut self` because capturing seals each rank's response-log
+    /// tail into a shared chunk (see [`RespLog`]) — the capture's cost is
+    /// proportional to the responses delivered since the last capture.
+    pub fn runtime_image(&mut self, captured_at: SimTime) -> RuntimeImage {
         assert!(
             self.record_resps,
             "runtime_image requires response recording (ClusterWorld::set_recording)"
@@ -193,7 +255,7 @@ impl<E: Engine> ClusterWorld<E> {
             "runtime_image at a non-quiescent instant: completion queue not drained"
         );
         RuntimeImage {
-            resp_log: self.resp_log.clone(),
+            resp_log: self.resp_log.iter_mut().map(|log| log.snapshot()).collect(),
             pending_resumes: self.pending_resumes.values().cloned().collect(),
             finish_times: self.finish_times.clone(),
             batches: self.batches.clone(),
@@ -207,9 +269,10 @@ impl<E: Engine> ClusterWorld<E> {
 #[derive(Clone, Debug)]
 pub struct RuntimeImage {
     /// Every response delivered to each rank since program start, in
-    /// delivery order. Replaying them reconstructs each rank's control
-    /// state exactly (the call/response protocol is lock-step).
-    pub resp_log: Vec<Vec<MpiResp>>,
+    /// delivery order, structurally shared with the live log and earlier
+    /// images. Replaying them reconstructs each rank's control state
+    /// exactly (the call/response protocol is lock-step).
+    pub resp_log: Vec<RespLog>,
     /// Completions scheduled but not yet delivered at capture, in
     /// scheduling order, with their absolute delivery times.
     pub pending_resumes: Vec<(SimTime, usize, MpiResp)>,
@@ -222,6 +285,17 @@ pub struct RuntimeImage {
     pub batches: Vec<Option<BatchState>>,
     /// Absolute virtual time of the capture (a slice boundary in BCS-MPI).
     pub captured_at: SimTime,
+}
+
+impl RuntimeImage {
+    /// Deep copy sharing nothing with the live runtime or other images
+    /// (see [`RespLog::materialized`]). The reference point incremental
+    /// recovery is validated against.
+    pub fn materialize(&self) -> RuntimeImage {
+        let mut img = self.clone();
+        img.resp_log = self.resp_log.iter().map(|l| l.materialized()).collect();
+        img
+    }
 }
 
 /// Route one rank-yielded call: [`MpiCall::Batch`] is unpacked by the
@@ -514,7 +588,7 @@ where
         });
         assert_eq!(pid.0, rank, "rank ids must be dense");
         let mut y = first;
-        for resp in &rt.resp_log[rank] {
+        for resp in rt.resp_log[rank].iter() {
             match y {
                 ProcYield::Request(_) => y = w.harness.resume(pid, resp.clone()),
                 ProcYield::Finished(_) => {

@@ -53,8 +53,25 @@ pub struct Degradation {
 /// them) keeps post-restore timing identical to the original run; fault
 /// state (dead nodes, drop plans, degradations) is deliberately *not*
 /// captured — a restore revives the machine.
+///
+/// The state sits behind an `Rc` shared with the fabric's snapshot cache:
+/// cloning a snapshot — and re-capturing an unchanged fabric — is a
+/// refcount bump, the same copy-on-write scheme the engine uses for NIC
+/// state and payloads.
 #[derive(Clone, Debug)]
-pub struct FabricSnapshot {
+pub struct FabricSnapshot(Rc<PortState>);
+
+impl FabricSnapshot {
+    /// Deep copy sharing nothing with the fabric's snapshot cache or any
+    /// other snapshot — the reference point incremental checkpoint images
+    /// are validated against.
+    pub fn materialize(&self) -> FabricSnapshot {
+        FabricSnapshot(Rc::new((*self.0).clone()))
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PortState {
     tx_free: Vec<SimTime>,
     rx_free: Vec<SimTime>,
     coll_free: SimTime,
@@ -84,6 +101,10 @@ pub struct Fabric {
     /// Monotone count of bulk (non-control) transfers issued; the
     /// coordinate system of `drop_seqs`.
     bulk_seq: u64,
+    /// Cached snapshot, shared with every image captured since the ports
+    /// last changed; `snap_dirty` is set by any port/stats mutation.
+    snap_cache: Option<FabricSnapshot>,
+    snap_dirty: bool,
 }
 
 impl Fabric {
@@ -99,7 +120,16 @@ impl Fabric {
             degradations: Vec::new(),
             drop_seqs: Vec::new(),
             bulk_seq: 0,
+            snap_cache: None,
+            snap_dirty: true,
         }
+    }
+
+    /// Invalidate the snapshot cache; called by every mutation of
+    /// snapshot-visible state (port clocks, stats, bulk sequence).
+    #[inline]
+    fn touch(&mut self) {
+        self.snap_dirty = true;
     }
 
     pub fn model(&self) -> &NetModel {
@@ -119,6 +149,7 @@ impl Fabric {
     }
 
     pub fn reset_stats(&mut self) {
+        self.touch();
         self.stats = FabricStats::default();
     }
 
@@ -166,46 +197,43 @@ impl Fabric {
     }
 
     /// Capture the port-occupancy state (see [`FabricSnapshot`]).
-    pub fn snapshot(&self) -> FabricSnapshot {
-        let mut s = FabricSnapshot {
-            tx_free: Vec::new(),
-            rx_free: Vec::new(),
-            coll_free: SimTime::ZERO,
-            stats: FabricStats::default(),
-            bulk_seq: 0,
-        };
-        self.snapshot_into(&mut s);
-        s
-    }
-
-    /// Capture port occupancy into an existing snapshot, reusing its
-    /// buffers. After the first call on a given snapshot this allocates
-    /// nothing, which keeps tight checkpoint intervals (every slice or two
-    /// under `ablation-fault`) off the allocator.
-    pub fn snapshot_into(&self, s: &mut FabricSnapshot) {
-        s.tx_free.clear();
-        s.tx_free.extend_from_slice(&self.tx_free);
-        s.rx_free.clear();
-        s.rx_free.extend_from_slice(&self.rx_free);
-        s.coll_free = self.coll_free;
-        s.stats = self.stats;
-        s.bulk_seq = self.bulk_seq;
+    ///
+    /// Served from the snapshot cache when nothing changed since the last
+    /// capture — back-to-back captures of a quiet fabric are refcount
+    /// bumps, and every image taken of the same state shares one
+    /// allocation.
+    pub fn snapshot(&mut self) -> FabricSnapshot {
+        if self.snap_dirty || self.snap_cache.is_none() {
+            self.snap_cache = Some(FabricSnapshot(Rc::new(PortState {
+                tx_free: self.tx_free.clone(),
+                rx_free: self.rx_free.clone(),
+                coll_free: self.coll_free,
+                stats: self.stats,
+                bulk_seq: self.bulk_seq,
+            })));
+            self.snap_dirty = false;
+        }
+        self.snap_cache.clone().expect("snapshot cache just filled")
     }
 
     /// Restore port occupancy from a snapshot and clear all fault state
     /// (every node revived, degradations and drop plans forgotten). The
     /// recovery driver re-injects whatever faults remain in its plan.
-    /// Copies in place — no allocation.
+    /// Copies in place — no allocation — and re-primes the snapshot cache
+    /// with the restored image (the states are now identical).
     pub fn restore(&mut self, s: &FabricSnapshot) {
-        assert_eq!(s.tx_free.len(), self.tx_free.len(), "snapshot node count");
-        self.tx_free.copy_from_slice(&s.tx_free);
-        self.rx_free.copy_from_slice(&s.rx_free);
-        self.coll_free = s.coll_free;
-        self.stats = s.stats;
-        self.bulk_seq = s.bulk_seq;
+        let p = &*s.0;
+        assert_eq!(p.tx_free.len(), self.tx_free.len(), "snapshot node count");
+        self.tx_free.copy_from_slice(&p.tx_free);
+        self.rx_free.copy_from_slice(&p.rx_free);
+        self.coll_free = p.coll_free;
+        self.stats = p.stats;
+        self.bulk_seq = p.bulk_seq;
         self.dead.iter_mut().for_each(|d| *d = false);
         self.degradations.clear();
         self.drop_seqs.clear();
+        self.snap_cache = Some(s.clone());
+        self.snap_dirty = false;
     }
 
     /// Worst degradation factor touching `node` at instant `t`.
@@ -229,6 +257,7 @@ impl Fabric {
         bytes: u64,
         on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
     ) -> SimTime {
+        self.touch();
         self.stats.puts += 1;
         self.stats.put_bytes += bytes;
         let (deliver, landed) = self.reserve_put(sim.now(), src, dst, bytes);
@@ -252,6 +281,7 @@ impl Fabric {
         bytes: u64,
         on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
     ) -> SimTime {
+        self.touch();
         self.stats.gets += 1;
         self.stats.get_bytes += bytes;
         // Request leg.
@@ -285,6 +315,7 @@ impl Fabric {
         on_complete: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
     ) -> SimTime {
         assert!(!dests.is_empty(), "multicast needs at least one destination");
+        self.touch();
         self.stats.multicasts += 1;
         self.stats.multicast_bytes += bytes * dests.len() as u64;
 
@@ -345,6 +376,7 @@ impl Fabric {
         on_fire: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
     ) -> SimTime {
         assert!(span > 0);
+        self.touch();
         self.stats.conditionals += 1;
         let start = sim.now().max(self.coll_free);
         // A conditional is a control packet through the root.
@@ -668,8 +700,8 @@ mod tests {
         let t_before = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});
         fab.restore(&snap);
         assert!(!fab.is_dead(NodeId(5)));
-        assert_eq!(fab.bulk_seq(), snap.bulk_seq);
-        assert_eq!(fab.stats().puts, snap.stats.puts);
+        assert_eq!(fab.bulk_seq(), snap.0.bulk_seq);
+        assert_eq!(fab.stats().puts, snap.0.stats.puts);
         // Occupancy is back to the snapshot instant: the same put issued
         // again completes no later than it did post-snapshot.
         let t_after = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});

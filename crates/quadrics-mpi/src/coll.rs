@@ -19,6 +19,7 @@ use crate::engine::QuadricsMpi;
 use mpi_api::call::MpiResp;
 use mpi_api::comm::CommId;
 use mpi_api::datatype::{Datatype, ReduceOp, combine_native};
+use mpi_api::payload::Payload;
 use mpi_api::runtime::{ClusterWorld, drain, resume_at};
 use qsnet::NodeId;
 use qsnet::model::log2_ceil;
@@ -41,13 +42,13 @@ struct Round {
     /// Ranks blocked in this round, with the response they await.
     waiters: Vec<usize>,
     /// Bcast: payload once the root has arrived.
-    payload: Option<Vec<u8>>,
+    payload: Option<Payload>,
     /// Bcast: ranks whose node has received the multicast.
     delivered: HashMap<usize, bool>,
     /// Bcast: ranks already resumed (round ends when == size).
     resumed: usize,
     /// Reduce: per-rank contributions.
-    contribs: Vec<Option<Vec<u8>>>,
+    contribs: Vec<Option<Payload>>,
     /// Reduce: (root, op, dtype, all) — asserted consistent across ranks.
     params: Option<(usize, ReduceOp, Datatype, bool)>,
 }
@@ -127,7 +128,7 @@ impl CollManager {
         rank: usize,
         comm: CommId,
         root: usize,
-        data: Option<Vec<u8>>,
+        data: Option<Payload>,
     ) {
         let size = w.engine.comms.size_of(comm);
         let root_world = w.engine.comms.members(comm)[root];
@@ -210,7 +211,7 @@ impl CollManager {
         root: usize,
         op: ReduceOp,
         dtype: Datatype,
-        data: Vec<u8>,
+        data: Payload,
         all: bool,
     ) {
         let size = w.engine.comms.size_of(comm);
@@ -258,11 +259,11 @@ impl CollManager {
         for c in round.contribs.iter_mut() {
             let c = c.take().expect("missing contribution");
             match &mut acc {
-                None => acc = Some(c),
+                None => acc = Some(c.into_vec()),
                 Some(a) => combine_native(op, dtype, a, &c),
             }
         }
-        let value = acc.unwrap_or_default();
+        let value = Payload::from_vec(acc.unwrap_or_default());
 
         let depth = if size <= 1 { 0 } else { log2_ceil(size) };
         let net = &w.engine.cfg.net;

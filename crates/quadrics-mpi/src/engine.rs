@@ -68,12 +68,12 @@ struct ReqState {
     kind: ReqKind,
     complete: bool,
     /// Send: payload awaiting rendezvous. Recv: delivered payload.
-    data: Option<Vec<u8>>,
+    data: Option<mpi_api::Payload>,
     status: Option<Status>,
 }
 
 enum Payload {
-    Eager(Vec<u8>),
+    Eager(mpi_api::Payload),
     Rts { send_req: ReqId },
 }
 
@@ -191,7 +191,7 @@ impl QuadricsMpi {
         rank: usize,
         dest: usize,
         tag: i32,
-        data: Vec<u8>,
+        data: mpi_api::Payload,
         blocking: bool,
     ) {
         let e = &mut w.engine;
@@ -310,7 +310,7 @@ impl QuadricsMpi {
         sim: &mut Sim<QW>,
         req: ReqId,
         env: Envelope,
-        data: Vec<u8>,
+        data: mpi_api::Payload,
         at: SimTime,
     ) {
         {

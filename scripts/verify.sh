@@ -11,7 +11,10 @@
 #      must be byte-identical across thread counts, and the parallel run
 #      is gated against the sequential run's wall-clock baseline (the
 #      gate's 5x + 2s threshold is deliberately tolerant of CI noise)
-#   6. the four microbenches (quick mode), emitting reports/microbench_*.csv
+#   6. the four microbenches (quick mode), emitting reports/microbench_*.csv;
+#      engine_throughput additionally self-gates its two paired rows
+#      (indexed matching vs the linear-scan reference, incremental image
+#      capture vs a deep clone, both >= 5x) and exits non-zero on a miss
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -51,7 +54,7 @@ done
 [ "$n" -gt 0 ] || { echo "verify: quick repro emitted no CSVs" >&2; exit 1; }
 echo "   $n CSVs byte-identical across thread counts; wall-clock gate passed"
 
-echo "== offline microbenches (quick mode) -> reports/microbench_*.csv"
+echo "== offline microbenches (quick mode, engine_throughput 5x-gated) -> reports/microbench_*.csv"
 for b in primitives engine_throughput softfloat_ops apps_micro; do
   MICROBENCH_QUICK=1 cargo run --release -q -p bench --bin "$b"
 done

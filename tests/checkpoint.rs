@@ -5,7 +5,7 @@
 
 use bcs_repro::bcs_mpi::{BcsConfig, BcsMpi};
 use bcs_repro::mpi_api::message::{SrcSel, TagSel};
-use bcs_repro::mpi_api::runtime::{JobLayout, run_job};
+use bcs_repro::mpi_api::runtime::{JobLayout, RunOpts, run_job, run_job_hooked};
 use bcs_repro::simcore::SimDuration;
 
 fn run_with_checkpoints(every: u64) -> (Vec<(u64, u64)>, Vec<u64>) {
@@ -76,6 +76,51 @@ fn captured_state_reflects_inflight_traffic() {
     let digests: std::collections::HashSet<u64> =
         out.engine.checkpoints.iter().map(|&(_, d)| d).collect();
     assert!(digests.len() > 2, "checkpoints all identical: nothing captured");
+}
+
+#[test]
+fn streaming_digest_matches_materialized_checkpoint() {
+    // Restore mid-run images (non-trivial state: chunked transfers parked at
+    // the boundary, open requests, unmatched descriptors) and check that the
+    // allocation-free streaming digest agrees with the materialized
+    // CommCheckpoint's digest — and with the digest recorded at capture.
+    let layout = JobLayout::new(4, 2, 8);
+    let mut cfg = BcsConfig::default();
+    cfg.checkpoint_every = Some(1);
+    cfg.checkpoint_images = true;
+    let out = run_job_hooked(
+        BcsMpi::new(cfg.clone(), &layout),
+        layout.clone(),
+        |mpi| {
+            let me = mpi.rank();
+            let n = mpi.size();
+            for it in 0..6u64 {
+                mpi.compute(SimDuration::micros(500 + 211 * (me as u64 + it)));
+                let peer = (me + 1) % n;
+                let from = (me + n - 1) % n;
+                let sz = if it % 2 == 0 { 300 * 1024 } else { 256 };
+                let s = mpi.isend(peer, it as i32, &vec![it as u8; sz]);
+                let r = mpi.irecv(SrcSel::Rank(from), TagSel::Tag(it as i32));
+                mpi.waitall(&[s, r]);
+            }
+        },
+        |w, _| w.set_recording(true),
+        RunOpts::default(),
+    );
+    assert!(out.completed);
+    let images = &out.engine.images;
+    assert!(images.len() > 4, "need several mid-run images");
+    let mut nontrivial = 0;
+    for img in images {
+        let restored = BcsMpi::restore_from_image(cfg.clone(), &layout, img);
+        let ck = restored.capture_checkpoint();
+        if ck.inflight_bytes() > 0 {
+            nontrivial += 1;
+        }
+        assert_eq!(restored.checkpoint_digest(), ck.digest());
+        assert_eq!(restored.checkpoint_digest(), img.digest);
+    }
+    assert!(nontrivial > 0, "no image captured in-flight traffic");
 }
 
 #[test]

@@ -8,16 +8,19 @@
 //! results **bit-identical** to the fault-free run. When recovery is
 //! impossible (no image, budget spent) the machine aborts cleanly.
 
-use bcs_repro::bcs_mpi::BcsConfig;
+use bcs_repro::bcs_core::BcsWorld;
+use bcs_repro::bcs_mpi::{BcsConfig, BcsMpi, CheckpointImage};
 use bcs_repro::faultsim::{
     FaultPlan, FaultProfile, RecoveryCfg, fault_free_reference, run_with_recovery,
 };
 use bcs_repro::mpi_api::message::{SrcSel, TagSel};
-use bcs_repro::mpi_api::runtime::JobLayout;
+use bcs_repro::mpi_api::runtime::{ClusterWorld, JobLayout, resume_job, run_job_hooked};
 use bcs_repro::mpi_api::{Mpi, ReduceOp};
 use bcs_repro::qsnet::NodeId;
-use bcs_repro::simcore::SimDuration;
+use bcs_repro::simcore::{Sim, SimDuration};
 use proplite::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Deterministic ring workload: neighbor exchange with specific (never
 /// wildcard) receives, a mix of chunked and small payloads, and an
@@ -198,6 +201,35 @@ fn abort_is_clean_when_restart_budget_is_exhausted() {
     assert!(out.detections[0].restored_from_slice.is_none());
 }
 
+type CW = ClusterWorld<BcsMpi>;
+
+/// Shadow every checkpoint image the engine captures with an eager
+/// [`CheckpointImage::materialize`] deep clone, re-polling once per slice
+/// while the job runs. The shadow is taken while the run keeps mutating the
+/// engine, so if any post-capture mutation leaked into a shared
+/// (copy-on-write) image layer, the incremental image and its deep clone
+/// would diverge.
+fn shadow_images(
+    w: &mut CW,
+    sim: &mut Sim<CW>,
+    shadow: Rc<RefCell<Vec<CheckpointImage>>>,
+    period: SimDuration,
+) {
+    {
+        let mut sh = shadow.borrow_mut();
+        while sh.len() < w.engine.images.len() {
+            let img = &w.engine.images[sh.len()];
+            sh.push(img.materialize());
+        }
+    }
+    if w.finished < w.layout.ranks {
+        let sh = shadow.clone();
+        sim.schedule_in(period, move |w: &mut CW, sim| {
+            shadow_images(w, sim, sh, period)
+        });
+    }
+}
+
 // Satellite 3: property suite over random fault plans.
 proplite! {
     // Every case runs 2–3 full machine simulations; keep the counts tight.
@@ -238,5 +270,75 @@ proplite! {
         let db: Vec<_> = b.detections.iter()
             .map(|d| (d.node.0, d.detected_at.as_nanos(), d.restored_from_slice)).collect();
         prop_assert_eq!(da, db);
+    }
+
+    /// (c) Incremental (copy-on-write) checkpoint images are
+    /// indistinguishable from deep clones: restoring — and resuming the
+    /// whole job — from either member of each image/materialized pair is
+    /// byte-identical, under random fault plans. The deep clones are taken
+    /// *while the run keeps mutating the engine* (see [`shadow_images`]),
+    /// so a missed unshare anywhere in the COW capture path shows up as a
+    /// divergence here.
+    #[test]
+    fn incremental_images_recover_identically_to_deep_clones(seed in 1u64..1_000_000u64) {
+        let rc = recovery_cfg();
+        let profile = FaultProfile { mtbf_slices: None, drops: 3, degradations: 1 };
+        let plan = FaultPlan::generate(seed, &rc.bcs, 4, 10, &profile);
+        let shadow: Rc<RefCell<Vec<CheckpointImage>>> = Rc::new(RefCell::new(Vec::new()));
+        let sh = shadow.clone();
+        let timeslice = rc.bcs.timeslice;
+        let out = run_job_hooked(
+            BcsMpi::new(rc.bcs.clone(), &layout()),
+            layout(),
+            |mpi| ring_program(mpi, 5),
+            move |w: &mut CW, sim: &mut Sim<CW>| {
+                w.set_recording(true);
+                let fabric = &mut w.bcs().fabric;
+                fabric.plan_drops(plan.drops.clone());
+                for d in &plan.degradations {
+                    fabric.degrade_link(d.clone());
+                }
+                shadow_images(w, sim, sh, timeslice);
+            },
+            rc.opts.clone(),
+        );
+        prop_assert!(out.completed, "seed {} failed: {:?}", seed, out.diagnostic);
+        let mut shadow = shadow.borrow_mut();
+        prop_assert!(!shadow.is_empty(), "no image was shadowed mid-run");
+        // Boundaries that fell between the last poll and job completion are
+        // shadowed now; the engine is quiescent for those, but the bulk of
+        // the pairs above were cloned against a still-running machine.
+        while shadow.len() < out.engine.images.len() {
+            let img = &out.engine.images[shadow.len()];
+            shadow.push(img.materialize());
+        }
+        // Every image restores to the same machine as its deep clone, and
+        // both still reconstruct the digest recorded at capture time.
+        for (inc, deep) in out.engine.images.iter().zip(shadow.iter()) {
+            let ei = BcsMpi::restore_from_image(rc.bcs.clone(), &layout(), inc);
+            let ed = BcsMpi::restore_from_image(rc.bcs.clone(), &layout(), deep);
+            prop_assert_eq!(ei.capture_checkpoint(), ed.capture_checkpoint());
+            prop_assert_eq!(ei.checkpoint_digest(), inc.digest);
+            prop_assert_eq!(ed.checkpoint_digest(), inc.digest);
+        }
+        // Resuming the job to completion from a mid-run pair agrees too:
+        // same results, same virtual finish, same downstream digests.
+        let mid = out.engine.images.len() / 2;
+        let mut outs = Vec::new();
+        for img in [&out.engine.images[mid], &shadow[mid]] {
+            let engine = BcsMpi::restore_from_image(rc.bcs.clone(), &layout(), img);
+            let o = resume_job(
+                engine,
+                layout(),
+                |mpi| ring_program(mpi, 5),
+                &img.rt,
+                |w: &mut CW, sim: &mut Sim<CW>| bcs_repro::bcs_mpi::resume_from_boundary(w, sim),
+                |_: &mut CW, _: &mut Sim<CW>| {},
+                rc.opts.clone(),
+            );
+            prop_assert!(o.completed, "resume from slice {} failed", img.slice);
+            outs.push((o.results, o.elapsed.as_nanos(), o.engine.checkpoints.clone()));
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
     }
 }
