@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # apps — the workloads of the evaluation (§5)
 //!
 //! Communication-faithful mini-kernels standing in for the paper's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bcs-core — the three BCS core primitives
 //!
 //! The entire BCS system software stack (STORM resource management, BCS-MPI,
@@ -138,8 +139,10 @@ impl<W> Default for NodeCtl<W> {
 /// a closure cannot be checkpointed — which holds at BCS slice boundaries.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WordsSnapshot {
-    words: Vec<Vec<(GlobalWord, i64)>>,
-    pending: Vec<Vec<(EventWord, u32)>>,
+    // Sorted rows, one per node — plain `Vec`s, named so they cannot be
+    // confused with the live `NodeCtl` hash maps they were captured from.
+    word_rows: Vec<Vec<(GlobalWord, i64)>>,
+    pending_rows: Vec<Vec<(EventWord, u32)>>,
 }
 
 /// The BCS abstract machine: global words + events on every node, over the
@@ -174,11 +177,15 @@ impl<W: BcsWorld> BcsCluster<W> {
         let mut pending = Vec::with_capacity(self.nodes.len());
         for (i, n) in self.nodes.iter().enumerate() {
             let mut ws: Vec<(GlobalWord, i64)> =
+                // detlint: allow(D02) — snapshot capture: collected into a
+                // Vec and sorted immediately below; map order never escapes.
                 n.words.iter().map(|(&a, &v)| (a, v)).collect();
             ws.sort_unstable();
             words.push(ws);
             let mut ps: Vec<(EventWord, u32)> = n
                 .events
+                // detlint: allow(D02) — snapshot capture: collected and
+                // sorted (`ps.sort_unstable()` below) before observation.
                 .iter()
                 .inspect(|(ev, st)| {
                     assert!(
@@ -192,14 +199,21 @@ impl<W: BcsWorld> BcsCluster<W> {
             ps.sort_unstable();
             pending.push(ps);
         }
-        WordsSnapshot { words, pending }
+        WordsSnapshot {
+            word_rows: words,
+            pending_rows: pending,
+        }
     }
 
     /// Restore global words and pending event counts from a snapshot,
     /// discarding all current control-memory state.
     pub fn restore_words(&mut self, s: &WordsSnapshot) {
-        assert_eq!(s.words.len(), self.nodes.len(), "snapshot node count");
-        for (n, (ws, ps)) in self.nodes.iter_mut().zip(s.words.iter().zip(&s.pending)) {
+        assert_eq!(s.word_rows.len(), self.nodes.len(), "snapshot node count");
+        for (n, (ws, ps)) in self
+            .nodes
+            .iter_mut()
+            .zip(s.word_rows.iter().zip(&s.pending_rows))
+        {
             n.words = ws.iter().copied().collect();
             n.events.clear();
             for &(ev, pending) in ps {

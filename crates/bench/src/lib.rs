@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bench — experiment harness utilities
 //!
 //! Table/series formatting and CSV emission shared by the `repro` binary

@@ -11,6 +11,13 @@
 //! the gateable quantity: it measures work done, independent of how many
 //! workers the sweep happened to run on. `wall_secs` and per-worker
 //! utilization describe how well that work was overlapped.
+//!
+//! Scope: this report accounts for *harness* time only — sweep workers
+//! executing simulation points. The `detlint` static pass that
+//! `verify.sh` runs first is deliberately **not** part of this
+//! accounting: its own wall time is recorded as `elapsed_secs` inside
+//! `reports/detlint.json`, so the wall-clock regression gate never
+//! absorbs (or masks) lint-time changes.
 
 use std::fmt::Write as _;
 

@@ -171,8 +171,10 @@ struct EngineSnap {
     /// Shared with the live engine copy-on-write: capturing clones `Arc`s,
     /// and only nodes whose state changes after the capture are copied.
     nic: Vec<std::sync::Arc<crate::p2p::NicState>>,
-    reqs: Vec<(mpi_api::call::ReqId, crate::engine::BcsReq)>,
-    payloads: Vec<(crate::p2p::MsgId, mpi_api::payload::Payload)>,
+    // Canonically ordered `Vec` copies of the live engine's hash maps,
+    // named so they cannot be confused with the maps themselves.
+    reqs_sorted: Vec<(mpi_api::call::ReqId, crate::engine::BcsReq)>,
+    payloads_sorted: Vec<(crate::p2p::MsgId, mpi_api::payload::Payload)>,
     blocked: Vec<Option<crate::engine::Blocked>>,
     coll: crate::coll::CollState,
     comms: mpi_api::comm::CommRegistry,
@@ -204,8 +206,12 @@ pub(crate) fn capture_image(w: &mut BW, now: SimTime, digest: u64) -> Checkpoint
     // Sort the hash maps into a canonical order so two captures of the same
     // state produce identical images. Request and payload clones are
     // refcount bumps (`Payload` is a shared buffer), not byte copies.
+    // detlint: allow(D02) — checkpoint capture: sorted by key immediately
+    // below, so the image is canonical whatever the map order was.
     let mut reqs: Vec<_> = e.reqs.iter().map(|(&k, v)| (k, v.clone())).collect();
     reqs.sort_unstable_by_key(|(k, _)| *k);
+    // detlint: allow(D02) — checkpoint capture: sorted by key immediately
+    // below, so the image is canonical whatever the map order was.
     let mut payloads: Vec<_> = e.payloads.iter().map(|(&k, v)| (k, v.clone())).collect();
     payloads.sort_unstable_by_key(|(k, _)| *k);
     CheckpointImage {
@@ -215,8 +221,8 @@ pub(crate) fn capture_image(w: &mut BW, now: SimTime, digest: u64) -> Checkpoint
         rt,
         eng: EngineSnap {
             nic: e.nic.clone(),
-            reqs,
-            payloads,
+            reqs_sorted: reqs,
+            payloads_sorted: payloads,
             blocked: e.blocked.clone(),
             coll: e.coll.clone(),
             comms: e.comms.clone(),
@@ -250,7 +256,7 @@ impl CheckpointImage {
     /// sizing what a serialized image would occupy, and for selecting a
     /// representative image in benchmarks.
     pub fn payload_bytes(&self) -> usize {
-        self.eng.payloads.iter().map(|(_, p)| p.len()).sum()
+        self.eng.payloads_sorted.iter().map(|(_, p)| p.len()).sum()
     }
 
     pub fn materialize(&self) -> CheckpointImage {
@@ -262,9 +268,9 @@ impl CheckpointImage {
             .iter()
             .map(|n| std::sync::Arc::new((**n).clone()))
             .collect();
-        img.eng.payloads = self
+        img.eng.payloads_sorted = self
             .eng
-            .payloads
+            .payloads_sorted
             .iter()
             .map(|(k, p)| (*k, mpi_api::payload::Payload::from(&p[..])))
             .collect();
@@ -292,8 +298,8 @@ impl BcsMpi {
         e.phase = 0;
         e.slice_started_at = img.captured_at;
         e.nic = s.nic.clone();
-        e.reqs = s.reqs.iter().cloned().collect();
-        e.payloads = s.payloads.iter().cloned().collect();
+        e.reqs = s.reqs_sorted.iter().cloned().collect();
+        e.payloads = s.payloads_sorted.iter().cloned().collect();
         e.blocked = s.blocked.clone();
         e.coll = s.coll.clone();
         e.comms = s.comms.clone();
@@ -350,6 +356,8 @@ impl BcsMpi {
         }
         let mut open_requests: Vec<(u64, usize, bool)> = self
             .reqs
+            // detlint: allow(D02) — boundary snapshot: sorted immediately
+            // below (`open_requests.sort_unstable()`) before use.
             .iter()
             .map(|(id, st)| (id.0, st.owner, st.complete))
             .collect();
@@ -411,6 +419,8 @@ impl BcsMpi {
             .collect();
         let mut open_requests: Vec<(u64, usize, bool)> = self
             .reqs
+            // detlint: allow(D02) — boundary snapshot: sorted immediately
+            // below (`open_requests.sort_unstable()`) before use.
             .iter()
             .map(|(id, st)| (id.0, st.owner, st.complete))
             .collect();

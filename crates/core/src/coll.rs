@@ -386,6 +386,10 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         let levels = e.bcs.fabric.topology().levels();
         let stage = e.cfg.net.unicast_latency(2 * levels)
             + e.cfg.net.tx_time(wire)
+            // detlint: allow(D06) — cost-model arithmetic, not reduce data:
+            // one IEEE-754 multiply truncated to integer nanoseconds, which
+            // is bit-identical on every host. Reduce *payload* arithmetic
+            // goes through `softfloat` (see `softfloat::add_f32_bits`).
             + SimDuration::nanos((bytes as f64 * e.cfg.reduce_ns_per_byte) as u64)
             + e.cfg.desc_cost;
         let gather_done = sim.now() + stage * depth as u64;

@@ -43,6 +43,9 @@ pub struct BcsConfig {
     pub p2p_budget: u64,
     /// NIC-side reduce arithmetic cost per byte (softfloat — slower than
     /// host FP, but saves the PCI crossing; §4.4).
+    // detlint: allow(D06) — cost-model config field, not reduce data: only
+    // ever multiplied once and truncated to integer nanoseconds, which is
+    // bit-identical on every IEEE-754 host.
     pub reduce_ns_per_byte: f64,
     /// Optional scheduling noise of the user-level NM dæmon (§4.5).
     pub noise: Option<NoiseConfig>,
@@ -82,6 +85,9 @@ impl Default for BcsConfig {
         let net = NetModel::qsnet();
         // ~60% of the slice is available to the transmission phase.
         let timeslice = SimDuration::micros(500);
+        // detlint: allow(D06) — config-time constant: two IEEE-754
+        // multiplies truncated to an integer budget, identical on every
+        // host; no per-message protocol arithmetic happens in floats.
         let p2p_budget = (0.6 * timeslice.as_secs_f64() * net.link_bw) as u64;
         BcsConfig {
             net,
@@ -91,6 +97,7 @@ impl Default for BcsConfig {
             desc_cost: SimDuration::nanos(900),
             post_cost: SimDuration::nanos(500),
             p2p_budget,
+            // detlint: allow(D06) — config-time constant (see field docs).
             reduce_ns_per_byte: 20.0,
             noise: None,
             init_delay: SimDuration::ZERO,
@@ -109,6 +116,8 @@ impl BcsConfig {
     /// ablation).
     pub fn with_timeslice(mut self, ts: SimDuration) -> BcsConfig {
         self.timeslice = ts;
+        // detlint: allow(D06) — config-time constant, same derivation (and
+        // justification) as the `Default` impl above.
         self.p2p_budget = (0.6 * ts.as_secs_f64() * self.net.link_bw) as u64;
         self
     }

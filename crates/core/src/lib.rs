@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bcs-mpi — Buffered CoScheduled MPI
 //!
 //! The paper's primary contribution: an MPI implementation that optimizes the

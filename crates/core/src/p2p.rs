@@ -470,6 +470,8 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     w.engine.outstanding[node.0] = sched.len() as u32;
     let hdr = w.engine.cfg.desc_bytes;
     let retry = w.engine.cfg.retry;
+    // detlint: allow(D04) — debug-trace gate only: toggles eprintln logging
+    // on stderr and can never alter simulation state or CSV outputs.
     let trace = std::env::var_os("BCS_TRACE_P2P").is_some();
     for (msg, chunk) in sched {
         let src_node = w.engine.nic[node.0]

@@ -1,0 +1,552 @@
+//! A lightweight Rust lexer: just enough token structure for the lint
+//! rules, with exact 1-based line/column tracking.
+//!
+//! The lexer's one hard requirement is that *nothing inside a comment,
+//! string, raw string, byte string, or char literal* can ever look like
+//! code to a rule — a `"Instant::now"` in a log message or a code sample
+//! in a doc comment must not trip D01. Comments are kept (waivers and
+//! `SAFETY:` markers live there) but routed to a separate stream from the
+//! code tokens the rules scan.
+//!
+//! Columns count characters, not bytes, so diagnostics agree with what an
+//! editor shows for non-ASCII source (em dashes in comments are common in
+//! this tree).
+
+/// What a code token is. Comments are not code tokens ([`Comment`] is a
+/// separate stream); string/char literals keep only their kind, never
+/// their contents, so rules cannot accidentally match inside them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Instant`, `for`, `unsafe`, `r#fn`, ...).
+    Ident,
+    /// Numeric literal; `float` is true for `1.5`, `2e9`, `1f64`, ...
+    Num { float: bool },
+    /// String (`"…"`, `r#"…"#`, `b"…"`) or char (`'c'`) literal.
+    Literal,
+    /// Lifetime (`'a`, `'static`) — distinct from char literals.
+    Lifetime,
+    /// Punctuation. `::` is a single token; everything else is one char.
+    Punct,
+}
+
+/// One code token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment (line or block), with position and whether any code token
+/// precedes it on its starting line (`own_line == false` for trailing
+/// comments). Doc comments (`///`, `//!`, `/** */`) are comments too.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    pub own_line: bool,
+}
+
+/// Lexer output: the code-token stream rules scan, plus the comment
+/// stream the waiver/SAFETY machinery scans.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peek two characters ahead without consuming (cheap clone of the
+    /// char iterator — fine for a lexer this small).
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into code tokens and comments. The lexer never fails: on a
+/// construct it does not model (e.g. an unterminated literal) it degrades
+/// to single-char punctuation, which at worst produces an extra finding —
+/// never a silently skipped one.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    // Line of the last code token seen, to classify comments as
+    // own-line vs trailing.
+    let mut last_code_line: u32 = 0;
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                let mut text = String::new();
+                while let Some(&n) = cur.chars.peek() {
+                    if n == '\n' {
+                        break;
+                    }
+                    text.push(n);
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    own_line: last_code_line != line,
+                });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                let mut text = String::new();
+                cur.bump(); // '/'
+                cur.bump(); // '*'
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match cur.bump() {
+                        Some('*') if cur.peek() == Some('/') => {
+                            cur.bump();
+                            depth -= 1;
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        Some('/') if cur.peek() == Some('*') => {
+                            cur.bump();
+                            depth += 1;
+                            text.push_str("/*");
+                        }
+                        Some(ch) => text.push(ch),
+                        None => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text,
+                    line,
+                    col,
+                    own_line: last_code_line != line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                skip_string_body(&mut cur);
+                push_tok(&mut out, TokKind::Literal, "\"…\"", line, col, &mut last_code_line);
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&mut cur) => {
+                // r"…", r#"…"#, b"…", br#"…"#, rb… — consume prefix letters
+                // and hashes, then the quoted body.
+                let mut hashes = 0usize;
+                while matches!(cur.peek(), Some('r') | Some('b')) {
+                    cur.bump();
+                }
+                while cur.peek() == Some('#') {
+                    hashes += 1;
+                    cur.bump();
+                }
+                if cur.peek() == Some('"') {
+                    cur.bump();
+                    if hashes == 0 {
+                        // Non-raw (b"…") or r"…": r-strings without hashes
+                        // still terminate at the first unescaped quote; for
+                        // raw strings there are no escapes, but treating
+                        // backslash-quote as an escape can only extend the
+                        // literal, never truncate code into it... except it
+                        // could swallow real code after `r"\"`. Raw strings
+                        // without hashes are not used in this tree; accept
+                        // the approximation for `r"…"` and be exact for
+                        // `b"…"`.
+                        skip_string_body(&mut cur);
+                    } else {
+                        // Terminated by `"` followed by `hashes` hashes.
+                        'outer: loop {
+                            match cur.bump() {
+                                Some('"') => {
+                                    let mut seen = 0usize;
+                                    while seen < hashes && cur.peek() == Some('#') {
+                                        cur.bump();
+                                        seen += 1;
+                                    }
+                                    if seen == hashes {
+                                        break 'outer;
+                                    }
+                                }
+                                Some(_) => {}
+                                None => break 'outer,
+                            }
+                        }
+                    }
+                    push_tok(&mut out, TokKind::Literal, "r\"…\"", line, col, &mut last_code_line);
+                } else {
+                    // `r#ident` raw identifier (or a bare `r`/`b` ident that
+                    // `starts_raw_or_byte_literal` misjudged — not possible,
+                    // but degrade to an ident either way).
+                    let mut text = String::from("r#");
+                    while let Some(n) = cur.peek() {
+                        if is_ident_continue(n) {
+                            text.push(n);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    push_tok(&mut out, TokKind::Ident, &text, line, col, &mut last_code_line);
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(n) = cur.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push_tok(&mut out, TokKind::Ident, &text, line, col, &mut last_code_line);
+            }
+            c if c.is_ascii_digit() => {
+                let float = lex_number(&mut cur);
+                push_tok(
+                    &mut out,
+                    TokKind::Num { float },
+                    "<num>",
+                    line,
+                    col,
+                    &mut last_code_line,
+                );
+            }
+            '\'' => {
+                // Lifetime (`'a` not followed by a closing quote) or char
+                // literal (everything else).
+                let second = cur.peek2();
+                let third = {
+                    let mut it = cur.chars.clone();
+                    it.next();
+                    it.next();
+                    it.next()
+                };
+                let is_lifetime =
+                    second.is_some_and(|s| is_ident_start(s)) && third != Some('\'');
+                cur.bump(); // the quote
+                if is_lifetime {
+                    let mut text = String::from("'");
+                    while let Some(n) = cur.peek() {
+                        if is_ident_continue(n) {
+                            text.push(n);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    push_tok(&mut out, TokKind::Lifetime, &text, line, col, &mut last_code_line);
+                } else {
+                    // Char literal: consume up to the closing quote,
+                    // honoring escapes.
+                    loop {
+                        match cur.bump() {
+                            Some('\\') => {
+                                cur.bump();
+                            }
+                            Some('\'') | None => break,
+                            Some(_) => {}
+                        }
+                    }
+                    push_tok(&mut out, TokKind::Literal, "'…'", line, col, &mut last_code_line);
+                }
+            }
+            ':' if cur.peek2() == Some(':') => {
+                cur.bump();
+                cur.bump();
+                push_tok(&mut out, TokKind::Punct, "::", line, col, &mut last_code_line);
+            }
+            other => {
+                cur.bump();
+                push_tok(
+                    &mut out,
+                    TokKind::Punct,
+                    &other.to_string(),
+                    line,
+                    col,
+                    &mut last_code_line,
+                );
+            }
+        }
+    }
+    out
+}
+
+fn push_tok(out: &mut Lexed, kind: TokKind, text: &str, line: u32, col: u32, last: &mut u32) {
+    *last = line;
+    out.toks.push(Tok {
+        kind,
+        text: text.to_string(),
+        line,
+        col,
+    });
+}
+
+/// After an opening `"`, consume through the closing quote (escape-aware;
+/// strings may span lines).
+fn skip_string_body(cur: &mut Cursor) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// At an `r` or `b`: does a raw/byte string literal start here (vs. a
+/// plain identifier like `rank` or `bytes`)? True for `r"`, `r#"`, `r##`,
+/// `b"`, `br`, `rb` prefixes and for raw identifiers `r#ident` (handled
+/// by the caller's fallback).
+fn starts_raw_or_byte_literal(cur: &mut Cursor) -> bool {
+    let mut it = cur.chars.clone();
+    let first = it.next();
+    let mut second = it.next();
+    // Two-letter prefixes: br / rb.
+    if matches!(
+        (first, second),
+        (Some('b'), Some('r')) | (Some('r'), Some('b'))
+    ) {
+        second = it.next();
+    }
+    match second {
+        Some('"') => true,
+        Some('#') if first == Some('r') => true, // r#"…"# or r#ident
+        _ => false,
+    }
+}
+
+/// Consume a numeric literal; returns whether it is a float. Handles
+/// `0x`/`0o`/`0b` prefixes (never floats, and `e` is a hex digit there),
+/// decimal points (`1.5` but not the range `1..5` or method `1.max(2)`),
+/// exponents (`1e9`, `2E-4`), underscores, and type suffixes (`1f64` is a
+/// float, `1u64` is not).
+fn lex_number(cur: &mut Cursor) -> bool {
+    let mut float = false;
+    let radix_prefix = cur.peek() == Some('0')
+        && matches!(cur.peek2(), Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B'));
+    if radix_prefix {
+        cur.bump(); // 0
+        cur.bump(); // x/o/b
+        while let Some(n) = cur.peek() {
+            if n.is_ascii_hexdigit() || n == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Integer suffix may follow (0xffu32) — consume ident chars.
+        while let Some(n) = cur.peek() {
+            if is_ident_continue(n) {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return false;
+    }
+    while let Some(n) = cur.peek() {
+        if n.is_ascii_digit() || n == '_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: a dot counts only when followed by a digit
+    // (`1..5` and `1.max(2)` stay integers).
+    if cur.peek() == Some('.') && cur.peek2().is_some_and(|d| d.is_ascii_digit()) {
+        float = true;
+        cur.bump(); // '.'
+        while let Some(n) = cur.peek() {
+            if n.is_ascii_digit() || n == '_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent: e/E with optional sign, must be followed by a digit
+    // (otherwise `1else` would misparse — not legal Rust, but stay safe).
+    if matches!(cur.peek(), Some('e') | Some('E')) {
+        let (after_sign_digit, skip) = {
+            let mut it = cur.chars.clone();
+            it.next(); // e
+            match it.next() {
+                Some('+') | Some('-') => (it.next(), 2),
+                d => (d, 1),
+            }
+        };
+        if after_sign_digit.is_some_and(|d| d.is_ascii_digit()) {
+            float = true;
+            for _ in 0..skip {
+                cur.bump();
+            }
+            while let Some(n) = cur.peek() {
+                if n.is_ascii_digit() || n == '_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Suffix: `1f64` / `2.5f32` are floats; `1u64` is not.
+    let mut suffix = String::new();
+    while let Some(n) = cur.peek() {
+        if is_ident_continue(n) {
+            suffix.push(n);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_invisible() {
+        let src = r##"
+            let a = "Instant::now()"; // Instant::now()
+            /* std::time::Instant */
+            let b = r#"SystemTime "quoted" here"#;
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "Instant" || i == "SystemTime"));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_char_counted() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let l = lex("std::env::var");
+        let kinds: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(kinds, vec!["std", "::", "env", "::", "var"]);
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let f = |s: &str| {
+            lex(s)
+                .toks
+                .iter()
+                .filter_map(|t| match t.kind {
+                    TokKind::Num { float } => Some(float),
+                    _ => None,
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(f("1.5"), vec![true]);
+        assert_eq!(f("1..5"), vec![false, false]);
+        assert_eq!(f("2e9"), vec![true]);
+        assert_eq!(f("1f64"), vec![true]);
+        assert_eq!(f("1u64"), vec![false]);
+        assert_eq!(f("0x1e5"), vec![false]);
+        assert_eq!(f("7"), vec![false]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("&'a str; 'x'");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_trailing_detection() {
+        let l = lex("let x = 1; /* a /* b */ c */\n// own line\nlet y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].own_line);
+        assert!(l.comments[1].own_line);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_newlines() {
+        let src = "let s = r#\"first \" line\nInstant::now()\n\"#; after";
+        let l = lex(src);
+        assert!(!l.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(l.toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let l = lex("r#fn + rank");
+        assert!(l.toks.iter().any(|t| t.is_ident("r#fn")));
+        assert!(l.toks.iter().any(|t| t.is_ident("rank")));
+    }
+}

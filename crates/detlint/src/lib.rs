@@ -1,0 +1,400 @@
+#![forbid(unsafe_code)]
+//! # detlint — the determinism & safety lint pass
+//!
+//! Every number this reproduction emits rests on one invariant: **same
+//! seed ⇒ bit-identical slices, CSVs, and recovery images**. The paper's
+//! global coscheduling (and our faultsim replay on top of it) is only
+//! meaningful because the simulator is a pure function of its seed.
+//! `verify.sh` guards that invariant *dynamically* (1-vs-4-thread CSV
+//! diffs); detlint guards it *statically*, at build time, by refusing the
+//! constructs that historically break bit-identical replay: host clocks,
+//! seeded-hash iteration order, real threads, environment reads, and
+//! unchecked `unsafe`/host-float drift.
+//!
+//! The pass is a std-only lexical linter (no rustc internals, no external
+//! deps — the same offline constraint the rest of the workspace obeys).
+//! It walks every workspace member named by the root `Cargo.toml`,
+//! applies rules D01–D07 (see [`rules`]), honors inline waivers
+//! `// detlint: allow(D0x) — reason` (see [`waiver`]), and emits
+//! rustc-style diagnostics plus a machine-readable `reports/detlint.json`
+//! (see [`report`]). Any unwaived finding — or any reason-less or stale
+//! waiver — is a hard error.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+
+use rules::{check_file, check_forbid_unsafe, crate_of, map_decls};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file presented to the scanner: a workspace-relative path
+/// (`/`-separated — it determines rule scopes) plus its contents.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub rel: String,
+    pub contents: String,
+}
+
+/// A finding with file attribution and waiver resolution.
+#[derive(Clone, Debug)]
+pub struct ReportedFinding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub waived: bool,
+    pub waiver_reason: Option<String>,
+}
+
+/// A waiver-machinery error (`W01` malformed/reason-less, `W02` stale).
+#[derive(Clone, Debug)]
+pub struct ReportedWaiverError {
+    pub kind: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Outcome of a scan over a set of sources.
+#[derive(Clone, Debug, Default)]
+pub struct Scan {
+    pub findings: Vec<ReportedFinding>,
+    pub waiver_errors: Vec<ReportedWaiverError>,
+    pub files_scanned: usize,
+}
+
+impl Scan {
+    /// Findings not excused by a waiver.
+    pub fn unwaived(&self) -> usize {
+        self.findings.iter().filter(|f| !f.waived).count()
+    }
+
+    /// Findings excused by a waiver.
+    pub fn waived(&self) -> usize {
+        self.findings.len() - self.unwaived()
+    }
+
+    /// A clean scan has zero unwaived findings *and* zero waiver errors —
+    /// waived findings are fine (that is what waivers are for).
+    pub fn clean(&self) -> bool {
+        self.unwaived() == 0 && self.waiver_errors.is_empty()
+    }
+}
+
+/// Scan an explicit set of sources (the fixture tests' entry point; the
+/// workspace walk funnels here too).
+///
+/// Crate-wide state: map-typed *field* names for D02 are unioned across
+/// each crate's files (a `self.reqs` use in one file may be declared in
+/// another), and D07 is checked for any crate whose root (`src/lib.rs` /
+/// `src/main.rs`) is present in the set.
+pub fn scan_sources(files: &[SourceFile]) -> Scan {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(&f.contents)).collect();
+
+    // Crate-wide D02 field sets.
+    let mut crate_fields: BTreeMap<&str, std::collections::BTreeSet<String>> = BTreeMap::new();
+    let mut file_locals = Vec::with_capacity(files.len());
+    for (f, l) in files.iter().zip(&lexed) {
+        let decls = map_decls(l);
+        crate_fields
+            .entry(crate_of(&f.rel))
+            .or_default()
+            .extend(decls.fields);
+        file_locals.push(decls.locals);
+    }
+
+    let empty = std::collections::BTreeSet::new();
+    let mut scan = Scan {
+        files_scanned: files.len(),
+        ..Scan::default()
+    };
+
+    for ((f, l), locals) in files.iter().zip(&lexed).zip(&file_locals) {
+        let fields = crate_fields.get(crate_of(&f.rel)).unwrap_or(&empty);
+        let mut findings = check_file(&f.rel, l, fields, locals);
+
+        // D07 on crate roots present in the set.
+        if is_crate_root(&f.rel) {
+            if let Some(d07) = check_forbid_unsafe(crate_of(&f.rel), l) {
+                findings.push(d07);
+            }
+        }
+
+        let (mut waivers, werrs) = waiver::collect(l);
+        for e in werrs {
+            scan.waiver_errors.push(ReportedWaiverError {
+                kind: e.kind.to_string(),
+                file: f.rel.clone(),
+                line: e.line,
+                col: e.col,
+                message: e.message,
+            });
+        }
+        for fd in findings {
+            let mut waived = false;
+            let mut reason = None;
+            for w in waivers.iter_mut() {
+                if w.target_line == fd.line && w.rules.iter().any(|r| r == fd.rule) {
+                    waived = true;
+                    reason = Some(w.reason.clone());
+                    if !w.matched_rules.iter().any(|r| r == fd.rule) {
+                        w.matched_rules.push(fd.rule.to_string());
+                    }
+                    break;
+                }
+            }
+            scan.findings.push(ReportedFinding {
+                rule: fd.rule.to_string(),
+                file: f.rel.clone(),
+                line: fd.line,
+                col: fd.col,
+                message: fd.message,
+                waived,
+                waiver_reason: reason,
+            });
+        }
+        // Stale detection: every rule a waiver names must have matched.
+        for w in &waivers {
+            for r in &w.rules {
+                if !w.matched_rules.contains(r) {
+                    scan.waiver_errors.push(ReportedWaiverError {
+                        kind: "W02".to_string(),
+                        file: f.rel.clone(),
+                        line: w.line,
+                        col: w.col,
+                        message: format!(
+                            "stale waiver: `{r}` matches no finding on line {} — delete the \
+                             waiver or the rule id",
+                            w.target_line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    scan.findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    scan.waiver_errors
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    scan
+}
+
+/// Is `rel` the crate-root file of its crate (`src/lib.rs`, or
+/// `src/main.rs` for bin-only crates)?
+fn is_crate_root(rel: &str) -> bool {
+    let tail = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split_once('/'))
+        .map(|(_, t)| t)
+        .unwrap_or(rel);
+    tail == "src/lib.rs" || tail == "src/main.rs"
+}
+
+/// Walk the workspace at `root` (the directory holding the root
+/// `Cargo.toml`) and scan every member crate plus the root package.
+pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
+    let files = collect_workspace_files(root)?;
+    Ok(scan_sources(&files))
+}
+
+/// Read every member's `.rs` sources: `src/`, `tests/`, `examples/`,
+/// `benches/` per member, skipping `fixtures` directories (detlint's own
+/// known-bad corpus) and anything under `target`.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for member in workspace_member_dirs(root)? {
+        for sub in ["src", "tests", "examples", "benches"] {
+            let dir = member.join(sub);
+            if dir.is_dir() {
+                collect_rs_files(root, &dir, &mut out)?;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Member directories named by the root `Cargo.toml` (`members = […]`,
+/// globs expanded), plus the root itself when the root manifest also
+/// declares a `[package]`.
+fn workspace_member_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs = Vec::new();
+    if manifest.lines().any(|l| l.trim() == "[package]") {
+        dirs.push(root.to_path_buf());
+    }
+    for pat in parse_members(&manifest) {
+        if let Some(prefix) = pat.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&base)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            subdirs.sort();
+            dirs.extend(subdirs);
+        } else {
+            let p = root.join(&pat);
+            if p.join("Cargo.toml").is_file() {
+                dirs.push(p);
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+/// Pull the quoted entries out of the (possibly multi-line) `members = […]`
+/// list. A line-oriented scan is enough for this workspace's manifest —
+/// no string in it contains `[` or `]`.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_list = false;
+    for line in manifest.lines() {
+        let l = line.trim();
+        if !in_list {
+            if let Some(rest) = l.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    if let Some(idx) = rest.find('[') {
+                        in_list = true;
+                        members.extend(quoted_strings(&rest[idx + 1..]));
+                        if rest[idx + 1..].contains(']') {
+                            in_list = false;
+                        }
+                    }
+                }
+            }
+        } else {
+            members.extend(quoted_strings(l));
+            if l.contains(']') {
+                in_list = false;
+            }
+        }
+    }
+    members
+}
+
+fn quoted_strings(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + len + 2..];
+    }
+    out
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "fixtures" | "target") || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                rel,
+                contents: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(rel: &str, contents: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            contents: contents.to_string(),
+        }
+    }
+
+    #[test]
+    fn cross_file_field_sets_within_a_crate() {
+        // Field declared in engine.rs, iterated in checkpoint.rs — same
+        // crate, so the iteration is caught.
+        let scan = scan_sources(&[
+            src("crates/core/src/engine.rs", "struct E { reqs: HashMap<u64, u64> }"),
+            src("crates/core/src/checkpoint.rs", "fn f(e: &E) { for k in e.reqs.keys() {} }"),
+        ]);
+        assert_eq!(scan.findings.len(), 1);
+        assert_eq!(scan.findings[0].file, "crates/core/src/checkpoint.rs");
+        // Different crate: same shape is not caught (no decl in scope).
+        let scan2 = scan_sources(&[src(
+            "crates/qsnet/src/fabric.rs",
+            "fn f(e: &E) { for k in e.reqs.keys() {} }",
+        )]);
+        assert_eq!(scan2.findings.len(), 0);
+    }
+
+    #[test]
+    fn waived_findings_keep_scan_clean() {
+        let scan = scan_sources(&[src(
+            "crates/core/src/p2p.rs",
+            "// detlint: allow(D01) — fixture: justification text\nlet t = Instant::now();\n",
+        )]);
+        assert_eq!(scan.findings.len(), 1);
+        assert!(scan.findings[0].waived);
+        assert_eq!(
+            scan.findings[0].waiver_reason.as_deref(),
+            Some("fixture: justification text")
+        );
+        assert!(scan.clean());
+    }
+
+    #[test]
+    fn stale_waiver_dirties_scan() {
+        let scan = scan_sources(&[src(
+            "crates/core/src/p2p.rs",
+            "// detlint: allow(D01) — nothing here anymore\nlet t = 1;\n",
+        )]);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.waiver_errors.len(), 1);
+        assert_eq!(scan.waiver_errors[0].kind, "W02");
+        assert!(!scan.clean());
+    }
+
+    #[test]
+    fn d07_checked_only_when_crate_root_is_present() {
+        let missing = scan_sources(&[src("crates/qsnet/src/lib.rs", "pub mod fabric;")]);
+        assert_eq!(missing.findings.len(), 1);
+        assert_eq!(missing.findings[0].rule, "D07");
+        let not_root = scan_sources(&[src("crates/qsnet/src/fabric.rs", "pub fn f() {}")]);
+        assert!(not_root.findings.is_empty());
+        let root_pkg = scan_sources(&[src("src/lib.rs", "pub mod x;")]);
+        assert_eq!(root_pkg.findings.len(), 1, "root package is D07-checked too");
+    }
+
+    #[test]
+    fn member_parsing_handles_globs_and_multiline() {
+        let m = parse_members("members = [\"crates/*\"]\n");
+        assert_eq!(m, vec!["crates/*"]);
+        let m2 = parse_members("members = [\n  \"a\",\n  \"b/c\",\n]\n");
+        assert_eq!(m2, vec!["a", "b/c"]);
+    }
+}

@@ -1,0 +1,118 @@
+#![forbid(unsafe_code)]
+//! The `detlint` driver binary.
+//!
+//! ```text
+//! cargo run --release -p detlint                  # lint the workspace
+//! cargo run --release -p detlint -- --root <dir>  # lint another tree
+//! cargo run --release -p detlint -- --check-json reports/detlint.json
+//! ```
+//!
+//! Exit codes: 0 = clean (waived findings are fine), 1 = unwaived
+//! findings or waiver errors, 2 = usage / I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut check_json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json-out" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json-out needs a path"),
+            },
+            "--check-json" => match args.next() {
+                Some(v) => check_json = Some(PathBuf::from(v)),
+                None => return usage("--check-json needs a path"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism & safety lints for the BCS-MPI workspace\n\n\
+                     USAGE: detlint [--root <dir>] [--json-out <path>] [--quiet]\n\
+                     \x20      detlint --check-json <path>\n\n\
+                     Rules D01–D07 (see DESIGN.md §10); waive inline with\n\
+                     `// detlint: allow(D0x) — <reason>`. Exit 0 only when every\n\
+                     finding is waived and no waiver is reason-less or stale."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Validation-only mode: assert an existing report is well-formed.
+    if let Some(path) = check_json {
+        return match std::fs::read_to_string(&path) {
+            Ok(contents) => match detlint::report::validate_json(&contents) {
+                Ok(()) => {
+                    if !quiet {
+                        println!("detlint: {} is well-formed", path.display());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("detlint: {}: malformed report: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("detlint: cannot read {}: {e}", path.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // detlint: allow(D01) — lint-driver self-timing only: the elapsed time is
+    // recorded in reports/detlint.json (and deliberately kept out of
+    // bench_wallclock.json); no simulation result can observe it.
+    let t0 = std::time::Instant::now();
+    let scan = match detlint::scan_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("detlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let json_path = json_out.unwrap_or_else(|| root.join("reports").join("detlint.json"));
+    let json = detlint::report::to_json(&scan, &root.display().to_string(), elapsed);
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("detlint: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("detlint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    let diagnostics = detlint::report::render_diagnostics(&scan);
+    if !diagnostics.is_empty() {
+        eprint!("{diagnostics}");
+    }
+    if !quiet {
+        println!("{}", detlint::report::summary_line(&scan, elapsed));
+    }
+    if scan.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg} (try --help)");
+    ExitCode::from(2)
+}

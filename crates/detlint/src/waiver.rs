@@ -1,0 +1,198 @@
+//! Inline waivers: `// detlint: allow(D0x[, D0y…]) — <reason>`.
+//!
+//! A waiver must carry a non-empty reason after the rule list (separated
+//! by an em dash, a hyphen, or a colon); a reason-less or otherwise
+//! malformed waiver is itself an error (`W01`), and a waiver that no
+//! longer matches any finding is a *stale-waiver* error (`W02`) — so
+//! suppressions cannot rot in place after the code they excused changes.
+//!
+//! Placement: a trailing waiver (sharing a line with code) covers
+//! findings on its own line; an own-line waiver covers findings on the
+//! next line that carries code. A waiver listing several rules is stale
+//! unless *every* listed rule matches at least one finding on the target
+//! line.
+
+use crate::lexer::{Comment, Lexed};
+use crate::rules::RULE_IDS;
+
+/// One parsed (or malformed) waiver comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Rule ids this waiver suppresses (empty iff malformed).
+    pub rules: Vec<String>,
+    /// The mandatory justification text.
+    pub reason: String,
+    /// Line/col of the comment itself.
+    pub line: u32,
+    pub col: u32,
+    /// The source line whose findings this waiver covers.
+    pub target_line: u32,
+    /// Set while matching findings; a waiver with an unmatched rule id is
+    /// stale.
+    pub matched_rules: Vec<String>,
+}
+
+/// A defect in the waiver machinery itself (always an error: waivers
+/// guard the determinism contract, so they are held to the same bar).
+#[derive(Clone, Debug)]
+pub struct WaiverError {
+    /// `W01` (malformed / reason-less / unknown rule) or `W02` (stale).
+    pub kind: &'static str,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Extract waivers (and malformed-waiver errors) from a lexed file.
+pub fn collect(lexed: &Lexed) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for c in &lexed.comments {
+        let Some(body) = waiver_body(&c.text) else {
+            continue;
+        };
+        match parse_body(body) {
+            Ok((rules, reason)) => {
+                let mut unknown: Vec<&String> =
+                    rules.iter().filter(|r| !RULE_IDS.contains(&r.as_str())).collect();
+                if let Some(u) = unknown.pop() {
+                    errors.push(WaiverError {
+                        kind: "W01",
+                        line: c.line,
+                        col: c.col,
+                        message: format!("waiver names unknown rule `{u}`"),
+                    });
+                    continue;
+                }
+                waivers.push(Waiver {
+                    rules,
+                    reason,
+                    line: c.line,
+                    col: c.col,
+                    target_line: target_line(c, lexed),
+                    matched_rules: Vec::new(),
+                });
+            }
+            Err(msg) => errors.push(WaiverError {
+                kind: "W01",
+                line: c.line,
+                col: c.col,
+                message: msg,
+            }),
+        }
+    }
+    (waivers, errors)
+}
+
+/// If `text` is a waiver comment, return the part after `detlint:`.
+fn waiver_body(text: &str) -> Option<&str> {
+    let t = text.trim_start_matches(['/', '!', '*']).trim_start();
+    t.strip_prefix("detlint:").map(str::trim_start)
+}
+
+/// Parse `allow(D01, D02) — reason` into rule ids and reason.
+fn parse_body(body: &str) -> Result<(Vec<String>, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| "waiver must be `detlint: allow(<rules>) — <reason>`".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "waiver is missing `(` after `allow`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "waiver is missing `)` after the rule list".to_string())?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("waiver lists no rules".to_string());
+    }
+    let mut tail = rest[close + 1..].trim_start();
+    // Separator before the reason: em dash, en dash, hyphen(s), or colon.
+    let mut had_sep = false;
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(t) = tail.strip_prefix(sep) {
+            tail = t;
+            had_sep = true;
+            break;
+        }
+    }
+    let reason = tail.trim();
+    if !had_sep || reason.is_empty() {
+        return Err(
+            "waiver is missing its reason: write `detlint: allow(D0x) — <why this is sound>`"
+                .to_string(),
+        );
+    }
+    Ok((rules, reason.to_string()))
+}
+
+/// The line a waiver covers: its own line for trailing waivers, else the
+/// next line below it that carries at least one code token.
+fn target_line(c: &Comment, lexed: &Lexed) -> u32 {
+    if !c.own_line {
+        return c.line;
+    }
+    lexed
+        .toks
+        .iter()
+        .map(|t| t.line)
+        .filter(|&l| l > c.line)
+        .min()
+        .unwrap_or(c.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_own_line_targets() {
+        let src = "let a = 1; // detlint: allow(D01) — trailing reason\n\
+                   // detlint: allow(D02) — own-line reason\n\
+                   let b = 2;\n";
+        let l = lex(src);
+        let (ws, errs) = collect(&l);
+        assert!(errs.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, 1);
+        assert_eq!(ws[1].target_line, 3);
+        assert_eq!(ws[0].reason, "trailing reason");
+    }
+
+    #[test]
+    fn reasonless_waiver_is_w01() {
+        let (ws, errs) = collect(&lex("// detlint: allow(D01)\nlet a = 1;\n"));
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].kind, "W01");
+    }
+
+    #[test]
+    fn unknown_rule_is_w01() {
+        let (ws, errs) = collect(&lex("// detlint: allow(D99) — because\n"));
+        assert!(ws.is_empty());
+        assert_eq!(errs[0].kind, "W01");
+        assert!(errs[0].message.contains("D99"));
+    }
+
+    #[test]
+    fn multi_rule_and_separator_variants() {
+        for sep in ["—", "-", "--", ":"] {
+            let src = format!("// detlint: allow(D01, D06) {sep} both fire here\nlet x = 1;\n");
+            let (ws, errs) = collect(&lex(&src));
+            assert!(errs.is_empty(), "sep {sep:?}: {errs:?}");
+            assert_eq!(ws[0].rules, vec!["D01", "D06"]);
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_waivers() {
+        let (ws, errs) = collect(&lex("// plain comment mentioning allow(D01)\n"));
+        assert!(ws.is_empty() && errs.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end driver tests: seed a forbidden construct into a throwaway
+//! tree and assert the binary exits non-zero, writes a well-formed
+//! `reports/detlint.json`, and that `--check-json` validates it; a clean
+//! (or correctly waived) tree exits zero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn detlint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_detlint")
+}
+
+/// Materialize a single-package tree under the cargo tmpdir: a root
+/// `Cargo.toml` with `[package]` plus the given `src/lib.rs`.
+fn mk_tree(name: &str, lib_rs: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("src")).unwrap();
+    std::fs::write(
+        root.join("Cargo.toml"),
+        "[package]\nname = \"detlint-cli-fixture\"\n",
+    )
+    .unwrap();
+    std::fs::write(root.join("src/lib.rs"), lib_rs).unwrap();
+    root
+}
+
+fn run(root: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(detlint_bin())
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn detlint")
+}
+
+#[test]
+fn seeded_construct_fails_and_report_is_well_formed() {
+    let root = mk_tree(
+        "cli-seeded",
+        "#![forbid(unsafe_code)]\npub fn f() -> u128 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_nanos()\n}\n",
+    );
+    let out = run(&root, &["--quiet"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let diag = String::from_utf8_lossy(&out.stderr);
+    assert!(diag.contains("error[D01]"), "diagnostics missing: {diag}");
+    assert!(diag.contains("src/lib.rs:3:"), "position missing: {diag}");
+
+    // The JSON report exists, is non-empty, self-validates, and records
+    // the unwaived finding.
+    let json_path = root.join("reports").join("detlint.json");
+    let json = std::fs::read_to_string(&json_path).expect("report written");
+    assert!(json.contains("\"unwaived\": 1"), "{json}");
+    detlint::report::validate_json(&json).expect("report must be well-formed");
+    let check = run(&root, &["--check-json", json_path.to_str().unwrap(), "--quiet"]);
+    assert_eq!(check.status.code(), Some(0));
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = mk_tree(
+        "cli-clean",
+        "#![forbid(unsafe_code)]\npub fn f() -> u64 {\n    42\n}\n",
+    );
+    let out = run(&root, &["--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn waived_construct_exits_zero_but_reasonless_waiver_fails() {
+    let waived = mk_tree(
+        "cli-waived",
+        "#![forbid(unsafe_code)]\npub fn f() {\n    // detlint: allow(D01) — cli fixture: justified.\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    let out = run(&waived, &["--quiet"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let reasonless = mk_tree(
+        "cli-reasonless",
+        "#![forbid(unsafe_code)]\npub fn f() {\n    // detlint: allow(D01)\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    let out = run(&reasonless, &["--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[W01]"));
+}
+
+#[test]
+fn check_json_rejects_malformed_reports() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli-badjson");
+    std::fs::create_dir_all(&root).unwrap();
+    let bad = root.join("bad.json");
+    std::fs::write(&bad, "{ \"version\": 1, ").unwrap();
+    let out = Command::new(detlint_bin())
+        .args(["--check-json", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed"));
+}

@@ -1,0 +1,33 @@
+//@ path: crates/quadrics-mpi/src/fix.rs
+// Known-bad: iteration over seeded-hash containers in a sim crate, in all
+// the shapes D02 recognizes (for-loop, .keys(), .values(), .retain()),
+// plus deliberately-clean lines (BTreeMap, Vec, insert-only use) that must
+// NOT fire.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub struct Engine {
+    pub reqs: HashMap<u64, u64>,
+    pub ordered: BTreeMap<u64, u64>,
+}
+
+pub fn bad(e: &mut Engine) -> u64 {
+    let mut sum = 0;
+    for k in e.reqs.keys() { //~ D02
+        sum += *k;
+    }
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    for v in &seen { //~ D02
+        sum += *v;
+    }
+    sum += e.reqs.values().sum::<u64>(); //~ D02
+    e.reqs.retain(|_, v| *v > 0); //~ D02
+    for (_, v) in &e.ordered {
+        sum += *v; // BTreeMap: deterministic order, no finding
+    }
+    let list = vec![1u64, 2];
+    for v in list.iter() {
+        sum += *v; // Vec: no finding
+    }
+    sum
+}

@@ -1,0 +1,7 @@
+//@ path: crates/storm/src/threads.rs
+// Known-bad: real threads outside bench::sweep.
+pub fn bad() {
+    let h = std::thread::spawn(|| 1 + 1); //~ D03
+    let _ = h.join();
+    std::thread::scope(|_s| {}); //~ D03
+}

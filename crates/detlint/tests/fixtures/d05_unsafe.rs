@@ -1,0 +1,20 @@
+//@ path: crates/simcore/src/fix.rs
+// Known-bad: unsafe sites with no safety comment; plus a documented block
+// and a function-pointer type that must NOT fire. (This header must not
+// spell the magic marker itself — it would cover the site below.)
+pub fn bad(p: *mut u8) {
+    unsafe { p.write(0) } //~ D05
+}
+
+unsafe fn bad_fn(p: *mut u8) { //~ D05
+    unsafe { p.write(1) } //~ D05
+}
+
+pub struct Cell {
+    pub call: unsafe fn(*mut u8), // fn-pointer type: no body, no finding
+}
+
+pub fn good(p: *mut u8) {
+    // SAFETY: fixture — `p` is valid and exclusively owned here.
+    unsafe { p.write(2) }
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/fix.rs
+// Known-bad: host-float literals and f64 in a crates/core protocol path;
+// integer look-alikes (hex-with-e, ranges, suffixed ints) must NOT fire.
+pub fn bad(bytes: u64) -> u64 {
+    let scale = 0.75; //~ D06
+    let ns = bytes as f64 * scale; //~ D06
+    let cap = 2e9; //~ D06
+    let hex = 0x1e5; // hex integer with an `e` digit: no finding
+    let mut acc = 0u64; // suffixed integer: no finding
+    for i in 0..5 {
+        acc += i; // integer range: no finding
+    }
+    acc + hex + (ns as u64) + (cap as u64)
+}

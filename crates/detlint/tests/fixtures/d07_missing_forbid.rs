@@ -1,0 +1,4 @@
+//@ path: crates/qsnet/src/lib.rs //~ D07
+// Known-bad: a crate root (src/lib.rs) without `#![forbid(unsafe_code)]`.
+// D07 findings anchor at line 1, hence the marker on the header line.
+pub mod fabric_fixture {}

@@ -1,0 +1,8 @@
+//@ path: crates/qsnet/src/wv_good.rs
+// A justified waiver: the finding is recorded but waived, and the scan
+// stays clean.
+pub fn timed() {
+    // detlint: allow(D01) — fixture: demonstrates a justified waiver.
+    let t = std::time::Instant::now(); //~ D01(waived)
+    let _ = t;
+}

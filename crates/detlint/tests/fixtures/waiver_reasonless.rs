@@ -1,0 +1,8 @@
+//@ path: crates/qsnet/src/wv_reasonless.rs
+// A reason-less waiver is itself an error (W01) and suppresses nothing:
+// the D01 below stays unwaived.
+pub fn timed() {
+    // detlint: allow(D01) //~ W01
+    let t = std::time::Instant::now(); //~ D01
+    let _ = t;
+}

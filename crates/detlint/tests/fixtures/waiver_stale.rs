@@ -1,0 +1,8 @@
+//@ path: crates/qsnet/src/wv_stale.rs
+// A waiver whose rule matches nothing on its target line is stale (W02):
+// suppressions must not rot in place after the code they excused changes.
+pub fn quiet() {
+    // detlint: allow(D03) — fixture: stale on purpose. //~ W02
+    let x = 1 + 1;
+    let _ = x;
+}

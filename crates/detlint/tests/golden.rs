@@ -1,0 +1,126 @@
+//! Golden fixture corpus.
+//!
+//! Every `tests/fixtures/*.rs` file is a known-bad (or deliberately
+//! clean) snippet. Line 1 declares the simulated workspace path the
+//! scanner should see (`//@ path: crates/...`) — rule scopes are
+//! path-driven, and the fixture's real location is not the path under
+//! test. Every expected diagnostic is marked inline on its line:
+//!
+//! ```text
+//! //~ D01              unwaived finding
+//! //~ D01(waived)      finding present but excused by a waiver
+//! //~ W01  //~ W02     waiver-machinery errors
+//! ```
+//!
+//! The test asserts the scan result equals the marker set *exactly* —
+//! extra findings are as much a failure as missing ones, so the clean
+//! lines in each fixture pin the rules' precision, not just their recall.
+
+use detlint::{Scan, SourceFile, scan_sources};
+use std::path::Path;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Expect {
+    line: u32,
+    code: String,
+    waived: bool,
+}
+
+/// Parse the `//@ path:` header and all `//~` markers of one fixture.
+fn parse_fixture(name: &str, text: &str) -> (String, Vec<Expect>) {
+    let first = text.lines().next().unwrap_or_default();
+    let path = first
+        .strip_prefix("//@ path:")
+        .unwrap_or_else(|| panic!("{name}: line 1 must be `//@ path: <rel>`"))
+        .split("//~")
+        .next()
+        .unwrap()
+        .trim()
+        .to_string();
+    let mut expected = Vec::new();
+    for (i, l) in text.lines().enumerate() {
+        let Some(markers) = l.split("//~").nth(1) else {
+            continue;
+        };
+        for word in markers.split("//~").flat_map(str::split_whitespace) {
+            let (code, waived) = match word.strip_suffix("(waived)") {
+                Some(c) => (c, true),
+                None => (word, false),
+            };
+            assert!(
+                code.len() == 3 && (code.starts_with('D') || code.starts_with('W')),
+                "{name}:{}: bad marker `{word}`",
+                i + 1
+            );
+            expected.push(Expect {
+                line: (i + 1) as u32,
+                code: code.to_string(),
+                waived,
+            });
+        }
+    }
+    expected.sort();
+    (path, expected)
+}
+
+/// Flatten a scan into comparable (line, code, waived) rows.
+fn actual(scan: &Scan) -> Vec<Expect> {
+    let mut out: Vec<Expect> = scan
+        .findings
+        .iter()
+        .map(|f| Expect {
+            line: f.line,
+            code: f.rule.clone(),
+            waived: f.waived,
+        })
+        .collect();
+    out.extend(scan.waiver_errors.iter().map(|e| Expect {
+        line: e.line,
+        code: e.kind.clone(),
+        waived: false,
+    }));
+    out.sort();
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_markers() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut fixtures: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/fixtures must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 10,
+        "fixture corpus went missing: {fixtures:?}"
+    );
+
+    let mut rules_covered = std::collections::BTreeSet::new();
+    for p in &fixtures {
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(p).unwrap();
+        let (rel, expected) = parse_fixture(&name, &text);
+        let scan = scan_sources(&[SourceFile {
+            rel,
+            contents: text.clone(),
+        }]);
+        let got = actual(&scan);
+        assert_eq!(
+            got, expected,
+            "fixture {name}: scan results and //~ markers disagree"
+        );
+        for e in expected {
+            rules_covered.insert(e.code);
+        }
+    }
+    // The corpus must exercise every rule plus both waiver-error kinds.
+    for code in ["D01", "D02", "D03", "D04", "D05", "D06", "D07", "W01", "W02"] {
+        assert!(
+            rules_covered.contains(code),
+            "no fixture covers {code} (have {rules_covered:?})"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Property test: the lexer's line/col tracking survives arbitrary
+//! interleavings of comments, strings, raw strings, char literals and
+//! lifetimes. A sentinel identifier is appended after a randomly
+//! assembled prefix; the lexer must report the sentinel at exactly the
+//! position computed by counting characters in the raw text, and nothing
+//! from inside comments or string literals may leak out as a token.
+
+use detlint::lexer::{TokKind, lex};
+use proplite::prelude::*;
+
+/// Building blocks. None ends in an identifier character (so the sentinel
+/// never merges with a segment), every bracket/quote/comment is closed,
+/// and `Instant` appears ONLY inside comments and string literals — if the
+/// lexer ever leaks it as an identifier, the property fails.
+const SEGMENTS: &[&str] = &[
+    "let a = 1;",
+    "\n",
+    "   ",
+    "// line comment with code-looking text: Instant::now() }{\n",
+    "/* block comment\n   spanning lines */",
+    "/* nested /* Instant */ comment */",
+    "// naïve – non-ASCII – comment\n",
+    "let s = \"string with // Instant and \\\" escape\";",
+    "let r = r#\"raw \" string with \\ backslash and Instant\"#;",
+    "let big = r##\"doubly-raw with \"# inside\"##;",
+    "let c = '\\n';",
+    "fn life<'a>(x: &'a u32) -> &'a u32 { x }",
+];
+
+const SENTINEL: &str = "zq_sentinel_zq";
+
+/// Expected 1-based (line, col) of a token starting right after `prefix`,
+/// counting columns in characters (the lexer's convention).
+fn expected_pos(prefix: &str) -> (u32, u32) {
+    let line = 1 + prefix.matches('\n').count() as u32;
+    let col = match prefix.rfind('\n') {
+        Some(i) => prefix[i + 1..].chars().count() as u32 + 1,
+        None => prefix.chars().count() as u32 + 1,
+    };
+    (line, col)
+}
+
+fn check(picks: &[usize], pad: usize) -> TestResult {
+    let mut prefix = String::new();
+    for &p in picks {
+        prefix.push_str(SEGMENTS[p % SEGMENTS.len()]);
+    }
+    for _ in 0..pad {
+        prefix.push(' ');
+    }
+    let (line, col) = expected_pos(&prefix);
+    let src = format!("{prefix}{SENTINEL} ;");
+    let lexed = lex(&src);
+
+    let tok = lexed
+        .toks
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text == SENTINEL);
+    prop_assert!(tok.is_some(), "sentinel vanished from {src:?}");
+    let tok = tok.unwrap();
+    prop_assert_eq!(
+        (tok.line, tok.col),
+        (line, col),
+        "sentinel position drifted in {src:?}"
+    );
+
+    // Comment/string interiors must never surface as identifiers.
+    prop_assert!(
+        !lexed.toks.iter().any(|t| t.is_ident("Instant")),
+        "comment/string interior leaked a token in {src:?}"
+    );
+    Ok(())
+}
+
+proplite! {
+    #![config(cases = 256)]
+
+    #[test]
+    fn line_col_tracking_survives_interleavings(
+        picks in prop::collection::vec(0usize..12, 0..12),
+        pad in 0usize..8
+    ) {
+        check(&picks, pad)?;
+    }
+}

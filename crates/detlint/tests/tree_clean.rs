@@ -1,0 +1,30 @@
+//! The acceptance gate as a tier-1 test: the real workspace must scan
+//! clean — zero unwaived findings and zero waiver errors — and every
+//! waived finding must carry a written reason. This is what keeps the
+//! tree clean *between* `verify.sh` runs: plain `cargo test` fails the
+//! moment someone seeds a forbidden construct or lets a waiver go stale.
+
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let scan = detlint::scan_workspace(&root).expect("workspace walk failed");
+    assert!(
+        scan.files_scanned > 50,
+        "walker found suspiciously few files: {}",
+        scan.files_scanned
+    );
+    assert!(
+        scan.clean(),
+        "detlint must be clean on the committed tree:\n{}",
+        detlint::report::render_diagnostics(&scan)
+    );
+    for f in scan.findings.iter().filter(|f| f.waived) {
+        let reason = f.waiver_reason.as_deref().unwrap_or("");
+        assert!(
+            !reason.trim().is_empty(),
+            "waived finding with an empty reason: {f:?}"
+        );
+    }
+}

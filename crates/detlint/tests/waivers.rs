@@ -1,0 +1,110 @@
+//! Waiver-machinery contract tests: a waiver without a reason is rejected
+//! (W01) and suppresses nothing; a stale waiver — left behind after the
+//! code it excused changed — fails the run (W02); a justified waiver
+//! excuses its finding and keeps the scan clean.
+
+use detlint::{SourceFile, scan_sources};
+
+fn scan_one(rel: &str, contents: &str) -> detlint::Scan {
+    scan_sources(&[SourceFile {
+        rel: rel.to_string(),
+        contents: contents.to_string(),
+    }])
+}
+
+#[test]
+fn reasonless_waiver_is_rejected_and_suppresses_nothing() {
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "// detlint: allow(D01)\nlet t = Instant::now();\n",
+    );
+    assert_eq!(scan.waiver_errors.len(), 1);
+    assert_eq!(scan.waiver_errors[0].kind, "W01");
+    assert!(scan.waiver_errors[0].message.contains("reason"));
+    // The D01 finding is NOT excused by the malformed waiver.
+    assert_eq!(scan.findings.len(), 1);
+    assert!(!scan.findings[0].waived);
+    assert!(!scan.clean());
+}
+
+#[test]
+fn separator_without_reason_text_is_rejected() {
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "// detlint: allow(D01) —\nlet t = Instant::now();\n",
+    );
+    assert_eq!(scan.waiver_errors.len(), 1, "{:?}", scan.waiver_errors);
+    assert_eq!(scan.waiver_errors[0].kind, "W01");
+    assert!(!scan.clean());
+}
+
+#[test]
+fn unknown_rule_in_waiver_is_rejected() {
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "// detlint: allow(D99) — no such rule\nlet x = 1;\n",
+    );
+    assert_eq!(scan.waiver_errors.len(), 1);
+    assert_eq!(scan.waiver_errors[0].kind, "W01");
+    assert!(scan.waiver_errors[0].message.contains("D99"));
+}
+
+#[test]
+fn stale_waiver_fails_the_run() {
+    // The Instant this waiver once excused is gone; the waiver must rot
+    // loudly, not silently.
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "// detlint: allow(D01) — excused a clock that no longer exists\nlet t = 1;\n",
+    );
+    assert!(scan.findings.is_empty());
+    assert_eq!(scan.waiver_errors.len(), 1);
+    assert_eq!(scan.waiver_errors[0].kind, "W02");
+    assert!(scan.waiver_errors[0].message.contains("stale"));
+    assert!(!scan.clean());
+}
+
+#[test]
+fn multi_rule_waiver_is_stale_when_any_listed_rule_is_unmatched() {
+    // D01 matches (and is waived); D03 matches nothing → W02 for D03 only.
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "// detlint: allow(D01, D03) — D03 part is stale\nlet t = Instant::now();\n",
+    );
+    assert_eq!(scan.findings.len(), 1);
+    assert!(scan.findings[0].waived);
+    assert_eq!(scan.waiver_errors.len(), 1);
+    assert_eq!(scan.waiver_errors[0].kind, "W02");
+    assert!(scan.waiver_errors[0].message.contains("D03"));
+    assert!(!scan.clean());
+}
+
+#[test]
+fn justified_waivers_keep_the_scan_clean() {
+    for sep in ["—", "-", "--", ":"] {
+        let src = format!(
+            "// detlint: allow(D01) {sep} fixture justification text\nlet t = Instant::now();\n"
+        );
+        let scan = scan_one("crates/core/src/fix.rs", &src);
+        assert_eq!(scan.findings.len(), 1, "sep {sep:?}");
+        assert!(scan.findings[0].waived, "sep {sep:?}");
+        assert_eq!(
+            scan.findings[0].waiver_reason.as_deref(),
+            Some("fixture justification text"),
+            "sep {sep:?}"
+        );
+        assert!(scan.clean(), "sep {sep:?}");
+    }
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line_only() {
+    let scan = scan_one(
+        "crates/core/src/fix.rs",
+        "let a = Instant::now(); // detlint: allow(D01) — this line only\nlet b = Instant::now();\n",
+    );
+    assert_eq!(scan.findings.len(), 2);
+    assert_eq!(scan.unwaived(), 1, "{:?}", scan.findings);
+    assert!(scan.findings[0].waived);
+    assert!(!scan.findings[1].waived);
+}

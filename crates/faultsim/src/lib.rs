@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # faultsim — deterministic fault injection & slice-boundary recovery
 //!
 //! The BCS-MPI paper argues (§6) that global coscheduling buys more than

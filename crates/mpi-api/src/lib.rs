@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mpi-api — the MPI-facing surface shared by both engines
 //!
 //! BCS-MPI (the paper's contribution, crate `bcs-mpi`) and the

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # proplite — self-contained property testing
 //!
 //! A minimal, dependency-free property-testing harness with a surface

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qsnet — simulated Quadrics-class cluster fabric
 //!
 //! The BCS-MPI paper runs on a 32-node cluster connected by a Quadrics QsNet

@@ -87,15 +87,21 @@ impl CollManager {
     }
 
     pub fn describe(&self) -> String {
-        let mut out = String::new();
-        for ((comm, kind, id), round) in &self.rounds {
-            out.push_str(&format!(
-                "  collective {comm:?} {kind:?}#{id}: {} arrived, {} waiting\n",
-                round.arrived,
-                round.waiters.len()
-            ));
-        }
-        out
+        let mut lines: Vec<String> = self
+            .rounds
+            // detlint: allow(D02) — diagnostics dump: rendered lines are
+            // sorted below; the text is identical whatever the map order.
+            .iter()
+            .map(|((comm, kind, id), round)| {
+                format!(
+                    "  collective {comm:?} {kind:?}#{id}: {} arrived, {} waiting\n",
+                    round.arrived,
+                    round.waiters.len()
+                )
+            })
+            .collect();
+        lines.sort_unstable();
+        lines.concat()
     }
 
     // ------------------------------------------------------------------

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # quadrics-mpi — the production-style baseline
 //!
 //! The paper compares BCS-MPI against Quadrics MPI, an MPICH-1.2.4-based

@@ -70,19 +70,24 @@ fn heap_less(a: &HeapEntry, b: &HeapEntry) -> bool {
     (a.time, a.seq) < (b.time, b.seq)
 }
 
+// SAFETY: callers must pass a `buf` that holds an initialized `F` the
+// caller owns; the call reads the closure out of the buffer, so the buffer
+// must never be read or dropped again afterwards.
 unsafe fn call_inline<W, F: FnOnce(&mut W, &mut Sim<W>)>(
     buf: *mut u8,
     world: &mut W,
     sim: &mut Sim<W>,
 ) {
-    // Safety: caller guarantees `buf` holds an initialized `F`; reading it
+    // SAFETY: caller guarantees `buf` holds an initialized `F`; reading it
     // out transfers ownership to this frame (consumed by the call below).
     let f = unsafe { (buf as *mut F).read() };
     f(world, sim);
 }
 
+// SAFETY: callers must pass a `buf` that holds an initialized `F`; the
+// closure is dropped in place, so the buffer must not be touched again.
 unsafe fn drop_inline<F>(buf: *mut u8) {
-    // Safety: caller guarantees `buf` holds an initialized `F` that will
+    // SAFETY: caller guarantees `buf` holds an initialized `F` that will
     // never be read again.
     unsafe { std::ptr::drop_in_place(buf as *mut F) };
 }
@@ -94,7 +99,7 @@ fn make_cell<W, F: FnOnce(&mut W, &mut Sim<W>) + 'static>(f: F) -> EventCell<W> 
             call: call_inline::<W, F>,
             drop_fn: drop_inline::<F>,
         };
-        // Safety: size/alignment checked above; the buffer is exclusively
+        // SAFETY: size/alignment checked above; the buffer is exclusively
         // owned by this fresh cell.
         unsafe { (ev.buf.as_mut_ptr() as *mut F).write(f) };
         EventCell::Inline(ev)
@@ -129,7 +134,7 @@ impl<W> Drop for Sim<W> {
         // their erased drop glue run for any event still pending.
         for cell in &mut self.slots {
             if let EventCell::Inline(ev) = cell {
-                // Safety: an `Inline` cell still in the arena was never
+                // SAFETY: an `Inline` cell still in the arena was never
                 // consumed by `step`, so its buffer holds a live closure.
                 unsafe { (ev.drop_fn)(ev.buf.as_mut_ptr() as *mut u8) };
                 *cell = EventCell::Vacant { next_free: NIL };
@@ -290,7 +295,7 @@ impl<W> Sim<W> {
         self.events_executed += 1;
         match cell {
             EventCell::Inline(mut ev) => {
-                // Safety: the cell was occupied, so the buffer holds a live
+                // SAFETY: the cell was occupied, so the buffer holds a live
                 // closure; `call` consumes it and it is never touched again
                 // (`InlineEvent` has no drop glue of its own).
                 unsafe { (ev.call)(ev.buf.as_mut_ptr() as *mut u8, world, self) };

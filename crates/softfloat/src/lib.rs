@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # softfloat — IEEE-754 arithmetic for a processor without an FPU
 //!
 //! The Quadrics Elan3 NIC that runs the BCS-MPI Reduce Helper has no

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # storm — the resource-management substrate
 //!
 //! BCS-MPI "is integrated in STORM, a scalable, flexible resource management

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification, fully offline:
+#   0. detlint: the determinism & safety lint pass (rules D01-D07, see
+#      DESIGN.md section 10) — zero unwaived findings, no stale or
+#      reason-less waivers, and a well-formed reports/detlint.json
 #   1. tier-1: cargo build --release && cargo test -q   (covers the whole
 #      workspace via workspace.default-members)
 #   2. explicit --workspace test pass
@@ -24,6 +27,12 @@ cd "$(dirname "$0")/.."
 # it by forbidding registry/network access outright.
 export CARGO_NET_OFFLINE=true
 export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
+
+echo "== detlint: determinism & safety lints -> reports/detlint.json"
+cargo run --release -q -p detlint
+[ -s reports/detlint.json ] || { echo "verify: missing reports/detlint.json" >&2; exit 1; }
+cargo run --release -q -p detlint -- --quiet --check-json reports/detlint.json \
+  || { echo "verify: reports/detlint.json is malformed" >&2; exit 1; }
 
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release

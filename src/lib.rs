@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bcs-repro — umbrella crate
 //!
 //! Re-exports every crate of the BCS-MPI reproduction so examples and
