@@ -8,8 +8,8 @@
 //! no overlap between computation and communication is possible for several
 //! time slices" (§5.3). Two dot-product allreduces complete each iteration.
 
-use mpi_api::Mpi;
 use mpi_api::datatype::ReduceOp;
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::SimDuration;
 
 #[derive(Clone, Debug)]
@@ -45,28 +45,34 @@ impl CgCfg {
 /// Like the NPB Fortran original, receives are pre-posted with `MPI_Irecv`
 /// and the boundary data goes out with *consecutive blocking sends* —
 /// the exact call mix §5.3 blames for CG's slowdown.
-fn halo_matvec(mpi: &mut Mpi, p: &[f64], q: &mut [f64], tag: i32) {
+async fn halo_matvec(mpi: &mut AsyncMpi, p: &[f64], q: &mut [f64], tag: i32) {
     use mpi_api::message::{SrcSel, TagSel};
     let me = mpi.rank();
     let n = mpi.size();
     let nl = p.len();
     let mut left = 0.0f64;
     let mut right = 0.0f64;
-    let r_right = (me + 1 < n).then(|| mpi.irecv(SrcSel::Rank(me + 1), TagSel::Tag(tag)));
-    let r_left = (me > 0).then(|| mpi.irecv(SrcSel::Rank(me - 1), TagSel::Tag(tag)));
+    let mut r_right = None;
+    if me + 1 < n {
+        r_right = Some(mpi.irecv(SrcSel::Rank(me + 1), TagSel::Tag(tag)).await);
+    }
+    let mut r_left = None;
+    if me > 0 {
+        r_left = Some(mpi.irecv(SrcSel::Rank(me - 1), TagSel::Tag(tag)).await);
+    }
     // Consecutive blocking sends (each suspends until slice-scheduled).
     if me + 1 < n {
-        mpi.send_f64(me + 1, tag, &[p[nl - 1]]);
+        mpi.send_f64(me + 1, tag, &[p[nl - 1]]).await;
     }
     if me > 0 {
-        mpi.send_f64(me - 1, tag, &[p[0]]);
+        mpi.send_f64(me - 1, tag, &[p[0]]).await;
     }
     if let Some(r) = r_right {
-        let (d, _) = mpi.wait_recv(r);
+        let (d, _) = mpi.wait_recv(r).await;
         right = mpi_api::datatype::from_bytes_f64(&d)[0];
     }
     if let Some(r) = r_left {
-        let (d, _) = mpi.wait_recv(r);
+        let (d, _) = mpi.wait_recv(r).await;
         left = mpi_api::datatype::from_bytes_f64(&d)[0];
     }
     const DIAG: f64 = 2.5;
@@ -80,7 +86,7 @@ fn halo_matvec(mpi: &mut Mpi, p: &[f64], q: &mut [f64], tag: i32) {
 /// The transpose exchange of NPB CG's 2-D decomposition: a blocking
 /// round-trip of a vector chunk with both ring neighbours (pre-posted
 /// irecvs + consecutive blocking sends, checksummed).
-fn transpose_exchange(mpi: &mut Mpi, q: &[f64], tag: i32) {
+async fn transpose_exchange(mpi: &mut AsyncMpi, q: &[f64], tag: i32) {
     use mpi_api::message::{SrcSel, TagSel};
     let me = mpi.rank();
     let n = mpi.size();
@@ -90,12 +96,12 @@ fn transpose_exchange(mpi: &mut Mpi, q: &[f64], tag: i32) {
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
     let chunk = &q[..q.len().min(64)];
-    let r1 = mpi.irecv(SrcSel::Rank(left), TagSel::Tag(tag));
-    let r2 = mpi.irecv(SrcSel::Rank(right), TagSel::Tag(tag));
-    mpi.send_f64(right, tag, chunk);
-    mpi.send_f64(left, tag, chunk);
-    let (d1, _) = mpi.wait_recv(r1);
-    let (d2, _) = mpi.wait_recv(r2);
+    let r1 = mpi.irecv(SrcSel::Rank(left), TagSel::Tag(tag)).await;
+    let r2 = mpi.irecv(SrcSel::Rank(right), TagSel::Tag(tag)).await;
+    mpi.send_f64(right, tag, chunk).await;
+    mpi.send_f64(left, tag, chunk).await;
+    let (d1, _) = mpi.wait_recv(r1).await;
+    let (d2, _) = mpi.wait_recv(r2).await;
     assert_eq!(d1.len(), chunk.len() * 8);
     assert_eq!(d2.len(), chunk.len() * 8);
 }
@@ -103,43 +109,48 @@ fn transpose_exchange(mpi: &mut Mpi, q: &[f64], tag: i32) {
 /// Runs `iters` CG iterations on `b = 1⃗`, `x₀ = 0⃗`. Returns
 /// `(initial_rho_bits, final_rho_bits)`; the residual must shrink, and the
 /// bits are identical across engines (the reduces are bit-exact).
-pub fn cg_bench(cfg: CgCfg) -> impl Fn(&mut Mpi) -> (u64, u64) + Send + Sync {
-    move |mpi| {
-        let nl = cfg.n_local;
-        let mut x = vec![0.0f64; nl];
-        let mut r = vec![1.0f64; nl]; // r = b - A x0 = b
-        let mut p = r.clone();
-        let mut q = vec![0.0f64; nl];
-        let local_dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
-        let mut rho = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&r, &r)])[0];
-        let rho0 = rho;
-        for it in 0..cfg.iters {
-            let tag = (it % 512) as i32 * 2;
-            halo_matvec(mpi, &p, &mut q, tag);
-            // NPB CG's 2-D decomposition also exchanges the partial result
-            // across the processor-row transpose; modelled as a second
-            // blocking exchange of a vector chunk with the ring neighbours.
-            transpose_exchange(mpi, &q, tag + 1);
-            mpi.compute(cfg.iter_compute);
-            let pq = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&p, &q)])[0];
-            let alpha = rho / pq;
-            for i in 0..nl {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * q[i];
+pub fn cg_bench(cfg: CgCfg) -> impl RankProgram<Out = (u64, u64)> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let nl = cfg.n_local;
+            let mut x = vec![0.0f64; nl];
+            let mut r = vec![1.0f64; nl]; // r = b - A x0 = b
+            let mut p = r.clone();
+            let mut q = vec![0.0f64; nl];
+            let local_dot =
+                |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+            let mut rho = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&r, &r)]).await[0];
+            let rho0 = rho;
+            for it in 0..cfg.iters {
+                let tag = (it % 512) as i32 * 2;
+                halo_matvec(&mut mpi, &p, &mut q, tag).await;
+                // NPB CG's 2-D decomposition also exchanges the partial
+                // result across the processor-row transpose; modelled as a
+                // second blocking exchange of a vector chunk with the ring
+                // neighbours.
+                transpose_exchange(&mut mpi, &q, tag + 1).await;
+                mpi.compute(cfg.iter_compute).await;
+                let pq = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&p, &q)]).await[0];
+                let alpha = rho / pq;
+                for i in 0..nl {
+                    x[i] += alpha * p[i];
+                    r[i] -= alpha * q[i];
+                }
+                let rho_new = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&r, &r)]).await[0];
+                let beta = rho_new / rho;
+                rho = rho_new;
+                for i in 0..nl {
+                    p[i] = r[i] + beta * p[i];
+                }
             }
-            let rho_new = mpi.allreduce_f64(ReduceOp::Sum, &[local_dot(&r, &r)])[0];
-            let beta = rho_new / rho;
-            rho = rho_new;
-            for i in 0..nl {
-                p[i] = r[i] + beta * p[i];
-            }
+            assert!(
+                rho < rho0,
+                "CG diverged: rho {rho:e} did not drop below {rho0:e}"
+            );
+            assert!(x.iter().all(|v| v.is_finite()));
+            (rho0.to_bits(), rho.to_bits())
         }
-        assert!(
-            rho < rho0,
-            "CG diverged: rho {rho:e} did not drop below {rho0:e}"
-        );
-        assert!(x.iter().all(|v| v.is_finite()));
-        (rho0.to_bits(), rho.to_bits())
     }
 }
 

@@ -6,8 +6,8 @@
 //! slowdown, dominated by the BCS-MPI runtime initialization and the
 //! residual slice overhead.
 
-use mpi_api::Mpi;
 use mpi_api::datatype::ReduceOp;
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::{SimDuration, SimRng};
 
 #[derive(Clone, Debug)]
@@ -43,36 +43,39 @@ impl EpCfg {
 
 /// Returns `(total_pairs_accepted, sum_x_bits, sum_y_bits)` — identical on
 /// every rank and engine.
-pub fn ep_bench(cfg: EpCfg) -> impl Fn(&mut Mpi) -> (i64, u64, u64) + Send + Sync {
-    move |mpi| {
-        let me = mpi.rank();
-        let mut rng = SimRng::new(cfg.seed).split(me as u64);
-        let mut annuli = [0i64; 10];
-        let (mut sx, mut sy) = (0.0f64, 0.0f64);
-        for _ in 0..cfg.blocks {
-            for _ in 0..cfg.pairs_per_block {
-                let x = rng.range_f64(-1.0, 1.0);
-                let y = rng.range_f64(-1.0, 1.0);
-                let t = x * x + y * y;
-                if t <= 1.0 && t > 0.0 {
-                    let f = (-2.0 * t.ln() / t).sqrt();
-                    let (gx, gy) = (x * f, y * f);
-                    let l = gx.abs().max(gy.abs()) as usize;
-                    if l < annuli.len() {
-                        annuli[l] += 1;
-                        sx += gx;
-                        sy += gy;
+pub fn ep_bench(cfg: EpCfg) -> impl RankProgram<Out = (i64, u64, u64)> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let me = mpi.rank();
+            let mut rng = SimRng::new(cfg.seed).split(me as u64);
+            let mut annuli = [0i64; 10];
+            let (mut sx, mut sy) = (0.0f64, 0.0f64);
+            for _ in 0..cfg.blocks {
+                for _ in 0..cfg.pairs_per_block {
+                    let x = rng.range_f64(-1.0, 1.0);
+                    let y = rng.range_f64(-1.0, 1.0);
+                    let t = x * x + y * y;
+                    if t <= 1.0 && t > 0.0 {
+                        let f = (-2.0 * t.ln() / t).sqrt();
+                        let (gx, gy) = (x * f, y * f);
+                        let l = gx.abs().max(gy.abs()) as usize;
+                        if l < annuli.len() {
+                            annuli[l] += 1;
+                            sx += gx;
+                            sy += gy;
+                        }
                     }
                 }
+                mpi.compute(cfg.block_compute).await;
             }
-            mpi.compute(cfg.block_compute);
+            let counts = mpi.allreduce_i64(ReduceOp::Sum, &annuli).await;
+            let sums = mpi.allreduce_f64(ReduceOp::Sum, &[sx, sy]).await;
+            let max_count = mpi.allreduce_i64(ReduceOp::Max, &[annuli[0]]).await;
+            assert!(max_count[0] >= annuli[0]);
+            let total: i64 = counts.iter().sum();
+            (total, sums[0].to_bits(), sums[1].to_bits())
         }
-        let counts = mpi.allreduce_i64(ReduceOp::Sum, &annuli);
-        let sums = mpi.allreduce_f64(ReduceOp::Sum, &[sx, sy]);
-        let max_count = mpi.allreduce_i64(ReduceOp::Max, &[annuli[0]]);
-        assert!(max_count[0] >= annuli[0]);
-        let total: i64 = counts.iter().sum();
-        (total, sums[0].to_bits(), sums[1].to_bits())
     }
 }
 

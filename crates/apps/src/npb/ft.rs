@@ -11,8 +11,8 @@
 //! complex values so results are verifiable and engine-invariant.
 
 use crate::runner::grid_dims;
-use mpi_api::Mpi;
 use mpi_api::datatype::{ReduceOp, from_bytes_f64, to_bytes_f64};
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::SimDuration;
 
 #[derive(Clone, Debug)]
@@ -57,66 +57,71 @@ fn fft_pass(data: &mut [f64], twiddle: f64) {
 
 /// Returns the bits of the final world checksum (identical on all ranks and
 /// engines).
-pub fn ft_bench(cfg: FtCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        let me = mpi.rank();
-        let n = mpi.size();
-        let (pr, pc) = grid_dims(n);
-        // Row/column communicators over the process grid (row-major).
-        let row_color = (me / pc) as i64;
-        let col_color = (me % pc) as i64;
-        let row = mpi
-            .comm_split(None, row_color, me as i64)
-            .expect("row communicator");
-        let col = mpi
-            .comm_split(None, col_color, me as i64)
-            .expect("column communicator");
-        assert_eq!(row.size(), pc);
-        assert_eq!(col.size(), pr);
+pub fn ft_bench(cfg: FtCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let me = mpi.rank();
+            let n = mpi.size();
+            let (pr, pc) = grid_dims(n);
+            // Row/column communicators over the process grid (row-major).
+            let row_color = (me / pc) as i64;
+            let col_color = (me % pc) as i64;
+            let row = mpi
+                .comm_split(None, row_color, me as i64)
+                .await
+                .expect("row communicator");
+            let col = mpi
+                .comm_split(None, col_color, me as i64)
+                .await
+                .expect("column communicator");
+            assert_eq!(row.size(), pc);
+            assert_eq!(col.size(), pr);
 
-        // Pad the local array to a multiple of both grid dimensions so the
-        // transposes always deal equal chunks.
-        let n_local = cfg.n_local.div_ceil(pr * pc) * (pr * pc);
-        let mut data: Vec<f64> = (0..n_local)
-            .map(|i| ((me * 37 + i) % 101) as f64 / 101.0 - 0.5)
-            .collect();
-
-        let mut checksum = 0.0f64;
-        for it in 0..cfg.iters {
-            // Local FFT passes along the first dimension.
-            fft_pass(&mut data, 0.7 + 0.01 * (it as f64));
-            mpi.compute(cfg.iter_compute / 2);
-
-            // Transpose across the row communicator: equal chunks to every
-            // row member.
-            let chunk = data.len() / row.size();
-            let send: Vec<Vec<u8>> = data
-                .chunks(chunk)
-                .map(to_bytes_f64)
+            // Pad the local array to a multiple of both grid dimensions so
+            // the transposes always deal equal chunks.
+            let n_local = cfg.n_local.div_ceil(pr * pc) * (pr * pc);
+            let mut data: Vec<f64> = (0..n_local)
+                .map(|i| ((me * 37 + i) % 101) as f64 / 101.0 - 0.5)
                 .collect();
-            let got = mpi.alltoallv_on(&row, &send);
-            data = got.iter().flat_map(|c| from_bytes_f64(c)).collect();
-            fft_pass(&mut data, 0.55);
 
-            // Transpose across the column communicator.
-            let chunk = data.len() / col.size();
-            let send: Vec<Vec<u8>> = data
-                .chunks(chunk)
-                .map(to_bytes_f64)
-                .collect();
-            let got = mpi.alltoallv_on(&col, &send);
-            data = got.iter().flat_map(|c| from_bytes_f64(c)).collect();
-            mpi.compute(cfg.iter_compute / 2);
+            let mut checksum = 0.0f64;
+            for it in 0..cfg.iters {
+                // Local FFT passes along the first dimension.
+                fft_pass(&mut data, 0.7 + 0.01 * (it as f64));
+                mpi.compute(cfg.iter_compute / 2).await;
 
-            // Row-level partial checksum, then the world checksum (the NPB
-            // FT per-iteration checksum pattern).
-            let local: f64 = data.iter().map(|x| x * x).sum();
-            let row_sum = mpi.allreduce_f64_on(&row, ReduceOp::Sum, &[local])[0];
-            let world = mpi.allreduce_f64(ReduceOp::Sum, &[row_sum])[0];
-            checksum = world;
-            assert!(checksum.is_finite() && checksum > 0.0);
+                // Transpose across the row communicator: equal chunks to
+                // every row member.
+                let chunk = data.len() / row.size();
+                let send: Vec<Vec<u8>> = data
+                    .chunks(chunk)
+                    .map(to_bytes_f64)
+                    .collect();
+                let got = mpi.alltoallv_on(&row, &send).await;
+                data = got.iter().flat_map(|c| from_bytes_f64(c)).collect();
+                fft_pass(&mut data, 0.55);
+
+                // Transpose across the column communicator.
+                let chunk = data.len() / col.size();
+                let send: Vec<Vec<u8>> = data
+                    .chunks(chunk)
+                    .map(to_bytes_f64)
+                    .collect();
+                let got = mpi.alltoallv_on(&col, &send).await;
+                data = got.iter().flat_map(|c| from_bytes_f64(c)).collect();
+                mpi.compute(cfg.iter_compute / 2).await;
+
+                // Row-level partial checksum, then the world checksum (the
+                // NPB FT per-iteration checksum pattern).
+                let local: f64 = data.iter().map(|x| x * x).sum();
+                let row_sum = mpi.allreduce_f64_on(&row, ReduceOp::Sum, &[local]).await[0];
+                let world = mpi.allreduce_f64(ReduceOp::Sum, &[row_sum]).await[0];
+                checksum = world;
+                assert!(checksum.is_finite() && checksum > 0.0);
+            }
+            checksum.to_bits()
         }
-        checksum.to_bits()
     }
 }
 

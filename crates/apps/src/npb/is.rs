@@ -7,9 +7,9 @@
 //! and consequently pays a relatively high price for the overhead of
 //! initializing the BCS-MPI runtime system" (§5.3).
 
-use mpi_api::Mpi;
-use mpi_api::datatype::{from_bytes_i32, to_bytes_i32};
 use mpi_api::datatype::ReduceOp;
+use mpi_api::datatype::{from_bytes_i32, to_bytes_i32};
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::{SimDuration, SimRng};
 
 #[derive(Clone, Debug)]
@@ -51,56 +51,59 @@ impl IsCfg {
 
 /// Returns a per-rank checksum of the keys each rank ends up owning
 /// (engine-independent).
-pub fn is_bench(cfg: IsCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        let n = mpi.size();
-        let me = mpi.rank();
-        let mut rng = SimRng::new(cfg.seed).split(me as u64);
-        let mut checksum = 0u64;
-        for it in 0..cfg.iters {
-            // Key generation + local ranking cost.
-            let keys: Vec<u32> = (0..cfg.keys_per_rank)
-                .map(|_| rng.next_below(cfg.max_key as u64) as u32)
-                .collect();
-            mpi.compute(cfg.rank_compute);
+pub fn is_bench(cfg: IsCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let n = mpi.size();
+            let me = mpi.rank();
+            let mut rng = SimRng::new(cfg.seed).split(me as u64);
+            let mut checksum = 0u64;
+            for it in 0..cfg.iters {
+                // Key generation + local ranking cost.
+                let keys: Vec<u32> = (0..cfg.keys_per_rank)
+                    .map(|_| rng.next_below(cfg.max_key as u64) as u32)
+                    .collect();
+                mpi.compute(cfg.rank_compute).await;
 
-            // Local histogram over rank-owned buckets.
-            let bucket_of = |k: u32| ((k as u64 * n as u64) / cfg.max_key as u64) as usize;
-            let mut counts = vec![0i64; n];
-            for &k in &keys {
-                counts[bucket_of(k)] += 1;
-            }
-            let totals = mpi.allreduce_i64(ReduceOp::Sum, &counts);
+                // Local histogram over rank-owned buckets.
+                let bucket_of = |k: u32| ((k as u64 * n as u64) / cfg.max_key as u64) as usize;
+                let mut counts = vec![0i64; n];
+                for &k in &keys {
+                    counts[bucket_of(k)] += 1;
+                }
+                let totals = mpi.allreduce_i64(ReduceOp::Sum, &counts).await;
 
-            // Redistribute keys to their bucket owner.
-            let mut outgoing: Vec<Vec<i32>> = vec![Vec::new(); n];
-            for &k in &keys {
-                outgoing[bucket_of(k)].push(k as i32);
-            }
-            let chunks: Vec<Vec<u8>> = outgoing.iter().map(|c| to_bytes_i32(c)).collect();
-            let incoming = mpi.alltoallv(&chunks);
-            let mut mine: Vec<u32> = incoming
-                .iter()
-                .flat_map(|c| from_bytes_i32(c))
-                .map(|k| k as u32)
-                .collect();
-            mine.sort_unstable();
+                // Redistribute keys to their bucket owner.
+                let mut outgoing: Vec<Vec<i32>> = vec![Vec::new(); n];
+                for &k in &keys {
+                    outgoing[bucket_of(k)].push(k as i32);
+                }
+                let chunks: Vec<Vec<u8>> = outgoing.iter().map(|c| to_bytes_i32(c)).collect();
+                let incoming = mpi.alltoallv(&chunks).await;
+                let mut mine: Vec<u32> = incoming
+                    .iter()
+                    .flat_map(|c| from_bytes_i32(c))
+                    .map(|k| k as u32)
+                    .collect();
+                mine.sort_unstable();
 
-            // Verification 1: local count matches the global histogram.
-            assert_eq!(
-                mine.len() as i64,
-                totals[me],
-                "iter {it}: bucket count mismatch on rank {me}"
-            );
-            // Verification 2: bucket ranges are disjoint and ordered.
-            if let (Some(&lo), Some(&hi)) = (mine.first(), mine.last()) {
-                assert!(bucket_of(lo) == me && bucket_of(hi) == me);
+                // Verification 1: local count matches the global histogram.
+                assert_eq!(
+                    mine.len() as i64,
+                    totals[me],
+                    "iter {it}: bucket count mismatch on rank {me}"
+                );
+                // Verification 2: bucket ranges are disjoint and ordered.
+                if let (Some(&lo), Some(&hi)) = (mine.first(), mine.last()) {
+                    assert!(bucket_of(lo) == me && bucket_of(hi) == me);
+                }
+                checksum = mine
+                    .iter()
+                    .fold(checksum, |acc, &k| acc.wrapping_mul(31).wrapping_add(k as u64));
             }
-            checksum = mine
-                .iter()
-                .fold(checksum, |acc, &k| acc.wrapping_mul(31).wrapping_add(k as u64));
+            checksum
         }
-        checksum
     }
 }
 

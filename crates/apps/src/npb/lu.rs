@@ -9,8 +9,8 @@
 //! slowdown (15.04 %).
 
 use crate::runner::grid_dims;
-use mpi_api::Mpi;
 use mpi_api::datatype::ReduceOp;
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::SimDuration;
 
 #[derive(Clone, Debug)]
@@ -49,8 +49,8 @@ impl LuCfg {
 /// (NW→SE) or upper (SE→NW) triangular direction. Returns the accumulated
 /// cell value (a deterministic wavefront functional).
 #[allow(clippy::too_many_arguments)]
-fn sweep(
-    mpi: &mut Mpi,
+async fn sweep(
+    mpi: &mut AsyncMpi,
     px: usize,
     py: usize,
     forward: bool,
@@ -89,11 +89,11 @@ fn sweep(
         let tag = tag_base + k as i32;
         // Blocking receives from upstream (Figure: recv from west & north).
         let wx = match up_x {
-            Some(r) => mpi.recv_f64(r, tag)[0],
+            Some(r) => mpi.recv_f64(r, tag).await[0],
             None => 1.0,
         };
         let wy = match up_y {
-            Some(r) => mpi.recv_f64(r, tag)[0],
+            Some(r) => mpi.recv_f64(r, tag).await[0],
             None => 1.0,
         };
         // Block computation: relax the local state with the incoming
@@ -101,15 +101,15 @@ fn sweep(
         let v = 0.45 * wx + 0.45 * wy + 0.1 * state[k];
         state[k] = v;
         acc += v;
-        mpi.compute(cfg.block_compute);
+        mpi.compute(cfg.block_compute).await;
         // Blocking sends downstream.
         let mut face = vec![v; cfg.face_elems];
         face[0] = v;
         if let Some(r) = dn_x {
-            mpi.send_f64(r, tag, &face);
+            mpi.send_f64(r, tag, &face).await;
         }
         if let Some(r) = dn_y {
-            mpi.send_f64(r, tag, &face);
+            mpi.send_f64(r, tag, &face).await;
         }
     }
     acc
@@ -118,21 +118,25 @@ fn sweep(
 /// Runs the SSOR iteration loop; each iteration is a lower then an upper
 /// sweep followed by a residual allreduce. Returns the bits of the final
 /// residual functional (bit-identical across engines).
-pub fn lu_bench(cfg: LuCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        let n = mpi.size();
-        let (px, py) = grid_dims(n);
-        let mut state = vec![1.0f64; cfg.kblocks];
-        let mut res = 0.0f64;
-        for it in 0..cfg.iters {
-            let tag_base = ((it as i32) % 64) * 32;
-            let lower = sweep(mpi, px, py, true, &cfg, &mut state, tag_base);
-            let upper = sweep(mpi, px, py, false, &cfg, &mut state, tag_base + 16);
-            let local = lower + upper;
-            res = mpi.allreduce_f64(ReduceOp::Sum, &[local])[0];
-            assert!(res.is_finite());
+pub fn lu_bench(cfg: LuCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let n = mpi.size();
+            let (px, py) = grid_dims(n);
+            let mut state = vec![1.0f64; cfg.kblocks];
+            let mut res = 0.0f64;
+            for it in 0..cfg.iters {
+                let tag_base = ((it as i32) % 64) * 32;
+                let lower = sweep(&mut mpi, px, py, true, &cfg, &mut state, tag_base).await;
+                let upper =
+                    sweep(&mut mpi, px, py, false, &cfg, &mut state, tag_base + 16).await;
+                let local = lower + upper;
+                res = mpi.allreduce_f64(ReduceOp::Sum, &[local]).await[0];
+                assert!(res.is_finite());
+            }
+            res.to_bits()
         }
-        res.to_bits()
     }
 }
 

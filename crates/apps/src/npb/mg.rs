@@ -6,8 +6,8 @@
 //! residual-norm allreduce. Compute charges are proportional to the number
 //! of points at each level, so fine levels dominate like in the original.
 
-use mpi_api::Mpi;
 use mpi_api::datatype::ReduceOp;
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::SimDuration;
 
 /// Shifted-Laplacian diagonal (diagonal dominance makes the two-grid cycle
@@ -48,33 +48,39 @@ impl MgCfg {
 
 /// Halo exchange of one f64 per side: pre-posted irecvs + blocking sends,
 /// the `comm3` pattern of the NPB original. O(1) rounds at any rank count.
-fn halo(mpi: &mut Mpi, first: f64, last: f64, tag: i32) -> (f64, f64) {
+async fn halo(mpi: &mut AsyncMpi, first: f64, last: f64, tag: i32) -> (f64, f64) {
     use mpi_api::message::{SrcSel, TagSel};
     let me = mpi.rank();
     let n = mpi.size();
     let (mut left, mut right) = (0.0, 0.0);
-    let r_right = (me + 1 < n).then(|| mpi.irecv(SrcSel::Rank(me + 1), TagSel::Tag(tag)));
-    let r_left = (me > 0).then(|| mpi.irecv(SrcSel::Rank(me - 1), TagSel::Tag(tag)));
+    let mut r_right = None;
     if me + 1 < n {
-        mpi.send_f64(me + 1, tag, &[last]);
+        r_right = Some(mpi.irecv(SrcSel::Rank(me + 1), TagSel::Tag(tag)).await);
+    }
+    let mut r_left = None;
+    if me > 0 {
+        r_left = Some(mpi.irecv(SrcSel::Rank(me - 1), TagSel::Tag(tag)).await);
+    }
+    if me + 1 < n {
+        mpi.send_f64(me + 1, tag, &[last]).await;
     }
     if me > 0 {
-        mpi.send_f64(me - 1, tag, &[first]);
+        mpi.send_f64(me - 1, tag, &[first]).await;
     }
     if let Some(r) = r_right {
-        right = mpi_api::datatype::from_bytes_f64(&mpi.wait_recv(r).0)[0];
+        right = mpi_api::datatype::from_bytes_f64(&mpi.wait_recv(r).await.0)[0];
     }
     if let Some(r) = r_left {
-        left = mpi_api::datatype::from_bytes_f64(&mpi.wait_recv(r).0)[0];
+        left = mpi_api::datatype::from_bytes_f64(&mpi.wait_recv(r).await.0)[0];
     }
     (left, right)
 }
 
 /// Weighted-Jacobi smoothing sweep: `v ← v + ω D⁻¹ (f − A v)` for the 1-D
 /// Laplacian with halo values from the neighbours.
-fn smooth(mpi: &mut Mpi, v: &mut [f64], f: &[f64], tag: i32) {
+async fn smooth(mpi: &mut AsyncMpi, v: &mut [f64], f: &[f64], tag: i32) {
     let nl = v.len();
-    let (left, right) = halo(mpi, v[0], v[nl - 1], tag);
+    let (left, right) = halo(mpi, v[0], v[nl - 1], tag).await;
     let mut out = vec![0.0f64; nl];
     for i in 0..nl {
         let l = if i == 0 { left } else { v[i - 1] };
@@ -85,9 +91,9 @@ fn smooth(mpi: &mut Mpi, v: &mut [f64], f: &[f64], tag: i32) {
 }
 
 /// Residual `f − A v`, using halo values.
-fn residual(mpi: &mut Mpi, v: &[f64], f: &[f64], tag: i32) -> Vec<f64> {
+async fn residual(mpi: &mut AsyncMpi, v: &[f64], f: &[f64], tag: i32) -> Vec<f64> {
     let nl = v.len();
-    let (left, right) = halo(mpi, v[0], v[nl - 1], tag);
+    let (left, right) = halo(mpi, v[0], v[nl - 1], tag).await;
     (0..nl)
         .map(|i| {
             let l = if i == 0 { left } else { v[i - 1] };
@@ -100,69 +106,74 @@ fn residual(mpi: &mut Mpi, v: &[f64], f: &[f64], tag: i32) -> Vec<f64> {
 /// Runs `cycles` V-cycles on `f = 1⃗`. Returns
 /// `(initial_norm_bits, final_norm_bits)`; the norm must shrink and is
 /// bit-identical across engines.
-pub fn mg_bench(cfg: MgCfg) -> impl Fn(&mut Mpi) -> (u64, u64) + Send + Sync {
-    move |mpi| {
-        assert!(cfg.n_fine >> (cfg.levels - 1) >= 2, "too many levels");
-        let nl = cfg.n_fine;
-        let f_fine = vec![1.0f64; nl];
-        let mut v = vec![0.0f64; nl];
-        let norm = |mpi: &mut Mpi, r: &[f64]| {
-            let local: f64 = r.iter().map(|x| x * x).sum();
-            mpi.allreduce_f64(ReduceOp::Sum, &[local])[0].sqrt()
-        };
-        let mut tag_seq = 0i32;
-        let mut next_tag = move || {
-            tag_seq = (tag_seq + 1) % 1024;
-            tag_seq
-        };
+pub fn mg_bench(cfg: MgCfg) -> impl RankProgram<Out = (u64, u64)> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            assert!(cfg.n_fine >> (cfg.levels - 1) >= 2, "too many levels");
+            let nl = cfg.n_fine;
+            let f_fine = vec![1.0f64; nl];
+            let mut v = vec![0.0f64; nl];
+            async fn norm(mpi: &mut AsyncMpi, r: &[f64]) -> f64 {
+                let local: f64 = r.iter().map(|x| x * x).sum();
+                mpi.allreduce_f64(ReduceOp::Sum, &[local]).await[0].sqrt()
+            }
+            let mut tag_seq = 0i32;
+            let mut next_tag = move || {
+                tag_seq = (tag_seq + 1) % 1024;
+                tag_seq
+            };
 
-        let r0 = residual(mpi, &v, &f_fine, next_tag());
-        let n0 = norm(mpi, &r0);
-        for _ in 0..cfg.cycles {
-            // Descend: smooth, restrict the residual.
-            let mut vs: Vec<Vec<f64>> = vec![v.clone()];
-            let mut fs: Vec<Vec<f64>> = vec![f_fine.clone()];
-            for lev in 0..cfg.levels - 1 {
-                let points = nl >> lev;
-                mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, lev) / 2);
-                smooth(mpi, &mut vs[lev], &fs[lev].clone(), next_tag());
-                let r = residual(mpi, &vs[lev], &fs[lev], next_tag());
-                // Full-weighting restriction to the next coarser level.
-                let coarse: Vec<f64> = (0..points / 2)
-                    .map(|i| {
-                        let a = r[2 * i];
-                        let b = if 2 * i + 1 < points { r[2 * i + 1] } else { 0.0 };
-                        0.5 * (a + b)
-                    })
-                    .collect();
-                fs.push(coarse);
-                vs.push(vec![0.0; points / 2]);
-            }
-            // Coarsest level: a few smoothing sweeps.
-            let top = cfg.levels - 1;
-            mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, top));
-            for _ in 0..2 {
-                smooth(mpi, &mut vs[top], &fs[top].clone(), next_tag());
-            }
-            // Ascend: prolong and smooth.
-            for lev in (0..cfg.levels - 1).rev() {
-                let correction = vs[lev + 1].clone();
-                let fine = &mut vs[lev];
-                for (i, c) in correction.iter().enumerate() {
-                    fine[2 * i] += c;
-                    if 2 * i + 1 < fine.len() {
-                        fine[2 * i + 1] += c;
-                    }
+            let r0 = residual(&mut mpi, &v, &f_fine, next_tag()).await;
+            let n0 = norm(&mut mpi, &r0).await;
+            for _ in 0..cfg.cycles {
+                // Descend: smooth, restrict the residual.
+                let mut vs: Vec<Vec<f64>> = vec![v.clone()];
+                let mut fs: Vec<Vec<f64>> = vec![f_fine.clone()];
+                for lev in 0..cfg.levels - 1 {
+                    let points = nl >> lev;
+                    mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, lev) / 2)
+                        .await;
+                    smooth(&mut mpi, &mut vs[lev], &fs[lev].clone(), next_tag()).await;
+                    let r = residual(&mut mpi, &vs[lev], &fs[lev], next_tag()).await;
+                    // Full-weighting restriction to the next coarser level.
+                    let coarse: Vec<f64> = (0..points / 2)
+                        .map(|i| {
+                            let a = r[2 * i];
+                            let b = if 2 * i + 1 < points { r[2 * i + 1] } else { 0.0 };
+                            0.5 * (a + b)
+                        })
+                        .collect();
+                    fs.push(coarse);
+                    vs.push(vec![0.0; points / 2]);
                 }
-                mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, lev) / 2);
-                smooth(mpi, &mut vs[lev], &fs[lev].clone(), next_tag());
+                // Coarsest level: a few smoothing sweeps.
+                let top = cfg.levels - 1;
+                mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, top)).await;
+                for _ in 0..2 {
+                    smooth(&mut mpi, &mut vs[top], &fs[top].clone(), next_tag()).await;
+                }
+                // Ascend: prolong and smooth.
+                for lev in (0..cfg.levels - 1).rev() {
+                    let correction = vs[lev + 1].clone();
+                    let fine = &mut vs[lev];
+                    for (i, c) in correction.iter().enumerate() {
+                        fine[2 * i] += c;
+                        if 2 * i + 1 < fine.len() {
+                            fine[2 * i + 1] += c;
+                        }
+                    }
+                    mpi.compute(level_cost(cfg.cycle_compute, cfg.levels, lev) / 2)
+                        .await;
+                    smooth(&mut mpi, &mut vs[lev], &fs[lev].clone(), next_tag()).await;
+                }
+                v = vs.swap_remove(0);
             }
-            v = vs.swap_remove(0);
+            let r1 = residual(&mut mpi, &v, &f_fine, next_tag()).await;
+            let n1 = norm(&mut mpi, &r1).await;
+            assert!(n1 < n0, "MG failed to reduce the residual: {n1:e} !< {n0:e}");
+            (n0.to_bits(), n1.to_bits())
         }
-        let r1 = residual(mpi, &v, &f_fine, next_tag());
-        let n1 = norm(mpi, &r1);
-        assert!(n1 < n0, "MG failed to reduce the residual: {n1:e} !< {n0:e}");
-        (n0.to_bits(), n1.to_bits())
     }
 }
 

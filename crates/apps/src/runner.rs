@@ -1,8 +1,8 @@
 //! Run a workload on either MPI engine and report its runtime.
 
 use bcs_mpi::{BcsConfig, BcsMpi};
-use mpi_api::Mpi;
-use mpi_api::runtime::{JobLayout, RunOpts, run_job_opts};
+use mpi_api::RankProgram;
+use mpi_api::runtime::{Backend, JobLayout, RunOpts, run_program_on};
 use quadrics_mpi::{QuadricsConfig, QuadricsMpi};
 use simcore::SimDuration;
 
@@ -40,20 +40,35 @@ pub struct AppOutcome<R> {
     pub events: u64,
 }
 
+/// Rank-execution backend for app runs: `REPRO_BACKEND=threads` opts into
+/// the reference thread harness; anything else (including unset) uses the
+/// scalable stackless VM. Virtual-time results are identical either way
+/// (see the backend-equivalence suite). One of the sanctioned env-read
+/// sites (detlint D04).
+pub fn backend_from_env() -> Backend {
+    match std::env::var("REPRO_BACKEND") {
+        Ok(v) if v == "threads" => Backend::Threads,
+        _ => Backend::Vm,
+    }
+}
+
 /// Execute `program` as an MPI job on the selected engine.
-pub fn run_app<R, F>(sel: &EngineSel, layout: JobLayout, program: F) -> AppOutcome<R>
-where
-    R: Send + 'static,
-    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
-{
+pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -> AppOutcome<P::Out> {
     // A generous livelock guard: no experiment in the suite runs longer
     // than an hour of virtual time.
     let opts = RunOpts {
         max_virtual: Some(SimDuration::secs(3600)),
     };
+    let backend = backend_from_env();
     match sel {
         EngineSel::Bcs(cfg) => {
-            let out = run_job_opts(BcsMpi::new(cfg.clone(), &layout), layout, program, opts);
+            let out = run_program_on(
+                BcsMpi::new(cfg.clone(), &layout),
+                layout,
+                program,
+                opts,
+                backend,
+            );
             AppOutcome {
                 elapsed: out.elapsed,
                 results: out.results,
@@ -61,11 +76,12 @@ where
             }
         }
         EngineSel::Quadrics(cfg) => {
-            let out = run_job_opts(
+            let out = run_program_on(
                 QuadricsMpi::new(cfg.clone(), &layout),
                 layout,
                 program,
                 opts,
+                backend,
             );
             AppOutcome {
                 elapsed: out.elapsed,

@@ -7,9 +7,9 @@
 //! per-step allreduce is the only synchronization — which is why BCS-MPI
 //! runs it at parity with the production MPI (−0.42 % in Table 2).
 
-use mpi_api::Mpi;
 use mpi_api::datatype::ReduceOp;
 use mpi_api::message::{SrcSel, TagSel};
+use mpi_api::{AsyncMpi, RankProgram};
 use simcore::SimDuration;
 
 #[derive(Clone, Debug)]
@@ -50,45 +50,48 @@ impl SageCfg {
 
 /// Returns the bits of the final allreduce's first element (identical on
 /// all ranks and engines).
-pub fn sage_bench(cfg: SageCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        let me = mpi.rank();
-        let n = mpi.size();
-        let left = (me > 0).then(|| me - 1);
-        let right = (me + 1 < n).then(|| me + 1);
-        let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me ^ i) as u8).collect();
-        // Local "hydro state" evolved each step; the reduce is its energy.
-        let mut energy = (me + 1) as f64;
-        let mut final_red = 0.0f64;
-        for step in 0..cfg.steps {
-            let tag = (step % 512) as i32;
-            // AMR gather/scatter: non-blocking both ways, posted before the
-            // compute so BCS-MPI can overlap them.
-            let mut reqs = Vec::new();
-            for peer in [left, right].into_iter().flatten() {
-                for _ in 0..cfg.msgs_per_neighbor {
-                    reqs.push(mpi.irecv(SrcSel::Rank(peer), TagSel::Tag(tag)));
+pub fn sage_bench(cfg: SageCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let me = mpi.rank();
+            let n = mpi.size();
+            let left = (me > 0).then(|| me - 1);
+            let right = (me + 1 < n).then(|| me + 1);
+            let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me ^ i) as u8).collect();
+            // Local "hydro state" evolved each step; the reduce is its energy.
+            let mut energy = (me + 1) as f64;
+            let mut final_red = 0.0f64;
+            for step in 0..cfg.steps {
+                let tag = (step % 512) as i32;
+                // AMR gather/scatter: non-blocking both ways, posted before
+                // the compute so BCS-MPI can overlap them.
+                let mut reqs = Vec::new();
+                for peer in [left, right].into_iter().flatten() {
+                    for _ in 0..cfg.msgs_per_neighbor {
+                        reqs.push(mpi.irecv(SrcSel::Rank(peer), TagSel::Tag(tag)).await);
+                    }
                 }
-            }
-            for peer in [left, right].into_iter().flatten() {
-                for _ in 0..cfg.msgs_per_neighbor {
-                    reqs.push(mpi.isend(peer, tag, &payload));
+                for peer in [left, right].into_iter().flatten() {
+                    for _ in 0..cfg.msgs_per_neighbor {
+                        reqs.push(mpi.isend(peer, tag, &payload).await);
+                    }
                 }
+                mpi.compute(cfg.step_compute).await;
+                let results = mpi.waitall(&reqs).await;
+                let received: usize = results
+                    .iter()
+                    .filter_map(|(d, _)| d.as_ref().map(|d| d.len()))
+                    .sum();
+                energy = energy * 0.999 + received as f64 * 1e-6;
+                // End-of-step reduce (conservation check in the real code).
+                let contribution: Vec<f64> =
+                    (0..cfg.reduce_elems).map(|k| energy + k as f64).collect();
+                let red = mpi.allreduce_f64(ReduceOp::Sum, &contribution).await;
+                final_red = red[0];
             }
-            mpi.compute(cfg.step_compute);
-            let results = mpi.waitall(&reqs);
-            let received: usize = results
-                .iter()
-                .filter_map(|(d, _)| d.as_ref().map(|d| d.len()))
-                .sum();
-            energy = energy * 0.999 + received as f64 * 1e-6;
-            // End-of-step reduce (conservation check in the real code).
-            let contribution: Vec<f64> =
-                (0..cfg.reduce_elems).map(|k| energy + k as f64).collect();
-            let red = mpi.allreduce_f64(ReduceOp::Sum, &contribution);
-            final_red = red[0];
+            final_red.to_bits()
         }
-        final_red.to_bits()
     }
 }
 

@@ -12,7 +12,7 @@
 //!   and 4 KB messages).
 
 use mpi_api::message::{SrcSel, Status, TagSel};
-use mpi_api::{Mpi, MpiResp, ReqId};
+use mpi_api::{AsyncMpi, MpiResp, RankProgram, ReqId};
 use simcore::SimDuration;
 
 /// Configuration of the compute+barrier benchmark.
@@ -25,15 +25,18 @@ pub struct BarrierLoopCfg {
 
 /// Benchmark 1: compute, then barrier, in a loop. Returns the number of
 /// barriers executed (trivially verifiable).
-pub fn barrier_loop(cfg: BarrierLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        for _ in 0..cfg.iters {
-            // One handoff per iteration: the runtime issues the barrier to
-            // the engine at the compute's completion instant, exactly when
-            // a `compute(); barrier()` pair would have.
-            mpi.compute_then_barrier(cfg.granularity);
+pub fn barrier_loop(cfg: BarrierLoopCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            for _ in 0..cfg.iters {
+                // One handoff per iteration: the runtime issues the barrier
+                // to the engine at the compute's completion instant, exactly
+                // when a `compute(); barrier()` pair would have.
+                mpi.compute_then_barrier(cfg.granularity).await;
+            }
+            cfg.iters
         }
-        cfg.iters
     }
 }
 
@@ -62,83 +65,89 @@ impl NeighborLoopCfg {
 
 /// Benchmark 2: compute, post non-blocking exchanges with the ring
 /// neighbours, wait for all. Returns a checksum of everything received.
-pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
-        let n = mpi.size();
-        let me = mpi.rank();
-        assert!(cfg.neighbors < n, "need more ranks than neighbours");
-        // Symmetric neighbour set on a ring: ±1, ±2, ...
-        let offsets: Vec<usize> = (1..=cfg.neighbors.div_ceil(2)).collect();
-        let mut peers: Vec<usize> = Vec::new();
-        for &o in &offsets {
-            peers.push((me + o) % n);
-            if peers.len() < cfg.neighbors {
-                peers.push((me + n - o) % n);
-            }
-        }
-        let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me + i) as u8).collect();
-        // Fold each exchange's received payloads into a checksum; the recv
-        // results follow the `peers.len()` send results in request order.
-        // Generic over the payload representation: the batched path yields
-        // shared `Payload`s, the trailing waitall yields owned `Vec<u8>`s.
-        fn absorb<P: std::ops::Deref<Target = [u8]>>(
-            checksum: &mut u64,
-            sends: usize,
-            msg_bytes: usize,
-            results: &[(Option<P>, Option<Status>)],
-        ) {
-            for (data, _) in &results[sends..] {
-                let data = data.as_ref().expect("recv payload");
-                assert_eq!(data.len(), msg_bytes);
-                *checksum = checksum
-                    .wrapping_add(data[0] as u64)
-                    .wrapping_add(data[msg_bytes - 1] as u64);
-            }
-        }
-        let mut checksum = 0u64;
-        // One harness handoff per iteration: batch the previous exchange's
-        // waitall together with this iteration's compute and 2k posts. The
-        // runtime issues each sub-call at the exact virtual instant the
-        // unbatched `compute; post*2k; waitall` loop would have (the
-        // waitall of iteration i-1 at the instant its posts completed, the
-        // compute at the waitall's completion), so timing and results are
-        // identical — only OS-thread traffic changes (see `Mpi::batch`).
-        let mut reqs: Vec<ReqId> = Vec::new();
-        for it in 0..cfg.iters {
-            let tag = (it % 1024) as i32;
-            let mut calls = Vec::with_capacity(2 + 2 * peers.len());
-            if !reqs.is_empty() {
-                calls.push(mpi.waitall_desc(&reqs));
-            }
-            calls.push(mpi.compute_desc(cfg.granularity));
-            for &p in &peers {
-                calls.push(mpi.isend_desc(p, tag, &payload));
-            }
-            for &p in &peers {
-                calls.push(mpi.irecv_desc(SrcSel::Rank(p), TagSel::Tag(tag)));
-            }
-            let mut resps = mpi.batch(calls).into_iter();
-            if !reqs.is_empty() {
-                match resps.next() {
-                    Some(MpiResp::WaitallDone { results }) => {
-                        absorb(&mut checksum, peers.len(), cfg.msg_bytes, &results)
-                    }
-                    other => unreachable!("batched waitall -> {other:?}"),
+pub fn neighbor_loop(cfg: NeighborLoopCfg) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| {
+        let cfg = cfg.clone();
+        async move {
+            let n = mpi.size();
+            let me = mpi.rank();
+            assert!(cfg.neighbors < n, "need more ranks than neighbours");
+            // Symmetric neighbour set on a ring: ±1, ±2, ...
+            let offsets: Vec<usize> = (1..=cfg.neighbors.div_ceil(2)).collect();
+            let mut peers: Vec<usize> = Vec::new();
+            for &o in &offsets {
+                peers.push((me + o) % n);
+                if peers.len() < cfg.neighbors {
+                    peers.push((me + n - o) % n);
                 }
             }
-            match resps.next() {
-                Some(MpiResp::Ok) => {}
-                other => unreachable!("batched compute -> {other:?}"),
+            let payload: Vec<u8> = (0..cfg.msg_bytes).map(|i| (me + i) as u8).collect();
+            // Fold each exchange's received payloads into a checksum; the
+            // recv results follow the `peers.len()` send results in request
+            // order. Generic over the payload representation: the batched
+            // path yields shared `Payload`s, the trailing waitall yields
+            // owned `Vec<u8>`s.
+            fn absorb<P: std::ops::Deref<Target = [u8]>>(
+                checksum: &mut u64,
+                sends: usize,
+                msg_bytes: usize,
+                results: &[(Option<P>, Option<Status>)],
+            ) {
+                for (data, _) in &results[sends..] {
+                    let data = data.as_ref().expect("recv payload");
+                    assert_eq!(data.len(), msg_bytes);
+                    *checksum = checksum
+                        .wrapping_add(data[0] as u64)
+                        .wrapping_add(data[msg_bytes - 1] as u64);
+                }
             }
-            reqs = resps
-                .map(|r| match r {
-                    MpiResp::Req(id) => id,
-                    other => unreachable!("batched post -> {other:?}"),
-                })
-                .collect();
+            let mut checksum = 0u64;
+            // One harness handoff per iteration: batch the previous
+            // exchange's waitall together with this iteration's compute and
+            // 2k posts. The runtime issues each sub-call at the exact
+            // virtual instant the unbatched `compute; post*2k; waitall`
+            // loop would have (the waitall of iteration i-1 at the instant
+            // its posts completed, the compute at the waitall's
+            // completion), so timing and results are identical — only
+            // harness traffic changes (see `AsyncMpi::batch`).
+            let mut reqs: Vec<ReqId> = Vec::new();
+            for it in 0..cfg.iters {
+                let tag = (it % 1024) as i32;
+                let mut calls = Vec::with_capacity(2 + 2 * peers.len());
+                if !reqs.is_empty() {
+                    calls.push(mpi.waitall_desc(&reqs));
+                }
+                calls.push(mpi.compute_desc(cfg.granularity));
+                for &p in &peers {
+                    calls.push(mpi.isend_desc(p, tag, &payload));
+                }
+                for &p in &peers {
+                    calls.push(mpi.irecv_desc(SrcSel::Rank(p), TagSel::Tag(tag)));
+                }
+                let mut resps = mpi.batch(calls).await.into_iter();
+                if !reqs.is_empty() {
+                    match resps.next() {
+                        Some(MpiResp::WaitallDone { results }) => {
+                            absorb(&mut checksum, peers.len(), cfg.msg_bytes, &results)
+                        }
+                        other => unreachable!("batched waitall -> {other:?}"),
+                    }
+                }
+                match resps.next() {
+                    Some(MpiResp::Ok) => {}
+                    other => unreachable!("batched compute -> {other:?}"),
+                }
+                reqs = resps
+                    .map(|r| match r {
+                        MpiResp::Req(id) => id,
+                        other => unreachable!("batched post -> {other:?}"),
+                    })
+                    .collect();
+            }
+            let tail = mpi.waitall(&reqs).await;
+            absorb(&mut checksum, peers.len(), cfg.msg_bytes, &tail);
+            checksum
         }
-        absorb(&mut checksum, peers.len(), cfg.msg_bytes, &mpi.waitall(&reqs));
-        checksum
     }
 }
 

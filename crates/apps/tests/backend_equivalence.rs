@@ -1,0 +1,152 @@
+//! Property: the rank-execution backend is unobservable.
+//!
+//! The stackless VM ([`mpi_api::runtime::Backend::Vm`]) and the
+//! thread-per-rank reference harness ([`mpi_api::runtime::Backend::Threads`])
+//! must drive the engine through the exact same call stream at the exact
+//! same virtual instants, so per-rank results, per-rank finish times, the
+//! job's elapsed virtual time, the discrete-event count, and the
+//! slice-boundary checkpoint digest stream are all bit-identical between
+//! backends — on both engines. The generated programs mix compute,
+//! barriers, ranked and wildcard receives, waitalls, and allreduces.
+
+use bcs_mpi::{BcsConfig, BcsMpi};
+use mpi_api::datatype::ReduceOp;
+use mpi_api::message::{SrcSel, TagSel};
+use mpi_api::runtime::{Backend, JobLayout, RunOpts, run_program_on};
+use mpi_api::{AsyncMpi, RankProgram};
+use proplite::prelude::*;
+use quadrics_mpi::{QuadricsConfig, QuadricsMpi};
+use simcore::{SimDuration, SimTime};
+
+/// One randomized rank program.
+#[derive(Clone, Copy, Debug)]
+struct Script {
+    ranks: usize,
+    iters: u64,
+    granularity_us: u32,
+    msg_bytes: usize,
+    /// Ring neighbours messaged per iteration (always < ranks).
+    fanout: usize,
+    /// Whether each iteration globally synchronizes after computing.
+    barrier: bool,
+    /// Receive with `SrcSel::Any` instead of naming the source rank.
+    wildcard: bool,
+    /// Fold an allreduce into each iteration's checksum.
+    reduce: bool,
+}
+
+fn program(s: Script) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| async move {
+        let (me, n) = (mpi.rank(), mpi.size());
+        let payload: Vec<u8> = (0..s.msg_bytes).map(|i| (me + i) as u8).collect();
+        let mut checksum = 0u64;
+        for it in 0..s.iters {
+            mpi.compute(SimDuration::micros(s.granularity_us as u64)).await;
+            if s.barrier {
+                mpi.barrier().await;
+            }
+            let tag = it as i32;
+            let mut reqs = Vec::new();
+            for o in 1..=s.fanout {
+                reqs.push(mpi.isend((me + o) % n, tag, &payload).await);
+            }
+            for o in 1..=s.fanout {
+                let src = if s.wildcard {
+                    SrcSel::Any
+                } else {
+                    SrcSel::Rank((me + n - o) % n)
+                };
+                reqs.push(mpi.irecv(src, TagSel::Tag(tag)).await);
+            }
+            let results = mpi.waitall(&reqs).await;
+            for (data, status) in &results[s.fanout..] {
+                let d = data.as_ref().expect("recv payload");
+                let src = status.as_ref().expect("recv status").source as u64;
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(d[0] as u64)
+                    .wrapping_add(d[d.len() - 1] as u64)
+                    .wrapping_add(src);
+            }
+            if s.reduce {
+                let red = mpi.allreduce_i64(ReduceOp::Sum, &[checksum as i64]).await;
+                checksum = checksum.wrapping_add(red[0] as u64);
+            }
+        }
+        checksum
+    }
+}
+
+fn layout(ranks: usize) -> JobLayout {
+    JobLayout::new(ranks.div_ceil(2), 2, ranks)
+}
+
+/// Everything a backend could observably change, captured from one BCS run
+/// (checkpoint digests included — VM-resident rank state must checkpoint
+/// exactly like thread-resident state).
+type BcsObs = (Vec<u64>, Vec<SimTime>, SimDuration, u64, Vec<(u64, u64)>);
+
+fn run_bcs(s: Script, backend: Backend) -> BcsObs {
+    let lay = layout(s.ranks);
+    let mut cfg = BcsConfig::default();
+    cfg.checkpoint_every = Some(2);
+    let out = run_program_on(
+        BcsMpi::new(cfg, &lay),
+        lay,
+        program(s),
+        RunOpts::default(),
+        backend,
+    );
+    (
+        out.results,
+        out.finish_times,
+        out.elapsed,
+        out.events,
+        out.engine.checkpoints.clone(),
+    )
+}
+
+fn run_quadrics(s: Script, backend: Backend) -> (Vec<u64>, Vec<SimTime>, SimDuration, u64) {
+    let lay = layout(s.ranks);
+    let out = run_program_on(
+        QuadricsMpi::new(QuadricsConfig::default(), &lay),
+        lay,
+        program(s),
+        RunOpts::default(),
+        backend,
+    );
+    (out.results, out.finish_times, out.elapsed, out.events)
+}
+
+proplite! {
+    #![config(cases = 20)]
+    #[test]
+    fn vm_and_thread_backends_are_bit_identical(
+        ranks in 3usize..9,
+        iters in 1u64..4,
+        granularity_us in 1u32..400,
+        msg_bytes in 1usize..600,
+        fanout in 1usize..3,
+        barrier in any::<bool>(),
+        wildcard in any::<bool>(),
+        reduce in any::<bool>()
+    ) {
+        let s = Script {
+            ranks, iters, granularity_us, msg_bytes, fanout, barrier, wildcard, reduce,
+        };
+        let vm = run_bcs(s, Backend::Vm);
+        let th = run_bcs(s, Backend::Threads);
+        prop_assert_eq!(&vm.0, &th.0);
+        prop_assert_eq!(&vm.1, &th.1);
+        prop_assert_eq!(vm.2, th.2);
+        prop_assert_eq!(vm.3, th.3);
+        prop_assert_eq!(&vm.4, &th.4);
+
+        let vm = run_quadrics(s, Backend::Vm);
+        let th = run_quadrics(s, Backend::Threads);
+        prop_assert_eq!(&vm.0, &th.0);
+        prop_assert_eq!(&vm.1, &th.1);
+        prop_assert_eq!(vm.2, th.2);
+        prop_assert_eq!(vm.3, th.3);
+    }
+}

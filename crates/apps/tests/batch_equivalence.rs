@@ -12,7 +12,7 @@
 use apps::runner::{EngineSel, run_app};
 use mpi_api::message::{SrcSel, TagSel};
 use mpi_api::runtime::JobLayout;
-use mpi_api::{Mpi, MpiResp};
+use mpi_api::{AsyncMpi, MpiResp, RankProgram};
 use proplite::prelude::*;
 use simcore::SimDuration;
 
@@ -42,25 +42,25 @@ fn checksum_of(results: &[(Option<Vec<u8>>, Option<mpi_api::Status>)], fanout: u
 }
 
 /// The schedule issued one call at a time.
-fn unbatched(s: Script) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
+fn unbatched(s: Script) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| async move {
         let (me, n) = (mpi.rank(), mpi.size());
         let payload: Vec<u8> = (0..s.msg_bytes).map(|i| (me + i) as u8).collect();
         let mut checksum = 0u64;
         for it in 0..s.iters {
-            mpi.compute(SimDuration::micros(s.granularity_us as u64));
+            mpi.compute(SimDuration::micros(s.granularity_us as u64)).await;
             if s.barrier {
-                mpi.barrier();
+                mpi.barrier().await;
             }
             let tag = it as i32;
             let mut reqs = Vec::new();
             for o in 1..=s.fanout {
-                reqs.push(mpi.isend((me + o) % n, tag, &payload));
+                reqs.push(mpi.isend((me + o) % n, tag, &payload).await);
             }
             for o in 1..=s.fanout {
-                reqs.push(mpi.irecv(SrcSel::Rank((me + n - o) % n), TagSel::Tag(tag)));
+                reqs.push(mpi.irecv(SrcSel::Rank((me + n - o) % n), TagSel::Tag(tag)).await);
             }
-            let results = mpi.waitall(&reqs);
+            let results = mpi.waitall(&reqs).await;
             checksum = checksum.wrapping_mul(1021).wrapping_add(checksum_of(&results, s.fanout));
         }
         checksum
@@ -70,8 +70,8 @@ fn unbatched(s: Script) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
 /// The same schedule with each iteration's calls folded into one
 /// [`mpi_api::Mpi::batch`] handoff (the previous iteration's waitall
 /// rides in the next batch, like `apps::synthetic::neighbor_loop`).
-fn batched(s: Script) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
-    move |mpi| {
+fn batched(s: Script) -> impl RankProgram<Out = u64> {
+    move |mut mpi: AsyncMpi| async move {
         let (me, n) = (mpi.rank(), mpi.size());
         let payload: Vec<u8> = (0..s.msg_bytes).map(|i| (me + i) as u8).collect();
         let mut checksum = 0u64;
@@ -88,7 +88,7 @@ fn batched(s: Script) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
             for o in 1..=s.fanout {
                 calls.push(mpi.irecv_desc(SrcSel::Rank((me + n - o) % n), TagSel::Tag(tag)));
             }
-            let resps = mpi.batch(calls);
+            let resps = mpi.batch(calls).await;
             let posts = resps.len() - 2 * s.fanout;
             assert!(resps[..posts].iter().all(|r| matches!(r, MpiResp::Ok)));
             let reqs: Vec<_> = resps[posts..]
@@ -98,7 +98,7 @@ fn batched(s: Script) -> impl Fn(&mut Mpi) -> u64 + Send + Sync {
                     other => unreachable!("batched post -> {other:?}"),
                 })
                 .collect();
-            let results = mpi.waitall(&reqs);
+            let results = mpi.waitall(&reqs).await;
             checksum = checksum.wrapping_mul(1021).wrapping_add(checksum_of(&results, s.fanout));
         }
         checksum

@@ -9,7 +9,7 @@
 //!
 //! Experiments: table1, fig2, fig8a, fig8b, fig8c, fig8d, fig9, fig10,
 //! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
-//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch.
+//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch, scale.
 //!
 //! Every selected experiment is decomposed into independent sweep points
 //! (see [`bench::experiments`]) and the points of *all* experiments are
@@ -56,7 +56,7 @@ fn main() {
                 println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
                 println!("             fig11a fig11b ablation-slice ablation-reduce");
                 println!("             ablation-noise ablation-chunk ablation-multijob");
-                println!("             ablation-fault storm-launch");
+                println!("             ablation-fault storm-launch scale");
                 println!("REPRO_THREADS controls the sweep worker count (default: all cores)");
                 return;
             }

@@ -69,6 +69,7 @@ pub fn registry(quick: bool) -> Vec<Experiment> {
         ablation_multijob_exp(),
         ablation_fault_exp(quick),
         storm_launch_exp(),
+        scale_exp(quick),
     ]
 }
 
@@ -207,19 +208,21 @@ pub fn fig2_exp() -> Experiment {
         }),
         Box::new(|| {
             let l = JobLayout::new(2, 1, 2);
-            let out = run_app(&EngineSel::bcs(), l, |mpi| {
+            let out = run_app(&EngineSel::bcs(), l, |mut mpi: mpi_api::AsyncMpi| async move {
                 let peer = 1 - mpi.rank();
-                let t0 = mpi.now();
+                let t0 = mpi.now().await;
                 for _ in 0..20 {
-                    let s = mpi.isend(peer, 1, &[0u8; 4096]);
-                    let q = mpi.irecv(
-                        mpi_api::message::SrcSel::Rank(peer),
-                        mpi_api::message::TagSel::Tag(1),
-                    );
-                    mpi.compute(SimDuration::millis(5));
-                    mpi.waitall(&[s, q]);
+                    let s = mpi.isend(peer, 1, &[0u8; 4096]).await;
+                    let q = mpi
+                        .irecv(
+                            mpi_api::message::SrcSel::Rank(peer),
+                            mpi_api::message::TagSel::Tag(1),
+                        )
+                        .await;
+                    mpi.compute(SimDuration::millis(5)).await;
+                    mpi.waitall(&[s, q]).await;
                 }
-                mpi.now().since(t0).as_millis_f64()
+                mpi.now().await.since(t0).as_millis_f64()
             });
             PointOut::new(vec![out.results[0]], vec![])
         }),
@@ -261,19 +264,20 @@ pub fn fig2_exp() -> Experiment {
 /// histogram.
 fn blocking_delay_histogram() -> simcore::stats::LogHistogram {
     let l = JobLayout::new(2, 1, 2);
-    let out = mpi_api::runtime::run_job(
+    let out = mpi_api::runtime::run_program(
         bcs_mpi::BcsMpi::new(BcsConfig::default(), &l),
         l,
-        |mpi| {
+        |mut mpi: mpi_api::AsyncMpi| async move {
             for i in 0..60u64 {
-                mpi.compute(SimDuration::micros(113 + (i * 197) % 463));
+                mpi.compute(SimDuration::micros(113 + (i * 197) % 463)).await;
                 if mpi.rank() == 0 {
-                    mpi.send(1, 1, &[0u8; 256]);
+                    mpi.send(1, 1, &[0u8; 256]).await;
                 } else {
                     mpi.recv(
                         mpi_api::message::SrcSel::Rank(0),
                         mpi_api::message::TagSel::Tag(1),
-                    );
+                    )
+                    .await;
                 }
             }
         },
@@ -292,12 +296,11 @@ fn fig8_iters(g: SimDuration) -> u64 {
 /// A (BCS, Quadrics) point pair returning each run's virtual elapsed ns.
 /// `lay` and `make` build the layout and app program inside each point so
 /// the closures only capture plain scalars.
-fn engine_pair_points<L, F, P, R>(points: &mut Vec<PointFn>, bcs: EngineSel, lay: L, make: F)
+fn engine_pair_points<L, F, P>(points: &mut Vec<PointFn>, bcs: EngineSel, lay: L, make: F)
 where
     L: Fn() -> JobLayout + Send + Clone + 'static,
     F: Fn() -> P + Send + Clone + 'static,
-    P: Fn(&mut mpi_api::Mpi) -> R + Send + Sync + 'static,
-    R: Send + 'static,
+    P: mpi_api::RankProgram,
 {
     let mk = make.clone();
     let l = lay.clone();
@@ -738,14 +741,18 @@ pub fn ablation_reduce_exp(quick: bool) -> Experiment {
                 let mut cfg = BcsConfig::default();
                 cfg.reduce_ns_per_byte = ns_per_byte;
                 let iters = 20u64;
-                let out = run_app(&EngineSel::Bcs(cfg), layout(ranks), move |mpi| {
-                    let data = vec![1.0f64; elems];
-                    let t0 = mpi.now();
-                    for _ in 0..iters {
-                        mpi.allreduce_f64(ReduceOp::Sum, &data);
-                    }
-                    mpi.now().since(t0).as_micros_f64() / iters as f64
-                });
+                let out = run_app(
+                    &EngineSel::Bcs(cfg),
+                    layout(ranks),
+                    move |mut mpi: mpi_api::AsyncMpi| async move {
+                        let data = vec![1.0f64; elems];
+                        let t0 = mpi.now().await;
+                        for _ in 0..iters {
+                            mpi.allreduce_f64(ReduceOp::Sum, &data).await;
+                        }
+                        mpi.now().await.since(t0).as_micros_f64() / iters as f64
+                    },
+                );
                 PointOut::new(vec![out.results[0]], vec![])
             }));
         }
@@ -849,19 +856,19 @@ pub fn ablation_chunk_exp(quick: bool) -> Experiment {
     let measure = |sel: EngineSel, sz: usize| -> PointFn {
         Box::new(move || {
             let l = JobLayout::new(2, 1, 2);
-            let out = run_app(&sel, l, move |mpi| {
+            let out = run_app(&sel, l, move |mut mpi: mpi_api::AsyncMpi| async move {
                 let reps = 4;
-                mpi.barrier();
-                let t0 = mpi.now();
+                mpi.barrier().await;
+                let t0 = mpi.now().await;
                 for i in 0..reps {
                     if mpi.rank() == 0 {
-                        mpi.send(1, i, &vec![7u8; sz]);
+                        mpi.send(1, i, &vec![7u8; sz]).await;
                     } else {
-                        mpi.recv_from(0, i);
+                        mpi.recv_from(0, i).await;
                     }
                 }
-                mpi.barrier();
-                (sz as f64 * reps as f64) / mpi.now().since(t0).as_secs_f64() / 1e6
+                mpi.barrier().await;
+                (sz as f64 * reps as f64) / mpi.now().await.since(t0).as_secs_f64() / 1e6
             });
             PointOut::new(vec![out.results[1]], vec![])
         })
@@ -913,16 +920,16 @@ pub fn ablation_multijob_exp() -> Experiment {
     // Two jobs of blocking ring exchanges, gang-scheduled on shared nodes.
     let steps = 60u64;
     let compute = SimDuration::micros(1_300);
-    let program = move |mpi: &mut mpi_api::Mpi| {
+    let program = move |mut mpi: mpi_api::AsyncMpi| async move {
         let me = mpi.rank();
         let job = ((me % 4) / 2) as i64;
-        let comm = mpi.comm_split(None, job, 0).expect("job comm");
+        let comm = mpi.comm_split(None, job, 0).await.expect("job comm");
         let n = comm.size();
         let my = comm.rank;
         let right = comm.world_rank((my + 1) % n);
         let left = comm.world_rank((my + n - 1) % n);
         for step in 0..steps {
-            mpi.compute(compute);
+            mpi.compute(compute).await;
             let tag = (step % 512) as i32;
             mpi.sendrecv(
                 right,
@@ -930,7 +937,8 @@ pub fn ablation_multijob_exp() -> Experiment {
                 &[my as u8; 64],
                 mpi_api::message::SrcSel::Rank(left),
                 mpi_api::message::TagSel::Tag(tag),
-            );
+            )
+            .await;
         }
     };
     let lay = || JobLayout::new(4, 4, 16);
@@ -959,7 +967,7 @@ pub fn ablation_multijob_exp() -> Experiment {
             )
         }),
         Box::new(move || {
-            let dedicated = mpi_api::runtime::run_job(
+            let dedicated = mpi_api::runtime::run_program(
                 bcs_mpi::BcsMpi::new(BcsConfig::default(), &lay()),
                 lay(),
                 program,
@@ -976,7 +984,8 @@ pub fn ablation_multijob_exp() -> Experiment {
                 jobs,
                 switch_cost: SimDuration::micros(25),
             });
-            let gang = mpi_api::runtime::run_job(bcs_mpi::BcsMpi::new(gcfg, &lay()), lay(), program);
+            let gang =
+                mpi_api::runtime::run_program(bcs_mpi::BcsMpi::new(gcfg, &lay()), lay(), program);
             PointOut::new(
                 vec![],
                 vec![gang.elapsed.as_nanos(), gang.engine.gang_switches()],
@@ -1071,25 +1080,30 @@ pub fn ablation_fault_exp(quick: bool) -> Experiment {
     // Deterministic ring workload (specific receives, mixed chunked/small
     // payloads, periodic NIC allreduce): the checksum is timing-invariant,
     // so it detects any state lost or duplicated across a recovery.
-    let program = move |mpi: &mut mpi_api::Mpi| {
+    let program = move |mut mpi: mpi_api::AsyncMpi| async move {
         let me = mpi.rank();
         let n = mpi.size();
         let mut acc: u64 = (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         for it in 0..iters {
-            mpi.compute(SimDuration::micros(200 + 53 * ((me as u64 + it) % 5)));
+            mpi.compute(SimDuration::micros(200 + 53 * ((me as u64 + it) % 5))).await;
             let sz = if it % 2 == 0 { 64 * 1024 } else { 512 };
             let payload: Vec<u8> = (0..sz).map(|i| (acc ^ (i as u64)) as u8).collect();
-            let s = mpi.isend((me + 1) % n, it as i32, &payload);
-            let q = mpi.irecv(
-                mpi_api::message::SrcSel::Rank((me + n - 1) % n),
-                mpi_api::message::TagSel::Tag(it as i32),
-            );
-            let res = mpi.waitall(&[s, q]);
+            let s = mpi.isend((me + 1) % n, it as i32, &payload).await;
+            let q = mpi
+                .irecv(
+                    mpi_api::message::SrcSel::Rank((me + n - 1) % n),
+                    mpi_api::message::TagSel::Tag(it as i32),
+                )
+                .await;
+            let res = mpi.waitall(&[s, q]).await;
             for (i, b) in res[1].0.as_ref().expect("payload").iter().enumerate() {
                 acc = acc.wrapping_mul(31).wrapping_add(*b as u64 ^ (i as u64 & 0xFF));
             }
             if it % 3 == 2 {
-                for v in mpi.allreduce_f64(ReduceOp::Sum, &[me as f64, (acc as u32) as f64]) {
+                for v in mpi
+                    .allreduce_f64(ReduceOp::Sum, &[me as f64, (acc as u32) as f64])
+                    .await
+                {
                     acc ^= v.to_bits();
                 }
             }
@@ -1260,6 +1274,93 @@ pub fn ablation_fault_exp(quick: bool) -> Experiment {
             r.note("rework = virtual time rolled back and replayed (faulted rows) or grid spill (clean rows)");
             r.note("detect latency = crash instant to heartbeat declaration (2 ms strobe period)");
             vec![("ablation_fault", r)]
+        }),
+    }
+}
+
+// ======================================================================
+// Scale — BlueGene/L sweeps past the thread-per-rank ceiling
+// ======================================================================
+
+pub fn scale(quick: bool) -> Report {
+    only(scale_exp(quick).run_sequential())
+}
+
+/// Figure 8-style synthetic sweeps on the BlueGene/L interconnect model
+/// (Table 1's largest machine), extended to n=4096 — 66x the paper's
+/// 62-process Quadrics cluster. Rank programs run on the stackless VM
+/// backend, so the job needs one OS thread regardless of n and the sweep's
+/// peak thread count stays bounded by `REPRO_THREADS`.
+pub fn scale_exp(quick: bool) -> Experiment {
+    let ns: &'static [usize] = if quick { &[64, 1024, 4096] } else { &[62, 256, 1024, 4096] };
+    let g = SimDuration::millis(10);
+    // Iteration counts taper with n to keep the sweep inside the CI
+    // wall-clock budget; slowdown is per-iteration, so short loops measure
+    // the same quantity.
+    let iters = move |n: usize| -> u64 {
+        let base = if quick { 10 } else { 40 };
+        if n >= 4096 { base / 5 } else { base }
+    };
+    let bgl_layout = |n: usize| JobLayout::new(n.div_ceil(2), 2, n);
+    let bgl_bcs = || {
+        let mut c = BcsConfig::default();
+        c.net = qsnet::NetModel::bluegene_l();
+        EngineSel::Bcs(c)
+    };
+    let bgl_quadrics = || {
+        let mut c = QuadricsConfig::default();
+        c.net = qsnet::NetModel::bluegene_l();
+        EngineSel::Quadrics(c)
+    };
+
+    let mut points: Vec<PointFn> = Vec::new();
+    for &n in ns {
+        for mk_sel in [bgl_bcs as fn() -> EngineSel, bgl_quadrics as fn() -> EngineSel] {
+            points.push(Box::new(move || {
+                let cfg = synthetic::BarrierLoopCfg {
+                    granularity: g,
+                    iters: iters(n),
+                };
+                let out = run_app(&mk_sel(), bgl_layout(n), synthetic::barrier_loop(cfg));
+                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+            }));
+        }
+    }
+    for &n in ns {
+        for mk_sel in [bgl_bcs as fn() -> EngineSel, bgl_quadrics as fn() -> EngineSel] {
+            points.push(Box::new(move || {
+                let cfg = synthetic::NeighborLoopCfg::paper(g, iters(n));
+                let out = run_app(&mk_sel(), bgl_layout(n), synthetic::neighbor_loop(cfg));
+                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+            }));
+        }
+    }
+    Experiment {
+        name: "scale",
+        cli: "scale",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Scale: synthetic benchmarks on BlueGene/L to n=4096 (10 ms granularity)",
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            for (ni, &n) in ns.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, ni);
+                if n == 4096 {
+                    r.metric("barrier_n4096_slowdown_pct", sd);
+                }
+                r.row(format!("barrier n={n}"), cells);
+            }
+            for (ni, &n) in ns.iter().enumerate() {
+                let (cells, sd) = pair_cells(&outs, ns.len() + ni);
+                if n == 4096 {
+                    r.metric("neighbor_n4096_slowdown_pct", sd);
+                }
+                r.row(format!("neighbor n={n}"), cells);
+            }
+            r.note("layout: 2 CPUs per node, n/2 compute nodes; net = Table 1 BlueGene/L");
+            r.note("rank programs execute on the stackless VM backend: one OS thread per point, any n");
+            vec![("scale", r)]
         }),
     }
 }

@@ -50,6 +50,8 @@ fn full() -> Vec<Expectation> {
         E("ablation_fault", "recovered_bit_identical", 1.0, 0.0),
         E("ablation_fault", "max_detect_latency_ms", 1.3, 1.2),
         E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 1.0),
+        E("scale", "barrier_n4096_slowdown_pct", 4.98, 1.5),
+        E("scale", "neighbor_n4096_slowdown_pct", 4.56, 1.5),
     ]
 }
 
@@ -64,6 +66,8 @@ fn quick() -> Vec<Expectation> {
         E("ablation_fault", "recovered_bit_identical", 1.0, 0.0),
         E("ablation_fault", "max_detect_latency_ms", 1.8, 1.2),
         E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 0.5),
+        E("scale", "barrier_n4096_slowdown_pct", 4.98, 1.5),
+        E("scale", "neighbor_n4096_slowdown_pct", 4.48, 1.5),
     ]
 }
 

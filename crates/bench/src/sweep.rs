@@ -54,10 +54,12 @@ pub struct SweepStats {
 }
 
 impl SweepStats {
-    /// Mean worker utilization in `[0, 1]`.
+    /// Mean worker utilization in `[0, 1]`. A sweep that measured no wall
+    /// time or ran no workers did zero useful work, so it reports 0.0 —
+    /// not the 1.0 a naive busy/wall ratio would degenerate to.
     pub fn utilization(&self) -> f64 {
         if self.wall_secs <= 0.0 || self.worker_busy_secs.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         let busy: f64 = self.worker_busy_secs.iter().sum();
         busy / (self.wall_secs * self.worker_busy_secs.len() as f64)
@@ -253,6 +255,34 @@ mod tests {
         // everything else meanwhile (utilization sanity, not a timing
         // assertion that could flake).
         assert!(stats.worker_busy_secs.iter().sum::<f64>() >= 0.03);
+    }
+
+    #[test]
+    fn utilization_is_zero_for_degenerate_sweeps() {
+        // Zero wall clock: no time passed, so nothing was utilized.
+        let zero_wall = SweepStats {
+            threads: 4,
+            wall_secs: 0.0,
+            worker_busy_secs: vec![0.0; 4],
+            point_secs: vec![],
+        };
+        assert_eq!(zero_wall.utilization(), 0.0);
+        // Empty sweep: no workers recorded any busy time.
+        let no_workers = SweepStats {
+            threads: 1,
+            wall_secs: 1.0,
+            worker_busy_secs: vec![],
+            point_secs: vec![],
+        };
+        assert_eq!(no_workers.utilization(), 0.0);
+        // Sanity: a real ratio still comes through.
+        let half = SweepStats {
+            threads: 2,
+            wall_secs: 1.0,
+            worker_busy_secs: vec![0.5, 0.5],
+            point_secs: vec![0.5, 0.5],
+        };
+        assert!((half.utilization() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -55,10 +55,12 @@ impl WallclockReport {
         self.experiments.iter().map(|e| e.busy_secs).sum()
     }
 
-    /// Mean worker utilization in `[0, 1]`.
+    /// Mean worker utilization in `[0, 1]`. Degenerate reports (no wall
+    /// time, no workers) did no work and report 0.0, matching
+    /// [`crate::sweep::SweepStats::utilization`].
     pub fn utilization(&self) -> f64 {
         if self.wall_secs <= 0.0 || self.worker_busy_secs.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         self.worker_busy_secs.iter().sum::<f64>()
             / (self.wall_secs * self.worker_busy_secs.len() as f64)
@@ -235,7 +237,7 @@ mod tests {
         };
         let parsed = WallclockReport::from_json(&r.to_json()).unwrap();
         assert_eq!(r, parsed);
-        assert_eq!(parsed.utilization(), 1.0);
+        assert_eq!(parsed.utilization(), 0.0);
     }
 
     #[test]

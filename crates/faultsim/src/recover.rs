@@ -18,14 +18,31 @@
 use crate::plan::{CrashEvent, FaultPlan};
 use bcs_core::BcsWorld;
 use bcs_mpi::{BcsConfig, BcsMpi, CheckpointImage, FailureInfo};
-use mpi_api::Mpi;
-use mpi_api::runtime::{ClusterWorld, JobLayout, RunOpts, resume_job, run_job_hooked};
+use mpi_api::RankProgram;
+use mpi_api::runtime::{
+    Backend, ClusterWorld, JobLayout, RunOpts, resume_program, run_program_hooked,
+};
 use qsnet::NodeId;
 use simcore::{Sim, SimDuration, SimTime};
 use std::rc::Rc;
 use std::sync::Arc;
 
 type W = ClusterWorld<BcsMpi>;
+
+/// `Arc`-shared rank program: every recovery segment boots ranks from the
+/// same program value without requiring `P: Clone`.
+struct Shared<P>(Arc<P>);
+
+impl<P: RankProgram> RankProgram for Shared<P> {
+    type Out = P::Out;
+
+    fn boot(
+        &self,
+        mpi: mpi_api::AsyncMpi,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Self::Out>>> {
+        self.0.boot(mpi)
+    }
+}
 
 /// Configuration of the recovery machinery around a [`BcsConfig`].
 #[derive(Clone, Debug)]
@@ -41,6 +58,8 @@ pub struct RecoveryCfg {
     pub max_restarts: usize,
     /// Per-segment run options (virtual-time horizon).
     pub opts: RunOpts,
+    /// Rank-program backend for every segment (default: the stackless VM).
+    pub backend: Backend,
 }
 
 impl RecoveryCfg {
@@ -60,6 +79,7 @@ impl RecoveryCfg {
             opts: RunOpts {
                 max_virtual: Some(SimDuration::secs(60)),
             },
+            backend: Backend::default(),
         }
     }
 }
@@ -117,15 +137,14 @@ pub struct RecoveryOutcome<R> {
 
 /// Run `program` under `plan`, recovering from failures at slice-boundary
 /// checkpoints. See the module docs for the segment protocol.
-pub fn run_with_recovery<R, F>(
+pub fn run_with_recovery<P>(
     cfg: &RecoveryCfg,
     layout: JobLayout,
     plan: &FaultPlan,
-    program: F,
-) -> RecoveryOutcome<R>
+    program: P,
+) -> RecoveryOutcome<P::Out>
 where
-    R: Send + 'static,
-    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+    P: RankProgram,
 {
     assert!(
         cfg.bcs.checkpoint_every.is_some() && cfg.bcs.checkpoint_images,
@@ -147,19 +166,20 @@ where
 
     // Segment 0: fresh run with the full plan armed.
     let mut outcome = {
-        let prog = Arc::clone(&program);
+        let prog = Shared(Arc::clone(&program));
         let plan0 = plan.clone();
         let crashes0 = plan.crashes.clone();
         let hb = cfg.heartbeat_period;
-        run_job_hooked(
+        run_program_hooked(
             BcsMpi::new(cfg.bcs.clone(), &layout),
             layout.clone(),
-            move |mpi| prog(mpi),
+            prog,
             move |w: &mut W, sim: &mut Sim<W>| {
                 w.set_recording(true);
                 inject(w, sim, &crashes0, &plan0, hb, SimTime::ZERO);
             },
             cfg.opts.clone(),
+            cfg.backend,
         )
     };
 
@@ -232,20 +252,21 @@ where
         // (the fabric snapshot revives every node); later ones stay armed.
         let remaining = plan.crashes_after(fail.at);
         let engine = BcsMpi::restore_from_image(cfg.bcs.clone(), &layout, &img);
-        let prog = Arc::clone(&program);
+        let prog = Shared(Arc::clone(&program));
         let planr = plan.clone();
         let hb = cfg.heartbeat_period;
         let monitor_at = img.captured_at;
-        outcome = resume_job(
+        outcome = resume_program(
             engine,
             layout.clone(),
-            move |mpi| prog(mpi),
+            prog,
             &img.rt,
             |w: &mut W, sim: &mut Sim<W>| bcs_mpi::resume_from_boundary(w, sim),
             move |w: &mut W, sim: &mut Sim<W>| {
                 inject(w, sim, &remaining, &planr, hb, monitor_at);
             },
             cfg.opts.clone(),
+            cfg.backend,
         );
     }
 }
@@ -334,18 +355,17 @@ fn aborted<R>(
 /// same program (no monitor, no recording, no faults) under `cfg`'s engine
 /// configuration with images disabled — the timing baseline against which
 /// checkpoint overhead and recovery cost are measured.
-pub fn fault_free_reference<R, F>(
+pub fn fault_free_reference<P>(
     bcs: &BcsConfig,
     layout: JobLayout,
-    program: F,
+    program: P,
     opts: RunOpts,
-) -> mpi_api::runtime::RunResult<R, BcsMpi>
+) -> mpi_api::runtime::RunResult<P::Out, BcsMpi>
 where
-    R: Send + 'static,
-    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+    P: RankProgram,
 {
     let mut cfg = bcs.clone();
     cfg.checkpoint_images = false;
     cfg.checkpoint_cost = SimDuration::ZERO;
-    mpi_api::runtime::run_job_opts(BcsMpi::new(cfg, &layout), layout, program, opts)
+    mpi_api::runtime::run_program_opts(BcsMpi::new(cfg, &layout), layout, program, opts)
 }

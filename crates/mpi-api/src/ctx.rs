@@ -1,4 +1,4 @@
-//! [`Mpi`] — the handle a rank program uses.
+//! [`AsyncMpi`] / [`Mpi`] — the handles a rank program uses.
 //!
 //! The engine-backed primitives (point-to-point, probe/test/wait, barrier,
 //! bcast, reduce/allreduce) each cross to the engine as one [`MpiCall`].
@@ -8,12 +8,32 @@
 //! engines ("the point-to-point primitives and the basic collective
 //! primitives ... are implemented in the NIC while the rest of them are
 //! built on top of those").
+//!
+//! All MPI logic lives in [`AsyncMpi`], whose `async` methods suspend at
+//! every engine handoff. It runs over either [`Conduit`]:
+//!
+//! * **VM** — a [`simcore::VmChannel`]; awaiting a call parks the rank's
+//!   state machine (`Poll::Pending`) until the runtime delivers the
+//!   response. No OS thread is involved.
+//! * **Thread** — a [`simcore::ProcessHandle`]; the call blocks the rank's
+//!   cooperative thread and the future never observes `Pending`.
+//!
+//! [`Mpi`] is the synchronous facade over the thread conduit: each method
+//! drives the corresponding `AsyncMpi` future with [`ready`], which is
+//! guaranteed to complete in one poll because the thread conduit resolves
+//! every call synchronously. Keeping one implementation behind both
+//! surfaces is what makes the VM/thread backend equivalence structural
+//! rather than aspirational: there is no second copy of the call-ordering
+//! logic to drift.
 
 use crate::call::{MpiCall, MpiResp, ReqId};
 use crate::comm::{CommHandle, CommId};
 use crate::datatype::{self, Datatype, ReduceOp};
 use crate::message::{SrcSel, Status, TagSel};
-use simcore::{ProcessHandle, SimDuration, SimTime};
+use simcore::{ProcessHandle, SimDuration, SimTime, VmChannel};
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
 
 /// Base of the tag space reserved for composed collectives. User tags must
 /// be non-negative (asserted), so no collision is possible.
@@ -21,22 +41,84 @@ const COLL_TAG_BASE: i32 = i32::MIN / 2;
 /// Collective sequence numbers wrap well before tag overflow.
 const COLL_SEQ_MOD: i32 = 1 << 20;
 
-/// MPI context of one simulated rank.
-pub struct Mpi<'a> {
-    handle: &'a mut ProcessHandle<MpiCall, MpiResp>,
+/// How a rank's calls reach the simulator: parked OS thread or stackless VM.
+enum Conduit {
+    Thread(ProcessHandle<MpiCall, MpiResp>),
+    Vm(VmChannel<MpiCall, MpiResp>),
+}
+
+/// Drive a future that is known to complete without suspending (every
+/// engine handoff resolves synchronously on the thread conduit).
+pub(crate) fn ready<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(v) => v,
+        Poll::Pending => unreachable!(
+            "synchronous Mpi facade suspended; blocking-style programs run only on the thread conduit"
+        ),
+    }
+}
+
+/// A rank program as data: booted once per rank into a stackless state
+/// machine (a future) that the runtime steps through the [`MpiCall`] /
+/// [`MpiResp`] protocol. The same program value boots every rank of a job
+/// — and, on the thread backend, the identical future is simply driven to
+/// completion on the rank's cooperative thread, which is what makes the
+/// two backends bit-for-bit comparable.
+///
+/// Any `Fn(AsyncMpi) -> impl Future` closure is a `RankProgram` via the
+/// blanket impl; write programs as
+/// `move |mut mpi: AsyncMpi| async move { ... }`.
+pub trait RankProgram: Send + Sync + 'static {
+    /// Per-rank result type.
+    type Out: Send + 'static;
+
+    /// Instantiate this program for one rank.
+    fn boot(&self, mpi: AsyncMpi) -> Pin<Box<dyn Future<Output = Self::Out>>>;
+}
+
+impl<F, Fut> RankProgram for F
+where
+    F: Fn(AsyncMpi) -> Fut + Send + Sync + 'static,
+    Fut: Future + 'static,
+    Fut::Output: Send + 'static,
+{
+    type Out = Fut::Output;
+
+    fn boot(&self, mpi: AsyncMpi) -> Pin<Box<dyn Future<Output = Self::Out>>> {
+        Box::pin(self(mpi))
+    }
+}
+
+/// MPI context of one simulated rank (suspending flavour; see the module
+/// docs for how it relates to [`Mpi`]).
+pub struct AsyncMpi {
+    chan: Conduit,
     rank: usize,
     size: usize,
     coll_seq: i32,
 }
 
-impl<'a> Mpi<'a> {
-    pub fn new(
-        handle: &'a mut ProcessHandle<MpiCall, MpiResp>,
+impl AsyncMpi {
+    /// Context over a cooperative-thread handle (calls block the thread).
+    pub fn from_thread(
+        handle: ProcessHandle<MpiCall, MpiResp>,
         rank: usize,
         size: usize,
-    ) -> Mpi<'a> {
-        Mpi {
-            handle,
+    ) -> AsyncMpi {
+        AsyncMpi {
+            chan: Conduit::Thread(handle),
+            rank,
+            size,
+            coll_seq: 0,
+        }
+    }
+
+    /// Context over a VM channel (calls suspend the rank's state machine).
+    pub fn from_vm(chan: VmChannel<MpiCall, MpiResp>, rank: usize, size: usize) -> AsyncMpi {
+        AsyncMpi {
+            chan: Conduit::Vm(chan),
             rank,
             size,
             coll_seq: 0,
@@ -55,8 +137,11 @@ impl<'a> Mpi<'a> {
         self.size
     }
 
-    fn call(&mut self, call: MpiCall) -> MpiResp {
-        self.handle.call(call)
+    async fn call(&mut self, call: MpiCall) -> MpiResp {
+        match &mut self.chan {
+            Conduit::Thread(h) => h.call(call),
+            Conduit::Vm(ch) => ch.call(call).await,
+        }
     }
 
     /// Post several non-blocking operations (isend/irecv) in **one**
@@ -65,14 +150,15 @@ impl<'a> Mpi<'a> {
     /// The runtime unpacks the batch and feeds each sub-call to the engine
     /// at the exact virtual instant a sequential caller would have issued
     /// it, so results and timing are identical to k separate calls — the
-    /// rank's OS thread just pays one channel round trip instead of k. The
-    /// composed collectives below route their post loops through this.
-    pub fn post_batch(&mut self, calls: Vec<MpiCall>) -> Vec<ReqId> {
+    /// rank just pays one harness round trip instead of k. The composed
+    /// collectives below route their post loops through this.
+    pub async fn post_batch(&mut self, calls: Vec<MpiCall>) -> Vec<ReqId> {
         assert!(
             calls.iter().all(MpiCall::is_nonblocking_post),
             "post_batch accepts only non-blocking posts"
         );
         self.batch(calls)
+            .await
             .into_iter()
             .map(|resp| match resp {
                 MpiResp::Req(r) => r,
@@ -86,17 +172,17 @@ impl<'a> Mpi<'a> {
     ///
     /// Blocking members (compute, send, barrier) delay the following
     /// sub-call to their completion instant, exactly as they would delay an
-    /// unbatched caller, so virtual timing is identical; the rank's OS
-    /// thread regains control once all sub-calls have completed.
-    pub fn batch(&mut self, mut calls: Vec<MpiCall>) -> Vec<MpiResp> {
+    /// unbatched caller, so virtual timing is identical; the rank regains
+    /// control once all sub-calls have completed.
+    pub async fn batch(&mut self, mut calls: Vec<MpiCall>) -> Vec<MpiResp> {
         assert!(
             calls.iter().all(MpiCall::is_batchable),
             "batch accepts only batchable calls (see MpiCall::is_batchable)"
         );
         match calls.len() {
             0 => Vec::new(),
-            1 => vec![self.call(calls.pop().expect("len checked"))],
-            _ => match self.call(MpiCall::Batch { calls }) {
+            1 => vec![self.call(calls.pop().expect("len checked")).await],
+            _ => match self.call(MpiCall::Batch { calls }).await {
                 MpiResp::Batch { resps } => resps,
                 other => unreachable!("batch -> {other:?}"),
             },
@@ -104,15 +190,17 @@ impl<'a> Mpi<'a> {
     }
 
     /// Compute for `d`, then barrier over MPI_COMM_WORLD, in one harness
-    /// handoff — the bulk-synchronous inner loop as a single OS-thread
+    /// handoff — the bulk-synchronous inner loop as a single harness
     /// round trip. Timing-identical to `compute(d); barrier()`.
-    pub fn compute_then_barrier(&mut self, d: SimDuration) {
-        let resps = self.batch(vec![
-            MpiCall::Compute { ns: d.as_nanos() },
-            MpiCall::Barrier {
-                comm: CommId::WORLD,
-            },
-        ]);
+    pub async fn compute_then_barrier(&mut self, d: SimDuration) {
+        let resps = self
+            .batch(vec![
+                MpiCall::Compute { ns: d.as_nanos() },
+                MpiCall::Barrier {
+                    comm: CommId::WORLD,
+                },
+            ])
+            .await;
         debug_assert!(
             resps.iter().all(|r| matches!(r, MpiResp::Ok)),
             "compute/barrier -> {resps:?}"
@@ -176,16 +264,16 @@ impl<'a> Mpi<'a> {
     // ------------------------------------------------------------------
 
     /// Spend `d` of virtual CPU time computing.
-    pub fn compute(&mut self, d: SimDuration) {
-        match self.call(MpiCall::Compute { ns: d.as_nanos() }) {
+    pub async fn compute(&mut self, d: SimDuration) {
+        match self.call(MpiCall::Compute { ns: d.as_nanos() }).await {
             MpiResp::Ok => {}
             other => unreachable!("compute -> {other:?}"),
         }
     }
 
     /// Current virtual time (MPI_Wtime).
-    pub fn now(&mut self) -> SimTime {
-        match self.call(MpiCall::Now) {
+    pub async fn now(&mut self) -> SimTime {
+        match self.call(MpiCall::Now).await {
             MpiResp::Time(ns) => SimTime(ns),
             other => unreachable!("now -> {other:?}"),
         }
@@ -196,46 +284,55 @@ impl<'a> Mpi<'a> {
     // ------------------------------------------------------------------
 
     /// MPI_Send (blocking).
-    pub fn send(&mut self, dest: usize, tag: i32, data: &[u8]) {
+    pub async fn send(&mut self, dest: usize, tag: i32, data: &[u8]) {
         assert!(tag >= 0, "user tags must be non-negative");
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
-        match self.call(MpiCall::Send {
-            dest,
-            tag,
-            data: data.into(),
-            blocking: true,
-        }) {
+        match self
+            .call(MpiCall::Send {
+                dest,
+                tag,
+                data: data.into(),
+                blocking: true,
+            })
+            .await
+        {
             MpiResp::Ok => {}
             other => unreachable!("send -> {other:?}"),
         }
     }
 
     /// MPI_Isend (non-blocking).
-    pub fn isend(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+    pub async fn isend(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
         assert!(tag >= 0, "user tags must be non-negative");
         assert!(dest < self.size, "isend to rank {dest} of {}", self.size);
-        self.isend_internal(dest, tag, data)
+        self.isend_internal(dest, tag, data).await
     }
 
-    fn isend_internal(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
-        match self.call(MpiCall::Send {
-            dest,
-            tag,
-            data: data.into(),
-            blocking: false,
-        }) {
+    async fn isend_internal(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        match self
+            .call(MpiCall::Send {
+                dest,
+                tag,
+                data: data.into(),
+                blocking: false,
+            })
+            .await
+        {
             MpiResp::Req(r) => r,
             other => unreachable!("isend -> {other:?}"),
         }
     }
 
     /// MPI_Recv (blocking). Returns the payload and its status.
-    pub fn recv(&mut self, src: SrcSel, tag: TagSel) -> (Vec<u8>, Status) {
-        match self.call(MpiCall::Recv {
-            src,
-            tag,
-            blocking: true,
-        }) {
+    pub async fn recv(&mut self, src: SrcSel, tag: TagSel) -> (Vec<u8>, Status) {
+        match self
+            .call(MpiCall::Recv {
+                src,
+                tag,
+                blocking: true,
+            })
+            .await
+        {
             MpiResp::WaitDone {
                 data: Some(d),
                 status: Some(s),
@@ -245,14 +342,14 @@ impl<'a> Mpi<'a> {
     }
 
     /// Blocking receive from an exact source/tag (the common case).
-    pub fn recv_from(&mut self, src: usize, tag: i32) -> Vec<u8> {
-        self.recv(SrcSel::Rank(src), TagSel::Tag(tag)).0
+    pub async fn recv_from(&mut self, src: usize, tag: i32) -> Vec<u8> {
+        self.recv(SrcSel::Rank(src), TagSel::Tag(tag)).await.0
     }
 
     /// MPI_Sendrecv: simultaneous exchange without deadlock risk — the
     /// receive is pre-posted, the send is non-blocking, and both complete
     /// before returning.
-    pub fn sendrecv(
+    pub async fn sendrecv(
         &mut self,
         dest: usize,
         send_tag: i32,
@@ -262,11 +359,13 @@ impl<'a> Mpi<'a> {
     ) -> (Vec<u8>, Status) {
         assert!(send_tag >= 0, "user tags must be non-negative");
         assert!(dest < self.size, "sendrecv to rank {dest} of {}", self.size);
-        let reqs = self.post_batch(vec![
-            Self::irecv_call(src, recv_tag),
-            Self::isend_call(dest, send_tag, data),
-        ]);
-        let mut results = self.waitall(&reqs);
+        let reqs = self
+            .post_batch(vec![
+                Self::irecv_call(src, recv_tag),
+                Self::isend_call(dest, send_tag, data),
+            ])
+            .await;
+        let mut results = self.waitall(&reqs).await;
         let (payload, status) = results.swap_remove(0);
         (
             payload.expect("sendrecv recv payload"),
@@ -275,28 +374,31 @@ impl<'a> Mpi<'a> {
     }
 
     /// MPI_Irecv (non-blocking).
-    pub fn irecv(&mut self, src: SrcSel, tag: TagSel) -> ReqId {
-        match self.call(MpiCall::Recv {
-            src,
-            tag,
-            blocking: false,
-        }) {
+    pub async fn irecv(&mut self, src: SrcSel, tag: TagSel) -> ReqId {
+        match self
+            .call(MpiCall::Recv {
+                src,
+                tag,
+                blocking: false,
+            })
+            .await
+        {
             MpiResp::Req(r) => r,
             other => unreachable!("irecv -> {other:?}"),
         }
     }
 
     /// MPI_Wait: returns the receive payload (None for a send request).
-    pub fn wait(&mut self, req: ReqId) -> (Option<Vec<u8>>, Option<Status>) {
-        match self.call(MpiCall::Wait { req }) {
+    pub async fn wait(&mut self, req: ReqId) -> (Option<Vec<u8>>, Option<Status>) {
+        match self.call(MpiCall::Wait { req }).await {
             MpiResp::WaitDone { data, status } => (data.map(|d| d.into_vec()), status),
             other => unreachable!("wait -> {other:?}"),
         }
     }
 
     /// Wait on a receive request, unwrapping the payload.
-    pub fn wait_recv(&mut self, req: ReqId) -> (Vec<u8>, Status) {
-        let (d, s) = self.wait(req);
+    pub async fn wait_recv(&mut self, req: ReqId) -> (Vec<u8>, Status) {
+        let (d, s) = self.wait(req).await;
         (
             d.expect("wait_recv on a send request"),
             s.expect("receive completion must carry a status"),
@@ -304,59 +406,74 @@ impl<'a> Mpi<'a> {
     }
 
     /// MPI_Test: `None` if the request is still in flight.
-    pub fn test(&mut self, req: ReqId) -> Option<(Option<Vec<u8>>, Option<Status>)> {
-        match self.call(MpiCall::Test { req }) {
+    pub async fn test(&mut self, req: ReqId) -> Option<(Option<Vec<u8>>, Option<Status>)> {
+        match self.call(MpiCall::Test { req }).await {
             MpiResp::TestDone { result } => result.map(|(d, s)| (d.map(|d| d.into_vec()), s)),
             other => unreachable!("test -> {other:?}"),
         }
     }
 
     /// MPI_Waitall: results in the order of `reqs`.
-    pub fn waitall(&mut self, reqs: &[ReqId]) -> Vec<(Option<Vec<u8>>, Option<Status>)> {
+    pub async fn waitall(&mut self, reqs: &[ReqId]) -> Vec<(Option<Vec<u8>>, Option<Status>)> {
         if reqs.is_empty() {
             return vec![];
         }
-        match self.call(MpiCall::Waitall {
-            reqs: reqs.to_vec(),
-        }) {
-            MpiResp::WaitallDone { results } => {
-                results.into_iter().map(|(d, s)| (d.map(|d| d.into_vec()), s)).collect()
-            }
+        match self
+            .call(MpiCall::Waitall {
+                reqs: reqs.to_vec(),
+            })
+            .await
+        {
+            MpiResp::WaitallDone { results } => results
+                .into_iter()
+                .map(|(d, s)| (d.map(|d| d.into_vec()), s))
+                .collect(),
             other => unreachable!("waitall -> {other:?}"),
         }
     }
 
     /// MPI_Testall: `None` (and nothing consumed) unless all complete.
-    pub fn testall(&mut self, reqs: &[ReqId]) -> Option<Vec<(Option<Vec<u8>>, Option<Status>)>> {
-        match self.call(MpiCall::Testall {
-            reqs: reqs.to_vec(),
-        }) {
-            MpiResp::TestallDone { results } => results.map(|rs| {
-                rs.into_iter().map(|(d, s)| (d.map(|d| d.into_vec()), s)).collect()
-            }),
+    pub async fn testall(
+        &mut self,
+        reqs: &[ReqId],
+    ) -> Option<Vec<(Option<Vec<u8>>, Option<Status>)>> {
+        match self
+            .call(MpiCall::Testall {
+                reqs: reqs.to_vec(),
+            })
+            .await
+        {
+            MpiResp::TestallDone { results } => results
+                .map(|rs| rs.into_iter().map(|(d, s)| (d.map(|d| d.into_vec()), s)).collect()),
             other => unreachable!("testall -> {other:?}"),
         }
     }
 
     /// MPI_Probe (blocking): status of the first matching message.
-    pub fn probe(&mut self, src: SrcSel, tag: TagSel) -> Status {
-        match self.call(MpiCall::Probe {
-            src,
-            tag,
-            blocking: true,
-        }) {
+    pub async fn probe(&mut self, src: SrcSel, tag: TagSel) -> Status {
+        match self
+            .call(MpiCall::Probe {
+                src,
+                tag,
+                blocking: true,
+            })
+            .await
+        {
             MpiResp::ProbeDone { status: Some(s) } => s,
             other => unreachable!("probe -> {other:?}"),
         }
     }
 
     /// MPI_Iprobe: `None` if no matching message has arrived.
-    pub fn iprobe(&mut self, src: SrcSel, tag: TagSel) -> Option<Status> {
-        match self.call(MpiCall::Probe {
-            src,
-            tag,
-            blocking: false,
-        }) {
+    pub async fn iprobe(&mut self, src: SrcSel, tag: TagSel) -> Option<Status> {
+        match self
+            .call(MpiCall::Probe {
+                src,
+                tag,
+                blocking: false,
+            })
+            .await
+        {
             MpiResp::ProbeDone { status } => status,
             other => unreachable!("iprobe -> {other:?}"),
         }
@@ -367,17 +484,17 @@ impl<'a> Mpi<'a> {
     // ------------------------------------------------------------------
 
     /// MPI_Barrier (world).
-    pub fn barrier(&mut self) {
-        self.barrier_on_id(CommId::WORLD)
+    pub async fn barrier(&mut self) {
+        self.barrier_on_id(CommId::WORLD).await
     }
 
     /// MPI_Barrier over a sub-communicator.
-    pub fn barrier_on(&mut self, comm: &CommHandle) {
-        self.barrier_on_id(comm.id)
+    pub async fn barrier_on(&mut self, comm: &CommHandle) {
+        self.barrier_on_id(comm.id).await
     }
 
-    fn barrier_on_id(&mut self, comm: CommId) {
-        match self.call(MpiCall::Barrier { comm }) {
+    async fn barrier_on_id(&mut self, comm: CommId) {
+        match self.call(MpiCall::Barrier { comm }).await {
             MpiResp::Ok => {}
             other => unreachable!("barrier -> {other:?}"),
         }
@@ -385,36 +502,44 @@ impl<'a> Mpi<'a> {
 
     /// MPI_Bcast: `data` is read on the root, ignored elsewhere; every rank
     /// (including the root) receives the broadcast payload.
-    pub fn bcast(&mut self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+    pub async fn bcast(&mut self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
         assert!(root < self.size);
         if self.rank == root {
             assert!(data.is_some(), "bcast root must supply data");
         }
-        self.bcast_on_id(CommId::WORLD, root, data)
+        self.bcast_on_id(CommId::WORLD, root, data).await
     }
 
     /// MPI_Bcast over a sub-communicator; `root` is a communicator rank.
-    pub fn bcast_on(&mut self, comm: &CommHandle, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+    pub async fn bcast_on(
+        &mut self,
+        comm: &CommHandle,
+        root: usize,
+        data: Option<&[u8]>,
+    ) -> Vec<u8> {
         assert!(root < comm.size());
         if comm.rank == root {
             assert!(data.is_some(), "bcast root must supply data");
         }
-        self.bcast_on_id(comm.id, root, data)
+        self.bcast_on_id(comm.id, root, data).await
     }
 
-    fn bcast_on_id(&mut self, comm: CommId, root: usize, data: Option<&[u8]>) -> Vec<u8> {
-        match self.call(MpiCall::Bcast {
-            comm,
-            root,
-            data: data.map(|d| d.into()),
-        }) {
+    async fn bcast_on_id(&mut self, comm: CommId, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        match self
+            .call(MpiCall::Bcast {
+                comm,
+                root,
+                data: data.map(|d| d.into()),
+            })
+            .await
+        {
             MpiResp::Data(d) => d.into_vec(),
             other => unreachable!("bcast -> {other:?}"),
         }
     }
 
     /// MPI_Reduce: result only on the root.
-    pub fn reduce(
+    pub async fn reduce(
         &mut self,
         root: usize,
         op: ReduceOp,
@@ -422,50 +547,56 @@ impl<'a> Mpi<'a> {
         data: &[u8],
     ) -> Option<Vec<u8>> {
         assert!(root < self.size);
-        match self.call(MpiCall::Reduce {
-            comm: CommId::WORLD,
-            root,
-            op,
-            dtype,
-            data: data.into(),
-            all: false,
-        }) {
+        match self
+            .call(MpiCall::Reduce {
+                comm: CommId::WORLD,
+                root,
+                op,
+                dtype,
+                data: data.into(),
+                all: false,
+            })
+            .await
+        {
             MpiResp::RootData(d) => d.map(|d| d.into_vec()),
             other => unreachable!("reduce -> {other:?}"),
         }
     }
 
     /// MPI_Allreduce (world).
-    pub fn allreduce(&mut self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> Vec<u8> {
-        self.allreduce_on_id(CommId::WORLD, op, dtype, data)
+    pub async fn allreduce(&mut self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> Vec<u8> {
+        self.allreduce_on_id(CommId::WORLD, op, dtype, data).await
     }
 
     /// MPI_Allreduce over a sub-communicator.
-    pub fn allreduce_on(
+    pub async fn allreduce_on(
         &mut self,
         comm: &CommHandle,
         op: ReduceOp,
         dtype: Datatype,
         data: &[u8],
     ) -> Vec<u8> {
-        self.allreduce_on_id(comm.id, op, dtype, data)
+        self.allreduce_on_id(comm.id, op, dtype, data).await
     }
 
-    fn allreduce_on_id(
+    async fn allreduce_on_id(
         &mut self,
         comm: CommId,
         op: ReduceOp,
         dtype: Datatype,
         data: &[u8],
     ) -> Vec<u8> {
-        match self.call(MpiCall::Reduce {
-            comm,
-            root: 0,
-            op,
-            dtype,
-            data: data.into(),
-            all: true,
-        }) {
+        match self
+            .call(MpiCall::Reduce {
+                comm,
+                root: 0,
+                op,
+                dtype,
+                data: data.into(),
+                all: true,
+            })
+            .await
+        {
             MpiResp::Data(d) => d.into_vec(),
             other => unreachable!("allreduce -> {other:?}"),
         }
@@ -474,14 +605,14 @@ impl<'a> Mpi<'a> {
     /// MPI_Comm_split: a collective over `parent` (`None` = world). Pass a
     /// negative `color` for MPI_UNDEFINED (returns `None`). Members of each
     /// color are ordered by `(key, world rank)`.
-    pub fn comm_split(
+    pub async fn comm_split(
         &mut self,
         parent: Option<&CommHandle>,
         color: i64,
         key: i64,
     ) -> Option<CommHandle> {
         let parent = parent.map_or(CommId::WORLD, |c| c.id);
-        match self.call(MpiCall::CommSplit { parent, color, key }) {
+        match self.call(MpiCall::CommSplit { parent, color, key }).await {
             MpiResp::CommSplitDone { handle } => handle,
             other => unreachable!("comm_split -> {other:?}"),
         }
@@ -489,7 +620,7 @@ impl<'a> Mpi<'a> {
 
     /// MPI_Alltoallv over a sub-communicator: `chunks[i]` goes to the
     /// communicator's rank `i`; returns chunks indexed by communicator rank.
-    pub fn alltoallv_on(&mut self, comm: &CommHandle, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    pub async fn alltoallv_on(&mut self, comm: &CommHandle, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
         assert_eq!(chunks.len(), comm.size(), "one chunk per member");
         let tag = self.next_coll_tag();
         let me_local = comm.rank;
@@ -509,27 +640,34 @@ impl<'a> Mpi<'a> {
                 recv_peers.push(i);
             }
         }
-        let reqs = self.post_batch(calls);
+        let reqs = self.post_batch(calls).await;
         let (sends, recvs) = reqs.split_at(comm.size() - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); comm.size()];
         out[me_local] = chunks[me_local].clone();
-        let results = self.waitall(recvs);
+        let results = self.waitall(recvs).await;
         for (&i, (payload, _)) in recv_peers.iter().zip(results) {
             out[i] = payload.expect("alltoall recv payload");
         }
-        self.waitall(sends);
+        self.waitall(sends).await;
         out
     }
 
     /// MPI_Allgatherv over a sub-communicator (indexed by communicator rank).
-    pub fn allgatherv_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
+    pub async fn allgatherv_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
         let chunks: Vec<Vec<u8>> = (0..comm.size()).map(|_| data.to_vec()).collect();
-        self.alltoallv_on(comm, &chunks)
+        self.alltoallv_on(comm, &chunks).await
     }
 
     /// Typed allreduce over a sub-communicator.
-    pub fn allreduce_f64_on(&mut self, comm: &CommHandle, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
-        let out = self.allreduce_on(comm, op, Datatype::F64, &datatype::to_bytes_f64(xs));
+    pub async fn allreduce_f64_on(
+        &mut self,
+        comm: &CommHandle,
+        op: ReduceOp,
+        xs: &[f64],
+    ) -> Vec<f64> {
+        let out = self
+            .allreduce_on(comm, op, Datatype::F64, &datatype::to_bytes_f64(xs))
+            .await;
         datatype::from_bytes_f64(&out)
     }
 
@@ -543,13 +681,13 @@ impl<'a> Mpi<'a> {
         t
     }
 
-    fn isend_raw(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
-        self.isend_internal(dest, tag, data)
+    async fn isend_raw(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        self.isend_internal(dest, tag, data).await
     }
 
     /// MPI_Scatterv: the root supplies one chunk per rank; every rank
     /// receives its chunk.
-    pub fn scatterv(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+    pub async fn scatterv(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
         let tag = self.next_coll_tag();
         if self.rank == root {
             let chunks = chunks.expect("scatterv root must supply chunks");
@@ -560,17 +698,17 @@ impl<'a> Mpi<'a> {
                     calls.push(Self::isend_call(r, tag, chunk));
                 }
             }
-            let reqs = self.post_batch(calls);
-            self.waitall(&reqs);
+            let reqs = self.post_batch(calls).await;
+            self.waitall(&reqs).await;
             chunks[root].clone()
         } else {
-            let req = self.irecv(SrcSel::Rank(root), TagSel::Tag(tag));
-            self.wait_recv(req).0
+            let req = self.irecv(SrcSel::Rank(root), TagSel::Tag(tag)).await;
+            self.wait_recv(req).await.0
         }
     }
 
     /// MPI_Scatter: equal-size chunks.
-    pub fn scatter(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+    pub async fn scatter(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
         if let Some(cs) = chunks {
             let len0 = cs.first().map_or(0, |c| c.len());
             assert!(
@@ -578,12 +716,12 @@ impl<'a> Mpi<'a> {
                 "scatter requires equal chunk sizes; use scatterv"
             );
         }
-        self.scatterv(root, chunks)
+        self.scatterv(root, chunks).await
     }
 
     /// MPI_Gatherv: every rank contributes; the root receives all chunks in
     /// rank order.
-    pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+    pub async fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut calls = Vec::with_capacity(self.size - 1);
@@ -592,8 +730,8 @@ impl<'a> Mpi<'a> {
                     calls.push(Self::irecv_call(SrcSel::Rank(r), TagSel::Tag(tag)));
                 }
             }
-            let reqs = self.post_batch(calls);
-            let results = self.waitall(&reqs);
+            let reqs = self.post_batch(calls).await;
+            let results = self.waitall(&reqs).await;
             let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size);
             let mut it = results.into_iter();
             for r in 0..self.size {
@@ -605,15 +743,15 @@ impl<'a> Mpi<'a> {
             }
             Some(out)
         } else {
-            let req = self.isend_raw(root, tag, data);
-            self.wait(req);
+            let req = self.isend_raw(root, tag, data).await;
+            self.wait(req).await;
             None
         }
     }
 
     /// MPI_Gather (equal sizes enforced at the root).
-    pub fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
-        let out = self.gatherv(root, data);
+    pub async fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let out = self.gatherv(root, data).await;
         if let Some(chunks) = &out {
             let len0 = chunks[0].len();
             assert!(
@@ -626,7 +764,7 @@ impl<'a> Mpi<'a> {
 
     /// MPI_Allgatherv: every rank receives every contribution, in rank
     /// order. All-pairs non-blocking exchange.
-    pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+    pub async fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
         let tag = self.next_coll_tag();
         let mut calls = Vec::with_capacity(2 * (self.size - 1));
         let mut recv_peers = Vec::with_capacity(self.size - 1);
@@ -641,21 +779,21 @@ impl<'a> Mpi<'a> {
                 recv_peers.push(r);
             }
         }
-        let reqs = self.post_batch(calls);
+        let reqs = self.post_batch(calls).await;
         let (sends, recvs) = reqs.split_at(self.size - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = data.to_vec();
-        let results = self.waitall(recvs);
+        let results = self.waitall(recvs).await;
         for (&r, (payload, _)) in recv_peers.iter().zip(results) {
             out[r] = payload.expect("allgather recv payload");
         }
-        self.waitall(sends);
+        self.waitall(sends).await;
         out
     }
 
     /// MPI_Allgather (equal sizes).
-    pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
-        let out = self.allgatherv(data);
+    pub async fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let out = self.allgatherv(data).await;
         let len0 = out[0].len();
         assert!(
             out.iter().all(|c| c.len() == len0),
@@ -666,7 +804,7 @@ impl<'a> Mpi<'a> {
 
     /// MPI_Alltoallv: `chunks[r]` goes to rank `r`; returns what each rank
     /// sent to us, in rank order.
-    pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    pub async fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
         assert_eq!(chunks.len(), self.size, "one chunk per destination");
         let tag = self.next_coll_tag();
         let mut calls = Vec::with_capacity(2 * (self.size - 1));
@@ -682,26 +820,26 @@ impl<'a> Mpi<'a> {
                 recv_peers.push(r);
             }
         }
-        let reqs = self.post_batch(calls);
+        let reqs = self.post_batch(calls).await;
         let (sends, recvs) = reqs.split_at(self.size - 1);
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = chunks[self.rank].clone();
-        let results = self.waitall(recvs);
+        let results = self.waitall(recvs).await;
         for (&r, (payload, _)) in recv_peers.iter().zip(results) {
             out[r] = payload.expect("alltoall recv payload");
         }
-        self.waitall(sends);
+        self.waitall(sends).await;
         out
     }
 
     /// MPI_Alltoall (equal sizes).
-    pub fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    pub async fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
         let len0 = chunks.first().map_or(0, |c| c.len());
         assert!(
             chunks.iter().all(|c| c.len() == len0),
             "alltoall requires equal chunk sizes; use alltoallv"
         );
-        self.alltoallv(chunks)
+        self.alltoallv(chunks).await
     }
 
     // ------------------------------------------------------------------
@@ -709,35 +847,334 @@ impl<'a> Mpi<'a> {
     // ------------------------------------------------------------------
 
     /// Allreduce over `f64` values.
-    pub fn allreduce_f64(&mut self, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
-        let out = self.allreduce(op, Datatype::F64, &datatype::to_bytes_f64(xs));
+    pub async fn allreduce_f64(&mut self, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
+        let out = self
+            .allreduce(op, Datatype::F64, &datatype::to_bytes_f64(xs))
+            .await;
         datatype::from_bytes_f64(&out)
     }
 
     /// Allreduce over `i64` values.
-    pub fn allreduce_i64(&mut self, op: ReduceOp, xs: &[i64]) -> Vec<i64> {
-        let out = self.allreduce(op, Datatype::I64, &datatype::to_bytes_i64(xs));
+    pub async fn allreduce_i64(&mut self, op: ReduceOp, xs: &[i64]) -> Vec<i64> {
+        let out = self
+            .allreduce(op, Datatype::I64, &datatype::to_bytes_i64(xs))
+            .await;
         datatype::from_bytes_i64(&out)
     }
 
     /// Reduce over `f64` values (result on root only).
-    pub fn reduce_f64(&mut self, root: usize, op: ReduceOp, xs: &[f64]) -> Option<Vec<f64>> {
+    pub async fn reduce_f64(&mut self, root: usize, op: ReduceOp, xs: &[f64]) -> Option<Vec<f64>> {
         self.reduce(root, op, Datatype::F64, &datatype::to_bytes_f64(xs))
+            .await
             .map(|b| datatype::from_bytes_f64(&b))
     }
 
     /// Send a typed `f64` slice.
+    pub async fn send_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) {
+        self.send(dest, tag, &datatype::to_bytes_f64(xs)).await;
+    }
+
+    /// Blocking receive of a typed `f64` slice from an exact source.
+    pub async fn recv_f64(&mut self, src: usize, tag: i32) -> Vec<f64> {
+        datatype::from_bytes_f64(&self.recv_from(src, tag).await)
+    }
+
+    /// Non-blocking send of a typed `f64` slice.
+    pub async fn isend_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) -> ReqId {
+        self.isend(dest, tag, &datatype::to_bytes_f64(xs)).await
+    }
+}
+
+/// MPI context of one simulated rank, blocking flavour: the handle rank
+/// programs written as plain closures (`Fn(&mut Mpi) -> R`) use. A thin
+/// facade over [`AsyncMpi`] on the thread conduit — every method body is
+/// `ready(self.inner.method(..))`, so there is exactly one implementation
+/// of each MPI operation.
+pub struct Mpi {
+    inner: AsyncMpi,
+}
+
+impl Mpi {
+    pub fn new(handle: ProcessHandle<MpiCall, MpiResp>, rank: usize, size: usize) -> Mpi {
+        Mpi {
+            inner: AsyncMpi::from_thread(handle, rank, size),
+        }
+    }
+
+    /// This process's rank in the job.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    /// Number of ranks in the job (MPI_COMM_WORLD size).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    /// See [`AsyncMpi::post_batch`].
+    pub fn post_batch(&mut self, calls: Vec<MpiCall>) -> Vec<ReqId> {
+        ready(self.inner.post_batch(calls))
+    }
+
+    /// See [`AsyncMpi::batch`].
+    pub fn batch(&mut self, calls: Vec<MpiCall>) -> Vec<MpiResp> {
+        ready(self.inner.batch(calls))
+    }
+
+    /// See [`AsyncMpi::compute_then_barrier`].
+    pub fn compute_then_barrier(&mut self, d: SimDuration) {
+        ready(self.inner.compute_then_barrier(d))
+    }
+
+    /// Build a `Compute` descriptor for [`Self::batch`].
+    pub fn compute_desc(&self, d: SimDuration) -> MpiCall {
+        self.inner.compute_desc(d)
+    }
+
+    /// Build an `MPI_Barrier` (MPI_COMM_WORLD) descriptor for
+    /// [`Self::batch`].
+    pub fn barrier_desc(&self) -> MpiCall {
+        self.inner.barrier_desc()
+    }
+
+    /// Build an `MPI_Waitall` descriptor for [`Self::batch`].
+    pub fn waitall_desc(&self, reqs: &[ReqId]) -> MpiCall {
+        self.inner.waitall_desc(reqs)
+    }
+
+    /// Build an `MPI_Isend` descriptor for [`Self::post_batch`].
+    pub fn isend_desc(&self, dest: usize, tag: i32, data: &[u8]) -> MpiCall {
+        self.inner.isend_desc(dest, tag, data)
+    }
+
+    /// Build an `MPI_Irecv` descriptor for [`Self::post_batch`].
+    pub fn irecv_desc(&self, src: SrcSel, tag: TagSel) -> MpiCall {
+        self.inner.irecv_desc(src, tag)
+    }
+
+    /// Spend `d` of virtual CPU time computing.
+    pub fn compute(&mut self, d: SimDuration) {
+        ready(self.inner.compute(d))
+    }
+
+    /// Current virtual time (MPI_Wtime).
+    pub fn now(&mut self) -> SimTime {
+        ready(self.inner.now())
+    }
+
+    /// MPI_Send (blocking).
+    pub fn send(&mut self, dest: usize, tag: i32, data: &[u8]) {
+        ready(self.inner.send(dest, tag, data))
+    }
+
+    /// MPI_Isend (non-blocking).
+    pub fn isend(&mut self, dest: usize, tag: i32, data: &[u8]) -> ReqId {
+        ready(self.inner.isend(dest, tag, data))
+    }
+
+    /// MPI_Recv (blocking). Returns the payload and its status.
+    pub fn recv(&mut self, src: SrcSel, tag: TagSel) -> (Vec<u8>, Status) {
+        ready(self.inner.recv(src, tag))
+    }
+
+    /// Blocking receive from an exact source/tag (the common case).
+    pub fn recv_from(&mut self, src: usize, tag: i32) -> Vec<u8> {
+        ready(self.inner.recv_from(src, tag))
+    }
+
+    /// See [`AsyncMpi::sendrecv`].
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: i32,
+        data: &[u8],
+        src: SrcSel,
+        recv_tag: TagSel,
+    ) -> (Vec<u8>, Status) {
+        ready(self.inner.sendrecv(dest, send_tag, data, src, recv_tag))
+    }
+
+    /// MPI_Irecv (non-blocking).
+    pub fn irecv(&mut self, src: SrcSel, tag: TagSel) -> ReqId {
+        ready(self.inner.irecv(src, tag))
+    }
+
+    /// MPI_Wait: returns the receive payload (None for a send request).
+    pub fn wait(&mut self, req: ReqId) -> (Option<Vec<u8>>, Option<Status>) {
+        ready(self.inner.wait(req))
+    }
+
+    /// Wait on a receive request, unwrapping the payload.
+    pub fn wait_recv(&mut self, req: ReqId) -> (Vec<u8>, Status) {
+        ready(self.inner.wait_recv(req))
+    }
+
+    /// MPI_Test: `None` if the request is still in flight.
+    pub fn test(&mut self, req: ReqId) -> Option<(Option<Vec<u8>>, Option<Status>)> {
+        ready(self.inner.test(req))
+    }
+
+    /// MPI_Waitall: results in the order of `reqs`.
+    pub fn waitall(&mut self, reqs: &[ReqId]) -> Vec<(Option<Vec<u8>>, Option<Status>)> {
+        ready(self.inner.waitall(reqs))
+    }
+
+    /// MPI_Testall: `None` (and nothing consumed) unless all complete.
+    pub fn testall(&mut self, reqs: &[ReqId]) -> Option<Vec<(Option<Vec<u8>>, Option<Status>)>> {
+        ready(self.inner.testall(reqs))
+    }
+
+    /// MPI_Probe (blocking): status of the first matching message.
+    pub fn probe(&mut self, src: SrcSel, tag: TagSel) -> Status {
+        ready(self.inner.probe(src, tag))
+    }
+
+    /// MPI_Iprobe: `None` if no matching message has arrived.
+    pub fn iprobe(&mut self, src: SrcSel, tag: TagSel) -> Option<Status> {
+        ready(self.inner.iprobe(src, tag))
+    }
+
+    /// MPI_Barrier (world).
+    pub fn barrier(&mut self) {
+        ready(self.inner.barrier())
+    }
+
+    /// MPI_Barrier over a sub-communicator.
+    pub fn barrier_on(&mut self, comm: &CommHandle) {
+        ready(self.inner.barrier_on(comm))
+    }
+
+    /// See [`AsyncMpi::bcast`].
+    pub fn bcast(&mut self, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        ready(self.inner.bcast(root, data))
+    }
+
+    /// MPI_Bcast over a sub-communicator; `root` is a communicator rank.
+    pub fn bcast_on(&mut self, comm: &CommHandle, root: usize, data: Option<&[u8]>) -> Vec<u8> {
+        ready(self.inner.bcast_on(comm, root, data))
+    }
+
+    /// MPI_Reduce: result only on the root.
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        ready(self.inner.reduce(root, op, dtype, data))
+    }
+
+    /// MPI_Allreduce (world).
+    pub fn allreduce(&mut self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> Vec<u8> {
+        ready(self.inner.allreduce(op, dtype, data))
+    }
+
+    /// MPI_Allreduce over a sub-communicator.
+    pub fn allreduce_on(
+        &mut self,
+        comm: &CommHandle,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Vec<u8> {
+        ready(self.inner.allreduce_on(comm, op, dtype, data))
+    }
+
+    /// See [`AsyncMpi::comm_split`].
+    pub fn comm_split(
+        &mut self,
+        parent: Option<&CommHandle>,
+        color: i64,
+        key: i64,
+    ) -> Option<CommHandle> {
+        ready(self.inner.comm_split(parent, color, key))
+    }
+
+    /// See [`AsyncMpi::alltoallv_on`].
+    pub fn alltoallv_on(&mut self, comm: &CommHandle, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        ready(self.inner.alltoallv_on(comm, chunks))
+    }
+
+    /// MPI_Allgatherv over a sub-communicator (indexed by communicator rank).
+    pub fn allgatherv_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
+        ready(self.inner.allgatherv_on(comm, data))
+    }
+
+    /// Typed allreduce over a sub-communicator.
+    pub fn allreduce_f64_on(&mut self, comm: &CommHandle, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
+        ready(self.inner.allreduce_f64_on(comm, op, xs))
+    }
+
+    /// See [`AsyncMpi::scatterv`].
+    pub fn scatterv(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        ready(self.inner.scatterv(root, chunks))
+    }
+
+    /// MPI_Scatter: equal-size chunks.
+    pub fn scatter(&mut self, root: usize, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        ready(self.inner.scatter(root, chunks))
+    }
+
+    /// See [`AsyncMpi::gatherv`].
+    pub fn gatherv(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        ready(self.inner.gatherv(root, data))
+    }
+
+    /// MPI_Gather (equal sizes enforced at the root).
+    pub fn gather(&mut self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        ready(self.inner.gather(root, data))
+    }
+
+    /// See [`AsyncMpi::allgatherv`].
+    pub fn allgatherv(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        ready(self.inner.allgatherv(data))
+    }
+
+    /// MPI_Allgather (equal sizes).
+    pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        ready(self.inner.allgather(data))
+    }
+
+    /// See [`AsyncMpi::alltoallv`].
+    pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        ready(self.inner.alltoallv(chunks))
+    }
+
+    /// MPI_Alltoall (equal sizes).
+    pub fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        ready(self.inner.alltoall(chunks))
+    }
+
+    /// Allreduce over `f64` values.
+    pub fn allreduce_f64(&mut self, op: ReduceOp, xs: &[f64]) -> Vec<f64> {
+        ready(self.inner.allreduce_f64(op, xs))
+    }
+
+    /// Allreduce over `i64` values.
+    pub fn allreduce_i64(&mut self, op: ReduceOp, xs: &[i64]) -> Vec<i64> {
+        ready(self.inner.allreduce_i64(op, xs))
+    }
+
+    /// Reduce over `f64` values (result on root only).
+    pub fn reduce_f64(&mut self, root: usize, op: ReduceOp, xs: &[f64]) -> Option<Vec<f64>> {
+        ready(self.inner.reduce_f64(root, op, xs))
+    }
+
+    /// Send a typed `f64` slice.
     pub fn send_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) {
-        self.send(dest, tag, &datatype::to_bytes_f64(xs));
+        ready(self.inner.send_f64(dest, tag, xs))
     }
 
     /// Blocking receive of a typed `f64` slice from an exact source.
     pub fn recv_f64(&mut self, src: usize, tag: i32) -> Vec<f64> {
-        datatype::from_bytes_f64(&self.recv_from(src, tag))
+        ready(self.inner.recv_f64(src, tag))
     }
 
     /// Non-blocking send of a typed `f64` slice.
     pub fn isend_f64(&mut self, dest: usize, tag: i32, xs: &[f64]) -> ReqId {
-        self.isend(dest, tag, &datatype::to_bytes_f64(xs))
+        ready(self.inner.isend_f64(dest, tag, xs))
     }
 }

@@ -13,15 +13,18 @@
 //! * [`call`] — the request/response protocol between simulated rank
 //!   threads and the engine (`MpiCall` / `MpiResp`), mirroring the BCS API
 //!   of the paper's Appendix A;
-//! * [`ctx`] — [`ctx::Mpi`], the handle rank programs use: blocking and
-//!   non-blocking point-to-point, barrier/bcast/reduce/allreduce (engine
-//!   primitives, NIC-level in BCS-MPI), and scatter(v)/gather(v)/
-//!   allgather(v)/alltoall(v) composed on top of the primitives, exactly as
-//!   Appendix A prescribes ("the rest of them are built on top of those");
+//! * [`ctx`] — [`ctx::AsyncMpi`] / [`ctx::Mpi`], the handles rank programs
+//!   use: blocking and non-blocking point-to-point, barrier/bcast/reduce/
+//!   allreduce (engine primitives, NIC-level in BCS-MPI), and scatter(v)/
+//!   gather(v)/allgather(v)/alltoall(v) composed on top of the primitives,
+//!   exactly as Appendix A prescribes ("the rest of them are built on top
+//!   of those"); plus [`ctx::RankProgram`], a rank program as data;
 //! * [`runtime`] — [`runtime::Engine`] (the trait an MPI implementation
 //!   provides), [`runtime::ClusterWorld`] (harness + engine world) and
-//!   [`runtime::run_job`], the driver that spawns one cooperative thread per
-//!   rank and runs the discrete-event simulation to completion.
+//!   the job drivers: [`runtime::run_program`] steps each rank as a
+//!   stackless state machine ([`runtime::Backend::Vm`], scales to
+//!   thousands of ranks), while [`runtime::run_job`] retains the
+//!   one-cooperative-thread-per-rank reference backend.
 
 pub mod call;
 pub mod comm;
@@ -35,7 +38,9 @@ pub mod runtime;
 pub use call::{MpiCall, MpiResp, ReqId};
 pub use payload::Payload;
 pub use comm::{CommHandle, CommId, CommRegistry};
-pub use ctx::Mpi;
+pub use ctx::{AsyncMpi, Mpi, RankProgram};
 pub use datatype::{Datatype, ReduceOp};
 pub use message::{Envelope, SrcSel, Status, TagSel};
-pub use runtime::{ClusterWorld, Engine, JobLayout, RunResult, run_job};
+pub use runtime::{
+    Backend, ClusterWorld, Engine, JobLayout, RunResult, run_job, run_program,
+};

@@ -1,20 +1,30 @@
 //! The cluster runtime: engine trait, world, and job driver.
 //!
-//! One simulation = one [`ClusterWorld`] (the engine plus the cooperative
-//! rank harness) driven by one [`simcore::Sim`]. Rank programs run on
-//! cooperative threads; every [`MpiCall`] they issue is dispatched to the
-//! engine, which completes it immediately or later by scheduling a resume.
+//! One simulation = one [`ClusterWorld`] (the engine plus the rank harness)
+//! driven by one [`simcore::Sim`]. Rank programs run on one of two
+//! [`Backend`]s behind the same yield protocol:
 //!
-//! The drain loop is the one subtle piece: resuming a rank yields its next
-//! call, which the engine may answer immediately, which resumes the rank
-//! again, and so on. Completions therefore go through a queue
-//! ([`ClusterWorld::resume`]) drained at the top level ([`drain`]) rather
-//! than recursing.
+//! * [`Backend::Vm`] (default for program-based entry points) — each rank
+//!   is a stackless state machine ([`simcore::VmHarness`]) stepped in place
+//!   by the drain loop. No OS threads, no per-rank stacks: n = 4096 ranks
+//!   cost 4096 heap-allocated futures, so job size is bounded by memory,
+//!   not by the host's thread limit.
+//! * [`Backend::Threads`] — the original cooperative harness
+//!   ([`simcore::CoHarness`]), one parked OS thread per rank. Retained as
+//!   the executable reference implementation; the backend-equivalence suite
+//!   checks the two produce bit-identical results.
+//!
+//! Every [`MpiCall`] a rank issues is dispatched to the engine, which
+//! completes it immediately or later by scheduling a resume. The drain loop
+//! is the one subtle piece: resuming a rank yields its next call, which the
+//! engine may answer immediately, which resumes the rank again, and so on.
+//! Completions therefore go through a queue ([`ClusterWorld::resume`])
+//! drained at the top level ([`drain`]) rather than recursing.
 
 use crate::call::{MpiCall, MpiResp};
-use crate::ctx::Mpi;
+use crate::ctx::{ready, AsyncMpi, Mpi, RankProgram};
 use qsnet::NodeId;
-use simcore::{CoHarness, ProcYield, Sim, SimDuration, SimTime};
+use simcore::{CoHarness, ProcId, ProcYield, Sim, SimDuration, SimTime, SpawnError, VmChannel, VmHarness};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -103,11 +113,52 @@ pub trait Engine: Sized + 'static {
     }
 }
 
+/// Which rank-execution substrate a job runs on (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Stackless state-machine ranks; scales to thousands of ranks.
+    #[default]
+    Vm,
+    /// One parked OS thread per rank; the executable reference.
+    Threads,
+}
+
+/// The per-rank harness behind the yield protocol — the only place the two
+/// backends differ. Both expose the same resume/take_result surface and
+/// identical panic behaviour, so the driver below is backend-agnostic.
+enum RankHarness {
+    Threads(CoHarness<MpiCall, MpiResp>),
+    Vm(VmHarness<MpiCall, MpiResp>),
+}
+
+impl RankHarness {
+    fn new(backend: Backend) -> RankHarness {
+        match backend {
+            Backend::Threads => RankHarness::Threads(CoHarness::new()),
+            Backend::Vm => RankHarness::Vm(VmHarness::new()),
+        }
+    }
+
+    fn resume(&mut self, pid: ProcId, resp: MpiResp) -> ProcYield<MpiCall> {
+        match self {
+            RankHarness::Threads(h) => h.resume(pid, resp),
+            RankHarness::Vm(h) => h.resume(pid, resp),
+        }
+    }
+
+    fn take_result<R: Send + 'static>(&mut self, pid: ProcId) -> Option<R> {
+        match self {
+            RankHarness::Threads(h) => h.take_result::<R>(pid),
+            RankHarness::Vm(h) => h.take_result::<R>(pid),
+        }
+    }
+}
+
 /// In-flight state of one rank's [`MpiCall::Batch`]: the sub-calls not yet
 /// issued to the engine and the responses accumulated so far. The runtime
 /// feeds sub-call *i+1* to the engine at the exact virtual instant sub-call
 /// *i*'s response arrives — which is when an unbatched rank would have
-/// issued it — so batching changes OS-thread traffic, never virtual timing.
+/// issued it — so batching changes harness traffic, never virtual timing.
 #[derive(Clone, Debug)]
 pub struct BatchState {
     /// Sub-calls still to be issued, in order.
@@ -120,7 +171,7 @@ pub struct BatchState {
 pub struct ClusterWorld<E: Engine> {
     pub engine: E,
     pub layout: JobLayout,
-    harness: CoHarness<MpiCall, MpiResp>,
+    harness: RankHarness,
     pending: VecDeque<(usize, MpiResp)>,
     pub finished: usize,
     finish_times: Vec<Option<SimTime>>,
@@ -128,6 +179,11 @@ pub struct ClusterWorld<E: Engine> {
     /// Per-rank in-flight batch (see [`BatchState`]); `None` when the rank
     /// is not inside a [`MpiCall::Batch`].
     batches: Vec<Option<BatchState>>,
+    /// What each unfinished rank is currently parked in: the op name of the
+    /// call last issued to the engine on its behalf and the virtual instant
+    /// it was issued. Pure diagnostic state — at n = 4096 a deadlock report
+    /// that does not name the stuck calls is undebuggable.
+    pending_call: Vec<Option<(&'static str, SimTime)>>,
     /// Scheduled-but-undelivered completions ([`resume_at`]), keyed by a
     /// monotone id so iteration order equals scheduling order. Tracked in
     /// the world (not closures) so checkpoints can capture them.
@@ -198,17 +254,25 @@ impl RespLog {
 }
 
 impl<E: Engine> ClusterWorld<E> {
+    /// World on the thread backend — the constructor the closure-based
+    /// [`run_job`] family uses.
     pub fn new(engine: E, layout: JobLayout) -> ClusterWorld<E> {
+        ClusterWorld::with_backend(engine, layout, Backend::Threads)
+    }
+
+    /// World on an explicit [`Backend`].
+    pub fn with_backend(engine: E, layout: JobLayout, backend: Backend) -> ClusterWorld<E> {
         let ranks = layout.ranks;
         ClusterWorld {
             engine,
             layout,
-            harness: CoHarness::new(),
+            harness: RankHarness::new(backend),
             pending: VecDeque::new(),
             finished: 0,
             finish_times: vec![None; ranks],
             draining: false,
             batches: (0..ranks).map(|_| None).collect(),
+            pending_call: vec![None; ranks],
             pending_resumes: BTreeMap::new(),
             next_resume_id: 0,
             record_resps: false,
@@ -298,6 +362,18 @@ impl RuntimeImage {
     }
 }
 
+/// Hand one call to the engine, noting what the rank is now parked in (the
+/// raw material of the deadlock diagnostic in [`finish_run`]).
+fn issue_call<E: Engine>(
+    w: &mut ClusterWorld<E>,
+    sim: &mut Sim<ClusterWorld<E>>,
+    rank: usize,
+    call: MpiCall,
+) {
+    w.pending_call[rank] = Some((call.op_name(), sim.now()));
+    E::on_call(w, sim, rank, call);
+}
+
 /// Route one rank-yielded call: [`MpiCall::Batch`] is unpacked by the
 /// runtime (the engine only ever sees ordinary calls); everything else goes
 /// straight to the engine.
@@ -321,9 +397,9 @@ fn dispatch_call<E: Engine>(
             );
             let resps = Vec::with_capacity(queue.len() + 1);
             w.batches[rank] = Some(BatchState { queue, resps });
-            E::on_call(w, sim, rank, first);
+            issue_call(w, sim, rank, first);
         }
-        call => E::on_call(w, sim, rank, call),
+        call => issue_call(w, sim, rank, call),
     }
 }
 
@@ -344,7 +420,7 @@ pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>)
             st.resps.push(resp);
             match st.queue.pop_front() {
                 Some(next) => {
-                    E::on_call(w, sim, rank, next);
+                    issue_call(w, sim, rank, next);
                     continue;
                 }
                 None => {
@@ -358,10 +434,11 @@ pub fn drain<E: Engine>(w: &mut ClusterWorld<E>, sim: &mut Sim<ClusterWorld<E>>)
         if w.record_resps {
             w.resp_log[rank].push(resp.clone());
         }
-        let y = w.harness.resume(simcore::ProcId(rank), resp);
+        let y = w.harness.resume(ProcId(rank), resp);
         match y {
             ProcYield::Request(call) => dispatch_call(w, sim, rank, call),
             ProcYield::Finished(_) => {
+                w.pending_call[rank] = None;
                 w.finished += 1;
                 w.finish_times[rank] = Some(sim.now());
                 E::on_finished(w, sim, rank);
@@ -426,10 +503,84 @@ pub struct RunOpts {
     pub max_virtual: Option<SimDuration>,
 }
 
+/// How the generic driver instantiates one rank: the only seam between the
+/// closure world (`Fn(&mut Mpi)`, thread backend only) and the program
+/// world ([`RankProgram`], either backend).
+trait Spawner {
+    type Out: Send + 'static;
+
+    fn spawn_rank(
+        &self,
+        harness: &mut RankHarness,
+        rank: usize,
+        size: usize,
+    ) -> Result<(ProcId, ProcYield<MpiCall>), SpawnError>;
+}
+
+/// Spawner for blocking-style closure programs. These need a real call
+/// stack to block on, so they run only on [`Backend::Threads`].
+struct ClosureSpawner<F>(Arc<F>);
+
+impl<R, F> Spawner for ClosureSpawner<F>
+where
+    R: Send + 'static,
+    F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
+{
+    type Out = R;
+
+    fn spawn_rank(
+        &self,
+        harness: &mut RankHarness,
+        rank: usize,
+        size: usize,
+    ) -> Result<(ProcId, ProcYield<MpiCall>), SpawnError> {
+        let RankHarness::Threads(co) = harness else {
+            unreachable!("closure programs run only on the thread backend")
+        };
+        let prog = Arc::clone(&self.0);
+        co.try_spawn(format!("rank{rank}"), move |h| {
+            let mut mpi = Mpi::new(h, rank, size);
+            prog(&mut mpi)
+        })
+    }
+}
+
+/// Spawner for [`RankProgram`]s: boots the program's future into a VM slot,
+/// or drives the identical future to completion on a cooperative thread.
+struct ProgramSpawner<P>(Arc<P>);
+
+impl<P: RankProgram> Spawner for ProgramSpawner<P> {
+    type Out = P::Out;
+
+    fn spawn_rank(
+        &self,
+        harness: &mut RankHarness,
+        rank: usize,
+        size: usize,
+    ) -> Result<(ProcId, ProcYield<MpiCall>), SpawnError> {
+        match harness {
+            RankHarness::Vm(vm) => {
+                let chan: VmChannel<MpiCall, MpiResp> = VmChannel::new();
+                let mpi = AsyncMpi::from_vm(chan.clone(), rank, size);
+                Ok(vm.spawn(chan, self.0.boot(mpi)))
+            }
+            RankHarness::Threads(co) => {
+                let prog = Arc::clone(&self.0);
+                co.try_spawn(format!("rank{rank}"), move |h| {
+                    let mpi = AsyncMpi::from_thread(h, rank, size);
+                    ready(prog.boot(mpi))
+                })
+            }
+        }
+    }
+}
+
 /// Run `program` as an MPI job of `layout.ranks` ranks over `engine`.
 ///
 /// The program closure receives an [`Mpi`] context; its return value is
 /// collected per rank. Panics with a diagnostic if the job deadlocks.
+/// Runs on [`Backend::Threads`]; the scalable entry point is
+/// [`run_program`].
 pub fn run_job<E, R, F>(engine: E, layout: JobLayout, program: F) -> RunResult<R, E>
 where
     E: Engine,
@@ -451,9 +602,62 @@ where
     R: Send + 'static,
     F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
 {
-    let out = run_job_hooked(engine, layout, program, |_, _| {}, opts);
+    expect_complete(run_job_hooked(engine, layout, program, |_, _| {}, opts))
+}
+
+/// Run a [`RankProgram`] job on the default backend ([`Backend::Vm`]).
+pub fn run_program<E, P>(engine: E, layout: JobLayout, program: P) -> RunResult<P::Out, E>
+where
+    E: Engine,
+    P: RankProgram,
+{
+    run_program_opts(engine, layout, program, RunOpts::default())
+}
+
+/// [`run_program`] with explicit options.
+pub fn run_program_opts<E, P>(
+    engine: E,
+    layout: JobLayout,
+    program: P,
+    opts: RunOpts,
+) -> RunResult<P::Out, E>
+where
+    E: Engine,
+    P: RankProgram,
+{
+    run_program_on(engine, layout, program, opts, Backend::default())
+}
+
+/// [`run_program`] with explicit options and backend. Panics with a
+/// diagnostic if the job deadlocks or a rank cannot be spawned.
+pub fn run_program_on<E, P>(
+    engine: E,
+    layout: JobLayout,
+    program: P,
+    opts: RunOpts,
+    backend: Backend,
+) -> RunResult<P::Out, E>
+where
+    E: Engine,
+    P: RankProgram,
+{
+    expect_complete(run_program_hooked(
+        engine,
+        layout,
+        program,
+        |_, _| {},
+        opts,
+        backend,
+    ))
+}
+
+/// Panicking conversion shared by the infallible entry points.
+fn expect_complete<R, E>(out: RunOutcome<R, E>) -> RunResult<R, E> {
     if !out.completed {
-        panic!("{}", out.diagnostic.as_deref().unwrap_or("MPI job did not complete"));
+        panic!(
+            "{}",
+            out.diagnostic.as_deref().unwrap_or("MPI job did not complete")
+        );
     }
     let finish_times: Vec<SimTime> = out
         .finish_times
@@ -474,8 +678,8 @@ where
 }
 
 /// Outcome of [`run_job_hooked`] / [`resume_job`]: like [`RunResult`] but
-/// non-panicking, so a halted run (node failure, horizon) can be inspected
-/// and recovered instead of aborting the process.
+/// non-panicking, so a halted run (node failure, horizon, rank-spawn
+/// failure) can be inspected and recovered instead of aborting the process.
 pub struct RunOutcome<R, E> {
     /// True when every rank's program returned.
     pub completed: bool,
@@ -510,22 +714,71 @@ where
     F: Fn(&mut Mpi) -> R + Send + Sync + 'static,
     S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
 {
+    run_hooked_inner(
+        engine,
+        layout,
+        ClosureSpawner(Arc::new(program)),
+        setup,
+        opts,
+        Backend::Threads,
+    )
+}
+
+/// [`run_program_on`]'s engine room: [`run_job_hooked`] for
+/// [`RankProgram`]s, on an explicit backend.
+pub fn run_program_hooked<E, P, S>(
+    engine: E,
+    layout: JobLayout,
+    program: P,
+    setup: S,
+    opts: RunOpts,
+    backend: Backend,
+) -> RunOutcome<P::Out, E>
+where
+    E: Engine,
+    P: RankProgram,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+{
+    run_hooked_inner(
+        engine,
+        layout,
+        ProgramSpawner(Arc::new(program)),
+        setup,
+        opts,
+        backend,
+    )
+}
+
+/// Backend- and program-representation-agnostic driver body shared by
+/// [`run_job_hooked`] and [`run_program_hooked`] — one copy of the spawn /
+/// dispatch / drain logic, so the two entry families cannot drift.
+fn run_hooked_inner<E, Sp, S>(
+    engine: E,
+    layout: JobLayout,
+    spawner: Sp,
+    setup: S,
+    opts: RunOpts,
+    backend: Backend,
+) -> RunOutcome<Sp::Out, E>
+where
+    E: Engine,
+    Sp: Spawner,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+{
     let mut sim: Sim<ClusterWorld<E>> = Sim::new();
     if let Some(mv) = opts.max_virtual {
         sim.set_horizon(SimTime::ZERO + mv);
     }
-    let mut w = ClusterWorld::new(engine, layout.clone());
+    let mut w = ClusterWorld::with_backend(engine, layout.clone(), backend);
     E::bootstrap(&mut w, &mut sim);
     setup(&mut w, &mut sim);
 
-    let program = Arc::new(program);
     let size = layout.ranks;
     for rank in 0..size {
-        let prog = Arc::clone(&program);
-        let (pid, y) = w.harness.spawn(format!("rank{rank}"), move |h| {
-            let mut mpi = Mpi::new(h, rank, size);
-            prog(&mut mpi)
-        });
+        let (pid, y) = match spawner.spawn_rank(&mut w.harness, rank, size) {
+            Ok(sp) => sp,
+            Err(e) => return spawn_failure_outcome(w, sim, rank, e),
+        };
         assert_eq!(pid.0, rank, "rank ids must be dense");
         match y {
             ProcYield::Request(call) => dispatch_call(&mut w, &mut sim, rank, call),
@@ -538,6 +791,34 @@ where
     drain(&mut w, &mut sim);
 
     finish_run(w, sim)
+}
+
+/// A rank could not be spawned (thread backend hitting the host's thread
+/// limit). Surface a structured diagnostic instead of aborting — the world
+/// (and its already-spawned ranks) is torn down by dropping it.
+fn spawn_failure_outcome<E: Engine, R>(
+    w: ClusterWorld<E>,
+    sim: Sim<ClusterWorld<E>>,
+    rank: usize,
+    err: SpawnError,
+) -> RunOutcome<R, E> {
+    let size = w.layout.ranks;
+    let ClusterWorld {
+        engine,
+        finish_times,
+        ..
+    } = w;
+    RunOutcome {
+        completed: false,
+        results: (0..size).map(|_| None).collect(),
+        elapsed: sim.now().since(SimTime::ZERO),
+        finish_times,
+        engine,
+        events: sim.events_executed(),
+        diagnostic: Some(format!(
+            "MPI job could not start: failed to spawn rank {rank} of {size}: {err}"
+        )),
+    }
 }
 
 /// Resume a job from a checkpoint: `engine` must already be restored to the
@@ -565,6 +846,68 @@ where
     S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
     K: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>) + 'static,
 {
+    resume_inner(
+        engine,
+        layout,
+        ClosureSpawner(Arc::new(program)),
+        rt,
+        kickoff,
+        setup,
+        opts,
+        Backend::Threads,
+    )
+}
+
+/// [`resume_job`] for [`RankProgram`]s, on an explicit backend. Checkpoint
+/// replay works identically on VM-resident rank state: the response log is
+/// fed to the re-booted state machines exactly as it is to re-spawned
+/// threads.
+pub fn resume_program<E, P, S, K>(
+    engine: E,
+    layout: JobLayout,
+    program: P,
+    rt: &RuntimeImage,
+    kickoff: K,
+    setup: S,
+    opts: RunOpts,
+    backend: Backend,
+) -> RunOutcome<P::Out, E>
+where
+    E: Engine,
+    P: RankProgram,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+    K: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>) + 'static,
+{
+    resume_inner(
+        engine,
+        layout,
+        ProgramSpawner(Arc::new(program)),
+        rt,
+        kickoff,
+        setup,
+        opts,
+        backend,
+    )
+}
+
+/// Shared body of [`resume_job`] / [`resume_program`].
+#[allow(clippy::too_many_arguments)]
+fn resume_inner<E, Sp, S, K>(
+    engine: E,
+    layout: JobLayout,
+    spawner: Sp,
+    rt: &RuntimeImage,
+    kickoff: K,
+    setup: S,
+    opts: RunOpts,
+    backend: Backend,
+) -> RunOutcome<Sp::Out, E>
+where
+    E: Engine,
+    Sp: Spawner,
+    S: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>),
+    K: FnOnce(&mut ClusterWorld<E>, &mut Sim<ClusterWorld<E>>) + 'static,
+{
     let size = layout.ranks;
     assert_eq!(rt.resp_log.len(), size, "image rank count mismatch");
     assert_eq!(rt.batches.len(), size, "image rank count mismatch");
@@ -572,20 +915,18 @@ where
     if let Some(mv) = opts.max_virtual {
         sim.set_horizon(SimTime::ZERO + mv);
     }
-    let mut w = ClusterWorld::new(engine, layout.clone());
+    let mut w = ClusterWorld::with_backend(engine, layout.clone(), backend);
     // No bootstrap: the restored engine state already contains the
     // protocol's standing state; `kickoff` restarts its event loop.
     w.record_resps = true;
     w.resp_log = rt.resp_log.clone();
     w.batches = rt.batches.clone();
 
-    let program = Arc::new(program);
     for rank in 0..size {
-        let prog = Arc::clone(&program);
-        let (pid, first) = w.harness.spawn(format!("rank{rank}"), move |h| {
-            let mut mpi = Mpi::new(h, rank, size);
-            prog(&mut mpi)
-        });
+        let (pid, first) = match spawner.spawn_rank(&mut w.harness, rank, size) {
+            Ok(sp) => sp,
+            Err(e) => return spawn_failure_outcome(w, sim, rank, e),
+        };
         assert_eq!(pid.0, rank, "rank ids must be dense");
         let mut y = first;
         for resp in rt.resp_log[rank].iter() {
@@ -596,15 +937,26 @@ where
                 }
             }
         }
-        let finished = matches!(y, ProcYield::Finished(_));
-        assert_eq!(
-            finished,
-            rt.finish_times[rank].is_some(),
-            "rank {rank} replay diverged from the checkpoint image"
-        );
-        if finished {
-            w.finished += 1;
-            w.finish_times[rank] = rt.finish_times[rank];
+        match y {
+            ProcYield::Request(call) => {
+                // The call itself is discarded (its effects live in the
+                // restored engine state), but it tells the diagnostics what
+                // the rank is parked in; the capture instant stands in for
+                // the original issue time.
+                w.pending_call[rank] = Some((call.op_name(), rt.captured_at));
+                assert!(
+                    rt.finish_times[rank].is_none(),
+                    "rank {rank} replay diverged from the checkpoint image"
+                );
+            }
+            ProcYield::Finished(_) => {
+                assert!(
+                    rt.finish_times[rank].is_some(),
+                    "rank {rank} replay diverged from the checkpoint image"
+                );
+                w.finished += 1;
+                w.finish_times[rank] = rt.finish_times[rank];
+            }
         }
     }
 
@@ -623,6 +975,10 @@ where
     finish_run(w, sim)
 }
 
+/// Cap on per-rank lines in the deadlock diagnostic — at n = 4096 listing
+/// every stuck rank would bury the report.
+const STUCK_RANKS_SHOWN: usize = 16;
+
 /// Shared tail of the drivers: run to completion/halt and collect.
 fn finish_run<E, R>(mut w: ClusterWorld<E>, mut sim: Sim<ClusterWorld<E>>) -> RunOutcome<R, E>
 where
@@ -636,15 +992,28 @@ where
         None
     } else {
         let stuck: Vec<usize> = (0..size).filter(|&r| w.finish_times[r].is_none()).collect();
+        let mut lines = String::new();
+        for &r in stuck.iter().take(STUCK_RANKS_SHOWN) {
+            match w.pending_call[r] {
+                Some((op, t)) => lines.push_str(&format!("  rank {r}: parked in {op} since t={t}\n")),
+                None => lines.push_str(&format!("  rank {r}: never issued a call\n")),
+            }
+        }
+        if stuck.len() > STUCK_RANKS_SHOWN {
+            lines.push_str(&format!(
+                "  … and {} more stuck ranks\n",
+                stuck.len() - STUCK_RANKS_SHOWN
+            ));
+        }
         Some(format!(
-            "MPI job did not complete at t={} ({} of {} ranks finished; stuck ranks {:?}).\n\
+            "MPI job did not complete at t={} ({} of {} ranks finished).\n\
+             Stuck ranks:\n{lines}\
              Either the program deadlocked, a failure halted the machine, or the\n\
              virtual-time horizon was hit (run_until={done}).\n\
              Engine state:\n{}",
             sim.now(),
             w.finished,
             size,
-            stuck,
             w.engine.describe_pending()
         ))
     };
@@ -659,7 +1028,7 @@ where
         sim.now().since(SimTime::ZERO)
     };
     let results: Vec<Option<R>> = (0..size)
-        .map(|r| w.harness.take_result::<R>(simcore::ProcId(r)))
+        .map(|r| w.harness.take_result::<R>(ProcId(r)))
         .collect();
     RunOutcome {
         completed,
@@ -774,5 +1143,79 @@ mod tests {
                 max_virtual: Some(SimDuration::secs(1)),
             },
         );
+    }
+
+    /// The deadlock diagnostic must name each stuck rank's pending call and
+    /// the virtual instant it was issued.
+    #[test]
+    fn diagnostic_names_stuck_ranks_and_calls() {
+        let layout = JobLayout::new(1, 2, 2);
+        let out = run_job_hooked(
+            NullEngine,
+            layout,
+            |mpi: &mut Mpi| {
+                if mpi.rank() == 1 {
+                    mpi.compute(SimDuration::secs(10));
+                }
+            },
+            |_, _| {},
+            RunOpts {
+                max_virtual: Some(SimDuration::secs(1)),
+            },
+        );
+        assert!(!out.completed);
+        let d = out.diagnostic.expect("incomplete run must carry a diagnostic");
+        assert!(
+            d.contains("rank 1: parked in compute since t="),
+            "diagnostic must name the stuck call:\n{d}"
+        );
+        assert!(!d.contains("rank 0:"), "rank 0 finished and must not be listed:\n{d}");
+    }
+
+    /// Same program, same engine, both backends: identical results, finish
+    /// times, and event counts.
+    #[test]
+    fn vm_backend_matches_thread_backend() {
+        let prog = |mut mpi: AsyncMpi| async move {
+            mpi.compute(SimDuration::micros(100 * (mpi.rank() as u64 + 1)))
+                .await;
+            let t = mpi.now().await;
+            (mpi.rank() * 10, t)
+        };
+        let layout = JobLayout::new(4, 2, 8);
+        let vm = run_program_on(
+            NullEngine,
+            layout.clone(),
+            prog,
+            RunOpts::default(),
+            Backend::Vm,
+        );
+        let th = run_program_on(
+            NullEngine,
+            layout,
+            prog,
+            RunOpts::default(),
+            Backend::Threads,
+        );
+        assert_eq!(vm.results, th.results);
+        assert_eq!(vm.finish_times, th.finish_times);
+        assert_eq!(vm.elapsed, th.elapsed);
+        assert_eq!(vm.events, th.events);
+        assert_eq!(vm.results[3].0, 30);
+    }
+
+    /// The VM backend runs a rank count that would need thousands of OS
+    /// threads on the reference backend.
+    #[test]
+    fn vm_backend_scales_past_thread_counts() {
+        let n: usize = 4096;
+        let layout = JobLayout::new(n.div_ceil(2), 2, n);
+        let out = run_program(NullEngine, layout, |mut mpi: AsyncMpi| async move {
+            mpi.compute(SimDuration::nanos(mpi.rank() as u64 + 1)).await;
+            mpi.rank()
+        });
+        assert_eq!(out.results.len(), n);
+        assert!(out.results.iter().enumerate().all(|(i, &r)| i == r));
+        assert_eq!(out.elapsed, SimDuration::nanos(n as u64));
     }
 }

@@ -92,6 +92,37 @@ impl<Req, Resp> ProcessHandle<Req, Resp> {
     }
 }
 
+/// Thread creation for a simulated process failed (see
+/// [`CoHarness::try_spawn`]).
+#[derive(Debug)]
+pub struct SpawnError {
+    /// Name of the process that could not be spawned (e.g. `rank4087`).
+    pub name: String,
+    /// Processes already backed by live threads in this harness when the
+    /// host refused another one.
+    pub spawned: usize,
+    /// The underlying OS error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to spawn simulated process thread `{}` after {} threads ({}); \
+             the host thread limit caps the thread backend — large rank counts \
+             need the stackless VM backend",
+            self.name, self.spawned, self.source
+        )
+    }
+}
+
+impl std::error::Error for SpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 struct Slot<Req, Resp> {
     to_proc: Sender<Resp>,
     from_proc: Receiver<Outbound<Req>>,
@@ -143,36 +174,62 @@ impl<Req: Send + 'static, Resp: Send + 'static> CoHarness<Req, Resp> {
     /// Spawn a process and run it up to its first yield, which is returned
     /// together with its id. The closure's return value is retrievable with
     /// [`take_result`](Self::take_result) once the process finishes.
+    ///
+    /// # Panics
+    /// Panics if the host refuses to create the backing OS thread — see
+    /// [`try_spawn`](Self::try_spawn) for the recoverable variant.
     pub fn spawn<R, F>(&mut self, name: String, f: F) -> (ProcId, ProcYield<Req>)
     where
         R: Send + 'static,
-        F: FnOnce(&mut ProcessHandle<Req, Resp>) -> R + Send + 'static,
+        F: FnOnce(ProcessHandle<Req, Resp>) -> R + Send + 'static,
+    {
+        self.try_spawn(name, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`spawn`](Self::spawn), but thread-creation failure (typically the
+    /// host's thread or virtual-memory limit — each process costs a 1 MiB
+    /// stack) is returned as a structured [`SpawnError`] instead of
+    /// aborting, so drivers can report how many ranks actually fit.
+    pub fn try_spawn<R, F>(
+        &mut self,
+        name: String,
+        f: F,
+    ) -> Result<(ProcId, ProcYield<Req>), SpawnError>
+    where
+        R: Send + 'static,
+        F: FnOnce(ProcessHandle<Req, Resp>) -> R + Send + 'static,
     {
         let (to_proc, from_sim) = channel::<Resp>();
         let (to_sim, from_proc) = channel::<Outbound<Req>>();
         let join = std::thread::Builder::new()
-            .name(name)
+            .name(name.clone())
             .stack_size(1 << 20)
             .spawn(move || {
-                let mut handle = ProcessHandle { to_sim, from_sim };
-                let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
+                let handle = ProcessHandle { to_sim, from_sim };
+                // The handle moves into the closure, so keep a sender for
+                // the finish/panic notification.
+                let done_tx = handle.to_sim.clone();
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(handle)));
                 match outcome {
                     Ok(result) => {
                         // Ignore failure: harness may already be gone.
-                        let _ = handle
-                            .to_sim
-                            .send(Outbound::Yield(ProcYield::Finished(Box::new(result))));
+                        let _ =
+                            done_tx.send(Outbound::Yield(ProcYield::Finished(Box::new(result))));
                     }
                     Err(payload) => {
                         if payload.downcast_ref::<HarnessShutdown>().is_some() {
                             return; // orderly teardown
                         }
                         let msg = panic_message(payload.as_ref());
-                        let _ = handle.to_sim.send(Outbound::Panicked(msg));
+                        let _ = done_tx.send(Outbound::Panicked(msg));
                     }
                 }
             })
-            .expect("failed to spawn simulated process thread");
+            .map_err(|source| SpawnError {
+                name,
+                spawned: self.slots.len(),
+                source,
+            })?;
 
         let pid = ProcId(self.slots.len());
         self.slots.push(Slot {
@@ -184,7 +241,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> CoHarness<Req, Resp> {
         });
         self.live += 1;
         let y = self.await_yield(pid);
-        (pid, y)
+        Ok((pid, y))
     }
 
     /// Deliver `resp` to a blocked process, let it run, and return its next
@@ -270,7 +327,7 @@ impl<Req, Resp> Drop for CoHarness<Req, Resp> {
     }
 }
 
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -293,7 +350,7 @@ mod tests {
     #[test]
     fn basic_request_response_cycle() {
         let mut h: CoHarness<Req, u64> = CoHarness::new();
-        let (pid, y) = h.spawn("adder".into(), |handle| {
+        let (pid, y) = h.spawn("adder".into(), |mut handle| {
             let s = handle.call(Req::Add(2, 3));
             let s2 = handle.call(Req::Add(s, 10));
             handle.call(Req::Done);
@@ -330,7 +387,7 @@ mod tests {
         let mut h: CoHarness<Req, u64> = CoHarness::new();
         let mut pids = Vec::new();
         for i in 0..16u64 {
-            let (pid, y) = h.spawn(format!("p{i}"), move |handle| {
+            let (pid, y) = h.spawn(format!("p{i}"), move |mut handle| {
                 let mut acc = i;
                 for _ in 0..10 {
                     acc = handle.call(Req::Add(acc, 1));
@@ -367,7 +424,7 @@ mod tests {
     #[should_panic(expected = "panicked: boom")]
     fn process_panic_propagates() {
         let mut h: CoHarness<Req, u64> = CoHarness::new();
-        let (pid, _) = h.spawn("bomb".into(), |handle| {
+        let (pid, _) = h.spawn("bomb".into(), |mut handle| {
             handle.call(Req::Done);
             panic!("boom");
         });
@@ -378,7 +435,7 @@ mod tests {
     fn dropping_harness_tears_down_blocked_processes() {
         let mut h: CoHarness<Req, u64> = CoHarness::new();
         for i in 0..8 {
-            let (_, y) = h.spawn(format!("blocked{i}"), |handle| {
+            let (_, y) = h.spawn(format!("blocked{i}"), |mut handle| {
                 handle.call(Req::Done); // will never be answered
                 0u64
             });

@@ -26,8 +26,10 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod vm;
 
-pub use coro::{CoHarness, ProcId, ProcYield, ProcessHandle};
+pub use coro::{CoHarness, ProcId, ProcYield, ProcessHandle, SpawnError};
+pub use vm::{VmChannel, VmHarness};
 pub use rng::SimRng;
 pub use sim::Sim;
 pub use time::{SimDuration, SimTime};

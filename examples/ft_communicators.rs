@@ -18,15 +18,19 @@ use bcs_repro::simcore::SimDuration;
 fn main() {
     // First, a tiny hand-written demo of the comm API.
     let layout = JobLayout::new(4, 2, 8);
-    let out = run_app(&EngineSel::bcs(), layout, |mpi| {
-        let me = mpi.rank();
-        // 2x4 grid: rows {0..3} and {4..7}; columns pair across rows.
-        let row = mpi.comm_split(None, (me / 4) as i64, 0).unwrap();
-        let col = mpi.comm_split(None, (me % 4) as i64, 0).unwrap();
-        let row_sum = mpi.allreduce_f64_on(&row, ReduceOp::Sum, &[me as f64])[0];
-        let col_sum = mpi.allreduce_f64_on(&col, ReduceOp::Sum, &[me as f64])[0];
-        (row.rank, row_sum as i64, col.rank, col_sum as i64)
-    });
+    let out = run_app(
+        &EngineSel::bcs(),
+        layout,
+        |mut mpi: bcs_repro::mpi_api::AsyncMpi| async move {
+            let me = mpi.rank();
+            // 2x4 grid: rows {0..3} and {4..7}; columns pair across rows.
+            let row = mpi.comm_split(None, (me / 4) as i64, 0).await.unwrap();
+            let col = mpi.comm_split(None, (me % 4) as i64, 0).await.unwrap();
+            let row_sum = mpi.allreduce_f64_on(&row, ReduceOp::Sum, &[me as f64]).await[0];
+            let col_sum = mpi.allreduce_f64_on(&col, ReduceOp::Sum, &[me as f64]).await[0];
+            (row.rank, row_sum as i64, col.rank, col_sum as i64)
+        },
+    );
     println!("2x4 grid on BCS-MPI: per-rank (row-rank, row-sum, col-rank, col-sum):");
     for (r, t) in out.results.iter().enumerate() {
         println!("  world rank {r}: {t:?}");

@@ -19,7 +19,7 @@ fn main() {
     // 8 nodes x 2 CPUs, 16 ranks — a miniature "crescendo".
     let layout = || JobLayout::new(8, 2, 16);
 
-    let program = |mpi: &mut bcs_repro::mpi_api::Mpi| {
+    let program = |mut mpi: bcs_repro::mpi_api::AsyncMpi| async move {
         let me = mpi.rank();
         let n = mpi.size();
         // Each rank "computes" for 5 ms, exchanges a token around the ring,
@@ -30,17 +30,19 @@ fn main() {
             let prev = (me + n - 1) % n;
             // Post the exchange *before* computing: the transfer rides the
             // time slices underneath the 5 ms of work (§3.2).
-            let s = mpi.isend(next, 0, &token.to_le_bytes());
-            let r = mpi.irecv(
-                bcs_repro::mpi_api::message::SrcSel::Rank(prev),
-                bcs_repro::mpi_api::message::TagSel::Tag(0),
-            );
-            mpi.compute(SimDuration::millis(5));
-            let results = mpi.waitall(&[s, r]);
+            let s = mpi.isend(next, 0, &token.to_le_bytes()).await;
+            let r = mpi
+                .irecv(
+                    bcs_repro::mpi_api::message::SrcSel::Rank(prev),
+                    bcs_repro::mpi_api::message::TagSel::Tag(0),
+                )
+                .await;
+            mpi.compute(SimDuration::millis(5)).await;
+            let results = mpi.waitall(&[s, r]).await;
             let data = results[1].0.as_ref().unwrap();
             token = i64::from_le_bytes(data[..8].try_into().unwrap()) + 1;
         }
-        let total = mpi.allreduce_i64(ReduceOp::Sum, &[token])[0];
+        let total = mpi.allreduce_i64(ReduceOp::Sum, &[token]).await[0];
         (token, total)
     };
 

@@ -18,6 +18,10 @@
 #      engine_throughput additionally self-gates its two paired rows
 #      (indexed matching vs the linear-scan reference, incremental image
 #      capture vs a deep clone, both >= 5x) and exits non-zero on a miss
+#   7. the n=4096 scale smoke: barrier + neighbor sweeps on the BlueGene/L
+#      model via the stackless VM backend (DESIGN.md section 11), pinned
+#      to one sweep worker so peak thread count is independent of n, with
+#      the two n=4096 headline slowdowns tolerance-gated
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -72,5 +76,9 @@ for b in primitives engine_throughput softfloat_ops apps_micro; do
   csv="reports/microbench_$b.csv"
   [ -s "$csv" ] || { echo "verify: missing $csv" >&2; exit 1; }
 done
+
+echo "== n=4096 scale smoke (BlueGene/L, stackless VM, single sweep worker)"
+REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale
+[ -s reports/scale.csv ] || { echo "verify: missing reports/scale.csv" >&2; exit 1; }
 
 echo "verify: OK"

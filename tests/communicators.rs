@@ -2,14 +2,13 @@
 //! lists as unimplemented, now working on both engines.
 
 use bcs_repro::apps::runner::{EngineSel, run_app};
-use bcs_repro::mpi_api::Mpi;
 use bcs_repro::mpi_api::datatype::ReduceOp;
 use bcs_repro::mpi_api::runtime::JobLayout;
+use bcs_repro::mpi_api::{AsyncMpi, RankProgram};
 
-fn both<R, F>(ranks: usize, f: F) -> (Vec<R>, Vec<R>)
+fn both<P>(ranks: usize, f: P) -> (Vec<P::Out>, Vec<P::Out>)
 where
-    R: Send + 'static,
-    F: Fn(&mut Mpi) -> R + Send + Sync + Copy + 'static,
+    P: RankProgram + Copy,
 {
     let layout = JobLayout::crescendo(ranks);
     let b = run_app(&EngineSel::bcs(), layout.clone(), f);
@@ -19,14 +18,14 @@ where
 
 #[test]
 fn split_by_parity_and_scoped_allreduce() {
-    let prog = |mpi: &mut Mpi| {
+    let prog = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
-        let comm = mpi.comm_split(None, (me % 2) as i64, me as i64).unwrap();
+        let comm = mpi.comm_split(None, (me % 2) as i64, me as i64).await.unwrap();
         // Sum of ranks within my parity class only.
-        let s = mpi.allreduce_f64_on(&comm, ReduceOp::Sum, &[me as f64])[0];
+        let s = mpi.allreduce_f64_on(&comm, ReduceOp::Sum, &[me as f64]).await[0];
         // Barrier scoped to the subgroup must not deadlock against the
         // other subgroup's collectives.
-        mpi.barrier_on(&comm);
+        mpi.barrier_on(&comm).await;
         (comm.rank, comm.size(), s as i64)
     };
     let (b, q) = both(10, prog);
@@ -41,13 +40,13 @@ fn split_by_parity_and_scoped_allreduce() {
 
 #[test]
 fn scoped_bcast_uses_comm_ranks() {
-    let prog = |mpi: &mut Mpi| {
+    let prog = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
         // Two halves; root is comm-rank 1 (world rank 1 resp. n/2+1).
         let half = (me >= mpi.size() / 2) as i64;
-        let comm = mpi.comm_split(None, half, 0).unwrap();
+        let comm = mpi.comm_split(None, half, 0).await.unwrap();
         let payload = (comm.rank == 1).then(|| vec![half as u8 + 10; 32]);
-        let d = mpi.bcast_on(&comm, 1, payload.as_deref());
+        let d = mpi.bcast_on(&comm, 1, payload.as_deref()).await;
         d[0]
     };
     let (b, q) = both(8, prog);
@@ -61,13 +60,13 @@ fn scoped_bcast_uses_comm_ranks() {
 fn concurrent_subgroup_collectives_do_not_interfere() {
     // Odd and even groups run different numbers of collectives at their own
     // pace: no cross-group blocking may occur.
-    let prog = |mpi: &mut Mpi| {
+    let prog = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
-        let comm = mpi.comm_split(None, (me % 2) as i64, 0).unwrap();
+        let comm = mpi.comm_split(None, (me % 2) as i64, 0).await.unwrap();
         let rounds = if me % 2 == 0 { 6 } else { 2 };
         let mut acc = 0.0;
         for k in 0..rounds {
-            acc = mpi.allreduce_f64_on(&comm, ReduceOp::Sum, &[k as f64 + me as f64])[0];
+            acc = mpi.allreduce_f64_on(&comm, ReduceOp::Sum, &[k as f64 + me as f64]).await[0];
         }
         acc.to_bits()
     };
@@ -77,11 +76,11 @@ fn concurrent_subgroup_collectives_do_not_interfere() {
 
 #[test]
 fn undefined_color_opts_out() {
-    let prog = |mpi: &mut Mpi| {
+    let prog = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
         // Rank 0 opts out with a negative color.
         let color = if me == 0 { -1 } else { 1 };
-        let comm = mpi.comm_split(None, color, 0);
+        let comm = mpi.comm_split(None, color, 0).await;
         match comm {
             None => {
                 assert_eq!(me, 0);
@@ -89,7 +88,7 @@ fn undefined_color_opts_out() {
             }
             Some(c) => {
                 assert_eq!(c.size(), mpi.size() - 1);
-                mpi.allreduce_f64_on(&c, ReduceOp::Sum, &[1.0])[0] as i64
+                mpi.allreduce_f64_on(&c, ReduceOp::Sum, &[1.0]).await[0] as i64
             }
         }
     };
@@ -101,14 +100,15 @@ fn undefined_color_opts_out() {
 
 #[test]
 fn nested_splits_row_then_pairs() {
-    let prog = |mpi: &mut Mpi| {
+    let prog = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
-        let row = mpi.comm_split(None, (me / 4) as i64, 0).unwrap();
+        let row = mpi.comm_split(None, (me / 4) as i64, 0).await.unwrap();
         // Split each row into pairs.
         let pair = mpi
             .comm_split(Some(&row), (row.rank / 2) as i64, 0)
+            .await
             .unwrap();
-        let s = mpi.allreduce_f64_on(&pair, ReduceOp::Sum, &[me as f64])[0];
+        let s = mpi.allreduce_f64_on(&pair, ReduceOp::Sum, &[me as f64]).await[0];
         (pair.size(), s as i64)
     };
     let (b, q) = both(8, prog);

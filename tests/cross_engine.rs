@@ -9,13 +9,13 @@ use bcs_repro::apps::{sage, sweep3d, synthetic};
 use bcs_repro::mpi_api::datatype::ReduceOp;
 use bcs_repro::mpi_api::message::{SrcSel, TagSel};
 use bcs_repro::mpi_api::runtime::JobLayout;
+use bcs_repro::mpi_api::{AsyncMpi, RankProgram};
 use bcs_repro::simcore::SimDuration;
 
-fn both<R, F, G>(ranks: usize, make: G) -> (Vec<R>, Vec<R>)
+fn both<P, G>(ranks: usize, make: G) -> (Vec<P::Out>, Vec<P::Out>)
 where
-    R: Send + 'static,
-    F: Fn(&mut bcs_repro::mpi_api::Mpi) -> R + Send + Sync + 'static,
-    G: Fn() -> F,
+    P: RankProgram,
+    G: Fn() -> P,
 {
     let layout = JobLayout::crescendo(ranks);
     let b = run_app(&EngineSel::bcs(), layout.clone(), make());
@@ -52,7 +52,7 @@ fn mixed_wildcard_traffic_is_engine_invariant() {
     // A stress pattern with ANY_SOURCE receives, mixed tags and message
     // sizes: both engines must deliver the same multiset per (src, tag)
     // channel, respecting non-overtaking within each channel.
-    let program = |mpi: &mut bcs_repro::mpi_api::Mpi| {
+    let program = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
         let n = mpi.size();
         if me == 0 {
@@ -60,7 +60,7 @@ fn mixed_wildcard_traffic_is_engine_invariant() {
             let mut per_channel: std::collections::BTreeMap<(usize, i32), Vec<usize>> =
                 Default::default();
             for _ in 0..expect {
-                let (data, st) = mpi.recv(SrcSel::Any, TagSel::Any);
+                let (data, st) = mpi.recv(SrcSel::Any, TagSel::Any).await;
                 per_channel
                     .entry((st.source, st.tag))
                     .or_default()
@@ -80,7 +80,7 @@ fn mixed_wildcard_traffic_is_engine_invariant() {
         } else {
             for k in 1..=3usize {
                 let tag = (me % 3) as i32;
-                mpi.send(0, tag, &vec![me as u8; k * me]);
+                mpi.send(0, tag, &vec![me as u8; k * me]).await;
             }
             0
         }
@@ -92,21 +92,20 @@ fn mixed_wildcard_traffic_is_engine_invariant() {
 
 #[test]
 fn collectives_chain_is_engine_invariant() {
-    let program = |mpi: &mut bcs_repro::mpi_api::Mpi| {
+    let program = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank() as i64;
         let mut acc: Vec<u64> = Vec::new();
         for round in 0..4i64 {
-            let s = mpi.allreduce_i64(ReduceOp::Sum, &[me + round])[0];
+            let s = mpi.allreduce_i64(ReduceOp::Sum, &[me + round]).await[0];
             acc.push(s as u64);
-            let mx = mpi.allreduce_f64(ReduceOp::Max, &[me as f64 * 0.5 + round as f64])[0];
+            let mx = mpi
+                .allreduce_f64(ReduceOp::Max, &[me as f64 * 0.5 + round as f64])
+                .await[0];
             acc.push(mx.to_bits());
-            mpi.barrier();
-            let b = mpi.bcast(
-                (round as usize) % mpi.size(),
-                (mpi.rank() == (round as usize) % mpi.size())
-                    .then(|| vec![round as u8; 64])
-                    .as_deref(),
-            );
+            mpi.barrier().await;
+            let root = (round as usize) % mpi.size();
+            let payload = (mpi.rank() == root).then(|| vec![round as u8; 64]);
+            let b = mpi.bcast(root, payload.as_deref()).await;
             acc.push(b.iter().map(|&x| x as u64).sum());
         }
         acc
@@ -119,15 +118,15 @@ fn collectives_chain_is_engine_invariant() {
 fn large_transfers_are_engine_invariant() {
     // 512 KiB messages: rendezvous on the baseline, multi-slice chunking on
     // BCS-MPI — the payload must survive both paths intact.
-    let program = |mpi: &mut bcs_repro::mpi_api::Mpi| {
+    let program = |mut mpi: AsyncMpi| async move {
         let me = mpi.rank();
         let n = mpi.size();
         let sz = 512 * 1024;
         let peer = (me + n / 2) % n;
         let pattern: Vec<u8> = (0..sz).map(|i| ((i * 31 + me * 7) % 251) as u8).collect();
-        let s = mpi.isend(peer, 9, &pattern);
-        let r = mpi.irecv(SrcSel::Rank((me + n - n / 2) % n), TagSel::Tag(9));
-        let results = mpi.waitall(&[s, r]);
+        let s = mpi.isend(peer, 9, &pattern).await;
+        let r = mpi.irecv(SrcSel::Rank((me + n - n / 2) % n), TagSel::Tag(9)).await;
+        let results = mpi.waitall(&[s, r]).await;
         let got = results[1].0.as_ref().unwrap();
         let from = (me + n - n / 2) % n;
         let want: Vec<u8> = (0..sz).map(|i| ((i * 31 + from * 7) % 251) as u8).collect();

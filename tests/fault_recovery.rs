@@ -14,8 +14,10 @@ use bcs_repro::faultsim::{
     FaultPlan, FaultProfile, RecoveryCfg, fault_free_reference, run_with_recovery,
 };
 use bcs_repro::mpi_api::message::{SrcSel, TagSel};
-use bcs_repro::mpi_api::runtime::{ClusterWorld, JobLayout, resume_job, run_job_hooked};
-use bcs_repro::mpi_api::{Mpi, ReduceOp};
+use bcs_repro::mpi_api::runtime::{
+    Backend, ClusterWorld, JobLayout, resume_program, run_program_hooked,
+};
+use bcs_repro::mpi_api::{AsyncMpi, ReduceOp};
 use bcs_repro::qsnet::NodeId;
 use bcs_repro::simcore::{Sim, SimDuration};
 use proplite::prelude::*;
@@ -28,21 +30,21 @@ use std::rc::Rc;
 /// byte and reduced value — any lost, duplicated or corrupted delivery
 /// changes it, while pure timing shifts (heartbeat traffic, checkpoint
 /// stalls, recovery rework) do not.
-fn ring_program(mpi: &mut Mpi, iters: u64) -> u64 {
+async fn ring_program(mut mpi: AsyncMpi, iters: u64) -> u64 {
     let me = mpi.rank();
     let n = mpi.size();
     let mut acc: u64 = (me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     for it in 0..iters {
-        mpi.compute(SimDuration::micros(200 + 53 * ((me as u64 + it) % 5)));
+        mpi.compute(SimDuration::micros(200 + 53 * ((me as u64 + it) % 5))).await;
         let to = (me + 1) % n;
         let from = (me + n - 1) % n;
         let sz = if it % 2 == 0 { 96 * 1024 } else { 512 };
         let payload: Vec<u8> = (0..sz)
             .map(|i| (acc ^ (i as u64).wrapping_mul(0x9E37_79B9)) as u8)
             .collect();
-        let s = mpi.isend(to, it as i32, &payload);
-        let r = mpi.irecv(SrcSel::Rank(from), TagSel::Tag(it as i32));
-        let res = mpi.waitall(&[s, r]);
+        let s = mpi.isend(to, it as i32, &payload).await;
+        let r = mpi.irecv(SrcSel::Rank(from), TagSel::Tag(it as i32)).await;
+        let res = mpi.waitall(&[s, r]).await;
         let data = res[1].0.as_ref().expect("recv payload");
         assert_eq!(data.len(), sz);
         for (i, b) in data.iter().enumerate() {
@@ -51,10 +53,12 @@ fn ring_program(mpi: &mut Mpi, iters: u64) -> u64 {
                 .wrapping_add(*b as u64 ^ (i as u64 & 0xFF));
         }
         if it % 3 == 2 {
-            let g = mpi.allreduce_f64(
-                ReduceOp::Sum,
-                &[me as f64 + it as f64 * 0.5, (acc as u32) as f64],
-            );
+            let g = mpi
+                .allreduce_f64(
+                    ReduceOp::Sum,
+                    &[me as f64 + it as f64 * 0.5, (acc as u32) as f64],
+                )
+                .await;
             for v in g {
                 acc ^= v.to_bits();
             }
@@ -75,7 +79,7 @@ fn fault_free_results(rc: &RecoveryCfg, iters: u64) -> Vec<u64> {
     fault_free_reference(
         &rc.bcs,
         layout(),
-        move |mpi| ring_program(mpi, iters),
+        move |mpi: AsyncMpi| ring_program(mpi, iters),
         rc.opts.clone(),
     )
     .results
@@ -88,7 +92,7 @@ fn fault_free_results(rc: &RecoveryCfg, iters: u64) -> Vec<u64> {
 fn silent_node_is_detected_within_the_epoch_bound() {
     let rc = recovery_cfg();
     let plan = FaultPlan::single_crash(&rc.bcs, NodeId(2), 5);
-    let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 6));
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
     assert!(out.completed, "recovery failed: {:?}", out.abort);
     assert_eq!(out.restarts, 1);
     assert_eq!(out.detections.len(), 1);
@@ -115,7 +119,7 @@ fn recovery_is_bit_identical_to_fault_free() {
     let rc = recovery_cfg();
     let reference = fault_free_results(&rc, 6);
     let plan = FaultPlan::single_crash(&rc.bcs, NodeId(1), 4);
-    let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 6));
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
     assert!(out.completed, "recovery failed: {:?}", out.abort);
     assert!(out.restarts >= 1, "the crash must have forced a restore");
     let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
@@ -156,7 +160,7 @@ fn survives_two_crashes() {
     let mut plan = FaultPlan::single_crash(&rc.bcs, NodeId(0), 3);
     plan.crashes
         .extend(FaultPlan::single_crash(&rc.bcs, NodeId(3), 9).crashes);
-    let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 6));
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
     assert!(out.completed, "recovery failed: {:?}", out.abort);
     assert_eq!(out.restarts, 2);
     assert_eq!(out.detections.len(), 2);
@@ -173,7 +177,7 @@ fn dropped_dmas_are_retried_transparently() {
     let reference = fault_free_results(&rc, 6);
     let mut plan = FaultPlan::none();
     plan.drops = (0..12).collect();
-    let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 6));
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
     assert!(out.completed, "run failed: {:?}", out.abort);
     assert_eq!(out.restarts, 0, "drops must be masked below the restore layer");
     assert!(
@@ -193,7 +197,7 @@ fn abort_is_clean_when_restart_budget_is_exhausted() {
     let mut rc = recovery_cfg();
     rc.max_restarts = 0;
     let plan = FaultPlan::single_crash(&rc.bcs, NodeId(2), 4);
-    let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 6));
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
     assert!(!out.completed);
     let why = out.abort.expect("abort reason must be reported");
     assert!(why.contains("restart budget"), "unexpected reason: {why}");
@@ -244,7 +248,7 @@ proplite! {
         let profile = FaultProfile { mtbf_slices: Some(6.0), drops: 4, degradations: 1 };
         let plan = FaultPlan::generate(seed, &rc.bcs, 4, 12, &profile);
         let reference = fault_free_results(&rc, 5);
-        let out = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 5));
+        let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
         prop_assert!(out.completed, "seed {} failed: {:?}", seed, out.abort);
         let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
         prop_assert_eq!(got, reference);
@@ -258,8 +262,8 @@ proplite! {
         let rc = recovery_cfg();
         let profile = FaultProfile { mtbf_slices: Some(5.0), drops: 3, degradations: 1 };
         let plan = FaultPlan::generate(seed, &rc.bcs, 4, 10, &profile);
-        let a = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 5));
-        let b = run_with_recovery(&rc, layout(), &plan, |mpi| ring_program(mpi, 5));
+        let a = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
+        let b = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
         prop_assert_eq!(a.completed, b.completed);
         prop_assert_eq!(a.restarts, b.restarts);
         prop_assert_eq!(a.elapsed.as_nanos(), b.elapsed.as_nanos());
@@ -287,10 +291,10 @@ proplite! {
         let shadow: Rc<RefCell<Vec<CheckpointImage>>> = Rc::new(RefCell::new(Vec::new()));
         let sh = shadow.clone();
         let timeslice = rc.bcs.timeslice;
-        let out = run_job_hooked(
+        let out = run_program_hooked(
             BcsMpi::new(rc.bcs.clone(), &layout()),
             layout(),
-            |mpi| ring_program(mpi, 5),
+            |mpi: AsyncMpi| ring_program(mpi, 5),
             move |w: &mut CW, sim: &mut Sim<CW>| {
                 w.set_recording(true);
                 let fabric = &mut w.bcs().fabric;
@@ -301,6 +305,7 @@ proplite! {
                 shadow_images(w, sim, sh, timeslice);
             },
             rc.opts.clone(),
+            Backend::default(),
         );
         prop_assert!(out.completed, "seed {} failed: {:?}", seed, out.diagnostic);
         let mut shadow = shadow.borrow_mut();
@@ -327,14 +332,15 @@ proplite! {
         let mut outs = Vec::new();
         for img in [&out.engine.images[mid], &shadow[mid]] {
             let engine = BcsMpi::restore_from_image(rc.bcs.clone(), &layout(), img);
-            let o = resume_job(
+            let o = resume_program(
                 engine,
                 layout(),
-                |mpi| ring_program(mpi, 5),
+                |mpi: AsyncMpi| ring_program(mpi, 5),
                 &img.rt,
                 |w: &mut CW, sim: &mut Sim<CW>| bcs_repro::bcs_mpi::resume_from_boundary(w, sim),
                 |_: &mut CW, _: &mut Sim<CW>| {},
                 rc.opts.clone(),
+                Backend::default(),
             );
             prop_assert!(o.completed, "resume from slice {} failed", img.slice);
             outs.push((o.results, o.elapsed.as_nanos(), o.engine.checkpoints.clone()));

@@ -39,47 +39,52 @@ fn round_strategy(ranks: usize) -> impl Strategy<Value = Round> {
 fn execute(sel: &EngineSel, ranks: usize, round: Round) -> Vec<Vec<(usize, usize, u64)>> {
     let layout = JobLayout::new(ranks, 1, ranks);
     let round = std::sync::Arc::new(round);
-    let out = run_app(sel, layout, move |mpi| {
-        let me = mpi.rank();
-        let n = mpi.size();
-        mpi.compute(SimDuration::micros(
-            round.compute_us * (me as u64 % 3 + 1) / 2,
-        ));
-        let mut send_reqs = Vec::new();
-        let mut recv_reqs = Vec::new();
-        // Post receives first (so blocking sends cannot deadlock), then
-        // sends. Tag = message index within the channel.
-        for src in 0..n {
-            for (k, _) in round.messages[src][me].iter().enumerate() {
-                recv_reqs.push((src, k, mpi.irecv(SrcSel::Rank(src), TagSel::Tag(k as i32))));
-            }
-        }
-        for dst in 0..n {
-            for (k, &sz) in round.messages[me][dst].iter().enumerate() {
-                let payload: Vec<u8> =
-                    (0..sz).map(|i| ((i * 13 + me * 3 + k) % 255) as u8).collect();
-                if round.nonblocking {
-                    send_reqs.push(mpi.isend(dst, k as i32, &payload));
-                } else {
-                    mpi.send(dst, k as i32, &payload);
+    let out = run_app(sel, layout, move |mut mpi: bcs_repro::mpi_api::AsyncMpi| {
+        let round = std::sync::Arc::clone(&round);
+        async move {
+            let me = mpi.rank();
+            let n = mpi.size();
+            mpi.compute(SimDuration::micros(
+                round.compute_us * (me as u64 % 3 + 1) / 2,
+            ))
+            .await;
+            let mut send_reqs = Vec::new();
+            let mut recv_reqs = Vec::new();
+            // Post receives first (so blocking sends cannot deadlock), then
+            // sends. Tag = message index within the channel.
+            for src in 0..n {
+                for (k, _) in round.messages[src][me].iter().enumerate() {
+                    let req = mpi.irecv(SrcSel::Rank(src), TagSel::Tag(k as i32)).await;
+                    recv_reqs.push((src, k, req));
                 }
             }
-        }
-        let mut got = Vec::new();
-        for (src, k, req) in recv_reqs {
-            let (data, st) = mpi.wait_recv(req);
-            assert_eq!(st.source, src);
-            assert_eq!(st.tag, k as i32);
-            // Verify content integrity.
-            for (i, &b) in data.iter().enumerate() {
-                assert_eq!(b, ((i * 13 + src * 3 + k) % 255) as u8, "corrupt payload");
+            for dst in 0..n {
+                for (k, &sz) in round.messages[me][dst].iter().enumerate() {
+                    let payload: Vec<u8> =
+                        (0..sz).map(|i| ((i * 13 + me * 3 + k) % 255) as u8).collect();
+                    if round.nonblocking {
+                        send_reqs.push(mpi.isend(dst, k as i32, &payload).await);
+                    } else {
+                        mpi.send(dst, k as i32, &payload).await;
+                    }
+                }
             }
-            let sum = data.iter().map(|&b| b as u64).sum::<u64>();
-            got.push((src, k, sum.wrapping_add(data.len() as u64)));
+            let mut got = Vec::new();
+            for (src, k, req) in recv_reqs {
+                let (data, st) = mpi.wait_recv(req).await;
+                assert_eq!(st.source, src);
+                assert_eq!(st.tag, k as i32);
+                // Verify content integrity.
+                for (i, &b) in data.iter().enumerate() {
+                    assert_eq!(b, ((i * 13 + src * 3 + k) % 255) as u8, "corrupt payload");
+                }
+                let sum = data.iter().map(|&b| b as u64).sum::<u64>();
+                got.push((src, k, sum.wrapping_add(data.len() as u64)));
+            }
+            mpi.waitall(&send_reqs).await;
+            got.sort_unstable();
+            got
         }
-        mpi.waitall(&send_reqs);
-        got.sort_unstable();
-        got
     });
     out.results
 }
@@ -107,7 +112,7 @@ proplite! {
 fn randomized_long_mix_with_seeded_rng() {
     // A longer, deterministic stress: 200 operations per rank drawn from a
     // seeded RNG, same on both engines.
-    let script = |mpi: &mut bcs_repro::mpi_api::Mpi| {
+    let script = |mut mpi: bcs_repro::mpi_api::AsyncMpi| async move {
         let me = mpi.rank();
         let n = mpi.size();
         let mut rng = SimRng::new(0xDEAD).split(me as u64);
@@ -121,20 +126,20 @@ fn randomized_long_mix_with_seeded_rng() {
             let d = (me + 1 + (k as usize % (n - 1))) % n;
             let sz = rng.next_below(2048) as usize;
             let payload = vec![(k % 251) as u8; sz];
-            pending.push(mpi.isend(d, k as i32, &payload));
+            pending.push(mpi.isend(d, k as i32, &payload).await);
             if k % 4 == 0 {
-                mpi.compute(SimDuration::micros(rng.next_below(700)));
+                mpi.compute(SimDuration::micros(rng.next_below(700))).await;
             }
         }
         for k in 0..40u64 {
             let src = (me + n - 1 - (k as usize % (n - 1))) % n;
-            let (data, _) = mpi.recv(SrcSel::Rank(src), TagSel::Tag(k as i32));
+            let (data, _) = mpi.recv(SrcSel::Rank(src), TagSel::Tag(k as i32)).await;
             checksum = checksum
                 .wrapping_mul(31)
                 .wrapping_add(data.len() as u64)
                 .wrapping_add(*data.first().unwrap_or(&0) as u64);
         }
-        mpi.waitall(&pending);
+        mpi.waitall(&pending).await;
         checksum
     };
     let layout = JobLayout::new(6, 1, 6);
