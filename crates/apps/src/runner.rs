@@ -3,8 +3,10 @@
 use bcs_mpi::{BcsConfig, BcsMpi};
 use mpi_api::RankProgram;
 use mpi_api::runtime::{Backend, JobLayout, RunOpts, run_program_on};
+use qsnet::FabricKind;
 use quadrics_mpi::{QuadricsConfig, QuadricsMpi};
 use simcore::SimDuration;
+use std::fmt;
 
 /// Which MPI implementation to run on.
 #[derive(Clone)]
@@ -40,15 +42,69 @@ pub struct AppOutcome<R> {
     pub events: u64,
 }
 
+/// An environment variable held a value outside its accepted option set.
+/// Carried instead of silently falling back to a default, so a typo like
+/// `REPRO_FABRIC=rmda` aborts the run rather than quietly benchmarking the
+/// wrong interconnect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvOptionError {
+    /// The environment variable that was set.
+    pub var: &'static str,
+    /// The rejected value.
+    pub got: String,
+    /// Every accepted spelling (unset always means the first entry).
+    pub valid: &'static [&'static str],
+}
+
+impl fmt::Display for EnvOptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} is not a recognized option; valid values: {} (unset defaults to {:?})",
+            self.var,
+            self.got,
+            self.valid.join(", "),
+            self.valid[0]
+        )
+    }
+}
+
+impl std::error::Error for EnvOptionError {}
+
 /// Rank-execution backend for app runs: `REPRO_BACKEND=threads` opts into
-/// the reference thread harness; anything else (including unset) uses the
-/// scalable stackless VM. Virtual-time results are identical either way
-/// (see the backend-equivalence suite). One of the sanctioned env-read
-/// sites (detlint D04).
-pub fn backend_from_env() -> Backend {
+/// the reference thread harness; `vm` or unset uses the scalable stackless
+/// VM. Virtual-time results are identical either way (see the
+/// backend-equivalence suite). Any other value is rejected with
+/// [`EnvOptionError`]. One of the sanctioned env-read sites (detlint D04).
+pub fn backend_from_env() -> Result<Backend, EnvOptionError> {
     match std::env::var("REPRO_BACKEND") {
-        Ok(v) if v == "threads" => Backend::Threads,
-        _ => Backend::Vm,
+        Ok(v) if v == "threads" => Ok(Backend::Threads),
+        Ok(v) if v == "vm" => Ok(Backend::Vm),
+        Ok(v) => Err(EnvOptionError {
+            var: "REPRO_BACKEND",
+            got: v,
+            valid: &["vm", "threads"],
+        }),
+        Err(_) => Ok(Backend::Vm),
+    }
+}
+
+/// Interconnect override for app runs: `REPRO_FABRIC=rdma` retargets every
+/// engine onto the RDMA-channel fabric (software-emulated collectives),
+/// `qsnet` forces the Quadrics-class fabric, and unset leaves each
+/// experiment's explicitly configured fabric untouched. Any other value is
+/// rejected with [`EnvOptionError`]. One of the sanctioned env-read sites
+/// (detlint D04).
+pub fn fabric_from_env() -> Result<Option<FabricKind>, EnvOptionError> {
+    match std::env::var("REPRO_FABRIC") {
+        Ok(v) if v == "qsnet" => Ok(Some(FabricKind::QsNet)),
+        Ok(v) if v == "rdma" => Ok(Some(FabricKind::Rdma)),
+        Ok(v) => Err(EnvOptionError {
+            var: "REPRO_FABRIC",
+            got: v,
+            valid: &["qsnet", "rdma"],
+        }),
+        Err(_) => Ok(None),
     }
 }
 
@@ -59,16 +115,15 @@ pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -
     let opts = RunOpts {
         max_virtual: Some(SimDuration::secs(3600)),
     };
-    let backend = backend_from_env();
+    let backend = backend_from_env().unwrap_or_else(|e| panic!("{e}"));
+    let fabric = fabric_from_env().unwrap_or_else(|e| panic!("{e}"));
     match sel {
         EngineSel::Bcs(cfg) => {
-            let out = run_program_on(
-                BcsMpi::new(cfg.clone(), &layout),
-                layout,
-                program,
-                opts,
-                backend,
-            );
+            let mut cfg = cfg.clone();
+            if let Some(kind) = fabric {
+                cfg.fabric = kind;
+            }
+            let out = run_program_on(BcsMpi::new(cfg, &layout), layout, program, opts, backend);
             AppOutcome {
                 elapsed: out.elapsed,
                 results: out.results,
@@ -76,8 +131,12 @@ pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -
             }
         }
         EngineSel::Quadrics(cfg) => {
+            let mut cfg = cfg.clone();
+            if let Some(kind) = fabric {
+                cfg.fabric = kind;
+            }
             let out = run_program_on(
-                QuadricsMpi::new(cfg.clone(), &layout),
+                QuadricsMpi::new(cfg, &layout),
                 layout,
                 program,
                 opts,
@@ -123,6 +182,20 @@ mod tests {
         assert_eq!(grid_dims(7), (1, 7));
         assert_eq!(grid_dims(12), (3, 4));
         assert_eq!(grid_dims(1), (1, 1));
+    }
+
+    #[test]
+    fn env_option_error_names_the_valid_options() {
+        let e = EnvOptionError {
+            var: "REPRO_FABRIC",
+            got: "rmda".to_string(),
+            valid: &["qsnet", "rdma"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("REPRO_FABRIC"));
+        assert!(msg.contains("rmda"));
+        assert!(msg.contains("qsnet, rdma"));
+        assert!(msg.contains("defaults to \"qsnet\""));
     }
 
     #[test]

@@ -147,15 +147,15 @@ pub struct WordsSnapshot {
 
 /// The BCS abstract machine: global words + events on every node, over the
 /// simulated fabric.
-pub struct BcsCluster<W> {
-    pub fabric: Fabric,
+pub struct BcsCluster<W: 'static> {
+    pub fabric: Box<dyn Fabric<W>>,
     /// Reliable-delivery bookkeeping (see [`retry`]).
     pub retry: retry::RetryState,
     nodes: Vec<NodeCtl<W>>,
 }
 
 impl<W: BcsWorld> BcsCluster<W> {
-    pub fn new(fabric: Fabric) -> BcsCluster<W> {
+    pub fn new(fabric: Box<dyn Fabric<W>>) -> BcsCluster<W> {
         let n = fabric.nodes();
         BcsCluster {
             fabric,
@@ -405,7 +405,7 @@ fn pop_waiter<W>(st: &mut EventState<W>) -> Option<Box<dyn FnOnce(&mut W, &mut S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsnet::NetModel;
+    use qsnet::{NetModel, QsNetFabric};
     use simcore::SimDuration;
 
     struct TestWorld {
@@ -420,7 +420,7 @@ mod tests {
     }
 
     fn setup(nodes: usize) -> (TestWorld, Sim<TestWorld>) {
-        let fabric = Fabric::new(NetModel::qsnet(), nodes);
+        let fabric = Box::new(QsNetFabric::new(NetModel::qsnet(), nodes));
         (
             TestWorld {
                 bcs: BcsCluster::new(fabric),

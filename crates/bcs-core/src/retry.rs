@@ -161,7 +161,7 @@ fn attempt<W: BcsWorld>(
 mod tests {
     use super::*;
     use crate::BcsCluster;
-    use qsnet::{Fabric, NetModel};
+    use qsnet::{NetModel, QsNetFabric};
     use std::cell::Cell;
 
     struct W {
@@ -177,7 +177,7 @@ mod tests {
     }
 
     fn world(nodes: usize) -> (W, Sim<W>) {
-        let fabric = Fabric::new(NetModel::qsnet(), nodes);
+        let fabric = Box::new(QsNetFabric::new(NetModel::qsnet(), nodes));
         (
             W {
                 bcs: BcsCluster::new(fabric),

@@ -9,7 +9,8 @@
 //!
 //! Experiments: table1, fig2, fig8a, fig8b, fig8c, fig8d, fig9, fig10,
 //! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
-//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch, scale.
+//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch, scale,
+//! fabric-matrix.
 //!
 //! Every selected experiment is decomposed into independent sweep points
 //! (see [`bench::experiments`]) and the points of *all* experiments are
@@ -56,8 +57,9 @@ fn main() {
                 println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
                 println!("             fig11a fig11b ablation-slice ablation-reduce");
                 println!("             ablation-noise ablation-chunk ablation-multijob");
-                println!("             ablation-fault storm-launch scale");
+                println!("             ablation-fault storm-launch scale fabric-matrix");
                 println!("REPRO_THREADS controls the sweep worker count (default: all cores)");
+                println!("REPRO_FABRIC=qsnet|rdma overrides the interconnect for every run");
                 return;
             }
             other => picks.push(other.to_string()),

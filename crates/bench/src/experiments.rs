@@ -70,6 +70,7 @@ pub fn registry(quick: bool) -> Vec<Experiment> {
         ablation_fault_exp(quick),
         storm_launch_exp(),
         scale_exp(quick),
+        fabric_matrix_exp(quick),
     ]
 }
 
@@ -1287,19 +1288,31 @@ pub fn scale(quick: bool) -> Report {
 }
 
 /// Figure 8-style synthetic sweeps on the BlueGene/L interconnect model
-/// (Table 1's largest machine), extended to n=4096 — 66x the paper's
-/// 62-process Quadrics cluster. Rank programs run on the stackless VM
-/// backend, so the job needs one OS thread regardless of n and the sweep's
-/// peak thread count stays bounded by `REPRO_THREADS`.
+/// (Table 1's largest machine), extended to n=65536 in full mode — three
+/// orders of magnitude past the paper's 62-process Quadrics cluster. Rank
+/// programs run on the stackless VM backend, so the job needs one OS
+/// thread regardless of n and the sweep's peak thread count stays bounded
+/// by `REPRO_THREADS`; each point records the process's live OS-thread
+/// count so the assembled report can state the observed peak.
 pub fn scale_exp(quick: bool) -> Experiment {
-    let ns: &'static [usize] = if quick { &[64, 1024, 4096] } else { &[62, 256, 1024, 4096] };
+    let ns: &'static [usize] = if quick {
+        &[64, 1024, 4096]
+    } else {
+        &[62, 256, 1024, 4096, 16384, 65536]
+    };
     let g = SimDuration::millis(10);
     // Iteration counts taper with n to keep the sweep inside the CI
     // wall-clock budget; slowdown is per-iteration, so short loops measure
     // the same quantity.
     let iters = move |n: usize| -> u64 {
-        let base = if quick { 10 } else { 40 };
-        if n >= 4096 { base / 5 } else { base }
+        let base: u64 = if quick { 10 } else { 40 };
+        if n >= 16384 {
+            (base / 20).max(1)
+        } else if n >= 4096 {
+            base / 5
+        } else {
+            base
+        }
     };
     let bgl_layout = |n: usize| JobLayout::new(n.div_ceil(2), 2, n);
     let bgl_bcs = || {
@@ -1322,7 +1335,10 @@ pub fn scale_exp(quick: bool) -> Experiment {
                     iters: iters(n),
                 };
                 let out = run_app(&mk_sel(), bgl_layout(n), synthetic::barrier_loop(cfg));
-                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+                PointOut::new(
+                    vec![],
+                    vec![out.elapsed.as_nanos(), crate::sweep::os_thread_count()],
+                )
             }));
         }
     }
@@ -1331,7 +1347,10 @@ pub fn scale_exp(quick: bool) -> Experiment {
             points.push(Box::new(move || {
                 let cfg = synthetic::NeighborLoopCfg::paper(g, iters(n));
                 let out = run_app(&mk_sel(), bgl_layout(n), synthetic::neighbor_loop(cfg));
-                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+                PointOut::new(
+                    vec![],
+                    vec![out.elapsed.as_nanos(), crate::sweep::os_thread_count()],
+                )
             }));
         }
     }
@@ -1360,6 +1379,12 @@ pub fn scale_exp(quick: bool) -> Experiment {
             }
             r.note("layout: 2 CPUs per node, n/2 compute nodes; net = Table 1 BlueGene/L");
             r.note("rank programs execute on the stackless VM backend: one OS thread per point, any n");
+            // Host observation, deliberately a note (not a CSV row): the
+            // value depends on REPRO_THREADS and the platform.
+            let peak = outs.iter().filter_map(|o| o.words.get(1)).max().copied().unwrap_or(0);
+            r.note(format!(
+                "peak OS threads observed in-process during the sweep: {peak}"
+            ));
             vec![("scale", r)]
         }),
     }
@@ -1409,6 +1434,128 @@ pub fn storm_launch_exp() -> Experiment {
             }
             r.note("hardware multicast keeps QsNet launch flat in node count");
             vec![("storm_launch", r)]
+        }),
+    }
+}
+
+// ======================================================================
+// Fabric matrix — QsNet hardware collectives vs RDMA software emulation
+// ======================================================================
+
+pub fn fabric_matrix(quick: bool) -> Report {
+    only(fabric_matrix_exp(quick).run_sequential())
+}
+
+/// Both engines on both interconnects: the Quadrics-class fabric (hardware
+/// multicast + network conditionals, Table 1 QsNet constants) against the
+/// RDMA-channel fabric (InfiniBand constants; multicast and global
+/// conditionals software-emulated over point-to-point RDMA, see
+/// `rdmanet`). Barrier and neighbor synthetics sweep node counts; one NPB
+/// kernel (CG) runs at a fixed rank count. Each row is a (BCS, Quadrics)
+/// pair on one fabric, so the headline is how well BCS-MPI's primitives
+/// survive losing the hardware collectives.
+pub fn fabric_matrix_exp(quick: bool) -> Experiment {
+    let ns: &'static [usize] = if quick { &[16, 62] } else { &[16, 62, 256] };
+    let g = SimDuration::millis(10);
+    let iters: u64 = if quick { 10 } else { 40 };
+    let cg_ranks = if quick { 8 } else { 62 };
+    // (config fabric kind, Table 1 model, row label)
+    let fabrics: &'static [(qsnet::FabricKind, fn() -> qsnet::NetModel, &'static str)] = &[
+        (qsnet::FabricKind::QsNet, qsnet::NetModel::qsnet, "qsnet"),
+        (qsnet::FabricKind::Rdma, qsnet::NetModel::infiniband, "rdma"),
+    ];
+    let sel_for = |kind: qsnet::FabricKind, net: fn() -> qsnet::NetModel, engine: usize| {
+        if engine == 0 {
+            let mut c = BcsConfig::default();
+            c.net = net();
+            c.fabric = kind;
+            EngineSel::Bcs(c)
+        } else {
+            let mut c = QuadricsConfig::default();
+            c.net = net();
+            c.fabric = kind;
+            EngineSel::Quadrics(c)
+        }
+    };
+
+    let mut points: Vec<PointFn> = Vec::new();
+    for &(kind, net, _) in fabrics {
+        for &n in ns {
+            for engine in [0usize, 1] {
+                points.push(Box::new(move || {
+                    let cfg = synthetic::BarrierLoopCfg { granularity: g, iters };
+                    let out = run_app(
+                        &sel_for(kind, net, engine),
+                        JobLayout::new(n.div_ceil(2), 2, n),
+                        synthetic::barrier_loop(cfg),
+                    );
+                    PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+                }));
+            }
+        }
+        for &n in ns {
+            for engine in [0usize, 1] {
+                points.push(Box::new(move || {
+                    let cfg = synthetic::NeighborLoopCfg::paper(g, iters);
+                    let out = run_app(
+                        &sel_for(kind, net, engine),
+                        JobLayout::new(n.div_ceil(2), 2, n),
+                        synthetic::neighbor_loop(cfg),
+                    );
+                    PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+                }));
+            }
+        }
+        for engine in [0usize, 1] {
+            points.push(Box::new(move || {
+                let cfg = if quick { cg::CgCfg::test() } else { cg::CgCfg::class_c() };
+                let out = run_app(
+                    &sel_for(kind, net, engine),
+                    layout(cg_ranks),
+                    cg::cg_bench(cfg),
+                );
+                PointOut::new(vec![], vec![out.elapsed.as_nanos()])
+            }));
+        }
+    }
+
+    Experiment {
+        name: "fabric_matrix",
+        cli: "fabric-matrix",
+        points,
+        assemble: Box::new(move |outs| {
+            let mut r = Report::new(
+                "Fabric matrix: BCS-MPI slowdown on hardware (QsNet) vs software-emulated (RDMA/IB) collectives",
+                &["BCS-MPI", "Quadrics", "slowdown"],
+            );
+            // Per fabric: ns.len() barrier pairs, ns.len() neighbor pairs,
+            // then one CG pair.
+            let block = 2 * ns.len() + 1;
+            for (fi, &(_, _, label)) in fabrics.iter().enumerate() {
+                for (ni, &n) in ns.iter().enumerate() {
+                    let (cells, sd) = pair_cells(&outs, fi * block + ni);
+                    if n == *ns.last().unwrap() {
+                        r.metric(format!("barrier_{label}_sd_pct"), sd);
+                    }
+                    r.row(format!("{label} barrier n={n}"), cells);
+                }
+                for (ni, &n) in ns.iter().enumerate() {
+                    let (cells, sd) = pair_cells(&outs, fi * block + ns.len() + ni);
+                    if n == *ns.last().unwrap() {
+                        r.metric(format!("neighbor_{label}_sd_pct"), sd);
+                    }
+                    r.row(format!("{label} neighbor n={n}"), cells);
+                }
+                let (cells, sd) = pair_cells(&outs, fi * block + 2 * ns.len());
+                r.metric(format!("cg_{label}_sd_pct"), sd);
+                r.row(format!("{label} CG ({cg_ranks} procs)"), cells);
+            }
+            r.note("qsnet rows: Table 1 QsNet model, hardware multicast + network conditionals");
+            r.note(
+                "rdma rows: Table 1 InfiniBand model, binomial-tree multicast and \
+                 gather-to-root conditionals emulated in software (crates/rdmanet)",
+            );
+            vec![("fabric_matrix", r)]
         }),
     }
 }

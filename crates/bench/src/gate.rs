@@ -52,6 +52,12 @@ fn full() -> Vec<Expectation> {
         E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 1.0),
         E("scale", "barrier_n4096_slowdown_pct", 4.98, 1.5),
         E("scale", "neighbor_n4096_slowdown_pct", 4.56, 1.5),
+        E("fabric_matrix", "barrier_qsnet_sd_pct", 4.93, 1.5),
+        E("fabric_matrix", "neighbor_qsnet_sd_pct", 4.12, 1.5),
+        E("fabric_matrix", "cg_qsnet_sd_pct", 4.22, 1.5),
+        E("fabric_matrix", "barrier_rdma_sd_pct", 5.77, 1.5),
+        E("fabric_matrix", "neighbor_rdma_sd_pct", 61.1, 6.0),
+        E("fabric_matrix", "cg_rdma_sd_pct", 5.75, 1.5),
     ]
 }
 
@@ -68,6 +74,14 @@ fn quick() -> Vec<Expectation> {
         E("ablation_fault", "ckpt_overhead_every2_pct", 0.0, 0.5),
         E("scale", "barrier_n4096_slowdown_pct", 4.98, 1.5),
         E("scale", "neighbor_n4096_slowdown_pct", 4.48, 1.5),
+        // Quick CG runs a toy problem, so the one-time BCS init dominates
+        // its slowdown — large but deterministic.
+        E("fabric_matrix", "barrier_qsnet_sd_pct", 4.94, 1.5),
+        E("fabric_matrix", "neighbor_qsnet_sd_pct", 4.08, 1.5),
+        E("fabric_matrix", "cg_qsnet_sd_pct", 970.4, 50.0),
+        E("fabric_matrix", "barrier_rdma_sd_pct", 5.20, 1.5),
+        E("fabric_matrix", "neighbor_rdma_sd_pct", 17.0, 3.0),
+        E("fabric_matrix", "cg_rdma_sd_pct", 730.7, 50.0),
     ]
 }
 

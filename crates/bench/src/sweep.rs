@@ -82,6 +82,15 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Number of OS threads currently alive in this process, from
+/// `/proc/self/task` (0 where procfs is unavailable). A host observation,
+/// not a simulation quantity: it feeds report *notes* only (e.g. the scale
+/// sweep's peak-thread record), never CSV rows, so regenerated CSVs stay
+/// byte-identical across thread counts and platforms.
+pub fn os_thread_count() -> u64 {
+    std::fs::read_dir("/proc/self/task").map(|d| d.count() as u64).unwrap_or(0)
+}
+
 /// Run every point and return the outputs **in input order** plus timing.
 ///
 /// Points are sharded round-robin across `threads` workers; an idle

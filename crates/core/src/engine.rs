@@ -15,7 +15,7 @@ use mpi_api::message::{SrcSel, Status, TagSel};
 use mpi_api::noise::{NoiseConfig, NoiseModel};
 use mpi_api::payload::Payload;
 use mpi_api::runtime::{ClusterWorld, Engine, JobLayout, resume_at};
-use qsnet::{Fabric, NetModel, NodeId};
+use qsnet::{FabricKind, NetModel, NodeId};
 use simcore::stats::LogHistogram;
 use simcore::{Sim, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -26,6 +26,11 @@ pub(crate) type BW = ClusterWorld<BcsMpi>;
 #[derive(Clone, Debug)]
 pub struct BcsConfig {
     pub net: NetModel,
+    /// Which interconnect implementation carries the wire traffic: QsNet
+    /// (hardware multicast + network conditionals) or the RDMA channel
+    /// (`rdmanet`, software emulations of both). The protocol layers above
+    /// never branch on this.
+    pub fabric: FabricKind,
     /// The global time slice (500 µs in all the paper's experiments).
     pub timeslice: SimDuration,
     /// Interval at which the SS re-polls `Compare-And-Write` for microphase
@@ -91,6 +96,7 @@ impl Default for BcsConfig {
         let p2p_budget = (0.6 * timeslice.as_secs_f64() * net.link_bw) as u64;
         BcsConfig {
             net,
+            fabric: FabricKind::QsNet,
             timeslice,
             poll_interval: SimDuration::micros(25),
             desc_bytes: 64,
@@ -245,7 +251,7 @@ impl bcs_core::BcsHost<BW> for BcsMpi {
 impl BcsMpi {
     pub fn new(cfg: BcsConfig, layout: &JobLayout) -> BcsMpi {
         // One extra fabric port for the management node.
-        let fabric = Fabric::new(cfg.net, layout.compute_nodes + 1);
+        let fabric = rdmanet::build_fabric(cfg.fabric, cfg.net, layout.compute_nodes + 1);
         let mgmt = NodeId(layout.compute_nodes);
         let noise = cfg
             .noise

@@ -10,10 +10,18 @@
 //! event order, so the model is deterministic and needs no per-packet events:
 //! a transfer's delivery time is computed immediately and its completion
 //! callback scheduled on the simulator queue.
+//!
+//! Since the multi-fabric matrix, the interconnect surface the engines
+//! program against is the object-safe [`Fabric`] trait; [`QsNetFabric`] is
+//! the Quadrics implementation (hardware multicast + network conditionals),
+//! and `rdmanet::RdmaFabric` provides the RDMA-channel alternative with
+//! software emulations of both collectives. Engines hold a
+//! `Box<dyn Fabric<W>>` and never learn which one they got.
 
 use crate::model::NetModel;
 use crate::topology::{NodeId, Topology};
 use simcore::{Sim, SimTime};
+use std::any::Any;
 use std::rc::Rc;
 
 /// Wire-level size of a control packet (descriptors, get requests,
@@ -48,7 +56,44 @@ pub struct Degradation {
     pub factor: u32,
 }
 
-/// Port-occupancy state of the fabric at a quiescent instant, for
+/// Which interconnect implementation backs a cluster. Selected per engine
+/// config (`BcsConfig::fabric`, `QuadricsConfig::fabric`) and, at the CLI,
+/// via `REPRO_FABRIC` (see `apps::runner::fabric_from_env`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FabricKind {
+    /// Quadrics QsNet: hardware ordered multicast + network conditionals,
+    /// control packets ride a free priority channel.
+    #[default]
+    QsNet,
+    /// RDMA channel (InfiniBand-class): eager RDMA writes with piggybacked
+    /// completion flags, rendezvous via RDMA read, and *software* emulations
+    /// of multicast (binomial tree) and the global conditional
+    /// (gather-to-root) — implemented by `rdmanet::RdmaFabric`.
+    Rdma,
+}
+
+impl FabricKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricKind::QsNet => "qsnet",
+            FabricKind::Rdma => "rdma",
+        }
+    }
+}
+
+/// Fabric-private snapshot payload behind [`FabricSnapshot`]'s type erasure.
+/// Each fabric implementation captures its own occupancy state (port
+/// clocks, sequencer clocks, stats) into one of these; `restore` downcasts
+/// back via [`SnapState::as_any`] and panics on a fabric-kind mismatch —
+/// restoring a QsNet image into an RDMA fabric is a driver bug, not a
+/// recoverable condition.
+pub trait SnapState: Any + std::fmt::Debug {
+    /// Deep copy sharing nothing with any snapshot cache.
+    fn materialize_state(&self) -> Rc<dyn SnapState>;
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Port-occupancy state of a fabric at a quiescent instant, for
 /// checkpoint/restore. Capturing the free times (rather than resetting
 /// them) keeps post-restore timing identical to the original run; fault
 /// state (dead nodes, drop plans, degradations) is deliberately *not*
@@ -57,16 +102,27 @@ pub struct Degradation {
 /// The state sits behind an `Rc` shared with the fabric's snapshot cache:
 /// cloning a snapshot — and re-capturing an unchanged fabric — is a
 /// refcount bump, the same copy-on-write scheme the engine uses for NIC
-/// state and payloads.
+/// state and payloads. The payload is type-erased ([`SnapState`]) so one
+/// checkpoint image format serves every fabric implementation.
 #[derive(Clone, Debug)]
-pub struct FabricSnapshot(Rc<PortState>);
+pub struct FabricSnapshot(Rc<dyn SnapState>);
 
 impl FabricSnapshot {
+    /// Wrap a fabric implementation's captured state.
+    pub fn new(state: Rc<dyn SnapState>) -> FabricSnapshot {
+        FabricSnapshot(state)
+    }
+
+    /// The erased state, for a fabric's `restore` to downcast.
+    pub fn state(&self) -> &Rc<dyn SnapState> {
+        &self.0
+    }
+
     /// Deep copy sharing nothing with the fabric's snapshot cache or any
     /// other snapshot — the reference point incremental checkpoint images
     /// are validated against.
     pub fn materialize(&self) -> FabricSnapshot {
-        FabricSnapshot(Rc::new((*self.0).clone()))
+        FabricSnapshot(self.0.materialize_state())
     }
 }
 
@@ -79,8 +135,144 @@ struct PortState {
     bulk_seq: u64,
 }
 
-/// The simulated interconnect.
-pub struct Fabric {
+impl SnapState for PortState {
+    fn materialize_state(&self) -> Rc<dyn SnapState> {
+        Rc::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Completion callback of a one-shot fabric operation, boxed so the trait
+/// stays object-safe.
+pub type OnDone<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+
+/// The interconnect surface the BCS stack programs against: unicast DMA
+/// (put/get), ordered multicast, the global conditional, fault injection,
+/// and occupancy snapshot/restore. Object-safe — engines hold a
+/// `Box<dyn Fabric<W>>` — so the one-shot callbacks arrive boxed; the
+/// convenience wrappers on `dyn Fabric<W>` below restore the
+/// `impl FnOnce` call-site ergonomics.
+///
+/// Contract every implementation must honor (the recovery and gate suites
+/// assume it):
+///
+/// * all timing is reserved synchronously at issue, in event order —
+///   bit-identical replay from equal state;
+/// * multicast payloads and conditional fire times are **totally ordered**
+///   across the whole machine (sequential consistency, paper §2);
+/// * only transfers larger than [`CTRL_BYTES`] consume a `bulk_seq`
+///   coordinate — fault-injection drop plans are portable across fabrics;
+/// * dead endpoints suppress delivery callbacks but never change
+///   reservations.
+pub trait Fabric<W: 'static> {
+    fn kind(&self) -> FabricKind;
+    fn model(&self) -> &NetModel;
+    fn topology(&self) -> &Topology;
+    fn nodes(&self) -> usize;
+    fn stats(&self) -> &FabricStats;
+    fn reset_stats(&mut self);
+
+    // Fault injection (see `faultsim`).
+    fn kill_node(&mut self, node: NodeId);
+    fn revive_node(&mut self, node: NodeId);
+    fn is_dead(&self, node: NodeId) -> bool;
+    fn degrade_link(&mut self, d: Degradation);
+    fn clear_degradations(&mut self);
+    fn plan_drops(&mut self, seqs: Vec<u64>);
+    fn bulk_seq(&self) -> u64;
+
+    // Checkpoint/restore.
+    fn snapshot(&mut self) -> FabricSnapshot;
+    fn restore(&mut self, s: &FabricSnapshot);
+
+    // Wire operations (boxed-callback forms; call the `dyn` wrappers).
+    fn put_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_delivered: OnDone<W>,
+    ) -> SimTime;
+    fn get_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        requester: NodeId,
+        target: NodeId,
+        bytes: u64,
+        on_delivered: OnDone<W>,
+    ) -> SimTime;
+    fn multicast_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        bytes: u64,
+        per_dest: Option<Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)>>,
+        on_complete: OnDone<W>,
+    ) -> SimTime;
+    fn conditional_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        span: usize,
+        on_fire: OnDone<W>,
+    ) -> SimTime;
+}
+
+/// `impl FnOnce` ergonomics on trait objects: every pre-trait call site
+/// (`cluster.fabric.put(sim, src, dst, bytes, |w, s| ...)`) compiles
+/// unchanged against a `Box<dyn Fabric<W>>` through these wrappers.
+impl<W: 'static> dyn Fabric<W> {
+    pub fn put(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.put_boxed(sim, src, dst, bytes, Box::new(on_delivered))
+    }
+
+    pub fn get(
+        &mut self,
+        sim: &mut Sim<W>,
+        requester: NodeId,
+        target: NodeId,
+        bytes: u64,
+        on_delivered: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.get_boxed(sim, requester, target, bytes, Box::new(on_delivered))
+    }
+
+    pub fn multicast(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        bytes: u64,
+        per_dest: Option<Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)>>,
+        on_complete: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.multicast_boxed(sim, src, dests, bytes, per_dest, Box::new(on_complete))
+    }
+
+    pub fn conditional(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        span: usize,
+        on_fire: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> SimTime {
+        self.conditional_boxed(sim, src, span, Box::new(on_fire))
+    }
+}
+
+/// The simulated QsNet interconnect (Elan3 NICs + Elite fat tree).
+pub struct QsNetFabric {
     model: NetModel,
     topo: Topology,
     tx_free: Vec<SimTime>,
@@ -107,9 +299,9 @@ pub struct Fabric {
     snap_dirty: bool,
 }
 
-impl Fabric {
-    pub fn new(model: NetModel, nodes: usize) -> Fabric {
-        Fabric {
+impl QsNetFabric {
+    pub fn new(model: NetModel, nodes: usize) -> QsNetFabric {
+        QsNetFabric {
             model,
             topo: Topology::fat_tree(nodes),
             tx_free: vec![SimTime::ZERO; nodes],
@@ -164,7 +356,7 @@ impl Fabric {
         self.dead[node.0] = true;
     }
 
-    /// Undo [`Fabric::kill_node`] (spare-node replacement semantics).
+    /// Undo [`QsNetFabric::kill_node`] (spare-node replacement semantics).
     pub fn revive_node(&mut self, node: NodeId) {
         self.dead[node.0] = false;
     }
@@ -204,7 +396,7 @@ impl Fabric {
     /// allocation.
     pub fn snapshot(&mut self) -> FabricSnapshot {
         if self.snap_dirty || self.snap_cache.is_none() {
-            self.snap_cache = Some(FabricSnapshot(Rc::new(PortState {
+            self.snap_cache = Some(FabricSnapshot::new(Rc::new(PortState {
                 tx_free: self.tx_free.clone(),
                 rx_free: self.rx_free.clone(),
                 coll_free: self.coll_free,
@@ -222,7 +414,11 @@ impl Fabric {
     /// Copies in place — no allocation — and re-primes the snapshot cache
     /// with the restored image (the states are now identical).
     pub fn restore(&mut self, s: &FabricSnapshot) {
-        let p = &*s.0;
+        let p: &PortState = s
+            .state()
+            .as_any()
+            .downcast_ref()
+            .expect("fabric-kind mismatch: QsNet fabric restoring a non-QsNet snapshot");
         assert_eq!(p.tx_free.len(), self.tx_free.len(), "snapshot node count");
         self.tx_free.copy_from_slice(&p.tx_free);
         self.rx_free.copy_from_slice(&p.rx_free);
@@ -429,6 +625,98 @@ impl Fabric {
     }
 }
 
+/// Pure delegation: the inherent methods above are the implementation (and
+/// remain directly callable on a concrete `QsNetFabric`); the trait impl
+/// makes the fabric usable behind `Box<dyn Fabric<W>>`. Inherent methods
+/// win method resolution, so these calls do not recurse.
+impl<W: 'static> Fabric<W> for QsNetFabric {
+    fn kind(&self) -> FabricKind {
+        FabricKind::QsNet
+    }
+    fn model(&self) -> &NetModel {
+        QsNetFabric::model(self)
+    }
+    fn topology(&self) -> &Topology {
+        QsNetFabric::topology(self)
+    }
+    fn nodes(&self) -> usize {
+        QsNetFabric::nodes(self)
+    }
+    fn stats(&self) -> &FabricStats {
+        QsNetFabric::stats(self)
+    }
+    fn reset_stats(&mut self) {
+        QsNetFabric::reset_stats(self)
+    }
+    fn kill_node(&mut self, node: NodeId) {
+        QsNetFabric::kill_node(self, node)
+    }
+    fn revive_node(&mut self, node: NodeId) {
+        QsNetFabric::revive_node(self, node)
+    }
+    fn is_dead(&self, node: NodeId) -> bool {
+        QsNetFabric::is_dead(self, node)
+    }
+    fn degrade_link(&mut self, d: Degradation) {
+        QsNetFabric::degrade_link(self, d)
+    }
+    fn clear_degradations(&mut self) {
+        QsNetFabric::clear_degradations(self)
+    }
+    fn plan_drops(&mut self, seqs: Vec<u64>) {
+        QsNetFabric::plan_drops(self, seqs)
+    }
+    fn bulk_seq(&self) -> u64 {
+        QsNetFabric::bulk_seq(self)
+    }
+    fn snapshot(&mut self) -> FabricSnapshot {
+        QsNetFabric::snapshot(self)
+    }
+    fn restore(&mut self, s: &FabricSnapshot) {
+        QsNetFabric::restore(self, s)
+    }
+    fn put_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_delivered: OnDone<W>,
+    ) -> SimTime {
+        self.put(sim, src, dst, bytes, on_delivered)
+    }
+    fn get_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        requester: NodeId,
+        target: NodeId,
+        bytes: u64,
+        on_delivered: OnDone<W>,
+    ) -> SimTime {
+        self.get(sim, requester, target, bytes, on_delivered)
+    }
+    fn multicast_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        dests: &[NodeId],
+        bytes: u64,
+        per_dest: Option<Rc<dyn Fn(&mut W, &mut Sim<W>, NodeId)>>,
+        on_complete: OnDone<W>,
+    ) -> SimTime {
+        self.multicast(sim, src, dests, bytes, per_dest, on_complete)
+    }
+    fn conditional_boxed(
+        &mut self,
+        sim: &mut Sim<W>,
+        src: NodeId,
+        span: usize,
+        on_fire: OnDone<W>,
+    ) -> SimTime {
+        self.conditional(sim, src, span, on_fire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,7 +738,7 @@ mod tests {
     #[test]
     fn uncontended_put_latency_is_base_plus_serialization() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let bytes = 320_000; // 1 ms at 320 MB/s
@@ -466,7 +754,7 @@ mod tests {
     #[test]
     fn puts_on_same_tx_port_serialize() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 3_200_000; // 10 ms of wire time
         let t1 = fab.put(&mut sim, NodeId(0), NodeId(1), bytes, |_, _| {});
@@ -481,7 +769,7 @@ mod tests {
     #[test]
     fn puts_into_same_rx_port_serialize() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 3_200_000;
         let t1 = fab.put(&mut sim, NodeId(0), NodeId(9), bytes, |_, _| {});
@@ -492,7 +780,7 @@ mod tests {
     #[test]
     fn get_costs_request_roundtrip_plus_data() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let bytes = 320_000;
@@ -510,7 +798,7 @@ mod tests {
     #[test]
     fn multicast_reaches_every_destination_and_completes_last() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let dests: Vec<NodeId> = (0..32).map(NodeId).collect();
@@ -547,7 +835,7 @@ mod tests {
     #[test]
     fn multicasts_are_totally_ordered_through_the_root() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 8);
+        let mut fab = QsNetFabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let dests: Vec<NodeId> = (0..8).map(NodeId).collect();
         let bytes = 320_000;
@@ -562,7 +850,7 @@ mod tests {
     fn conditional_fires_at_model_latency_and_serializes() {
         let m = NetModel::qsnet();
         let levels = Topology::fat_tree(32).levels();
-        let mut fab = Fabric::new(m, 32);
+        let mut fab = QsNetFabric::new(m, 32);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         let t1 = fab.conditional(&mut sim, NodeId(0), 32, |w, s| {
@@ -581,7 +869,7 @@ mod tests {
     #[test]
     fn self_put_is_local() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 4);
+        let mut fab = QsNetFabric::new(m, 4);
         let mut sim: Sim<W> = Sim::new();
         let t = fab.put(&mut sim, NodeId(2), NodeId(2), 64, |_, _| {});
         assert_eq!(t.since(SimTime::ZERO), m.nic_op + m.tx_time(64));
@@ -590,8 +878,8 @@ mod tests {
     #[test]
     fn dead_node_gets_no_deliveries_but_timing_is_unchanged() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 8);
-        let mut alive = Fabric::new(m, 8);
+        let mut fab = QsNetFabric::new(m, 8);
+        let mut alive = QsNetFabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         fab.kill_node(NodeId(3));
@@ -628,7 +916,7 @@ mod tests {
     #[test]
     fn planned_drop_consumes_wire_time_without_delivering() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 8);
+        let mut fab = QsNetFabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let mut w = world();
         fab.plan_drops(vec![1]);
@@ -655,7 +943,7 @@ mod tests {
     #[test]
     fn degradation_window_scales_bulk_tx_time() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 8);
+        let mut fab = QsNetFabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         let bytes = 320_000;
         fab.degrade_link(Degradation {
@@ -668,7 +956,7 @@ mod tests {
         let expect = m.unicast_latency(2) + m.tx_time(bytes) * 4;
         assert_eq!(t.since(SimTime::ZERO), expect);
         // Outside the window the factor no longer applies.
-        let mut fab2 = Fabric::new(m, 8);
+        let mut fab2 = QsNetFabric::new(m, 8);
         fab2.degrade_link(Degradation {
             node: NodeId(1),
             from: SimTime(10),
@@ -689,7 +977,7 @@ mod tests {
     #[test]
     fn snapshot_restore_round_trips_occupancy_and_revives() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 8);
+        let mut fab = QsNetFabric::new(m, 8);
         let mut sim: Sim<W> = Sim::new();
         fab.put(&mut sim, NodeId(0), NodeId(1), 320_000, |_, _| {});
         fab.get(&mut sim, NodeId(2), NodeId(3), 100_000, |_, _| {});
@@ -700,8 +988,9 @@ mod tests {
         let t_before = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});
         fab.restore(&snap);
         assert!(!fab.is_dead(NodeId(5)));
-        assert_eq!(fab.bulk_seq(), snap.0.bulk_seq);
-        assert_eq!(fab.stats().puts, snap.0.stats.puts);
+        let ports: &PortState = snap.state().as_any().downcast_ref().unwrap();
+        assert_eq!(fab.bulk_seq(), ports.bulk_seq);
+        assert_eq!(fab.stats().puts, ports.stats.puts);
         // Occupancy is back to the snapshot instant: the same put issued
         // again completes no later than it did post-snapshot.
         let t_after = fab.put(&mut sim, NodeId(0), NodeId(4), 64, |_, _| {});
@@ -711,7 +1000,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let m = NetModel::qsnet();
-        let mut fab = Fabric::new(m, 4);
+        let mut fab = QsNetFabric::new(m, 4);
         let mut sim: Sim<W> = Sim::new();
         fab.put(&mut sim, NodeId(0), NodeId(1), 100, |_, _| {});
         fab.get(&mut sim, NodeId(0), NodeId(1), 200, |_, _| {});

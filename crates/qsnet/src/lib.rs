@@ -27,6 +27,8 @@ pub mod fabric;
 pub mod model;
 pub mod topology;
 
-pub use fabric::{Degradation, Fabric, FabricSnapshot, FabricStats};
+pub use fabric::{
+    Degradation, Fabric, FabricKind, FabricSnapshot, FabricStats, OnDone, QsNetFabric, SnapState,
+};
 pub use model::{CondImpl, McastImpl, NetModel};
 pub use topology::{NodeId, Topology};

@@ -3,7 +3,7 @@
 //! sequences.
 
 use proplite::prelude::*;
-use qsnet::{Fabric, NetModel, NodeId};
+use qsnet::{NetModel, NodeId, QsNetFabric};
 use simcore::{Sim, SimDuration, SimTime};
 
 #[derive(Clone, Debug)]
@@ -35,7 +35,7 @@ fn op_strategy(nodes: u8) -> impl Strategy<Value = Op> {
 
 /// Execute a script, returning every operation's completion time.
 fn run_script(model: NetModel, nodes: usize, ops: &[Op]) -> Vec<u64> {
-    let mut fab = Fabric::new(model, nodes);
+    let mut fab = QsNetFabric::new(model, nodes);
     let mut sim: Sim<()> = Sim::new();
     let mut completions = Vec::new();
     let all: Vec<NodeId> = (0..nodes).map(NodeId).collect();
@@ -133,7 +133,7 @@ proplite! {
         sizes in prop::collection::vec(1u32..500_000, 2..20)
     ) {
         // Repeated puts between one pair must complete in issue order.
-        let mut fab = Fabric::new(NetModel::qsnet(), 4);
+        let mut fab = QsNetFabric::new(NetModel::qsnet(), 4);
         let mut sim: Sim<()> = Sim::new();
         let mut times = Vec::new();
         for &b in &sizes {
@@ -151,7 +151,7 @@ proplite! {
         // Control traffic rides the priority channel: a conditional's
         // latency must not depend on prior bulk transfers.
         let model = NetModel::qsnet();
-        let mut fab = Fabric::new(model, 8);
+        let mut fab = QsNetFabric::new(model, 8);
         let mut sim: Sim<()> = Sim::new();
         for &b in &warm {
             fab.put(&mut sim, NodeId(1), NodeId(2), b as u64, |_, _| {});

@@ -11,7 +11,7 @@ use mpi_api::comm::{CommId, CommRegistry};
 use mpi_api::message::{Envelope, SrcSel, Status, TagSel};
 use mpi_api::noise::{NoiseConfig, NoiseModel};
 use mpi_api::runtime::{ClusterWorld, Engine, JobLayout, drain, resume_at};
-use qsnet::{Fabric, NetModel, NodeId};
+use qsnet::{Fabric, FabricKind, NetModel, NodeId};
 use simcore::{Sim, SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -21,6 +21,9 @@ type QW = ClusterWorld<QuadricsMpi>;
 #[derive(Clone, Debug)]
 pub struct QuadricsConfig {
     pub net: NetModel,
+    /// Which interconnect implementation carries the wire traffic (see
+    /// `BcsConfig::fabric`).
+    pub fabric: FabricKind,
     /// Messages up to this size (bytes) use the eager protocol.
     pub eager_threshold: usize,
     /// Wire header per message.
@@ -35,6 +38,7 @@ impl Default for QuadricsConfig {
     fn default() -> Self {
         QuadricsConfig {
             net: NetModel::qsnet(),
+            fabric: FabricKind::QsNet,
             eager_threshold: 32 * 1024,
             header_bytes: 64,
             reduce_ns_per_byte: 1.0,
@@ -110,7 +114,7 @@ struct RankComm {
 pub struct QuadricsMpi {
     pub cfg: QuadricsConfig,
     pub(crate) layout: JobLayout,
-    pub fabric: Fabric,
+    pub fabric: Box<dyn Fabric<QW>>,
     noise: Option<NoiseModel>,
     next_req: u64,
     reqs: HashMap<ReqId, ReqState>,
@@ -122,7 +126,7 @@ pub struct QuadricsMpi {
 
 impl QuadricsMpi {
     pub fn new(cfg: QuadricsConfig, layout: &JobLayout) -> QuadricsMpi {
-        let fabric = Fabric::new(cfg.net, layout.compute_nodes);
+        let fabric = rdmanet::build_fabric(cfg.fabric, cfg.net, layout.compute_nodes);
         let noise = cfg
             .noise
             .clone()

@@ -23,7 +23,7 @@ pub mod heartbeat;
 pub mod launch;
 
 use bcs_core::{BcsCluster, BcsWorld};
-use qsnet::{Fabric, NetModel, NodeId};
+use qsnet::{NetModel, NodeId, QsNetFabric};
 
 /// A self-contained STORM simulation world: the management node is the last
 /// fabric port, like in the BCS-MPI engine.
@@ -45,7 +45,7 @@ impl StormWorld {
     /// Build a STORM world with `compute_nodes` nodes plus one management
     /// node on the given network.
     pub fn new(net: NetModel, compute_nodes: usize) -> StormWorld {
-        let fabric = Fabric::new(net, compute_nodes + 1);
+        let fabric = Box::new(QsNetFabric::new(net, compute_nodes + 1));
         StormWorld {
             bcs: BcsCluster::new(fabric),
             mgmt: NodeId(compute_nodes),

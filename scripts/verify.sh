@@ -21,7 +21,14 @@
 #   7. the n=4096 scale smoke: barrier + neighbor sweeps on the BlueGene/L
 #      model via the stackless VM backend (DESIGN.md section 11), pinned
 #      to one sweep worker so peak thread count is independent of n, with
-#      the two n=4096 headline slowdowns tolerance-gated
+#      the two n=4096 headline slowdowns tolerance-gated; plus the
+#      fabric-matrix smoke (both engines on the QsNet and the RDMA-channel
+#      fabrics, DESIGN.md section 12), refreshing reports/bench_wallclock.json
+#   8. fabric selection plumbing: the fabric-matrix CSV is byte-identical
+#      at REPRO_THREADS=1 and 4; REPRO_FABRIC=qsnet is a no-op for
+#      qsnet-default experiments, REPRO_FABRIC=rdma changes the wire
+#      timing, and an unrecognized REPRO_FABRIC value aborts with an error
+#      naming the valid options
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -77,8 +84,31 @@ for b in primitives engine_throughput softfloat_ops apps_micro; do
   [ -s "$csv" ] || { echo "verify: missing $csv" >&2; exit 1; }
 done
 
-echo "== n=4096 scale smoke (BlueGene/L, stackless VM, single sweep worker)"
-REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale
+echo "== n=4096 scale smoke + fabric-matrix smoke (single sweep worker)"
+REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale fabric-matrix
 [ -s reports/scale.csv ] || { echo "verify: missing reports/scale.csv" >&2; exit 1; }
+[ -s reports/fabric_matrix.csv ] || { echo "verify: missing reports/fabric_matrix.csv" >&2; exit 1; }
+
+echo "== fabric selection plumbing (REPRO_THREADS, REPRO_FABRIC)"
+fab_dir="$(mktemp -d)"
+REPRO_THREADS=4 cargo run --release -q -p bench --bin repro -- --quick fabric-matrix --out "$fab_dir" >/dev/null
+cmp -s reports/fabric_matrix.csv "$fab_dir/fabric_matrix.csv" \
+  || { echo "verify: fabric_matrix.csv differs between REPRO_THREADS=1 and 4" >&2; exit 1; }
+# REPRO_FABRIC=qsnet must reproduce a qsnet-default experiment exactly;
+# =rdma must change the wire timing; a typo must die naming the options.
+REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$fab_dir" >/dev/null
+REPRO_FABRIC=qsnet REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$fab_dir/qs" >/dev/null
+cmp -s "$fab_dir/fig8b.csv" "$fab_dir/qs/fig8b.csv" \
+  || { echo "verify: REPRO_FABRIC=qsnet changed a qsnet-default run" >&2; exit 1; }
+REPRO_FABRIC=rdma REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$fab_dir/rd" >/dev/null
+cmp -s "$fab_dir/fig8b.csv" "$fab_dir/rd/fig8b.csv" \
+  && { echo "verify: REPRO_FABRIC=rdma did not change the wire timing" >&2; exit 1; }
+if REPRO_FABRIC=bogus REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$fab_dir/bad" >/dev/null 2>"$fab_dir/err.txt"; then
+  echo "verify: REPRO_FABRIC=bogus was silently accepted" >&2; exit 1
+fi
+grep -q "valid values: qsnet, rdma" "$fab_dir/err.txt" \
+  || { echo "verify: REPRO_FABRIC error does not name the valid options" >&2; exit 1; }
+rm -rf "$fab_dir"
+echo "   fabric-matrix deterministic across thread counts; REPRO_FABRIC plumbing OK"
 
 echo "verify: OK"

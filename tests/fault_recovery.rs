@@ -205,6 +205,32 @@ fn abort_is_clean_when_restart_budget_is_exhausted() {
     assert!(out.detections[0].restored_from_slice.is_none());
 }
 
+/// The same machine, retargeted onto the RDMA-channel fabric: InfiniBand
+/// constants, software-emulated multicast/conditionals (`crates/rdmanet`).
+/// The recovery stack must be fabric-agnostic — fault plans are keyed by
+/// bulk transfer sequence numbers, which both fabrics assign identically.
+fn rdma_recovery_cfg() -> RecoveryCfg {
+    let mut bcs = BcsConfig::default();
+    bcs.fabric = bcs_repro::qsnet::FabricKind::Rdma;
+    bcs.net = bcs_repro::qsnet::NetModel::infiniband();
+    RecoveryCfg::new(bcs, 2)
+}
+
+/// Crash → detect → restore → resume on the RDMA fabric: the snapshot and
+/// restore of the software sequencer / QP port clocks must replay to
+/// results bit-identical to the fault-free RDMA run.
+#[test]
+fn rdma_fabric_recovery_is_bit_identical_to_fault_free() {
+    let rc = rdma_recovery_cfg();
+    let reference = fault_free_results(&rc, 6);
+    let plan = FaultPlan::single_crash(&rc.bcs, NodeId(1), 4);
+    let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 6));
+    assert!(out.completed, "recovery failed: {:?}", out.abort);
+    assert!(out.restarts >= 1, "the crash must have forced a restore");
+    let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
+    assert_eq!(got, reference, "recovered results diverged from fault-free RDMA run");
+}
+
 type CW = ClusterWorld<BcsMpi>;
 
 /// Shadow every checkpoint image the engine captures with an eager
@@ -252,6 +278,38 @@ proplite! {
         prop_assert!(out.completed, "seed {} failed: {:?}", seed, out.abort);
         let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
         prop_assert_eq!(got, reference);
+    }
+
+    /// (a') The same guarantee holds on the RDMA-channel fabric: random
+    /// fault plans — crashes, bulk-sequence drops, degradation windows —
+    /// recover bit-identically with the software-emulated collectives
+    /// carrying the strobe and descriptor exchange.
+    #[test]
+    fn random_fault_plans_recover_bit_identically_on_rdma(seed in 1u64..1_000_000u64) {
+        let rc = rdma_recovery_cfg();
+        let profile = FaultProfile { mtbf_slices: Some(6.0), drops: 4, degradations: 1 };
+        let plan = FaultPlan::generate(seed, &rc.bcs, 4, 12, &profile);
+        let reference = fault_free_results(&rc, 5);
+        let out = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
+        prop_assert!(out.completed, "seed {} failed: {:?}", seed, out.abort);
+        let got: Vec<u64> = out.results.iter().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// (b') RDMA fault runs replay exactly under the same seed: restored
+    /// sequencer/port clocks land the machine on the identical timeline.
+    #[test]
+    fn same_seed_replays_the_rdma_fault_run_exactly(seed in 1u64..1_000_000u64) {
+        let rc = rdma_recovery_cfg();
+        let profile = FaultProfile { mtbf_slices: Some(5.0), drops: 3, degradations: 1 };
+        let plan = FaultPlan::generate(seed, &rc.bcs, 4, 10, &profile);
+        let a = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
+        let b = run_with_recovery(&rc, layout(), &plan, |mpi: AsyncMpi| ring_program(mpi, 5));
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.restarts, b.restarts);
+        prop_assert_eq!(a.elapsed.as_nanos(), b.elapsed.as_nanos());
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(&a.engine.checkpoints, &b.engine.checkpoints);
     }
 
     /// (b) The whole fault experiment is deterministic: the same seed
