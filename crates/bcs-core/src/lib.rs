@@ -27,6 +27,7 @@
 //! it; the [`BcsWorld`] accessor trait lets deferred completions find the
 //! cluster again.
 
+pub mod coalesce;
 pub mod retry;
 
 use qsnet::{Fabric, NodeId};

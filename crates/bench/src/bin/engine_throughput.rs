@@ -253,7 +253,7 @@ fn main() {
         ("incremental image capture", deep_ns, incremental_ns),
     ] {
         match bench::gate::check_speedup(name, base, new, 5.0) {
-            Ok(f) => println!("  gate: {name} {f:.1}x baseline (>= 5x required)"),
+            Ok(s) => println!("  gate: {name} {s}"),
             Err(e) => {
                 eprintln!("  GATE FAILED: {e}");
                 failed = true;

@@ -5,12 +5,8 @@
 //! repro all            # everything (slow: paper-scale 62-rank runs)
 //! repro --quick all    # CI-sized sweep of every experiment
 //! repro fig9 fig11a    # selected experiments
+//! repro --list         # every registered experiment with its description
 //! ```
-//!
-//! Experiments: table1, fig2, fig8a, fig8b, fig8c, fig8d, fig9, fig10,
-//! fig11a, fig11b, ablation-slice, ablation-reduce, ablation-noise,
-//! ablation-chunk, ablation-multijob, ablation-fault, storm-launch, scale,
-//! fabric-matrix.
 //!
 //! Every selected experiment is decomposed into independent sweep points
 //! (see [`bench::experiments`]) and the points of *all* experiments are
@@ -50,14 +46,19 @@ fn main() {
                     args.get(i).expect("--wallclock-baseline needs a file"),
                 ));
             }
+            "--list" => {
+                let exps = registry(true);
+                let w = exps.iter().map(|e| e.cli.len()).max().unwrap_or(0);
+                for e in exps {
+                    println!("{:w$}  {}", e.cli, e.desc);
+                }
+                return;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--out DIR] [--wallclock-baseline FILE] <experiment>... | all"
                 );
-                println!("experiments: table1 fig2 fig8a fig8b fig8c fig8d fig9 fig10");
-                println!("             fig11a fig11b ablation-slice ablation-reduce");
-                println!("             ablation-noise ablation-chunk ablation-multijob");
-                println!("             ablation-fault storm-launch scale fabric-matrix");
+                println!("       repro --list   # every experiment with a one-line description");
                 println!("REPRO_THREADS controls the sweep worker count (default: all cores)");
                 println!("REPRO_FABRIC=qsnet|rdma overrides the interconnect for every run");
                 return;
@@ -141,6 +142,16 @@ fn main() {
         let (c, v) = bench::gate::check(name, r, quick);
         checked += c;
         violations.extend(v);
+        let (c, v) = bench::gate::check_speedups(name, r, stats.threads);
+        checked += c;
+        violations.extend(v);
+        if c == 0 && bench::gate::has_speedup_gates(name) {
+            println!(
+                "note: {name} speedup gate skipped (host-timed pair ran under \
+                 {} concurrent sweep workers); rerun with REPRO_THREADS=1 to enforce",
+                stats.threads
+            );
+        }
     }
     if let Some(path) = baseline {
         match std::fs::read_to_string(&path)

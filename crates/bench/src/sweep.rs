@@ -82,6 +82,16 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Wall-clock nanoseconds one closure invocation took, plus its result.
+/// A host observation for speedup-gated machinery points: the number may
+/// feed report *metrics* (consumed by `gate::check_speedup`) but never CSV
+/// rows, so regenerated CSVs stay byte-identical across machines.
+pub fn time_ns<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_nanos() as f64, r)
+}
+
 /// Number of OS threads currently alive in this process, from
 /// `/proc/self/task` (0 where procfs is unavailable). A host observation,
 /// not a simulation quantity: it feeds report *notes* only (e.g. the scale

@@ -83,6 +83,17 @@ pub struct BcsConfig {
     /// `None` = single dedicated job (the default, and the paper's primary
     /// configuration).
     pub gang: Option<crate::gang::GangConfig>,
+    /// Persistent-schedule compilation (ROADMAP item 3): fingerprint each
+    /// slice's MSM input and, after `detect_after` identical slices, record
+    /// the matching pass into a replayable schedule. Replay is observably
+    /// bit-identical to the indexed path (see [`crate::schedule`]), so this
+    /// defaults to *on*; `None` disables the detector entirely.
+    pub sched_compile: Option<crate::schedule::SchedCompileCfg>,
+    /// Small-message coalescing (see [`bcs_core::coalesce`]): pack many
+    /// small same-destination DEM descriptors / P2P chunks into one DMA
+    /// with a scatter header. Changes the modeled wire traffic, so it
+    /// defaults to *off*; experiments opt in.
+    pub coalesce: Option<bcs_core::coalesce::CoalesceCfg>,
 }
 
 impl Default for BcsConfig {
@@ -113,6 +124,8 @@ impl Default for BcsConfig {
             retry: None,
             trace_slices: false,
             gang: None,
+            sched_compile: Some(crate::schedule::SchedCompileCfg::default()),
+            coalesce: None,
         }
     }
 }
@@ -143,6 +156,13 @@ pub struct BcsStats {
     pub reduces: u64,
     /// Slices whose work overran the nominal boundary (drift events).
     pub overruns: u64,
+    /// Coalesced DEM descriptor blocks issued, and the descriptors they
+    /// carried (zero unless `cfg.coalesce`).
+    pub dem_blocks: u64,
+    pub dem_block_msgs: u64,
+    /// Coalesced P2P gather blocks issued, and the chunks they carried.
+    pub p2p_gathers: u64,
+    pub p2p_gather_msgs: u64,
     /// Post-to-restart delay of blocking point-to-point primitives,
     /// in ns — the paper's "1.5 time slices on average" (§3.1).
     pub blocking_delay: LogHistogram,
@@ -224,6 +244,11 @@ pub struct BcsMpi {
     /// (generation-stamped: a slice boundary refills all nodes in O(1)).
     pub(crate) src_budget: crate::match_index::LazyBudget,
     pub(crate) dst_budget: crate::match_index::LazyBudget,
+    /// Per-node schedule-compilation detectors (`cfg.sched_compile`).
+    /// Deliberately outside `nic` and never checkpointed: learned state is
+    /// a pure optimization, dropped at every checkpoint boundary, and a
+    /// restored engine starts cold (see [`crate::schedule`]).
+    pub(crate) sched_detect: Vec<crate::schedule::Detector>,
     pub(crate) noise: Option<NoiseModel>,
     pub stats: BcsStats,
     /// `(slice, digest)` stream captured by the checkpoint hook.
@@ -276,6 +301,9 @@ impl BcsMpi {
             comms: CommRegistry::new(layout.ranks),
             src_budget: crate::match_index::LazyBudget::new(layout.compute_nodes),
             dst_budget: crate::match_index::LazyBudget::new(layout.compute_nodes),
+            sched_detect: (0..layout.compute_nodes)
+                .map(|_| crate::schedule::Detector::default())
+                .collect(),
             noise,
             stats: BcsStats::default(),
             checkpoints: Vec::new(),
@@ -303,6 +331,18 @@ impl BcsMpi {
     /// Reliable-delivery counters (retries issued, transfers aborted).
     pub fn retry_stats(&self) -> &bcs_core::retry::RetryState {
         &self.bcs.retry
+    }
+
+    /// Schedule-compilation counters, aggregated over all NICs. Kept out of
+    /// [`BcsStats`] on purpose: a restored engine starts with cold
+    /// detectors, so these are the one place an original and a recovered
+    /// run legitimately differ.
+    pub fn sched_stats(&self) -> crate::schedule::DetectorStats {
+        let mut agg = crate::schedule::DetectorStats::default();
+        for d in &self.sched_detect {
+            agg.add(&d.stats);
+        }
+        agg
     }
 
     pub(crate) fn alloc_req(&mut self, owner: usize, kind: ReqKind, now: SimTime) -> ReqId {

@@ -46,6 +46,7 @@ pub mod gang;
 pub mod match_index;
 mod p2p;
 mod protocol;
+pub mod schedule;
 pub mod trace;
 
 pub use checkpoint::{CheckpointImage, CommCheckpoint};

@@ -172,6 +172,11 @@ pub struct RecvIndex<T> {
     /// already cancelled from `master`; heads are pruned lazily.
     classes: FxHashMap<ClassKey, VecDeque<u64>>,
     next_seq: u64,
+    /// Running selector-shape digest in post order (see [`Self::shape_digest`]).
+    /// Valid while every removal so far has left the set empty — true on a
+    /// schedule-replay streak, where each slice consumes the whole set.
+    digest: crate::schedule::FpBuilder,
+    digest_ok: bool,
 }
 
 impl<T> Default for RecvIndex<T> {
@@ -180,6 +185,8 @@ impl<T> Default for RecvIndex<T> {
             master: BTreeMap::new(),
             classes: FxHashMap::default(),
             next_seq: 0,
+            digest: crate::schedule::FpBuilder::new(),
+            digest_ok: true,
         }
     }
 }
@@ -194,8 +201,24 @@ impl<T> RecvIndex<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.classes.entry(class_of(&sel)).or_default().push_back(seq);
+        if self.digest_ok {
+            self.digest.recv(&sel); // append-only: post order == iter order
+        }
         self.master.insert(seq, (sel, item));
         seq
+    }
+
+    /// A removal happened: the cached digest stays valid only if the set is
+    /// now empty (a fresh digest over nothing), otherwise the next
+    /// [`Self::shape_digest`] re-walks.
+    #[inline]
+    fn note_removed(&mut self) {
+        if self.master.is_empty() {
+            self.digest = crate::schedule::FpBuilder::new();
+            self.digest_ok = true;
+        } else {
+            self.digest_ok = false;
+        }
     }
 
     /// Live head sequence of one bucket, pruning cancelled entries.
@@ -215,6 +238,13 @@ impl<T> RecvIndex<T> {
     /// accept `(dst_rank, src_rank, tag)` — exactly what the linear scan's
     /// `position(|rd| rd.matches(...))` yields.
     pub fn match_first(&mut self, key: &SendKey) -> Option<(RecvSel, T)> {
+        self.match_first_seq(key).map(|(_, sel, item)| (sel, item))
+    }
+
+    /// [`Self::match_first`] that also reports the winner's post sequence —
+    /// the schedule compiler records it to pin a send↔recv pairing to recv
+    /// *positions* (see `crate::schedule`).
+    pub fn match_first_seq(&mut self, key: &SendKey) -> Option<(u64, RecvSel, T)> {
         let candidates = [
             ClassKey::Exact {
                 dst: key.dst_rank,
@@ -246,13 +276,31 @@ impl<T> RecvIndex<T> {
         if q.is_empty() {
             self.classes.remove(&ck);
         }
-        self.master.remove(&seq)
+        let out = self.master.remove(&seq).map(|(sel, item)| (seq, sel, item));
+        if out.is_some() {
+            self.note_removed();
+        }
+        out
+    }
+
+    /// Remove and return every live receive, in post order. Used by the
+    /// schedule replay path, which the compiler only enters when the
+    /// compiled pattern is known to consume the entire receive set.
+    pub fn take_all(&mut self) -> Vec<(RecvSel, T)> {
+        self.classes.clear();
+        self.digest = crate::schedule::FpBuilder::new();
+        self.digest_ok = true;
+        std::mem::take(&mut self.master).into_values().collect()
     }
 
     /// Cancel the receive with the given post sequence (tombstones its
     /// bucket entry; pruned lazily).
     pub fn cancel(&mut self, seq: u64) -> Option<(RecvSel, T)> {
-        self.master.remove(&seq)
+        let out = self.master.remove(&seq);
+        if out.is_some() {
+            self.note_removed();
+        }
+        out
     }
 
     pub fn len(&self) -> usize {
@@ -266,6 +314,28 @@ impl<T> RecvIndex<T> {
     /// Live receives in post order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &RecvSel, &T)> {
         self.master.iter().map(|(&seq, (sel, item))| (seq, sel, item))
+    }
+
+    /// 64-bit digest of the live selector set — `(dst, src-sel, tag-sel)`
+    /// per receive in post order, folded with the entry count. This is the
+    /// receive half of the slice fingerprint (`crate::schedule`): it is
+    /// maintained incrementally at post time and reset whenever the set
+    /// empties, so on a replay streak — where every slice consumes the
+    /// entire set — validation costs O(1) here instead of an O(n) re-walk.
+    /// A removal that leaves live entries behind invalidates the cache and
+    /// the next call pays one re-walk.
+    pub fn shape_digest(&mut self) -> u64 {
+        if !self.digest_ok {
+            let mut b = crate::schedule::FpBuilder::new();
+            for (_, sel, _) in self.iter() {
+                b.recv(sel);
+            }
+            self.digest = b;
+            self.digest_ok = true;
+        }
+        let mut b = self.digest;
+        b.word(self.master.len() as u64);
+        b.finish()
     }
 }
 
@@ -531,9 +601,21 @@ pub mod reference {
         }
 
         pub fn match_first(&mut self, key: &SendKey) -> Option<(RecvSel, T)> {
+            self.match_first_seq(key).map(|(_, sel, item)| (sel, item))
+        }
+
+        pub fn match_first_seq(&mut self, key: &SendKey) -> Option<(u64, RecvSel, T)> {
             let pos = self.entries.iter().position(|(_, sel, _)| sel.accepts(key))?;
-            let (_, sel, item) = self.entries.remove(pos);
-            Some((sel, item))
+            let (seq, sel, item) = self.entries.remove(pos);
+            Some((seq, sel, item))
+        }
+
+        /// Every live receive in post order, literally the list itself.
+        pub fn take_all(&mut self) -> Vec<(RecvSel, T)> {
+            std::mem::take(&mut self.entries)
+                .into_iter()
+                .map(|(_, sel, item)| (sel, item))
+                .collect()
         }
 
         pub fn cancel(&mut self, seq: u64) -> Option<(RecvSel, T)> {
@@ -623,6 +705,29 @@ mod tests {
     }
 
     #[test]
+    fn match_first_seq_reports_the_post_sequence_and_take_all_drains() {
+        let mut idx = RecvIndex::new();
+        let mut linear = reference::LinearRecvList::new();
+        for (i, s) in [SrcSel::Any, SrcSel::Rank(1), SrcSel::Rank(2)].into_iter().enumerate() {
+            idx.post(sel(0, s, TagSel::Tag(3)), i);
+            linear.post(sel(0, s, TagSel::Tag(3)), i);
+        }
+        let (seq, _, item) = idx.match_first_seq(&key(0, 2, 3)).unwrap();
+        let (lseq, _, litem) = linear.match_first_seq(&key(0, 2, 3)).unwrap();
+        assert_eq!((seq, item), (0, 0), "wildcard posted first wins");
+        assert_eq!((lseq, litem), (seq, item), "reference agrees");
+        // take_all returns the survivors in post order, and empties both.
+        let rest: Vec<usize> = idx.take_all().into_iter().map(|(_, i)| i).collect();
+        let lrest: Vec<usize> = linear.take_all().into_iter().map(|(_, i)| i).collect();
+        assert_eq!(rest, vec![1, 2]);
+        assert_eq!(lrest, rest);
+        assert!(idx.is_empty() && linear.is_empty());
+        // The index is still usable after a take_all.
+        idx.post(sel(0, SrcSel::Rank(9), TagSel::Tag(1)), 7);
+        assert_eq!(idx.match_first(&key(0, 9, 1)).unwrap().1, 7);
+    }
+
+    #[test]
     fn cancel_tombstones_are_skipped() {
         let mut idx = RecvIndex::new();
         let s0 = idx.post(sel(0, SrcSel::Rank(2), TagSel::Tag(1)), 0);
@@ -630,6 +735,40 @@ mod tests {
         assert!(idx.cancel(s0).is_some());
         assert_eq!(idx.match_first(&key(0, 2, 1)).unwrap().1, 1);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn shape_digest_cache_always_equals_a_fresh_walk() {
+        // The cached digest must be indistinguishable from recomputing over
+        // the live set, through every mutation path: posts (cache extends),
+        // a mid-set match (cache invalidated, re-walk), cancel, emptying
+        // (cache resets), and take_all (replay path).
+        let fresh = |idx: &RecvIndex<usize>| {
+            let mut b = crate::schedule::FpBuilder::new();
+            for (_, s, _) in idx.iter() {
+                b.recv(s);
+            }
+            b.word(idx.len() as u64);
+            b.finish()
+        };
+        let mut idx = RecvIndex::new();
+        assert_eq!(idx.shape_digest(), fresh(&idx), "empty");
+        for i in 0..5usize {
+            idx.post(sel(0, SrcSel::Rank(i), TagSel::Tag(i as i32)), i);
+            assert_eq!(idx.shape_digest(), fresh(&idx), "after post {i}");
+        }
+        idx.match_first(&key(0, 2, 2)).unwrap(); // removal mid-set
+        assert_eq!(idx.shape_digest(), fresh(&idx), "after mid-set match");
+        let s = idx.post(sel(0, SrcSel::Any, TagSel::Any), 9);
+        assert_eq!(idx.shape_digest(), fresh(&idx), "post after re-walk");
+        idx.cancel(s).unwrap();
+        assert_eq!(idx.shape_digest(), fresh(&idx), "after cancel");
+        idx.take_all();
+        assert_eq!(idx.shape_digest(), fresh(&idx), "after take_all");
+        idx.post(sel(1, SrcSel::Rank(0), TagSel::Tag(0)), 0);
+        assert_eq!(idx.shape_digest(), fresh(&idx), "reuse after take_all");
+        idx.match_first(&key(1, 0, 0)).unwrap(); // removal emptying the set
+        assert_eq!(idx.shape_digest(), fresh(&idx), "emptied by match");
     }
 
     #[test]

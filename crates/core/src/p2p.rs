@@ -253,13 +253,25 @@ pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
     };
     let n = descs.len() as u32;
     w.engine.stats.descriptors_exchanged += n as u64;
+    let desc_cost = w.engine.cfg.desc_cost;
+    let desc_bytes = w.engine.cfg.desc_bytes;
+    let retry = w.engine.cfg.retry;
+
+    if w.engine.cfg.coalesce.is_some() && !descs.is_empty() {
+        node_begin_dem_coalesced(w, sim, node, descs);
+        // NIC thread processing time is per descriptor regardless of how
+        // the wire operations are batched.
+        let cost = desc_cost * (n.max(1) as u64);
+        sim.schedule_in(cost, move |w: &mut BW, sim| {
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        });
+        return;
+    }
+
     // One work item per descriptor delivery, plus one for the NIC thread's
     // own processing pass.
     w.engine.outstanding[node.0] = n + 1;
-    let desc_cost = w.engine.cfg.desc_cost;
-    let desc_bytes = w.engine.cfg.desc_bytes;
-
-    let retry = w.engine.cfg.retry;
     for d in descs {
         let dst_node = w.engine.node_of(d.dst_rank);
         let key = SendKey {
@@ -312,6 +324,132 @@ pub(crate) fn node_begin_dem(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
         crate::protocol::work_item_done(w, sim, node);
         mpi_api::runtime::drain(w, sim);
     });
+}
+
+/// DEM with descriptor coalescing (`cfg.coalesce`): all send descriptors
+/// bound for the same destination node travel as *one* block — a single
+/// control packet whose scatter header the receiving BR unpacks into its
+/// arrival list (see `bcs_core::coalesce` for the modeled wire layout).
+/// Descriptors keep their posting order inside a block, so MPI
+/// non-overtaking per (src, dst) pair is preserved.
+fn node_begin_dem_coalesced(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    node: qsnet::NodeId,
+    descs: Vec<SendDesc>,
+) {
+    let ccfg = w.engine.cfg.coalesce.expect("coalesced DEM without coalesce cfg");
+    let desc_bytes = w.engine.cfg.desc_bytes;
+    let retry = w.engine.cfg.retry;
+    let mut entries: Vec<Option<(qsnet::NodeId, SendKey, RemoteSend)>> =
+        Vec::with_capacity(descs.len());
+    for d in descs {
+        let dst_node = w.engine.node_of(d.dst_rank);
+        let key = SendKey {
+            dst_rank: d.dst_rank,
+            src_rank: d.src_rank,
+            tag: d.tag,
+        };
+        let remote = RemoteSend {
+            msg: d.msg,
+            bytes: d.bytes,
+            send_req: d.req,
+        };
+        entries.push(Some((dst_node, key, remote)));
+    }
+    let items: Vec<(usize, u64)> = entries
+        .iter()
+        .map(|e| {
+            let (dst_node, _, _) = e.as_ref().expect("entry just built");
+            (dst_node.0, desc_bytes)
+        })
+        .collect();
+    let (singles, gathers) = bcs_core::coalesce::plan(&items, &ccfg);
+    // One work item per wire operation, plus the NIC processing pass the
+    // caller schedules.
+    w.engine.outstanding[node.0] = (singles.len() + gathers.len() + 1) as u32;
+    for i in singles {
+        let (dst_node, key, remote) = entries[i].take().expect("single issued twice");
+        let slot = std::cell::Cell::new(Some((key, remote)));
+        let deliver = move |w: &mut BW, sim: &mut Sim<BW>| {
+            let (key, remote) = slot.take().expect("DEM descriptor delivered twice");
+            Arc::make_mut(&mut w.engine.nic[dst_node.0])
+                .remote_sends
+                .push(key, remote);
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        };
+        match retry {
+            None => {
+                w.engine
+                    .bcs
+                    .fabric
+                    .put(sim, node, dst_node, desc_bytes, deliver);
+            }
+            Some(policy) => {
+                bcs_core::retry::reliable_put(
+                    w,
+                    sim,
+                    node,
+                    dst_node,
+                    desc_bytes,
+                    policy,
+                    std::rc::Rc::new(deliver),
+                    transfer_abort(dst_node, "DEM descriptor put"),
+                );
+            }
+        }
+    }
+    for g in gathers {
+        let dst_node = qsnet::NodeId(g.peer);
+        let batch: Vec<(SendKey, RemoteSend)> = g
+            .entries
+            .iter()
+            .map(|&i| {
+                let (_, key, remote) = entries[i].take().expect("entry gathered twice");
+                (key, remote)
+            })
+            .collect();
+        w.engine.stats.dem_blocks += 1;
+        w.engine.stats.dem_block_msgs += batch.len() as u64;
+        w.engine
+            .bcs
+            .fabric
+            .note_gather(batch.len() as u64, batch.len() as u64 * desc_bytes);
+        let slot = std::cell::Cell::new(Some(batch));
+        let deliver = move |w: &mut BW, sim: &mut Sim<BW>| {
+            let batch = slot.take().expect("DEM block delivered twice");
+            let nic = Arc::make_mut(&mut w.engine.nic[dst_node.0]);
+            for (key, remote) in batch {
+                nic.remote_sends.push(key, remote);
+            }
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        };
+        // The packed descriptors are NIC metadata, not payload: the block
+        // rides the wire as one header-sized control packet, exactly like
+        // a microstrobe — that is the whole point of the batching.
+        match retry {
+            None => {
+                w.engine
+                    .bcs
+                    .fabric
+                    .put(sim, node, dst_node, ccfg.block_hdr_bytes, deliver);
+            }
+            Some(policy) => {
+                bcs_core::retry::reliable_put(
+                    w,
+                    sim,
+                    node,
+                    dst_node,
+                    ccfg.block_hdr_bytes,
+                    policy,
+                    std::rc::Rc::new(deliver),
+                    transfer_abort(dst_node, "DEM descriptor block put"),
+                );
+            }
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -372,53 +510,170 @@ pub(crate) fn node_begin_msm(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
                 Vec::new() // idle BR: nothing to examine, nothing unshared
             }
         };
-        for (key, rs) in incoming {
-            processed += 1;
-            // The BR matches against the receive-descriptor list as of MSM
-            // execution (§4.3) — no slice-age requirement.
-            match Arc::make_mut(&mut e.nic[node.0]).recv_posted.match_first(&key) {
-                None => {
-                    Arc::make_mut(&mut e.nic[node.0]).remote_sends.push(key, rs);
+
+        // Schedule compilation (crate::schedule): on a full pass — every
+        // unmatched descriptor drained, current receive set in hand — the
+        // slice's input shape is fingerprinted and the detector decides
+        // whether to replay a compiled schedule, record one, or fall
+        // through to plain indexed matching.
+        let mut action = crate::schedule::SliceAction::Indexed;
+        let mut fp_val = 0u64;
+        if let Some(sc) = e.cfg.sched_compile {
+            if fresh_recvs && !incoming.is_empty() {
+                let mut fp = crate::schedule::FpBuilder::new();
+                fp.word(incoming.len() as u64);
+                for (key, rs) in &incoming {
+                    fp.arrival(key, rs.bytes as u64);
                 }
-                Some((_sel, recv_req)) => {
-                    e.stats.matches += 1;
-                    let src_node = e.layout.node_of(key.src_rank);
-                    let total = rs.bytes as u64;
-                    if total == 0 {
-                        // Metadata-only message: complete in MSM.
-                        completions.push((rs.send_req, recv_req));
-                        let st = e.reqs.get_mut(&recv_req).unwrap();
-                        st.data = Some(Payload::empty());
-                        st.status = Some(Status {
-                            source: key.src_rank,
+                // Receive side: the index maintains this digest at post
+                // time, so a replay streak never re-walks the posted set.
+                fp.word(Arc::make_mut(&mut e.nic[node.0]).recv_posted.shape_digest());
+                fp_val = fp.finish();
+                action = e.sched_detect[node.0].observe(fp_val, sc.detect_after);
+            }
+        }
+
+        let mut replayed = false;
+        if action == crate::schedule::SliceAction::Replay {
+            // Validate before touching anything: the pairing itself is
+            // guaranteed by the fingerprint; only the *budgets* are global
+            // state other nodes' MSM passes drain concurrently. The
+            // indexed path would chunk a message that no longer fits — the
+            // compiled plan cannot, so a shortfall falls back wholesale.
+            let c = e.sched_detect[node.0].compiled().expect("Replay without schedule");
+            // Budget needs are aggregated per source at compile time
+            // (`Compiled::new`), so this pass is O(distinct sources).
+            let ok = c.pairs.len() == incoming.len()
+                && e.nic[node.0].recv_posted.len() == c.pairs.len()
+                && c.dst_need <= e.dst_budget.get(node.0)
+                && c.src_need
+                    .iter()
+                    .all(|&(s, need)| need <= e.src_budget.get(s as usize));
+            if ok {
+                // Replay: the same externally visible transitions as the
+                // indexed pass below — stats, budget arithmetic, schedule
+                // and in-flight push order — minus all matching work. The
+                // budget debit happens as precomputed aggregates: budgets
+                // are counters, so the sum of per-pair subs and one sub of
+                // the per-source sum are the same arithmetic.
+                let pairs = c.pairs.clone();
+                let src_need = c.src_need.clone();
+                let dst_need = c.dst_need;
+                for (s, need) in src_need {
+                    e.src_budget.sub(s as usize, need);
+                }
+                e.dst_budget.sub(node.0, dst_need);
+                e.stats.matches += pairs.len() as u64;
+                let recvs = Arc::make_mut(&mut e.nic[node.0]).recv_posted.take_all();
+                debug_assert_eq!(recvs.len(), pairs.len());
+                for p in &pairs {
+                    let (key, rs) = &incoming[p.arrival as usize];
+                    let (_sel, recv_req) = recvs[p.recv as usize];
+                    e.sched[node.0].push((rs.msg, p.total));
+                    Arc::make_mut(&mut e.nic[node.0]).inflight.push(
+                        rs.msg,
+                        MatchItem {
+                            msg: rs.msg,
+                            src_node: qsnet::NodeId(p.src_node as usize),
+                            src_rank: key.src_rank,
+                            dst_rank: key.dst_rank,
                             tag: key.tag,
-                            bytes: 0,
-                        });
-                        continue;
+                            send_req: rs.send_req,
+                            recv_req,
+                            total: p.total,
+                            moved: 0,
+                        },
+                    );
+                }
+                processed += pairs.len() as u64;
+                e.sched_detect[node.0].replayed();
+                replayed = true;
+            } else {
+                e.sched_detect[node.0].replay_fallback();
+            }
+        }
+
+        if !replayed {
+            let compile = action == crate::schedule::SliceAction::Compile;
+            // Recording state: receive post-sequence -> position (the
+            // compiled pairing pins positions, not sequences), the pairs
+            // recorded so far, and whether the pattern is still eligible.
+            let mut recv_pos: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+            let mut rec: Vec<crate::schedule::Pair> = Vec::new();
+            let mut compile_ok = compile;
+            if compile {
+                for (i, (seq, _, _)) in e.nic[node.0].recv_posted.iter().enumerate() {
+                    recv_pos.insert(seq, i as u32);
+                }
+            }
+            for (i, (key, rs)) in incoming.into_iter().enumerate() {
+                processed += 1;
+                // The BR matches against the receive-descriptor list as of
+                // MSM execution (§4.3) — no slice-age requirement.
+                match Arc::make_mut(&mut e.nic[node.0]).recv_posted.match_first_seq(&key) {
+                    None => {
+                        compile_ok = false; // an unmatched arrival can't replay
+                        Arc::make_mut(&mut e.nic[node.0]).remote_sends.push(key, rs);
                     }
-                    let item = MatchItem {
-                        msg: rs.msg,
-                        src_node,
-                        src_rank: key.src_rank,
-                        dst_rank: key.dst_rank,
-                        tag: key.tag,
-                        send_req: rs.send_req,
-                        recv_req,
-                        total,
-                        moved: 0,
-                    };
-                    let chunk = total
-                        .min(e.src_budget.get(src_node.0))
-                        .min(e.dst_budget.get(node.0));
-                    if chunk > 0 {
-                        e.src_budget.sub(src_node.0, chunk);
-                        e.dst_budget.sub(node.0, chunk);
-                        e.sched[node.0].push((item.msg, chunk));
+                    Some((seq, _sel, recv_req)) => {
+                        e.stats.matches += 1;
+                        let src_node = e.layout.node_of(key.src_rank);
+                        let total = rs.bytes as u64;
+                        if total == 0 {
+                            // Metadata-only message: complete in MSM.
+                            compile_ok = false; // completes out of band
+                            completions.push((rs.send_req, recv_req));
+                            let st = e.reqs.get_mut(&recv_req).unwrap();
+                            st.data = Some(Payload::empty());
+                            st.status = Some(Status {
+                                source: key.src_rank,
+                                tag: key.tag,
+                                bytes: 0,
+                            });
+                            continue;
+                        }
+                        let item = MatchItem {
+                            msg: rs.msg,
+                            src_node,
+                            src_rank: key.src_rank,
+                            dst_rank: key.dst_rank,
+                            tag: key.tag,
+                            send_req: rs.send_req,
+                            recv_req,
+                            total,
+                            moved: 0,
+                        };
+                        let chunk = total
+                            .min(e.src_budget.get(src_node.0))
+                            .min(e.dst_budget.get(node.0));
+                        if chunk > 0 {
+                            e.src_budget.sub(src_node.0, chunk);
+                            e.dst_budget.sub(node.0, chunk);
+                            e.sched[node.0].push((item.msg, chunk));
+                        }
+                        if chunk < total {
+                            e.stats.chunked_messages += 1;
+                            compile_ok = false; // chunk plans don't replay
+                        } else if compile {
+                            rec.push(crate::schedule::Pair {
+                                arrival: i as u32,
+                                recv: recv_pos[&seq],
+                                src_node: src_node.0 as u32,
+                                total,
+                            });
+                        }
+                        Arc::make_mut(&mut e.nic[node.0]).inflight.push(item.msg, item);
                     }
-                    if chunk < total {
-                        e.stats.chunked_messages += 1;
-                    }
-                    Arc::make_mut(&mut e.nic[node.0]).inflight.push(item.msg, item);
+                }
+            }
+            if compile {
+                // Eligible only if the pass consumed the whole input: every
+                // arrival matched and fully scheduled, every receive used.
+                if compile_ok && e.nic[node.0].recv_posted.is_empty() {
+                    e.sched_detect[node.0]
+                        .install(crate::schedule::Compiled::new(fp_val, rec));
+                } else {
+                    e.sched_detect[node.0].compile_failed();
                 }
             }
         }
@@ -467,12 +722,18 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
         });
         return;
     }
-    w.engine.outstanding[node.0] = sched.len() as u32;
     let hdr = w.engine.cfg.desc_bytes;
     let retry = w.engine.cfg.retry;
     // detlint: allow(D04) — debug-trace gate only: toggles eprintln logging
     // on stderr and can never alter simulation state or CSV outputs.
     let trace = std::env::var_os("BCS_TRACE_P2P").is_some();
+
+    if w.engine.cfg.coalesce.is_some() {
+        node_begin_p2p_coalesced(w, sim, node, sched, trace);
+        return;
+    }
+
+    w.engine.outstanding[node.0] = sched.len() as u32;
     for (msg, chunk) in sched {
         let src_node = w.engine.nic[node.0]
             .inflight
@@ -511,6 +772,117 @@ pub(crate) fn node_begin_p2p(w: &mut BW, sim: &mut Sim<BW>, node: qsnet::NodeId)
                     policy,
                     deliver,
                     transfer_abort(src_node, "P2P chunk get"),
+                );
+            }
+        }
+    }
+}
+
+/// P2P with chunk coalescing (`cfg.coalesce`): all small chunks this DH
+/// must fetch from the same source node merge into *one* one-sided get —
+/// block header + packed payloads + one scatter-header entry per chunk
+/// (see `bcs_core::coalesce`). Large chunks keep their individual DMA:
+/// past the threshold the per-operation overhead is already amortized.
+fn node_begin_p2p_coalesced(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    node: qsnet::NodeId,
+    sched: Vec<(MsgId, u64)>,
+    trace: bool,
+) {
+    let ccfg = w.engine.cfg.coalesce.expect("coalesced P2P without coalesce cfg");
+    let hdr = w.engine.cfg.desc_bytes;
+    let retry = w.engine.cfg.retry;
+    let mut entries: Vec<(MsgId, u64, qsnet::NodeId)> = Vec::with_capacity(sched.len());
+    for (msg, chunk) in sched {
+        let src_node = w.engine.nic[node.0]
+            .inflight
+            .get(&msg)
+            .expect("scheduled chunk without match item")
+            .src_node;
+        w.engine.stats.chunks += 1;
+        w.engine.stats.p2p_bytes += chunk;
+        entries.push((msg, chunk, src_node));
+    }
+    let items: Vec<(usize, u64)> = entries.iter().map(|&(_, chunk, sn)| (sn.0, chunk)).collect();
+    let (singles, gathers) = bcs_core::coalesce::plan(&items, &ccfg);
+    w.engine.outstanding[node.0] = (singles.len() + gathers.len()) as u32;
+    for i in singles {
+        let (msg, chunk, src_node) = entries[i];
+        match retry {
+            None => {
+                let t = w.engine
+                    .bcs
+                    .fabric
+                    .get(sim, node, src_node, chunk + hdr, move |w: &mut BW, sim| {
+                        chunk_arrived(w, sim, node, msg, chunk);
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+                if trace {
+                    eprintln!("  p2p get {node} <- {src_node} {chunk}B deliver at {t}");
+                }
+            }
+            Some(policy) => {
+                let deliver: bcs_core::retry::RetryFn<BW> =
+                    std::rc::Rc::new(move |w: &mut BW, sim| {
+                        chunk_arrived(w, sim, node, msg, chunk);
+                        crate::protocol::work_item_done(w, sim, node);
+                        mpi_api::runtime::drain(w, sim);
+                    });
+                bcs_core::retry::reliable_get(
+                    w,
+                    sim,
+                    node,
+                    src_node,
+                    chunk + hdr,
+                    policy,
+                    deliver,
+                    transfer_abort(src_node, "P2P chunk get"),
+                );
+            }
+        }
+    }
+    for g in gathers {
+        let src_node = qsnet::NodeId(g.peer);
+        let wire = g.wire_bytes(&ccfg);
+        let batch: Vec<(MsgId, u64)> =
+            g.entries.iter().map(|&i| (entries[i].0, entries[i].1)).collect();
+        w.engine.stats.p2p_gathers += 1;
+        w.engine.stats.p2p_gather_msgs += batch.len() as u64;
+        w.engine
+            .bcs
+            .fabric
+            .note_gather(batch.len() as u64, g.payload_bytes);
+        let slot = std::cell::Cell::new(Some(batch));
+        let deliver = move |w: &mut BW, sim: &mut Sim<BW>| {
+            let batch = slot.take().expect("P2P gather delivered twice");
+            for (msg, chunk) in batch {
+                chunk_arrived(w, sim, node, msg, chunk);
+            }
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        };
+        match retry {
+            None => {
+                let t = w.engine.bcs.fabric.get(sim, node, src_node, wire, deliver);
+                if trace {
+                    eprintln!(
+                        "  p2p gather {node} <- {src_node} {} msgs {wire}B deliver at {t}",
+                        g.entries.len()
+                    );
+                }
+            }
+            Some(policy) => {
+                bcs_core::retry::reliable_get(
+                    w,
+                    sim,
+                    node,
+                    src_node,
+                    wire,
+                    policy,
+                    std::rc::Rc::new(deliver),
+                    transfer_abort(src_node, "P2P gather get"),
                 );
             }
         }

@@ -87,6 +87,12 @@ fn slice_start(w: &mut BW, sim: &mut Sim<BW>, slice: u64) {
                 let img = crate::checkpoint::capture_image(w, sim.now(), digest);
                 w.engine.images.push(img);
             }
+            // Compiled schedules are not part of the image; drop them at
+            // every capture so a run restored from this boundary (cold
+            // detectors) and the original run relearn from the same point.
+            for d in &mut w.engine.sched_detect {
+                d.invalidate();
+            }
             ckpt_cost = w.engine.cfg.checkpoint_cost;
         }
     }

@@ -1,0 +1,24 @@
+//@ path: crates/bcs-core/src/coalesce.rs
+// Known-bad: a hypothetical coalescer that drops to raw-pointer packing of
+// scatter headers without safety documentation. The real coalescer is pure
+// planning (no unsafe at all); this fixture pins that if anyone ever adds
+// unsafe block packing, every site owes a safety comment.
+pub struct BlockHdr {
+    pub count: u32,
+    pub src: u32,
+    pub seqno: u64,
+}
+
+pub fn pack_hdr_bad(buf: *mut u8, hdr: &BlockHdr) {
+    unsafe { (buf as *mut BlockHdr).write_unaligned(BlockHdr { ..*hdr }) } //~ D05
+}
+
+pub unsafe fn entry_at_bad(base: *const u8, off: usize) -> *const u8 { //~ D05
+    unsafe { base.add(off) } //~ D05
+}
+
+pub fn pack_hdr_good(buf: *mut u8, hdr: &BlockHdr) {
+    // SAFETY: fixture — caller hands us a buffer of at least
+    // `block_hdr_bytes`, exclusively owned for the write.
+    unsafe { (buf as *mut BlockHdr).write_unaligned(BlockHdr { ..*hdr }) }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/bcs-core/src/lib.rs //~ D07
+// Known-bad: the bcs-core crate root (home of the coalescer) without
+// `#![forbid(unsafe_code)]`. Only simcore is exempt; the planning layer
+// that decides what merges onto the wire must stay safe code.
+pub mod coalesce_fixture {}
+pub mod retry_fixture {}

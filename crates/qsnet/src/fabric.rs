@@ -38,6 +38,13 @@ pub struct FabricStats {
     pub multicasts: u64,
     pub multicast_bytes: u64,
     pub conditionals: u64,
+    /// Coalesced blocks carried (see `bcs-core::coalesce`): each is one
+    /// put/get already counted above, merging `gathered_msgs` logical
+    /// messages of `gathered_bytes` payload. Recorded via
+    /// [`Fabric::note_gather`] so both fabrics expose identical accounting.
+    pub gathers: u64,
+    pub gathered_msgs: u64,
+    pub gathered_bytes: u64,
     /// Planned data-channel DMA drops that fired (fault injection).
     pub drops: u64,
     /// Deliveries suppressed because an endpoint was fail-stopped.
@@ -173,6 +180,10 @@ pub trait Fabric<W: 'static> {
     fn nodes(&self) -> usize;
     fn stats(&self) -> &FabricStats;
     fn reset_stats(&mut self);
+    /// Account one coalesced block the engine is about to issue as a
+    /// single put/get: `msgs` logical messages of `logical_bytes` payload
+    /// merged behind one scatter header (see `bcs-core::coalesce`).
+    fn note_gather(&mut self, msgs: u64, logical_bytes: u64);
 
     // Fault injection (see `faultsim`).
     fn kill_node(&mut self, node: NodeId);
@@ -343,6 +354,13 @@ impl QsNetFabric {
     pub fn reset_stats(&mut self) {
         self.touch();
         self.stats = FabricStats::default();
+    }
+
+    pub fn note_gather(&mut self, msgs: u64, logical_bytes: u64) {
+        self.touch();
+        self.stats.gathers += 1;
+        self.stats.gathered_msgs += msgs;
+        self.stats.gathered_bytes += logical_bytes;
     }
 
     // ------------------------------------------------------------------
@@ -647,6 +665,9 @@ impl<W: 'static> Fabric<W> for QsNetFabric {
     }
     fn reset_stats(&mut self) {
         QsNetFabric::reset_stats(self)
+    }
+    fn note_gather(&mut self, msgs: u64, logical_bytes: u64) {
+        QsNetFabric::note_gather(self, msgs, logical_bytes)
     }
     fn kill_node(&mut self, node: NodeId) {
         QsNetFabric::kill_node(self, node)

@@ -219,6 +219,12 @@ impl<W: 'static> Fabric<W> for RdmaFabric {
         self.touch();
         self.stats = FabricStats::default();
     }
+    fn note_gather(&mut self, msgs: u64, logical_bytes: u64) {
+        self.touch();
+        self.stats.gathers += 1;
+        self.stats.gathered_msgs += msgs;
+        self.stats.gathered_bytes += logical_bytes;
+    }
 
     fn kill_node(&mut self, node: NodeId) {
         self.dead[node.0] = true;

@@ -13,7 +13,10 @@
 #   5. the quick repro sequentially and with REPRO_THREADS=4: the CSVs
 #      must be byte-identical across thread counts, and the parallel run
 #      is gated against the sequential run's wall-clock baseline (the
-#      gate's 5x + 2s threshold is deliberately tolerant of CI noise)
+#      gate's 5x + 2s threshold is deliberately tolerant of CI noise);
+#      host-timed speedup pairs are ratio-gated on the sequential run
+#      only — with 4 workers oversubscribing the host the timed regions
+#      absorb preemption, so repro skips those gates and says so
 #   6. the four microbenches (quick mode), emitting reports/microbench_*.csv;
 #      engine_throughput additionally self-gates its two paired rows
 #      (indexed matching vs the linear-scan reference, incremental image
@@ -23,7 +26,11 @@
 #      to one sweep worker so peak thread count is independent of n, with
 #      the two n=4096 headline slowdowns tolerance-gated; plus the
 #      fabric-matrix smoke (both engines on the QsNet and the RDMA-channel
-#      fabrics, DESIGN.md section 12), refreshing reports/bench_wallclock.json
+#      fabrics, DESIGN.md section 12) and the ablation-schedule smoke
+#      (DESIGN.md section 13: replay transparency pinned to exactly 0 ns,
+#      pattern behavior flags pinned, and the million-message stress pair
+#      gated >= 5x through gate::check_speedups — repro exits non-zero on
+#      any miss), refreshing reports/bench_wallclock.json
 #   8. fabric selection plumbing: the fabric-matrix CSV is byte-identical
 #      at REPRO_THREADS=1 and 4; REPRO_FABRIC=qsnet is a no-op for
 #      qsnet-default experiments, REPRO_FABRIC=rdma changes the wire
@@ -84,10 +91,15 @@ for b in primitives engine_throughput softfloat_ops apps_micro; do
   [ -s "$csv" ] || { echo "verify: missing $csv" >&2; exit 1; }
 done
 
-echo "== n=4096 scale smoke + fabric-matrix smoke (single sweep worker)"
-REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale fabric-matrix
+echo "== n=4096 scale smoke + fabric-matrix smoke + ablation-schedule smoke (single sweep worker)"
+smoke_out="$(REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale fabric-matrix ablation-schedule)"
 [ -s reports/scale.csv ] || { echo "verify: missing reports/scale.csv" >&2; exit 1; }
 [ -s reports/fabric_matrix.csv ] || { echo "verify: missing reports/fabric_matrix.csv" >&2; exit 1; }
+[ -s reports/ablation_schedule.csv ] || { echo "verify: missing reports/ablation_schedule.csv" >&2; exit 1; }
+# The schedule-machinery stress pair must have been measured and gated
+# (a repro that silently skipped it would still exit 0).
+echo "$smoke_out" | grep -q "stress_compiled_ns" \
+  || { echo "verify: ablation-schedule stress speedup pair did not run" >&2; exit 1; }
 
 echo "== fabric selection plumbing (REPRO_THREADS, REPRO_FABRIC)"
 fab_dir="$(mktemp -d)"
