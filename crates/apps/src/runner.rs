@@ -1,6 +1,7 @@
 //! Run a workload on either MPI engine and report its runtime.
 
 use bcs_mpi::{BcsConfig, BcsMpi};
+use mpi_api::coll_sched::CollAlgo;
 use mpi_api::RankProgram;
 use mpi_api::runtime::{Backend, JobLayout, RunOpts, run_program_on};
 use qsnet::FabricKind;
@@ -108,6 +109,27 @@ pub fn fabric_from_env() -> Result<Option<FabricKind>, EnvOptionError> {
     }
 }
 
+/// Collective-algorithm override for app runs: `REPRO_COLL=hw-multicast`,
+/// `binomial` or `optimal` forces the wire schedule on every engine
+/// ([`mpi_api::coll_sched::CollAlgo`]); unset leaves each experiment's
+/// configured algorithm untouched. Value-plane results are bit-identical
+/// under all three, so this only moves the clock. Any other value is
+/// rejected with [`EnvOptionError`]. One of the sanctioned env-read sites
+/// (detlint D04).
+pub fn coll_algo_from_env() -> Result<Option<CollAlgo>, EnvOptionError> {
+    match std::env::var("REPRO_COLL") {
+        Ok(v) => match CollAlgo::from_label(&v) {
+            Some(algo) => Ok(Some(algo)),
+            None => Err(EnvOptionError {
+                var: "REPRO_COLL",
+                got: v,
+                valid: &["hw-multicast", "binomial", "optimal"],
+            }),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
 /// Execute `program` as an MPI job on the selected engine.
 pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -> AppOutcome<P::Out> {
     // A generous livelock guard: no experiment in the suite runs longer
@@ -117,11 +139,15 @@ pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -
     };
     let backend = backend_from_env().unwrap_or_else(|e| panic!("{e}"));
     let fabric = fabric_from_env().unwrap_or_else(|e| panic!("{e}"));
+    let coll = coll_algo_from_env().unwrap_or_else(|e| panic!("{e}"));
     match sel {
         EngineSel::Bcs(cfg) => {
             let mut cfg = cfg.clone();
             if let Some(kind) = fabric {
                 cfg.fabric = kind;
+            }
+            if let Some(algo) = coll {
+                cfg.coll_algo = algo;
             }
             let out = run_program_on(BcsMpi::new(cfg, &layout), layout, program, opts, backend);
             AppOutcome {
@@ -134,6 +160,9 @@ pub fn run_app<P: RankProgram>(sel: &EngineSel, layout: JobLayout, program: P) -
             let mut cfg = cfg.clone();
             if let Some(kind) = fabric {
                 cfg.fabric = kind;
+            }
+            if let Some(algo) = coll {
+                cfg.coll_algo = algo;
             }
             let out = run_program_on(
                 QuadricsMpi::new(cfg, &layout),
@@ -196,6 +225,25 @@ mod tests {
         assert!(msg.contains("rmda"));
         assert!(msg.contains("qsnet, rdma"));
         assert!(msg.contains("defaults to \"qsnet\""));
+    }
+
+    #[test]
+    fn repro_coll_error_names_every_algorithm() {
+        let e = EnvOptionError {
+            var: "REPRO_COLL",
+            got: "bogus".to_string(),
+            valid: &["hw-multicast", "binomial", "optimal"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("REPRO_COLL"));
+        assert!(msg.contains("hw-multicast, binomial, optimal"));
+        assert!(msg.contains("defaults to \"hw-multicast\""));
+        // The error's option list is exactly the label set `from_label`
+        // accepts.
+        for label in e.valid {
+            assert!(CollAlgo::from_label(label).is_some());
+        }
+        assert!(CollAlgo::from_label("bogus").is_none());
     }
 
     #[test]

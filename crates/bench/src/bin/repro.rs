@@ -47,10 +47,29 @@ fn main() {
                 ));
             }
             "--list" => {
+                // Mark which experiments are gated beyond regeneration:
+                // `pin` = headline values checked against recorded
+                // tolerances, `speedup` = a baseline/optimized ratio floor.
                 let exps = registry(true);
                 let w = exps.iter().map(|e| e.cli.len()).max().unwrap_or(0);
                 for e in exps {
-                    println!("{:w$}  {}", e.cli, e.desc);
+                    // Gate registries key off *report* names; fig9 is the
+                    // only experiment whose reports are named differently
+                    // from the experiment itself.
+                    let reports: &[&str] = match e.name {
+                        "fig9" => &["fig9_runtimes", "table2"],
+                        _ => std::slice::from_ref(&e.name),
+                    };
+                    let gates = match (
+                        reports.iter().any(|r| bench::gate::has_pin_gates(r)),
+                        reports.iter().any(|r| bench::gate::has_speedup_gates(r)),
+                    ) {
+                        (true, true) => " [gates: pin, speedup]",
+                        (true, false) => " [gates: pin]",
+                        (false, true) => " [gates: speedup]",
+                        (false, false) => "",
+                    };
+                    println!("{:w$}  {}{}", e.cli, e.desc, gates);
                 }
                 return;
             }
@@ -61,6 +80,9 @@ fn main() {
                 println!("       repro --list   # every experiment with a one-line description");
                 println!("REPRO_THREADS controls the sweep worker count (default: all cores)");
                 println!("REPRO_FABRIC=qsnet|rdma overrides the interconnect for every run");
+                println!(
+                    "REPRO_COLL=hw-multicast|binomial|optimal overrides the collective wire schedule"
+                );
                 return;
             }
             other => picks.push(other.to_string()),

@@ -1,6 +1,6 @@
-//! Collectives: barrier, broadcast (CH) and reduce/allreduce (RH), per §4.4
-//! — extended with communicator (MPI group) support, the functionality §4.5
-//! lists as the prototype's main limitation.
+//! Collectives: barrier, broadcast (CH), reduce/allreduce (RH) and
+//! allgatherv, per §4.4 — extended with communicator (MPI group) support,
+//! the functionality §4.5 lists as the prototype's main limitation.
 //!
 //! Every collective call posts a descriptor to the BR and blocks. The BR
 //! pre-processes descriptors: once all local ranks *of the communicator*
@@ -9,22 +9,43 @@
 //! node issues a `Compare-And-Write` query checking the flag on all member
 //! nodes; when it holds everywhere the operation is scheduled. The CH then
 //! performs broadcasts/barriers in the broadcast & barrier microphase, and
-//! the RH performs reduces in the reduce microphase, gathering partials over
-//! a binomial tree and computing them **on the NIC** with the softfloat
-//! library (the Elan3 has no FPU).
+//! the RH performs reduces (and allgathers) in the reduce microphase,
+//! computing reductions **on the NIC** with the softfloat library (the
+//! Elan3 has no FPU).
+//!
+//! # Wire schedules ([`CollAlgo`], DESIGN §14)
+//!
+//! The *value plane* is fixed: contributions combine in ascending
+//! communicator-rank order ([`combine_nic`]), so results are bit-identical
+//! under every algorithm and both engines. The *time plane* — what the
+//! modeled wire carries — is selected by [`BcsConfig::coll_algo`]:
+//!
+//! * [`CollAlgo::HwMulticast`]: the fabric's native multicast primitive and
+//!   an analytic ⌈log2 n⌉-stage binomial gather (the paper's path).
+//! * [`CollAlgo::Binomial`]: an explicit binomial tree of point-to-point
+//!   DMAs; each node forwards to its subtree the moment the payload lands,
+//!   and reductions run the mirrored tree bottom-up with a per-merge
+//!   softfloat delay.
+//! * [`CollAlgo::OptimalSchedule`]: precomputed round-synchronized block
+//!   schedules ([`mpi_api::coll_sched::bcast_schedule`]), cached per
+//!   (communicator, block count) in [`CollState`]; reductions replay the
+//!   table in reverse with every edge flipped.
 
-use crate::engine::{BW, Blocked};
+use crate::engine::{BW, BcsConfig, Blocked};
 use bcs_core::{BcsCluster, CmpOp};
 use mpi_api::call::MpiResp;
+use mpi_api::coll_sched::{self, CollAlgo, RoundSchedule};
 use mpi_api::comm::CommId;
 use mpi_api::datatype::{Datatype, ReduceOp, combine_native};
 use mpi_api::payload::Payload;
 use mpi_api::runtime::JobLayout;
 use qsnet::NodeId;
 use qsnet::model::log2_ceil;
-use simcore::{Sim, SimDuration};
+use simcore::{Sim, SimDuration, SimTime};
 use softfloat::{F32, F64};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Collective kind. `slot` indexes the per-rank round counters and the
 /// per-node flag words.
@@ -33,7 +54,16 @@ pub(crate) enum CollKind {
     Barrier,
     Bcast,
     Reduce { all: bool },
+    Allgather,
 }
+
+/// Word slots reserved per communicator (one per collective kind family).
+const SLOTS_PER_COMM: u32 = 4;
+
+/// Synthetic round ids (composite-allreduce broadcast legs) live above
+/// every id the per-rank counters can reach, so they sort after all real
+/// rounds of the slot and never collide with them.
+const SYNTH_ID: u64 = 1 << 63;
 
 impl CollKind {
     pub fn slot(self) -> usize {
@@ -41,14 +71,24 @@ impl CollKind {
             CollKind::Barrier => 0,
             CollKind::Bcast => 1,
             CollKind::Reduce { .. } => 2,
+            CollKind::Allgather => 3,
         }
     }
 }
 
-/// Global-word address of the flag for `(comm, slot)`. Word ids below 16
-/// are reserved for the protocol (`crate::words`).
+/// Global-word address of the flag for `(comm, slot)`. Word ids below
+/// [`crate::words::RESERVED`] belong to the protocol (`crate::words`); each
+/// communicator owns a disjoint [`SLOTS_PER_COMM`]-word window above them.
 pub(crate) fn flag_word(comm: CommId, slot: usize) -> u32 {
-    16 + comm.0 * 4 + slot as u32
+    debug_assert!((slot as u32) < SLOTS_PER_COMM, "collective slot out of range");
+    let word = comm
+        .0
+        .checked_mul(SLOTS_PER_COMM)
+        .and_then(|base| base.checked_add(crate::words::RESERVED))
+        .and_then(|base| base.checked_add(slot as u32))
+        .expect("communicator id overflows the global-word space");
+    debug_assert!(word >= crate::words::RESERVED, "flag word in the reserved range");
+    word
 }
 
 #[derive(Clone)]
@@ -58,7 +98,8 @@ pub(crate) struct CollRound {
     /// Communicator-rank of the root.
     pub root: usize,
     pub params: Option<(ReduceOp, Datatype)>,
-    /// Reduce contributions / the bcast payload (by communicator rank).
+    /// Reduce/allgather contributions / the bcast payload (by communicator
+    /// rank).
     pub contribs: Vec<Option<Payload>>,
     pub arrived: usize,
     /// Arrivals per compute node.
@@ -72,19 +113,26 @@ pub(crate) struct CollRound {
 /// Engine-wide collective bookkeeping.
 #[derive(Clone)]
 pub(crate) struct CollState {
-    /// Per (rank, communicator) invocation counters, one per slot.
-    counters: std::collections::HashMap<(usize, CommId), [u64; 3]>,
+    /// Per (rank, communicator) invocation counters, one per slot. A
+    /// `BTreeMap` so describe/checkpoint walks are deterministic by
+    /// construction (no D02 waiver needed).
+    counters: BTreeMap<(usize, CommId), [u64; SLOTS_PER_COMM as usize]>,
     /// Keyed by `(comm, slot, round)`.
     pub rounds: BTreeMap<(u32, usize, u64), CollRound>,
     compute_nodes: usize,
+    /// Round-schedule tables keyed by `(comm, block count)` — pure
+    /// functions of the communicator's node count and the block count, so
+    /// a restored checkpoint rebuilds identical tables on demand.
+    sched_cache: BTreeMap<(u32, usize), Rc<RoundSchedule>>,
 }
 
 impl CollState {
     pub fn new(layout: &JobLayout) -> CollState {
         CollState {
-            counters: Default::default(),
+            counters: BTreeMap::new(),
             rounds: BTreeMap::new(),
             compute_nodes: layout.compute_nodes,
+            sched_cache: BTreeMap::new(),
         }
     }
 
@@ -98,6 +146,19 @@ impl CollState {
         }
         out
     }
+}
+
+/// The cached broadcast schedule for `comm` (`nodes` member nodes) and
+/// `blocks` pipeline blocks. Reductions walk the same table in reverse.
+fn sched_for(w: &mut BW, comm: CommId, nodes: usize, blocks: usize) -> Rc<RoundSchedule> {
+    let entry = w
+        .engine
+        .coll
+        .sched_cache
+        .entry((comm.0, blocks))
+        .or_insert_with(|| Rc::new(coll_sched::bcast_schedule(nodes, blocks)));
+    debug_assert_eq!(entry.nodes, nodes, "communicator changed size");
+    Rc::clone(entry)
 }
 
 // ----------------------------------------------------------------------
@@ -118,7 +179,7 @@ pub(crate) fn post_collective(
     let _ = sim;
     let e = &mut w.engine;
     let slot = kind.slot();
-    let c = e.coll.counters.entry((rank, comm)).or_insert([0; 3]);
+    let c = e.coll.counters.entry((rank, comm)).or_insert([0; 4]);
     let id = c[slot];
     c[slot] += 1;
     let node = e.node_of(rank);
@@ -150,6 +211,9 @@ pub(crate) fn post_collective(
     match kind {
         CollKind::Reduce { .. } => {
             round.contribs[local_rank] = Some(data.expect("reduce needs a contribution"));
+        }
+        CollKind::Allgather => {
+            round.contribs[local_rank] = Some(data.expect("allgather needs a contribution"));
         }
         CollKind::Bcast => {
             if local_rank == root {
@@ -235,6 +299,321 @@ pub(crate) fn msm_queries(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) -> u32 {
 }
 
 // ----------------------------------------------------------------------
+// Schedule-based wire executors (CollAlgo::Binomial / ::OptimalSchedule)
+// ----------------------------------------------------------------------
+
+/// Member nodes with the master (the BBM/RM issuing node) rotated to the
+/// front — position 0 of every schedule. The remainder stays in ascending
+/// node order.
+fn master_first(mut order: Vec<NodeId>, master: NodeId) -> Vec<NodeId> {
+    let p = order
+        .iter()
+        .position(|&n| n == master)
+        .expect("master node is not a member node");
+    order.remove(p);
+    order.insert(0, master);
+    order
+}
+
+/// Per-node completion hook of a broadcast leg.
+type NodeFn = Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)>;
+/// Whole-collective completion hook (taken exactly once).
+type DoneFn = Rc<RefCell<Option<Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>>>>;
+
+fn take_done(w: &mut BW, sim: &mut Sim<BW>, done: &DoneFn) {
+    if let Some(f) = done.borrow_mut().take() {
+        f(w, sim);
+    }
+}
+
+/// Binomial broadcast: `order[0]` holds `bytes`; every node forwards to its
+/// subtree children (largest subtree first) the instant the payload lands.
+/// `on_node` fires per node at its arrival instant; `on_done` once, at the
+/// last arrival.
+fn binomial_bcast(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    order: Rc<Vec<NodeId>>,
+    bytes: u64,
+    on_node: NodeFn,
+    on_done: DoneFn,
+) {
+    let remaining = Rc::new(Cell::new(order.len()));
+    binomial_arrived(w, sim, order, bytes, remaining, 0, on_node, on_done);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn binomial_arrived(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    order: Rc<Vec<NodeId>>,
+    bytes: u64,
+    remaining: Rc<Cell<usize>>,
+    idx: usize,
+    on_node: NodeFn,
+    on_done: DoneFn,
+) {
+    on_node(w, sim, order[idx]);
+    let children = coll_sched::binomial_children(idx, order.len());
+    for &c in children.iter().rev() {
+        let (order2, rem2, on_node2, on_done2) = (
+            Rc::clone(&order),
+            Rc::clone(&remaining),
+            Rc::clone(&on_node),
+            Rc::clone(&on_done),
+        );
+        let deliver: NodeFn = Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, _d: NodeId| {
+            binomial_arrived(
+                w,
+                sim,
+                Rc::clone(&order2),
+                bytes,
+                Rc::clone(&rem2),
+                c,
+                Rc::clone(&on_node2),
+                Rc::clone(&on_done2),
+            );
+        });
+        BcsCluster::xfer_and_signal(
+            w,
+            sim,
+            order[idx],
+            &[order[c]],
+            bytes,
+            bcs_core::XsOpts {
+                remote_event: None,
+                local_event: None,
+                on_deliver: Some(deliver),
+            },
+        );
+    }
+    remaining.set(remaining.get() - 1);
+    if remaining.get() == 0 {
+        take_done(w, sim, &on_done);
+    }
+}
+
+/// Shared state of a binomial reduction (gather) leg.
+struct GatherRun {
+    order: Vec<NodeId>,
+    bytes: u64,
+    /// NIC combine cost charged per received partial (zero for allgather).
+    combine: SimDuration,
+    /// Children still outstanding per tree position.
+    pending: RefCell<Vec<usize>>,
+    on_done: RefCell<Option<Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>>>,
+}
+
+/// Binomial gather: the mirrored broadcast tree walked leaf-to-root. Every
+/// position sends its (combined) partial to its parent once all children
+/// have arrived; `on_done` fires when the root has merged everything.
+fn binomial_gather(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    order: Vec<NodeId>,
+    bytes: u64,
+    combine: SimDuration,
+    on_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>,
+) {
+    let nn = order.len();
+    let pending: Vec<usize> = (0..nn)
+        .map(|i| coll_sched::binomial_children(i, nn).len())
+        .collect();
+    let run = Rc::new(GatherRun {
+        order,
+        bytes,
+        combine,
+        pending: RefCell::new(pending),
+        on_done: RefCell::new(Some(on_done)),
+    });
+    if nn <= 1 {
+        if let Some(f) = run.on_done.borrow_mut().take() {
+            f(w, sim);
+        }
+        return;
+    }
+    for i in 1..nn {
+        if run.pending.borrow()[i] == 0 {
+            gather_send_up(w, sim, Rc::clone(&run), i);
+        }
+    }
+}
+
+fn gather_send_up(w: &mut BW, sim: &mut Sim<BW>, run: Rc<GatherRun>, idx: usize) {
+    let parent = coll_sched::binomial_parent(idx);
+    let run2 = Rc::clone(&run);
+    let deliver: NodeFn = Rc::new(move |_w: &mut BW, sim: &mut Sim<BW>, _d: NodeId| {
+        let run3 = Rc::clone(&run2);
+        sim.schedule_in(run2.combine, move |w: &mut BW, sim: &mut Sim<BW>| {
+            let left = {
+                let mut p = run3.pending.borrow_mut();
+                p[parent] -= 1;
+                p[parent]
+            };
+            if left == 0 {
+                if parent == 0 {
+                    if let Some(f) = run3.on_done.borrow_mut().take() {
+                        f(w, sim);
+                    }
+                } else {
+                    gather_send_up(w, sim, Rc::clone(&run3), parent);
+                }
+            }
+        });
+    });
+    BcsCluster::xfer_and_signal(
+        w,
+        sim,
+        run.order[idx],
+        &[run.order[parent]],
+        run.bytes,
+        bcs_core::XsOpts {
+            remote_event: None,
+            local_event: None,
+            on_deliver: Some(deliver),
+        },
+    );
+}
+
+/// Shared state of a pipelined round-schedule run.
+struct SchedRun {
+    order: Vec<NodeId>,
+    sched: Rc<RoundSchedule>,
+    /// Payload bytes being moved (split into `sched.blocks` shares).
+    bytes: u64,
+    desc: u64,
+    /// Charge the NIC combine cost per received block (reduction legs).
+    combine: bool,
+    /// Walk the table last-to-first with flipped edges (the reduction).
+    gather: bool,
+    /// Blocks received so far per position (broadcast legs).
+    got: RefCell<Vec<usize>>,
+    on_node: Option<NodeFn>,
+    on_done: RefCell<Option<Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>>>,
+}
+
+/// Execute one round of the table: all of the round's one-port transfers
+/// start together, and the next round starts when the slowest completes.
+fn sched_run_round(w: &mut BW, sim: &mut Sim<BW>, run: Rc<SchedRun>, r: usize) {
+    let total = run.sched.rounds.len();
+    if r == total {
+        if let Some(f) = run.on_done.borrow_mut().take() {
+            f(w, sim);
+        }
+        return;
+    }
+    let fwd = &run.sched.rounds[if run.gather { total - 1 - r } else { r }];
+    let edges: Vec<(usize, usize, usize)> = if run.gather {
+        fwd.iter().map(|&(s, d, b)| (d, s, b)).collect()
+    } else {
+        fwd.clone()
+    };
+    let remaining = Rc::new(Cell::new(edges.len()));
+    for (s, d, b) in edges {
+        let share = coll_sched::block_len(run.bytes, run.sched.blocks, b);
+        let t = BcsCluster::xfer_and_signal(
+            w,
+            sim,
+            run.order[s],
+            &[run.order[d]],
+            share + run.desc,
+            bcs_core::XsOpts {
+                remote_event: None,
+                local_event: None,
+                on_deliver: None,
+            },
+        );
+        let extra = if run.combine {
+            reduce_delay(&w.engine.cfg, share as usize)
+        } else {
+            SimDuration::ZERO
+        };
+        let (run2, rem) = (Rc::clone(&run), Rc::clone(&remaining));
+        sim.schedule_at(t + extra, move |w: &mut BW, sim: &mut Sim<BW>| {
+            if !run2.gather {
+                let complete = {
+                    let mut g = run2.got.borrow_mut();
+                    g[d] += 1;
+                    g[d] == run2.sched.blocks
+                };
+                if complete {
+                    if let Some(cb) = &run2.on_node {
+                        cb(w, sim, run2.order[d]);
+                    }
+                }
+            }
+            rem.set(rem.get() - 1);
+            if rem.get() == 0 {
+                sched_run_round(w, sim, Rc::clone(&run2), r + 1);
+            }
+        });
+    }
+}
+
+/// Pipelined broadcast leg: `on_node` fires for the root immediately and
+/// for every other node when its last block lands; `on_done` after the
+/// final round.
+#[allow(clippy::too_many_arguments)]
+fn sched_bcast(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    comm: CommId,
+    order: Vec<NodeId>,
+    bytes: u64,
+    on_node: NodeFn,
+    on_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>,
+) {
+    let blocks = coll_sched::block_count(bytes);
+    let sched = sched_for(w, comm, order.len(), blocks);
+    let desc = w.engine.cfg.desc_bytes;
+    let root = order[0];
+    on_node(w, sim, root);
+    let nn = order.len();
+    let run = Rc::new(SchedRun {
+        order,
+        sched,
+        bytes,
+        desc,
+        combine: false,
+        gather: false,
+        got: RefCell::new(vec![0; nn]),
+        on_node: Some(on_node),
+        on_done: RefCell::new(Some(on_done)),
+    });
+    sched_run_round(w, sim, run, 0);
+}
+
+/// Pipelined reduction (gather) leg: the broadcast table in reverse, each
+/// delivered block paying the NIC combine cost when `combine` is set.
+#[allow(clippy::too_many_arguments)]
+fn sched_gather(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    comm: CommId,
+    order: Vec<NodeId>,
+    bytes: u64,
+    combine: bool,
+    on_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>,
+) {
+    let blocks = coll_sched::block_count(bytes);
+    let sched = sched_for(w, comm, order.len(), blocks);
+    let desc = w.engine.cfg.desc_bytes;
+    let nn = order.len();
+    let run = Rc::new(SchedRun {
+        order,
+        sched,
+        bytes,
+        desc,
+        combine,
+        gather: true,
+        got: RefCell::new(vec![0; nn]),
+        on_node: None,
+        on_done: RefCell::new(Some(on_done)),
+    });
+    sched_run_round(w, sim, run, 0);
+}
+
+// ----------------------------------------------------------------------
 // BBM: broadcast & barrier (CH)
 // ----------------------------------------------------------------------
 
@@ -260,6 +639,7 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         return;
     }
     w.engine.outstanding[node.0] = todo.len() as u32;
+    let algo = w.engine.cfg.coll_algo;
     for key in todo {
         let round = w.engine.coll.rounds.get(&key).unwrap();
         let kind = round.kind;
@@ -272,7 +652,7 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         match kind {
             CollKind::Barrier => w.engine.stats.barriers += 1,
             CollKind::Bcast => w.engine.stats.bcasts += 1,
-            CollKind::Reduce { .. } => unreachable!(),
+            _ => unreachable!(),
         }
         let bytes = payload.len() as u64 + w.engine.cfg.desc_bytes;
         let member_nodes = w.engine.member_nodes(comm);
@@ -292,7 +672,7 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
                     let resp = match kind {
                         CollKind::Barrier => MpiResp::Ok,
                         CollKind::Bcast => MpiResp::Data(payload.clone()),
-                        CollKind::Reduce { .. } => unreachable!(),
+                        _ => unreachable!(),
                     };
                     debug_assert!(matches!(
                         w.engine.blocked[rank],
@@ -304,34 +684,59 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
                 mpi_api::runtime::drain(w, sim);
             })
         };
-        let done_at = BcsCluster::xfer_and_signal(
-            w,
-            sim,
-            node,
-            &member_nodes,
-            bytes,
-            bcs_core::XsOpts {
-                remote_event: None,
-                local_event: None,
-                on_deliver: Some(per_dest),
-            },
-        );
-        // The round's work item ends when the multicast completes (last
-        // delivery); deliveries were scheduled earlier at the same instants,
-        // so they run first.
-        sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
-            let _ = w.engine.coll.rounds.remove(&key);
-            crate::protocol::work_item_done(w, sim, node);
-            mpi_api::runtime::drain(w, sim);
-        });
+        if algo == CollAlgo::HwMulticast {
+            let done_at = BcsCluster::xfer_and_signal(
+                w,
+                sim,
+                node,
+                &member_nodes,
+                bytes,
+                bcs_core::XsOpts {
+                    remote_event: None,
+                    local_event: None,
+                    on_deliver: Some(per_dest),
+                },
+            );
+            // The round's work item ends when the multicast completes (last
+            // delivery); deliveries were scheduled earlier at the same
+            // instants, so they run first.
+            sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+                let _ = w.engine.coll.rounds.remove(&key);
+                crate::protocol::work_item_done(w, sim, node);
+                mpi_api::runtime::drain(w, sim);
+            });
+        } else {
+            let order = master_first(member_nodes, node);
+            let on_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)> =
+                Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+                    let _ = w.engine.coll.rounds.remove(&key);
+                    crate::protocol::work_item_done(w, sim, node);
+                    mpi_api::runtime::drain(w, sim);
+                });
+            match algo {
+                CollAlgo::Binomial => binomial_bcast(
+                    w,
+                    sim,
+                    Rc::new(order),
+                    bytes,
+                    per_dest,
+                    Rc::new(RefCell::new(Some(on_done))),
+                ),
+                CollAlgo::OptimalSchedule => {
+                    sched_bcast(w, sim, comm, order, payload.len() as u64, per_dest, on_done)
+                }
+                CollAlgo::HwMulticast => unreachable!(),
+            }
+        }
     }
 }
 
 // ----------------------------------------------------------------------
-// RM: reduce (RH)
+// RM: reduce & allgather (RH)
 // ----------------------------------------------------------------------
 
-/// RH work for one node: every scheduled reduce whose master lives here.
+/// RH work for one node: every scheduled reduce/allgather whose master
+/// lives here.
 pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     let todo: Vec<(u32, usize, u64)> = w
         .engine
@@ -339,7 +744,7 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         .rounds
         .iter()
         .filter(|((_, slot, _), r)| {
-            *slot == 2 && r.scheduled && {
+            (*slot == 2 || *slot == 3) && r.scheduled && {
                 let root_world = w.engine.comms.members(r.comm)[r.root];
                 w.engine.node_of(root_world) == node
             }
@@ -353,105 +758,324 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     w.engine.outstanding[node.0] = todo.len() as u32;
 
     for key in todo {
-        let mut round = w.engine.coll.rounds.remove(&key).unwrap();
-        w.engine.stats.reduces += 1;
-        let (op, dtype) = round.params.expect("reduce without parameters");
-        let CollKind::Reduce { all } = round.kind else {
-            unreachable!()
-        };
-        let comm = round.comm;
-        let members = w.engine.comms.members(comm).to_vec();
-        let root_world = members[round.root];
-        // RH gathers partials over a binomial tree and combines them with
-        // the NIC's softfloat arithmetic (ascending communicator-rank order
-        // for cross-engine bit-identity).
-        let mut acc: Option<Vec<u8>> = None;
-        for c in round.contribs.iter_mut() {
-            let c = c.take().expect("missing reduce contribution");
-            match &mut acc {
-                None => acc = Some(c.into_vec()),
-                Some(a) => combine_nic(op, dtype, a, &c),
-            }
+        let round = w.engine.coll.rounds.remove(&key).unwrap();
+        match round.kind {
+            CollKind::Reduce { all } => rm_reduce(w, sim, node, key, round, all),
+            CollKind::Allgather => rm_allgather(w, sim, node, round),
+            _ => unreachable!(),
         }
-        let value = Payload::from_vec(acc.unwrap_or_default());
-        let bytes = value.len();
+    }
+}
 
-        // Tree timing: ceil(log2 member-nodes) stages of (latency + wire +
-        // NIC softfloat arithmetic).
-        let member_nodes = w.engine.member_nodes(comm);
-        let e = &w.engine;
-        let nn = member_nodes.len();
-        let depth = if nn <= 1 { 0 } else { log2_ceil(nn) };
-        let wire = bytes as u64 + e.cfg.desc_bytes;
-        let levels = e.bcs.fabric.topology().levels();
-        let stage = e.cfg.net.unicast_latency(2 * levels)
-            + e.cfg.net.tx_time(wire)
-            // detlint: allow(D06) — cost-model arithmetic, not reduce data:
-            // one IEEE-754 multiply truncated to integer nanoseconds, which
-            // is bit-identical on every host. Reduce *payload* arithmetic
-            // goes through `softfloat` (see `softfloat::add_f32_bits`).
-            + SimDuration::nanos((bytes as f64 * e.cfg.reduce_ns_per_byte) as u64)
-            + e.cfg.desc_cost;
-        let gather_done = sim.now() + stage * depth as u64;
+fn rm_reduce(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    node: NodeId,
+    key: (u32, usize, u64),
+    mut round: CollRound,
+    all: bool,
+) {
+    w.engine.stats.reduces += 1;
+    let (op, dtype) = round.params.expect("reduce without parameters");
+    let comm = round.comm;
+    let members = w.engine.comms.members(comm).to_vec();
+    let root_world = members[round.root];
+    // RH combines partials with the NIC's softfloat arithmetic, in
+    // ascending communicator-rank order for cross-engine (and
+    // cross-algorithm) bit-identity. The wire schedule below only
+    // determines *when* the result is ready.
+    let mut acc: Option<Vec<u8>> = None;
+    for c in round.contribs.iter_mut() {
+        let c = c.take().expect("missing reduce contribution");
+        match &mut acc {
+            None => acc = Some(c.into_vec()),
+            Some(a) => combine_nic(op, dtype, a, &c),
+        }
+    }
+    let value = Payload::from_vec(acc.unwrap_or_default());
+    let bytes = value.len();
 
-        let layout = w.engine.layout.clone();
-        if all && nn > 1 {
-            // Allreduce: the RH broadcasts the result with Xfer-And-Signal.
-            let members = std::rc::Rc::new(members);
-            sim.schedule_at(gather_done, move |w: &mut BW, sim| {
-                let member_nodes = w.engine.member_nodes(comm);
-                let per_dest: std::rc::Rc<dyn Fn(&mut BW, &mut Sim<BW>, NodeId)> = {
-                    let value = value.clone();
-                    let members = std::rc::Rc::clone(&members);
-                    let layout = layout.clone();
-                    std::rc::Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
-                        let ranks: Vec<usize> = layout
-                            .ranks_on(d)
-                            .filter(|r| members.contains(r))
-                            .collect();
-                        for rank in ranks {
-                            w.engine.blocked[rank] = None;
-                            w.engine
-                                .restart_queue
-                                .push((rank, MpiResp::Data(value.clone())));
-                        }
-                        mpi_api::runtime::drain(w, sim);
-                    })
-                };
-                let bytes = value.len() as u64 + w.engine.cfg.desc_bytes;
-                let done_at = BcsCluster::xfer_and_signal(
-                    w,
-                    sim,
-                    node,
-                    &member_nodes,
-                    bytes,
-                    bcs_core::XsOpts {
-                        remote_event: None,
-                        local_event: None,
-                        on_deliver: Some(per_dest),
-                    },
-                );
-                sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+    let member_nodes = w.engine.member_nodes(comm);
+    let nn = member_nodes.len();
+    let algo = w.engine.cfg.coll_algo;
+    let composite = w.engine.cfg.allreduce_composite && all && nn > 1;
+    let layout = w.engine.layout.clone();
+
+    // What happens once the gather leg completes at the root.
+    let finish: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)> = if composite {
+        // Reduce + bcast composition: hand the result to a synthetic,
+        // already-scheduled broadcast round the *next* slice's BBM runs
+        // under the same algorithm. Members stay blocked until then.
+        let value = value.clone();
+        let root = round.root;
+        let size = members.len();
+        let compute_nodes = w.engine.coll.compute_nodes;
+        Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+            let mut contribs = vec![None; size];
+            contribs[root] = Some(value);
+            let synth = (comm.0, CollKind::Bcast.slot(), SYNTH_ID | key.2);
+            let prev = w.engine.coll.rounds.insert(
+                synth,
+                CollRound {
+                    kind: CollKind::Bcast,
+                    comm,
+                    root,
+                    params: None,
+                    contribs,
+                    arrived: size,
+                    arrived_on_node: vec![0; compute_nodes],
+                    scheduled: true,
+                    query_inflight: false,
+                },
+            );
+            debug_assert!(prev.is_none(), "synthetic bcast round id collision");
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        })
+    } else if all && nn > 1 {
+        // Allreduce: the RH broadcasts the result within the reduce
+        // microphase, under the active algorithm.
+        let members = Rc::new(members);
+        let value2 = value.clone();
+        Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+            let member_nodes = w.engine.member_nodes(comm);
+            let per_dest: NodeFn = {
+                let value = value2.clone();
+                let members = Rc::clone(&members);
+                let layout = layout.clone();
+                Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
+                    let ranks: Vec<usize> = layout
+                        .ranks_on(d)
+                        .filter(|r| members.contains(r))
+                        .collect();
+                    for rank in ranks {
+                        w.engine.blocked[rank] = None;
+                        w.engine
+                            .restart_queue
+                            .push((rank, MpiResp::Data(value.clone())));
+                    }
+                    mpi_api::runtime::drain(w, sim);
+                })
+            };
+            let bytes = value2.len() as u64 + w.engine.cfg.desc_bytes;
+            let item_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)> =
+                Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
                     crate::protocol::work_item_done(w, sim, node);
                     mpi_api::runtime::drain(w, sim);
                 });
-            });
-        } else {
-            sim.schedule_at(gather_done, move |w: &mut BW, sim| {
-                for &rank in &members {
-                    w.engine.blocked[rank] = None;
-                    let resp = if all {
-                        MpiResp::Data(value.clone())
-                    } else if rank == root_world {
-                        MpiResp::RootData(Some(value.clone()))
-                    } else {
-                        MpiResp::RootData(None)
-                    };
-                    w.engine.restart_queue.push((rank, resp));
+            match w.engine.cfg.coll_algo {
+                CollAlgo::HwMulticast => {
+                    let done_at = BcsCluster::xfer_and_signal(
+                        w,
+                        sim,
+                        node,
+                        &member_nodes,
+                        bytes,
+                        bcs_core::XsOpts {
+                            remote_event: None,
+                            local_event: None,
+                            on_deliver: Some(per_dest),
+                        },
+                    );
+                    sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+                        item_done(w, sim);
+                    });
                 }
-                crate::protocol::work_item_done(w, sim, node);
-                mpi_api::runtime::drain(w, sim);
+                CollAlgo::Binomial => binomial_bcast(
+                    w,
+                    sim,
+                    Rc::new(master_first(member_nodes, node)),
+                    bytes,
+                    per_dest,
+                    Rc::new(RefCell::new(Some(item_done))),
+                ),
+                CollAlgo::OptimalSchedule => sched_bcast(
+                    w,
+                    sim,
+                    comm,
+                    master_first(member_nodes, node),
+                    value2.len() as u64,
+                    per_dest,
+                    item_done,
+                ),
+            }
+        })
+    } else {
+        // Plain reduce (result only on the root) or a degenerate one-node
+        // allreduce: respond the moment the gather completes.
+        Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+            for &rank in &members {
+                w.engine.blocked[rank] = None;
+                let resp = if all {
+                    MpiResp::Data(value.clone())
+                } else if rank == root_world {
+                    MpiResp::RootData(Some(value.clone()))
+                } else {
+                    MpiResp::RootData(None)
+                };
+                w.engine.restart_queue.push((rank, resp));
+            }
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        })
+    };
+
+    run_gather_leg(w, sim, node, comm, member_nodes, bytes, true, algo, finish);
+}
+
+fn rm_allgather(w: &mut BW, sim: &mut Sim<BW>, node: NodeId, mut round: CollRound) {
+    w.engine.stats.allgathers += 1;
+    let comm = round.comm;
+    let members = Rc::new(w.engine.comms.members(comm).to_vec());
+    // Value plane: every member's contribution, ascending communicator
+    // rank — identical under every algorithm and engine.
+    let parts: Vec<Payload> = round
+        .contribs
+        .iter_mut()
+        .map(|c| c.take().expect("missing allgather contribution"))
+        .collect();
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+
+    let member_nodes = w.engine.member_nodes(comm);
+    let nn = member_nodes.len();
+    let algo = w.engine.cfg.coll_algo;
+    let layout = w.engine.layout.clone();
+
+    let per_dest: NodeFn = {
+        let members = Rc::clone(&members);
+        let parts = parts.clone();
+        Rc::new(move |w: &mut BW, sim: &mut Sim<BW>, d: NodeId| {
+            let ranks: Vec<usize> = layout
+                .ranks_on(d)
+                .filter(|r| members.contains(r))
+                .collect();
+            for rank in ranks {
+                w.engine.blocked[rank] = None;
+                w.engine.restart_queue.push((
+                    rank,
+                    MpiResp::Gathered {
+                        parts: parts.clone(),
+                    },
+                ));
+            }
+            mpi_api::runtime::drain(w, sim);
+        })
+    };
+
+    // Gather to the root, then broadcast the concatenation back — both
+    // legs under the active algorithm. The gather leg's wire model charges
+    // every edge the full result size (a stated upper bound; DESIGN §14).
+    let finish: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)> = if nn > 1 {
+        Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+            let member_nodes = w.engine.member_nodes(comm);
+            let bytes = total as u64 + w.engine.cfg.desc_bytes;
+            let item_done: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)> =
+                Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+                    crate::protocol::work_item_done(w, sim, node);
+                    mpi_api::runtime::drain(w, sim);
+                });
+            match w.engine.cfg.coll_algo {
+                CollAlgo::HwMulticast => {
+                    let done_at = BcsCluster::xfer_and_signal(
+                        w,
+                        sim,
+                        node,
+                        &member_nodes,
+                        bytes,
+                        bcs_core::XsOpts {
+                            remote_event: None,
+                            local_event: None,
+                            on_deliver: Some(per_dest),
+                        },
+                    );
+                    sim.schedule_at(done_at, move |w: &mut BW, sim: &mut Sim<BW>| {
+                        item_done(w, sim);
+                    });
+                }
+                CollAlgo::Binomial => binomial_bcast(
+                    w,
+                    sim,
+                    Rc::new(master_first(member_nodes, node)),
+                    bytes,
+                    per_dest,
+                    Rc::new(RefCell::new(Some(item_done))),
+                ),
+                CollAlgo::OptimalSchedule => sched_bcast(
+                    w,
+                    sim,
+                    comm,
+                    master_first(member_nodes, node),
+                    total as u64,
+                    per_dest,
+                    item_done,
+                ),
+            }
+        })
+    } else {
+        Box::new(move |w: &mut BW, sim: &mut Sim<BW>| {
+            per_dest(w, sim, node);
+            crate::protocol::work_item_done(w, sim, node);
+            mpi_api::runtime::drain(w, sim);
+        })
+    };
+
+    run_gather_leg(w, sim, node, comm, member_nodes, total, false, algo, finish);
+}
+
+/// Run the gather leg of a reduction/allgather: `finish` fires at the
+/// instant the root holds the combined result.
+///
+/// * `HwMulticast`: the paper's analytic ⌈log2 n⌉-stage binomial model —
+///   each stage pays latency + wire + (optional) NIC combine + descriptor
+///   processing.
+/// * `Binomial`: the explicit mirrored tree with real point-to-point DMAs.
+/// * `OptimalSchedule`: the reversed pipelined block schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_gather_leg(
+    w: &mut BW,
+    sim: &mut Sim<BW>,
+    node: NodeId,
+    comm: CommId,
+    member_nodes: Vec<NodeId>,
+    bytes: usize,
+    combine: bool,
+    algo: CollAlgo,
+    finish: Box<dyn FnOnce(&mut BW, &mut Sim<BW>)>,
+) {
+    let nn = member_nodes.len();
+    match algo {
+        CollAlgo::HwMulticast => {
+            let e = &w.engine;
+            let depth = if nn <= 1 { 0 } else { log2_ceil(nn) };
+            let wire = bytes as u64 + e.cfg.desc_bytes;
+            let levels = e.bcs.fabric.topology().levels();
+            let combine_cost = if combine {
+                reduce_delay(&e.cfg, bytes)
+            } else {
+                SimDuration::ZERO
+            };
+            let stage = e.cfg.net.unicast_latency(2 * levels)
+                + e.cfg.net.tx_time(wire)
+                + combine_cost
+                + e.cfg.desc_cost;
+            let gather_done: SimTime = sim.now() + stage * depth as u64;
+            sim.schedule_at(gather_done, move |w: &mut BW, sim: &mut Sim<BW>| {
+                finish(w, sim);
             });
+        }
+        CollAlgo::Binomial => {
+            let order = master_first(member_nodes, node);
+            let wire = bytes as u64 + w.engine.cfg.desc_bytes;
+            let combine_cost = if combine {
+                reduce_delay(&w.engine.cfg, bytes)
+            } else {
+                SimDuration::ZERO
+            };
+            binomial_gather(w, sim, order, wire, combine_cost, finish);
+        }
+        CollAlgo::OptimalSchedule => {
+            let order = master_first(member_nodes, node);
+            sched_gather(w, sim, comm, order, bytes as u64, combine, finish);
         }
     }
 }
@@ -463,6 +1087,16 @@ fn finish_phase_with_delay(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         crate::protocol::work_item_done(w, sim, node);
         mpi_api::runtime::drain(w, sim);
     });
+}
+
+/// NIC softfloat arithmetic time for `bytes` of reduce payload — the one
+/// place the cost model multiplies a float.
+fn reduce_delay(cfg: &BcsConfig, bytes: usize) -> SimDuration {
+    // detlint: allow(D06) — cost-model arithmetic, not reduce data: one
+    // IEEE-754 multiply truncated to integer nanoseconds, which is
+    // bit-identical on every host. Reduce *payload* arithmetic goes through
+    // `softfloat` (see `softfloat::add_f32_bits`).
+    SimDuration::nanos((bytes as f64 * cfg.reduce_ns_per_byte) as u64)
 }
 
 /// NIC-side combine: floating point through the softfloat library (the NIC
@@ -504,5 +1138,59 @@ pub(crate) fn combine_nic(op: ReduceOp, dtype: Datatype, a: &mut [u8], b: &[u8])
             }
         }
         _ => combine_native(op, dtype, a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_words_avoid_the_reserved_range_and_each_other() {
+        let mut seen = std::collections::BTreeSet::new();
+        for comm in 0..512u32 {
+            for slot in 0..SLOTS_PER_COMM as usize {
+                let word = flag_word(CommId(comm), slot);
+                assert!(
+                    word >= crate::words::RESERVED,
+                    "comm{comm} slot{slot} -> {word} is a reserved protocol word"
+                );
+                assert_ne!(word, crate::words::MP_DONE);
+                assert!(
+                    seen.insert(word),
+                    "comm{comm} slot{slot} -> {word} collides with another communicator"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the global-word space")]
+    fn flag_word_overflow_is_caught() {
+        let _ = flag_word(CommId(u32::MAX / 2), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "collective slot out of range")]
+    fn flag_word_rejects_out_of_range_slots() {
+        let _ = flag_word(CommId(0), SLOTS_PER_COMM as usize);
+    }
+
+    #[test]
+    fn every_kind_maps_to_a_distinct_slot_below_the_window() {
+        let kinds = [
+            CollKind::Barrier,
+            CollKind::Bcast,
+            CollKind::Reduce { all: false },
+            CollKind::Reduce { all: true },
+            CollKind::Allgather,
+        ];
+        let mut slots = std::collections::BTreeSet::new();
+        for k in kinds {
+            assert!((k.slot() as u32) < SLOTS_PER_COMM);
+            slots.insert(k.slot());
+        }
+        assert_eq!(slots.len(), 4, "both reduce variants share a slot");
     }
 }

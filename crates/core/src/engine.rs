@@ -94,6 +94,18 @@ pub struct BcsConfig {
     /// with a scatter header. Changes the modeled wire traffic, so it
     /// defaults to *off*; experiments opt in.
     pub coalesce: Option<bcs_core::coalesce::CoalesceCfg>,
+    /// Which wire schedule the CH/RH use for collectives (see
+    /// [`mpi_api::coll_sched`]): the fabric's native multicast (the paper's
+    /// path and the default), a binomial tree of point-to-point DMAs, or
+    /// the pipelined round-schedule. Value-plane results are bit-identical
+    /// across all three; only the modeled wire traffic changes. Overridable
+    /// per run with `REPRO_COLL` (see `apps::runner`).
+    pub coll_algo: mpi_api::coll_sched::CollAlgo,
+    /// Run allreduce as an explicit reduce + broadcast composition: the RM
+    /// gathers to the root, then a synthetic broadcast round executes in
+    /// the *next* slice's BBM, instead of the native RH result multicast
+    /// within the reduce microphase. Defaults to *off* (the paper's RH).
+    pub allreduce_composite: bool,
 }
 
 impl Default for BcsConfig {
@@ -126,6 +138,8 @@ impl Default for BcsConfig {
             gang: None,
             sched_compile: Some(crate::schedule::SchedCompileCfg::default()),
             coalesce: None,
+            coll_algo: mpi_api::coll_sched::CollAlgo::HwMulticast,
+            allreduce_composite: false,
         }
     }
 }
@@ -154,6 +168,7 @@ pub struct BcsStats {
     pub barriers: u64,
     pub bcasts: u64,
     pub reduces: u64,
+    pub allgathers: u64,
     /// Slices whose work overran the nominal boundary (drift events).
     pub overruns: u64,
     /// Coalesced DEM descriptor blocks issued, and the descriptors they
@@ -650,6 +665,16 @@ impl Engine for BcsMpi {
                 root,
                 Some(data),
                 Some((op, dtype)),
+            ),
+            MpiCall::Allgatherv { comm, data } => crate::coll::post_collective(
+                w,
+                sim,
+                rank,
+                comm,
+                CollKind::Allgather,
+                0,
+                Some(data),
+                None,
             ),
             MpiCall::CommSplit { parent, color, key } => {
                 // A collective: everyone blocks; once the last member

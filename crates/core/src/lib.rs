@@ -61,4 +61,7 @@ pub use trace::SliceRecord;
 pub(crate) mod words {
     /// Monotone count of microphases this node has completed.
     pub const MP_DONE: u32 = 1;
+    /// Word ids below this belong to the protocol; collective flag words
+    /// (`coll::flag_word`) start here.
+    pub const RESERVED: u32 = 16;
 }

@@ -658,6 +658,32 @@ impl AsyncMpi {
         self.alltoallv_on(comm, &chunks).await
     }
 
+    /// MPI_Allgatherv as a single engine collective: gathered on the NIC
+    /// and broadcast back under the active collective algorithm, instead of
+    /// the point-to-point composition of [`AsyncMpi::allgatherv_on`].
+    /// Returns every member's contribution by communicator rank.
+    pub async fn allgatherv_coll(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.allgatherv_coll_on_id(CommId::WORLD, data).await
+    }
+
+    /// Engine-collective MPI_Allgatherv over a sub-communicator.
+    pub async fn allgatherv_coll_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
+        self.allgatherv_coll_on_id(comm.id, data).await
+    }
+
+    async fn allgatherv_coll_on_id(&mut self, comm: CommId, data: &[u8]) -> Vec<Vec<u8>> {
+        match self
+            .call(MpiCall::Allgatherv {
+                comm,
+                data: data.into(),
+            })
+            .await
+        {
+            MpiResp::Gathered { parts } => parts.into_iter().map(|p| p.into_vec()).collect(),
+            other => unreachable!("allgatherv -> {other:?}"),
+        }
+    }
+
     /// Typed allreduce over a sub-communicator.
     pub async fn allreduce_f64_on(
         &mut self,
@@ -1101,6 +1127,16 @@ impl Mpi {
     /// MPI_Allgatherv over a sub-communicator (indexed by communicator rank).
     pub fn allgatherv_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
         ready(self.inner.allgatherv_on(comm, data))
+    }
+
+    /// See [`AsyncMpi::allgatherv_coll`].
+    pub fn allgatherv_coll(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        ready(self.inner.allgatherv_coll(data))
+    }
+
+    /// See [`AsyncMpi::allgatherv_coll_on`].
+    pub fn allgatherv_coll_on(&mut self, comm: &CommHandle, data: &[u8]) -> Vec<Vec<u8>> {
+        ready(self.inner.allgatherv_coll_on(comm, data))
     }
 
     /// Typed allreduce over a sub-communicator.

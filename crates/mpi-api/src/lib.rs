@@ -27,6 +27,7 @@
 //!   one-cooperative-thread-per-rank reference backend.
 
 pub mod call;
+pub mod coll_sched;
 pub mod comm;
 pub mod ctx;
 pub mod datatype;
@@ -36,6 +37,7 @@ pub mod payload;
 pub mod runtime;
 
 pub use call::{MpiCall, MpiResp, ReqId};
+pub use coll_sched::CollAlgo;
 pub use payload::Payload;
 pub use comm::{CommHandle, CommId, CommRegistry};
 pub use ctx::{AsyncMpi, Mpi, RankProgram};

@@ -30,6 +30,11 @@ pub struct QuadricsConfig {
     pub header_bytes: u64,
     /// Host-side combine cost per byte for the software reduce tree.
     pub reduce_ns_per_byte: f64,
+    /// Wire algorithm for broadcast and the result-return legs of
+    /// allreduce/allgatherv (see `BcsConfig::coll_algo`); values are
+    /// bit-identical across all three. Overridable per run with
+    /// `REPRO_COLL`.
+    pub coll_algo: mpi_api::coll_sched::CollAlgo,
     /// Optional OS-noise injection (uncoordinated dæmons).
     pub noise: Option<NoiseConfig>,
 }
@@ -42,6 +47,7 @@ impl Default for QuadricsConfig {
             eager_threshold: 32 * 1024,
             header_bytes: 64,
             reduce_ns_per_byte: 1.0,
+            coll_algo: mpi_api::coll_sched::CollAlgo::HwMulticast,
             noise: None,
         }
     }
@@ -59,6 +65,7 @@ pub struct QuadricsStats {
     pub barriers: u64,
     pub bcasts: u64,
     pub reduces: u64,
+    pub allgathers: u64,
 }
 
 #[derive(Debug, PartialEq)]
@@ -555,6 +562,9 @@ impl Engine for QuadricsMpi {
                 data,
                 all,
             } => CollManager::reduce(w, sim, rank, comm, root, op, dtype, data, all),
+            MpiCall::Allgatherv { comm, data } => {
+                CollManager::allgatherv(w, sim, rank, comm, data)
+            }
             MpiCall::CommSplit { parent, color, key } => {
                 // A collective over the parent: completes at the last
                 // arrival plus one hardware conditional (membership

@@ -30,12 +30,19 @@
 #      (DESIGN.md section 13: replay transparency pinned to exactly 0 ns,
 #      pattern behavior flags pinned, and the million-message stress pair
 #      gated >= 5x through gate::check_speedups — repro exits non-zero on
-#      any miss), refreshing reports/bench_wallclock.json
+#      any miss) and the collective bake-off smoke (DESIGN.md section 14),
+#      refreshing reports/bench_wallclock.json
 #   8. fabric selection plumbing: the fabric-matrix CSV is byte-identical
 #      at REPRO_THREADS=1 and 4; REPRO_FABRIC=qsnet is a no-op for
 #      qsnet-default experiments, REPRO_FABRIC=rdma changes the wire
 #      timing, and an unrecognized REPRO_FABRIC value aborts with an error
 #      naming the valid options
+#   9. collective algorithm plumbing (DESIGN.md section 14): the
+#      bake-off itself runs in step 7 — reports/ablation_reduce.csv with
+#      all three algorithm columns, its optimal-vs-emulated-multicast
+#      pair gated >= 1.4x in virtual time; here REPRO_COLL=hw-multicast
+#      must be a no-op for default runs and an unrecognized REPRO_COLL
+#      value must abort naming the valid algorithms
 #
 # Any compile warning in any workspace crate is a failure (-D warnings).
 set -euo pipefail
@@ -91,15 +98,21 @@ for b in primitives engine_throughput softfloat_ops apps_micro; do
   [ -s "$csv" ] || { echo "verify: missing $csv" >&2; exit 1; }
 done
 
-echo "== n=4096 scale smoke + fabric-matrix smoke + ablation-schedule smoke (single sweep worker)"
-smoke_out="$(REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale fabric-matrix ablation-schedule)"
+echo "== n=4096 scale smoke + fabric-matrix smoke + ablation-schedule/-reduce smokes (single sweep worker)"
+smoke_out="$(REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick scale fabric-matrix ablation-schedule ablation-reduce)"
 [ -s reports/scale.csv ] || { echo "verify: missing reports/scale.csv" >&2; exit 1; }
 [ -s reports/fabric_matrix.csv ] || { echo "verify: missing reports/fabric_matrix.csv" >&2; exit 1; }
 [ -s reports/ablation_schedule.csv ] || { echo "verify: missing reports/ablation_schedule.csv" >&2; exit 1; }
+[ -s reports/ablation_reduce.csv ] || { echo "verify: missing reports/ablation_reduce.csv" >&2; exit 1; }
 # The schedule-machinery stress pair must have been measured and gated
 # (a repro that silently skipped it would still exit 0).
 echo "$smoke_out" | grep -q "stress_compiled_ns" \
   || { echo "verify: ablation-schedule stress speedup pair did not run" >&2; exit 1; }
+# Same for the bake-off's optimal-vs-multicast pair (virtual-time gated).
+echo "$smoke_out" | grep -q "rdma_optimal_large_ns" \
+  || { echo "verify: ablation-reduce bake-off speedup pair did not run" >&2; exit 1; }
+head -1 reports/ablation_reduce.csv | grep -q "hw-multicast.*binomial.*optimal" \
+  || { echo "verify: ablation_reduce.csv lacks the three algorithm columns" >&2; exit 1; }
 
 echo "== fabric selection plumbing (REPRO_THREADS, REPRO_FABRIC)"
 fab_dir="$(mktemp -d)"
@@ -122,5 +135,21 @@ grep -q "valid values: qsnet, rdma" "$fab_dir/err.txt" \
   || { echo "verify: REPRO_FABRIC error does not name the valid options" >&2; exit 1; }
 rm -rf "$fab_dir"
 echo "   fabric-matrix deterministic across thread counts; REPRO_FABRIC plumbing OK"
+
+echo "== collective algorithm plumbing (REPRO_COLL)"
+coll_dir="$(mktemp -d)"
+# Forcing the default algorithm must be a no-op; a typo must die naming
+# the three labels (the bake-off itself ran, gated, in the smoke above).
+REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$coll_dir" >/dev/null
+REPRO_COLL=hw-multicast REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$coll_dir/hw" >/dev/null
+cmp -s "$coll_dir/fig8b.csv" "$coll_dir/hw/fig8b.csv" \
+  || { echo "verify: REPRO_COLL=hw-multicast changed a default run" >&2; exit 1; }
+if REPRO_COLL=bogus REPRO_THREADS=1 cargo run --release -q -p bench --bin repro -- --quick fig8b --out "$coll_dir/bad" >/dev/null 2>"$coll_dir/err.txt"; then
+  echo "verify: REPRO_COLL=bogus was silently accepted" >&2; exit 1
+fi
+grep -q "valid values: hw-multicast, binomial, optimal" "$coll_dir/err.txt" \
+  || { echo "verify: REPRO_COLL error does not name the valid algorithms" >&2; exit 1; }
+rm -rf "$coll_dir"
+echo "   REPRO_COLL plumbing OK (no-op default, typo aborts naming the algorithms)"
 
 echo "verify: OK"
