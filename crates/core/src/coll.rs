@@ -79,6 +79,8 @@ impl CollKind {
 /// Global-word address of the flag for `(comm, slot)`. Word ids below
 /// [`crate::words::RESERVED`] belong to the protocol (`crate::words`); each
 /// communicator owns a disjoint [`SLOTS_PER_COMM`]-word window above them.
+// PANIC-OK: slot range is asserted against the reserved flag-word layout —
+// violations are caught loudly at the call site (unit-tested below).
 pub(crate) fn flag_word(comm: CommId, slot: usize) -> u32 {
     debug_assert!((slot as u32) < SLOTS_PER_COMM, "collective slot out of range");
     let word = comm
@@ -166,6 +168,8 @@ fn sched_for(w: &mut BW, comm: CommId, nodes: usize, blocks: usize) -> Rc<RoundS
 // ----------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
+// PANIC-OK: per-comm/per-rank tables are sized when the communicator is
+// created; the posting rank was validated by the API layer.
 pub(crate) fn post_collective(
     w: &mut BW,
     sim: &mut Sim<BW>,
@@ -242,6 +246,8 @@ pub(crate) fn post_collective(
 /// Issue `Compare-And-Write` queries for unscheduled rounds whose master
 /// process lives on `node`. Returns the number of in-flight queries (they
 /// count toward the node's MSM outstanding work).
+// PANIC-OK: collective rounds queried here were installed by post_collective
+// on this node; per-node tables are sized by the fixed topology.
 pub(crate) fn msm_queries(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) -> u32 {
     let mut queries = 0u32;
     // Lowest unscheduled round per (comm, slot): rounds of one communicator
@@ -305,6 +311,8 @@ pub(crate) fn msm_queries(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) -> u32 {
 /// Member nodes with the master (the BBM/RM issuing node) rotated to the
 /// front — position 0 of every schedule. The remainder stays in ascending
 /// node order.
+// PANIC-OK: `order` always contains `master` — it is built from the same
+// member list the master was chosen from.
 fn master_first(mut order: Vec<NodeId>, master: NodeId) -> Vec<NodeId> {
     let p = order
         .iter()
@@ -343,6 +351,9 @@ fn binomial_bcast(
 }
 
 #[allow(clippy::too_many_arguments)]
+// PANIC-OK: binomial-tree arrivals reference the round state created when
+// the collective was posted; parent/child indices are derived from the
+// comm size the tree was built for.
 fn binomial_arrived(
     w: &mut BW,
     sim: &mut Sim<BW>,
@@ -407,6 +418,8 @@ struct GatherRun {
 /// Binomial gather: the mirrored broadcast tree walked leaf-to-root. Every
 /// position sends its (combined) partial to its parent once all children
 /// have arrived; `on_done` fires when the root has merged everything.
+// PANIC-OK: gather contributions are indexed by tree positions computed
+// from the same comm the buffers were sized for.
 fn binomial_gather(
     w: &mut BW,
     sim: &mut Sim<BW>,
@@ -438,6 +451,10 @@ fn binomial_gather(
         }
     }
 }
+
+// PANIC-OK: the gather run holds per-child slots allocated at post time;
+
+// `idx` enumerates that same slot vector.
 
 fn gather_send_up(w: &mut BW, sim: &mut Sim<BW>, run: Rc<GatherRun>, idx: usize) {
     let parent = coll_sched::binomial_parent(idx);
@@ -494,6 +511,8 @@ struct SchedRun {
 
 /// Execute one round of the table: all of the round's one-port transfers
 /// start together, and the next round starts when the slowest completes.
+// PANIC-OK: compiled schedules are validated at compile time (rounds are
+// in-range, peers exist); the run state lives until the last round.
 fn sched_run_round(w: &mut BW, sim: &mut Sim<BW>, run: Rc<SchedRun>, r: usize) {
     let total = run.sched.rounds.len();
     if r == total {
@@ -554,6 +573,8 @@ fn sched_run_round(w: &mut BW, sim: &mut Sim<BW>, run: Rc<SchedRun>, r: usize) {
 /// for every other node when its last block lands; `on_done` after the
 /// final round.
 #[allow(clippy::too_many_arguments)]
+// PANIC-OK: schedule rounds address peers inside the comm the schedule was
+// compiled for; payload slots were allocated at post time.
 fn sched_bcast(
     w: &mut BW,
     sim: &mut Sim<BW>,
@@ -619,6 +640,8 @@ fn sched_gather(
 
 /// CH work for one node: perform every scheduled barrier/broadcast whose
 /// master lives here. Other nodes have no BBM work.
+// PANIC-OK: BBM walks collective rounds installed on this node by
+// post_collective; queue entries it unwraps were inserted by that path.
 pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     let todo: Vec<(u32, usize, u64)> = w
         .engine
@@ -737,6 +760,8 @@ pub(crate) fn node_begin_bbm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
 
 /// RH work for one node: every scheduled reduce/allgather whose master
 /// lives here.
+// PANIC-OK: reduce/multicast rounds are installed before the strobe
+// schedules this phase; per-node tables are sized by the topology.
 pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     let todo: Vec<(u32, usize, u64)> = w
         .engine
@@ -766,6 +791,10 @@ pub(crate) fn node_begin_rm(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
         }
     }
 }
+
+// PANIC-OK: reduction buffers were allocated at post time for exactly the
+
+// contributing members walked here; byte lanes are sized by the dtype.
 
 fn rm_reduce(
     w: &mut BW,
@@ -922,6 +951,10 @@ fn rm_reduce(
 
     run_gather_leg(w, sim, node, comm, member_nodes, bytes, true, algo, finish);
 }
+
+// PANIC-OK: allgather segments were sized at post time from the same
+
+// member counts used to index them here.
 
 fn rm_allgather(w: &mut BW, sim: &mut Sim<BW>, node: NodeId, mut round: CollRound) {
     w.engine.stats.allgathers += 1;
@@ -1080,6 +1113,10 @@ fn run_gather_leg(
     }
 }
 
+// PANIC-OK: the finishing phase exists — this is only called from the
+
+// phase that installed it.
+
 fn finish_phase_with_delay(w: &mut BW, sim: &mut Sim<BW>, node: NodeId) {
     w.engine.outstanding[node.0] = 1;
     let cost = w.engine.cfg.desc_cost;
@@ -1102,6 +1139,8 @@ fn reduce_delay(cfg: &BcsConfig, bytes: usize) -> SimDuration {
 /// NIC-side combine: floating point through the softfloat library (the NIC
 /// has no FPU — §4.4), integers natively. Bit-identical to the host
 /// arithmetic of the baseline, which the cross-engine tests assert.
+// PANIC-OK: operand slices are sized by the dtype lane width asserted at
+// post time; a mismatch is a protocol bug, not input.
 pub(crate) fn combine_nic(op: ReduceOp, dtype: Datatype, a: &mut [u8], b: &[u8]) {
     assert_eq!(a.len(), b.len());
     match dtype {

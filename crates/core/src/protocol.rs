@@ -249,8 +249,9 @@ fn poll_phase_done(w: &mut BW, sim: &mut Sim<BW>, slice: u64, phase: u32) {
 }
 
 fn advance_phase(w: &mut BW, sim: &mut Sim<BW>, slice: u64, phase: u32) {
-    // detlint: allow(D04) — debug-trace gate only: toggles eprintln logging
-    // on stderr and can never alter simulation state or CSV outputs.
+    // detlint: allow(D04, D11) — debug-trace gate only: toggles eprintln
+    // logging on stderr and can never alter simulation state or CSV outputs,
+    // so callers of this path stay determinism-clean (D11 taint neutralized).
     if std::env::var_os("BCS_TRACE_PHASES").is_some() {
         eprintln!(
             "slice {slice} phase {phase} done at {} (started {})",
@@ -363,8 +364,9 @@ fn gang_on_boundary(w: &mut BW, sim: &mut Sim<BW>) {
                     switched[node] = true;
                 }
             }
-            // detlint: allow(D04) — debug-trace gate only: toggles eprintln
-            // logging on stderr; simulation state is untouched either way.
+            // detlint: allow(D04, D11) — debug-trace gate only: toggles
+            // eprintln logging on stderr; simulation state is untouched either
+            // way, so callers stay determinism-clean (D11 taint neutralized).
             if node == 0 && std::env::var_os("BCS_TRACE_GANG").is_some() {
                 eprintln!(
                     "t={} node0 active={} (was {cur})",

@@ -1,0 +1,473 @@
+//! The whole-workspace call graph and rule **D11** (nondeterminism taint).
+//!
+//! The token rules D01/D03/D04 catch a host clock, thread, or env read at
+//! the site where it appears — but a *waived* site is exactly where
+//! laundering starts: `fn trace_enabled() -> bool { env::var(…) }` with an
+//! `allow(D04)` looks sanctioned, yet every caller now depends on the
+//! process environment. D11 closes that hole with call-graph dataflow:
+//!
+//! - **Seeds**: every D01/D03/D04 finding (waived or not) whose line sits
+//!   inside a fn body taints that fn — *unless* a waiver covering the
+//!   line also names `D11`, which declares the value demonstrably
+//!   determinism-free (a debug-trace gate, say) and neutralizes the taint
+//!   at the source.
+//! - **Propagation**: taint flows callee → caller across resolved call
+//!   edges; an `allow(D11)` on a call line blocks propagation through
+//!   that edge (and waives its finding by the normal machinery).
+//! - **Findings**: every call from sim-crate shipped code (not `bench`/
+//!   `detlint`/`proplite`, not `tests/`/`examples/`/`benches/`, not
+//!   `#[cfg(test)]`) into a tainted fn is a D11 finding at the call site,
+//!   naming the root source it transitively reaches.
+//!
+//! Resolution is name-based and deliberately over-approximate (like every
+//! detlint rule): a qualified path whose head is a workspace lib name
+//! resolves into that crate; `crate`/`self`/`super` and bare calls
+//! resolve within the calling crate; an imported name resolves via the
+//! file's `use` map; method calls resolve to same-crate fns of that name.
+//! Over-approximation can only produce an extra *edge*, and an extra edge
+//! only matters if it reaches a genuinely tainted fn — which is precisely
+//! the situation a human should look at (or waive with a reason).
+
+use crate::lexer::Lexed;
+use crate::parse::{Event, ParsedFile};
+use crate::rules::{crate_of, Finding};
+use crate::waiver::Waiver;
+use crate::dag;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file inputs to the graph pass, borrowed from the driver.
+pub struct FileCtx<'a> {
+    pub rel: &'a str,
+    pub lexed: &'a Lexed,
+    pub parsed: &'a ParsedFile,
+    pub waivers: &'a [Waiver],
+    /// Token findings already computed for this file (D01–D07) — the
+    /// D01/D03/D04 entries among them are the taint seeds.
+    pub token_findings: &'a [Finding],
+}
+
+/// Output of the graph pass.
+#[derive(Default)]
+pub struct GraphOut {
+    /// D11 findings, attributed by file index into the input slice.
+    pub findings: Vec<(usize, Finding)>,
+    /// `(file_idx, waiver_comment_line)` of waivers whose `D11` entry was
+    /// consumed by neutralizing a seed or blocking an edge — the driver
+    /// marks these matched so they are not reported stale.
+    pub consumed_d11: Vec<(usize, u32)>,
+    /// Sorted `caller_crate -> callee_crate: n` lines for `--graph dot`.
+    pub call_summary: Vec<String>,
+    pub fn_count: usize,
+    pub edge_count: usize,
+}
+
+/// Node id: (file index, fn index within that file).
+type FnId = (usize, usize);
+
+struct FnInfo {
+    /// Line span of the fn body (for seeding: a finding inside the span
+    /// taints the fn).
+    body_lines: Option<(u32, u32)>,
+    in_cfg_test: bool,
+}
+
+/// Rules whose findings seed taint.
+const SEED_RULES: &[&str] = &["D01", "D03", "D04"];
+
+/// Does D11 report findings for this file at all?
+fn d11_applies(rel: &str) -> bool {
+    !matches!(crate_of(rel), "bench" | "detlint" | "proplite") && !is_dev_path(rel)
+}
+
+/// Is the file dev-only by location (integration tests, examples,
+/// benches — of the root package or any member)?
+pub fn is_dev_path(rel: &str) -> bool {
+    let in_dir = |d: &str| {
+        rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"))
+    };
+    in_dir("tests") || in_dir("examples") || in_dir("benches")
+}
+
+/// Does a waiver covering `line` name D11? Returns its comment line for
+/// consumed-mark bookkeeping.
+fn d11_waiver_on(waivers: &[Waiver], line: u32) -> Option<u32> {
+    waivers
+        .iter()
+        .find(|w| w.target_line == line && w.rules.iter().any(|r| r == "D11"))
+        .map(|w| w.line)
+}
+
+/// Run the call-graph + taint pass over the whole file set.
+pub fn analyze(files: &[FileCtx]) -> GraphOut {
+    let mut out = GraphOut::default();
+
+    // ---- nodes --------------------------------------------------------
+    let mut fns: BTreeMap<FnId, FnInfo> = BTreeMap::new();
+    // (crate_dir, fn_name) -> nodes, the resolution index.
+    let mut by_name: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ni, fnode) in f.parsed.fns.iter().enumerate() {
+            let body_lines = fnode.body.map(|(s, e)| {
+                let toks = &f.lexed.toks;
+                let start = toks.get(s).map(|t| t.line).unwrap_or(fnode.line);
+                let end = toks
+                    .get(e.saturating_sub(1).min(toks.len().saturating_sub(1)))
+                    .map(|t| t.line)
+                    .unwrap_or(start);
+                (start, end)
+            });
+            fns.insert(
+                (fi, ni),
+                FnInfo {
+                    body_lines,
+                    in_cfg_test: fnode.in_cfg_test,
+                },
+            );
+            by_name
+                .entry((crate_of(f.rel), fnode.name.as_str()))
+                .or_default()
+                .push((fi, ni));
+        }
+    }
+    out.fn_count = fns.len();
+
+    // ---- per-file import maps (`use` name -> source crate dir) --------
+    let import_maps: Vec<BTreeMap<&str, &str>> = files
+        .iter()
+        .map(|f| {
+            let mut m = BTreeMap::new();
+            for u in &f.parsed.uses {
+                for leaf in &u.leaves {
+                    if leaf.len() < 2 {
+                        continue;
+                    }
+                    if let Some(spec) = dag::spec_by_lib(&leaf[0]) {
+                        let last = leaf.last().unwrap().as_str();
+                        if last != "*" {
+                            m.insert(last, spec.dir);
+                        }
+                    }
+                }
+            }
+            m
+        })
+        .collect();
+
+    // ---- edges --------------------------------------------------------
+    // caller -> [(callee, call line, call col)]
+    let mut edges: BTreeMap<FnId, Vec<(FnId, u32, u32)>> = BTreeMap::new();
+    let mut crate_pairs: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        let own = crate_of(f.rel);
+        for (ni, fnode) in f.parsed.fns.iter().enumerate() {
+            for ev in &fnode.events {
+                let (target_crate, name, line, col) = match ev {
+                    Event::Call { path, line, col } => {
+                        let name = path.last().unwrap().as_str();
+                        let head = path[0].as_str();
+                        let tc = if path.len() >= 2 {
+                            if let Some(spec) = dag::spec_by_lib(head) {
+                                spec.dir
+                            } else if matches!(head, "crate" | "self" | "super") {
+                                own
+                            } else {
+                                // `Type::assoc` — the type may be imported.
+                                import_maps[fi].get(head).copied().unwrap_or(own)
+                            }
+                        } else {
+                            import_maps[fi].get(name).copied().unwrap_or(own)
+                        };
+                        (tc, name, *line, *col)
+                    }
+                    Event::Method { name, line, col } => (own, name.as_str(), *line, *col),
+                    _ => continue,
+                };
+                if let Some(callees) = by_name.get(&(target_crate, name)) {
+                    let e = edges.entry((fi, ni)).or_default();
+                    for &c in callees {
+                        e.push((c, line, col));
+                        if target_crate != own {
+                            *crate_pairs.entry((own, target_crate)).or_default() += 1;
+                        }
+                        out.edge_count += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.call_summary = crate_pairs
+        .iter()
+        .map(|((a, b), n)| format!("{a} -> {b}: {n}"))
+        .collect();
+
+    // ---- seeds --------------------------------------------------------
+    // fn -> root-cause description of the nondeterminism it reaches.
+    let mut taint: BTreeMap<FnId, String> = BTreeMap::new();
+    let mut consumed: BTreeSet<(usize, u32)> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        for tf in f.token_findings {
+            if !SEED_RULES.contains(&tf.rule) {
+                continue;
+            }
+            if let Some(wline) = d11_waiver_on(f.waivers, tf.line) {
+                consumed.insert((fi, wline));
+                continue; // neutralized at the source
+            }
+            // Innermost fn whose body span contains the finding line.
+            let seed = f
+                .parsed
+                .fns
+                .iter()
+                .enumerate()
+                .filter_map(|(ni, _)| {
+                    let info = &fns[&(fi, ni)];
+                    let (s, e) = info.body_lines?;
+                    (s <= tf.line && tf.line <= e).then_some((s, ni))
+                })
+                .max_by_key(|&(s, _)| s)
+                .map(|(_, ni)| ni);
+            if let Some(ni) = seed {
+                taint.entry((fi, ni)).or_insert_with(|| {
+                    format!("{} source at {}:{}", tf.rule, f.rel, tf.line)
+                });
+            }
+        }
+    }
+
+    // ---- propagation (callee -> caller) -------------------------------
+    let mut reverse: BTreeMap<FnId, Vec<(FnId, u32)>> = BTreeMap::new();
+    for (&caller, outs) in &edges {
+        for &(callee, line, _) in outs {
+            reverse.entry(callee).or_default().push((caller, line));
+        }
+    }
+    let mut queue: Vec<FnId> = taint.keys().copied().collect();
+    while let Some(callee) = queue.pop() {
+        let cause = taint[&callee].clone();
+        let Some(callers) = reverse.get(&callee) else {
+            continue;
+        };
+        for &(caller, line) in callers {
+            if taint.contains_key(&caller) {
+                continue;
+            }
+            if let Some(wline) = d11_waiver_on(files[caller.0].waivers, line) {
+                consumed.insert((caller.0, wline));
+                continue; // sanctioned edge: taint stops here
+            }
+            taint.insert(caller, cause.clone());
+            queue.push(caller);
+        }
+    }
+
+    // ---- findings -----------------------------------------------------
+    for (fi, f) in files.iter().enumerate() {
+        if !d11_applies(f.rel) {
+            continue;
+        }
+        let own = crate_of(f.rel);
+        for (ni, fnode) in f.parsed.fns.iter().enumerate() {
+            if fns[&(fi, ni)].in_cfg_test {
+                continue;
+            }
+            let Some(outs) = edges.get(&(fi, ni)) else {
+                continue;
+            };
+            let mut seen_lines: BTreeSet<(u32, u32)> = BTreeSet::new();
+            for &(callee, line, col) in outs {
+                let Some(cause) = taint.get(&callee) else {
+                    continue;
+                };
+                if fns[&callee].in_cfg_test {
+                    continue; // test-only callee: resolution artifact
+                }
+                if !seen_lines.insert((line, col)) {
+                    continue; // one finding per call site
+                }
+                let callee_file = files[callee.0].rel;
+                let callee_name = &files[callee.0].parsed.fns[callee.1].name;
+                out.findings.push((
+                    fi,
+                    Finding {
+                        rule: "D11",
+                        line,
+                        col,
+                        message: format!(
+                            "`{}::{}` calls `{}` ({}), which transitively reaches a \
+                             nondeterminism source ({cause}) — sim results must be a pure \
+                             function of the seed; plumb the value in explicitly or waive \
+                             with a written determinism argument",
+                            own, fnode.name, callee_name, callee_file
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    out.consumed_d11 = consumed.into_iter().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::rules::{check_file, map_decls};
+    use crate::waiver;
+
+    struct Owned {
+        rel: String,
+        lexed: Lexed,
+        parsed: ParsedFile,
+        waivers: Vec<Waiver>,
+        token_findings: Vec<Finding>,
+    }
+
+    fn mk(rel: &str, src: &str) -> Owned {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let decls = map_decls(&lexed);
+        let token_findings = check_file(rel, &lexed, &decls.fields, &decls.locals);
+        let (waivers, _) = waiver::collect(&lexed);
+        Owned {
+            rel: rel.to_string(),
+            lexed,
+            parsed,
+            waivers,
+            token_findings,
+        }
+    }
+
+    fn run(files: &[Owned]) -> GraphOut {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|o| FileCtx {
+                rel: &o.rel,
+                lexed: &o.lexed,
+                parsed: &o.parsed,
+                waivers: &o.waivers,
+                token_findings: &o.token_findings,
+            })
+            .collect();
+        analyze(&ctxs)
+    }
+
+    #[test]
+    fn laundered_clock_is_caught_at_the_caller() {
+        let files = [mk(
+            "crates/core/src/engine.rs",
+            "fn stamp() -> u64 {\n\
+             \x20 // detlint: allow(D01) — fixture: wants wall time\n\
+             \x20 Instant::now().elapsed().as_nanos() as u64\n\
+             }\n\
+             fn slice_len() -> u64 { stamp() }\n",
+        )];
+        let g = run(&files);
+        assert_eq!(g.findings.len(), 1, "{:?}", g.findings);
+        let (fi, f) = &g.findings[0];
+        assert_eq!(*fi, 0);
+        assert_eq!(f.rule, "D11");
+        assert_eq!(f.line, 5);
+        assert!(f.message.contains("stamp"), "{}", f.message);
+        assert!(f.message.contains("D01 source"), "{}", f.message);
+    }
+
+    #[test]
+    fn d11_on_the_source_waiver_neutralizes_taint() {
+        let files = [mk(
+            "crates/core/src/engine.rs",
+            "fn stamp() -> u64 {\n\
+             \x20 // detlint: allow(D01, D11) — fixture: logged only, never a sim input\n\
+             \x20 Instant::now().elapsed().as_nanos() as u64\n\
+             }\n\
+             fn slice_len() -> u64 { stamp() }\n",
+        )];
+        let g = run(&files);
+        assert!(g.findings.is_empty(), "{:?}", g.findings);
+        assert_eq!(g.consumed_d11, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn taint_crosses_crates_via_qualified_paths() {
+        let files = [
+            mk(
+                "crates/mpi-api/src/runtime.rs",
+                "pub fn noise_amp() -> u64 {\n\
+                 \x20 // detlint: allow(D04) — fixture: tuning knob\n\
+                 \x20 std::env::var(\"AMP\").map(|v| v.len() as u64).unwrap_or(0)\n\
+                 }\n",
+            ),
+            mk(
+                "crates/core/src/p2p.rs",
+                "fn send() { let _ = mpi_api::noise_amp(); }\n",
+            ),
+        ];
+        let g = run(&files);
+        assert_eq!(g.findings.len(), 1, "{:?}", g.findings);
+        assert_eq!(g.findings[0].0, 1);
+        assert!(g.findings[0].1.message.contains("D04 source"));
+        assert!(g.call_summary.iter().any(|s| s.starts_with("core -> mpi-api:")));
+    }
+
+    #[test]
+    fn cfg_test_and_dev_paths_are_out_of_scope() {
+        let files = [
+            mk(
+                "crates/core/src/engine.rs",
+                "fn stamp() -> u64 {\n\
+                 \x20 // detlint: allow(D01) — fixture: wall time\n\
+                 \x20 Instant::now().elapsed().as_nanos() as u64\n\
+                 }\n\
+                 #[cfg(test)]\n\
+                 mod tests { fn probe() { super::stamp(); } }\n",
+            ),
+            mk("crates/core/tests/replay.rs", "fn t() { bcs_mpi::stamp(); }\n"),
+        ];
+        let g = run(&files);
+        assert!(g.findings.is_empty(), "{:?}", g.findings);
+    }
+
+    #[test]
+    fn bare_calls_resolve_through_the_use_map() {
+        let files = [
+            mk(
+                "crates/mpi-api/src/noise.rs",
+                "pub fn jitter() -> u64 {\n\
+                 \x20 // detlint: allow(D04) — fixture\n\
+                 \x20 std::env::var(\"J\").map(|v| v.len() as u64).unwrap_or(0)\n\
+                 }\n",
+            ),
+            mk(
+                "crates/core/src/coll.rs",
+                "use mpi_api::noise::jitter;\nfn bcast() { let _ = jitter(); }\n",
+            ),
+        ];
+        let g = run(&files);
+        assert_eq!(g.findings.len(), 1, "{:?}", g.findings);
+        assert_eq!(g.findings[0].1.line, 2);
+    }
+
+    #[test]
+    fn allow_d11_on_the_call_edge_blocks_propagation() {
+        let files = [mk(
+            "crates/core/src/engine.rs",
+            "fn stamp() -> u64 {\n\
+             \x20 // detlint: allow(D01) — fixture: wall time\n\
+             \x20 Instant::now().elapsed().as_nanos() as u64\n\
+             }\n\
+             fn log_line() -> u64 {\n\
+             \x20 // detlint: allow(D11) — fixture: value printed, never fed back\n\
+             \x20 stamp()\n\
+             }\n\
+             fn caller() -> u64 { log_line() }\n",
+        )];
+        let g = run(&files);
+        // The stamp() call is waived (normal machinery will mark it), and
+        // log_line never becomes tainted, so caller() is clean.
+        assert_eq!(g.findings.len(), 1, "{:?}", g.findings);
+        assert_eq!(g.findings[0].1.line, 7);
+        assert!(g.consumed_d11.contains(&(0, 6)));
+    }
+}

@@ -20,9 +20,13 @@
 //! (see [`report`]). Any unwaived finding — or any reason-less or stale
 //! waiver — is a hard error.
 
+pub mod dag;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod waiver;
 
 use rules::{check_file, check_forbid_unsafe, crate_of, map_decls};
@@ -94,7 +98,14 @@ impl Scan {
 /// another), and D07 is checked for any crate whose root (`src/lib.rs` /
 /// `src/main.rs`) is present in the set.
 pub fn scan_sources(files: &[SourceFile]) -> Scan {
+    scan_sources_with_graph(files).0
+}
+
+/// Like [`scan_sources`], additionally returning the call-graph summary
+/// lines for `--graph dot`.
+pub fn scan_sources_with_graph(files: &[SourceFile]) -> (Scan, Vec<String>) {
     let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(&f.contents)).collect();
+    let parsed: Vec<parse::ParsedFile> = lexed.iter().map(parse::parse).collect();
 
     // Crate-wide D02 field sets.
     let mut crate_fields: BTreeMap<&str, std::collections::BTreeSet<String>> = BTreeMap::new();
@@ -114,18 +125,25 @@ pub fn scan_sources(files: &[SourceFile]) -> Scan {
         ..Scan::default()
     };
 
+    // Per-file token findings (D01–D07) — computed up front because the
+    // D01/D03/D04 entries double as the D11 taint seeds.
+    let mut token_findings: Vec<Vec<rules::Finding>> = Vec::with_capacity(files.len());
     for ((f, l), locals) in files.iter().zip(&lexed).zip(&file_locals) {
         let fields = crate_fields.get(crate_of(&f.rel)).unwrap_or(&empty);
         let mut findings = check_file(&f.rel, l, fields, locals);
-
-        // D07 on crate roots present in the set.
         if is_crate_root(&f.rel) {
             if let Some(d07) = check_forbid_unsafe(crate_of(&f.rel), l) {
                 findings.push(d07);
             }
         }
+        token_findings.push(findings);
+    }
 
-        let (mut waivers, werrs) = waiver::collect(l);
+    // Waivers, collected early: the graph pass consults them for taint
+    // neutralization (`allow(D11)` at a source or call edge).
+    let mut file_waivers: Vec<Vec<waiver::Waiver>> = Vec::with_capacity(files.len());
+    for (f, l) in files.iter().zip(&lexed) {
+        let (waivers, werrs) = waiver::collect(l);
         for e in werrs {
             scan.waiver_errors.push(ReportedWaiverError {
                 kind: e.kind.to_string(),
@@ -135,7 +153,48 @@ pub fn scan_sources(files: &[SourceFile]) -> Scan {
                 message: e.message,
             });
         }
-        for fd in findings {
+        file_waivers.push(waivers);
+    }
+
+    // Whole-workspace call graph + D11 taint.
+    let ctxs: Vec<graph::FileCtx> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| graph::FileCtx {
+            rel: &f.rel,
+            lexed: &lexed[i],
+            parsed: &parsed[i],
+            waivers: &file_waivers[i],
+            token_findings: &token_findings[i],
+        })
+        .collect();
+    let gout = graph::analyze(&ctxs);
+
+    // Assemble per-file findings: token rules + semantic rules + D11.
+    let mut per_file: Vec<Vec<rules::Finding>> = token_findings;
+    for (i, f) in files.iter().enumerate() {
+        per_file[i].extend(semantic::check_semantic(&f.rel, &lexed[i], &parsed[i]));
+    }
+    for (fi, finding) in gout.findings {
+        per_file[fi].push(finding);
+    }
+
+    for (i, f) in files.iter().enumerate() {
+        let waivers = &mut file_waivers[i];
+        // A waiver whose D11 was consumed neutralizing a taint source or
+        // blocking a call edge did real work — mark it matched so it is
+        // not reported stale.
+        for &(cf, cline) in &gout.consumed_d11 {
+            if cf != i {
+                continue;
+            }
+            for w in waivers.iter_mut() {
+                if w.line == cline && !w.matched_rules.iter().any(|r| r == "D11") {
+                    w.matched_rules.push("D11".to_string());
+                }
+            }
+        }
+        for fd in std::mem::take(&mut per_file[i]) {
             let mut waived = false;
             let mut reason = None;
             for w in waivers.iter_mut() {
@@ -159,7 +218,7 @@ pub fn scan_sources(files: &[SourceFile]) -> Scan {
             });
         }
         // Stale detection: every rule a waiver names must have matched.
-        for w in &waivers {
+        for w in waivers.iter() {
             for r in &w.rules {
                 if !w.matched_rules.contains(r) {
                     scan.waiver_errors.push(ReportedWaiverError {
@@ -182,7 +241,7 @@ pub fn scan_sources(files: &[SourceFile]) -> Scan {
         .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
     scan.waiver_errors
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    scan
+    (scan, gout.call_summary)
 }
 
 /// Is `rel` the crate-root file of its crate (`src/lib.rs`, or
@@ -199,22 +258,98 @@ fn is_crate_root(rel: &str) -> bool {
 /// Walk the workspace at `root` (the directory holding the root
 /// `Cargo.toml`) and scan every member crate plus the root package.
 pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
+    Ok(scan_workspace_with_graph(root)?.0)
+}
+
+/// Like [`scan_workspace`], additionally returning the call-graph
+/// summary lines, and appending the D08 *manifest* check: every member
+/// `Cargo.toml` may only declare dependency edges the layer DAG carries.
+/// Manifest findings are unwaivable (there is no `.rs` waiver syntax in
+/// TOML) — the fix is the manifest or, deliberately, the declared DAG.
+pub fn scan_workspace_with_graph(root: &Path) -> io::Result<(Scan, Vec<String>)> {
     let files = collect_workspace_files(root)?;
-    Ok(scan_sources(&files))
+    let (mut scan, summary) = scan_sources_with_graph(&files);
+    for spec in dag::CRATES {
+        let (path, rel) = if spec.dir == "root" {
+            (root.join("Cargo.toml"), "Cargo.toml".to_string())
+        } else {
+            (
+                root.join("crates").join(spec.dir).join("Cargo.toml"),
+                format!("crates/{}/Cargo.toml", spec.dir),
+            )
+        };
+        let Ok(manifest) = std::fs::read_to_string(&path) else {
+            continue; // absent member: the DAG table may be ahead of the tree
+        };
+        for (dep, line, dev) in dag::check_manifest(spec.dir, &manifest) {
+            scan.findings.push(ReportedFinding {
+                rule: "D08".to_string(),
+                file: rel.clone(),
+                line,
+                col: 1,
+                message: format!(
+                    "`{}` declares {}dependency `{dep}` that the crate-layer DAG \
+                     (detlint::dag) does not carry — extend the table deliberately or \
+                     drop the edge",
+                    spec.name,
+                    if dev { "dev-" } else { "" },
+                ),
+                waived: false,
+                waiver_reason: None,
+            });
+        }
+    }
+    scan.findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok((scan, summary))
 }
 
 /// Read every member's `.rs` sources: `src/`, `tests/`, `examples/`,
 /// `benches/` per member, skipping `fixtures` directories (detlint's own
 /// known-bad corpus) and anything under `target`.
+///
+/// Directory walking is sequential (it determines the file list), but
+/// file *contents* are read by a small thread pool — I/O is the bulk of
+/// a warm-cache scan. The result is index-ordered and then sorted by
+/// path, so the parallelism cannot leak into diagnostic order; the
+/// byte-identical-report CLI test pins that.
 pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
-    let mut out = Vec::new();
+    let mut paths = Vec::new();
     for member in workspace_member_dirs(root)? {
         for sub in ["src", "tests", "examples", "benches"] {
             let dir = member.join(sub);
             if dir.is_dir() {
-                collect_rs_files(root, &dir, &mut out)?;
+                collect_rs_paths(root, &dir, &mut paths)?;
             }
         }
+    }
+    let readers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+        .min(paths.len().max(1));
+    let mut contents: Vec<io::Result<String>> = Vec::with_capacity(paths.len());
+    // detlint: allow(D03) — tooling I/O only: the linter reads source files in parallel; results are reassembled in deterministic index order before any rule runs
+    std::thread::scope(|s| {
+        let chunk = paths.len().div_ceil(readers);
+        let mut handles = Vec::new();
+        for slice in paths.chunks(chunk.max(1)) {
+            handles.push(s.spawn(move || {
+                slice
+                    .iter()
+                    .map(|(_, p)| std::fs::read_to_string(p))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            contents.extend(h.join().expect("reader thread panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(paths.len());
+    for ((rel, _), body) in paths.into_iter().zip(contents) {
+        out.push(SourceFile {
+            rel,
+            contents: body?,
+        });
     }
     out.sort_by(|a, b| a.rel.cmp(&b.rel));
     Ok(out)
@@ -293,7 +428,7 @@ fn quoted_strings(s: &str) -> Vec<String> {
     out
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+fn collect_rs_paths(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
@@ -305,7 +440,7 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::R
             if matches!(name, "fixtures" | "target") || name.starts_with('.') {
                 continue;
             }
-            collect_rs_files(root, &path, out)?;
+            collect_rs_paths(root, &path, out)?;
         } else if name.ends_with(".rs") {
             let rel = path
                 .strip_prefix(root)
@@ -314,10 +449,7 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::R
                 .map(|c| c.as_os_str().to_string_lossy())
                 .collect::<Vec<_>>()
                 .join("/");
-            out.push(SourceFile {
-                rel,
-                contents: std::fs::read_to_string(&path)?,
-            });
+            out.push((rel, path));
         }
     }
     Ok(())

@@ -1,0 +1,986 @@
+//! A lightweight recursive-descent parser over the [`crate::lexer`] token
+//! stream: just enough *item structure* for the semantic rules (D08–D11)
+//! that the flat token rules (D01–D07) cannot express.
+//!
+//! The parser produces, per file:
+//!
+//! - **`use` trees**, expanded to leaf paths (`use a::{b::C, d};` →
+//!   `a::b::C`, `a::d`) — the raw material of the D08 layering check;
+//! - **fn items** with their module path (inline `mod` nesting included),
+//!   `#[cfg(test)]` containment, and body token span — the nodes of the
+//!   whole-workspace call graph;
+//! - an **expression skeleton** per fn body: call / method-call / macro /
+//!   index events in source order — the edges of the call graph (D11) and
+//!   the D10 panic-path sites;
+//! - **`match` nodes** with scrutinee text and per-arm pattern analysis
+//!   (enum paths referenced, wildcard / binding-only / guard flags) — the
+//!   D09 exhaustiveness material.
+//!
+//! Like the lexer, the parser never fails: an unmodeled construct degrades
+//! to "no item recorded here", which for every semantic rule means *at
+//! worst a missed finding inside that construct*, never a spurious one —
+//! and the token-level rules D01–D07 keep running underneath regardless.
+//! Pattern token ranges are excluded from the expression skeleton so a
+//! tuple-struct pattern (`Some(x)`) is never mistaken for a call and a
+//! slice pattern (`[a, b]`) never for an index.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One expression-skeleton event inside a fn body, in source order.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// `f(…)` or `a::b::f(…)` — `path` holds every `::` segment.
+    Call { path: Vec<String>, line: u32, col: u32 },
+    /// `.m(…)`.
+    Method { name: String, line: u32, col: u32 },
+    /// `name!(…)` / `name![…]` / `name!{…}`.
+    Macro { name: String, line: u32, col: u32 },
+    /// `expr[…]` indexing (array/slice/Vec subscript).
+    Index { line: u32, col: u32 },
+}
+
+impl Event {
+    pub fn pos(&self) -> (u32, u32) {
+        match self {
+            Event::Call { line, col, .. }
+            | Event::Method { line, col, .. }
+            | Event::Macro { line, col, .. }
+            | Event::Index { line, col } => (*line, *col),
+        }
+    }
+}
+
+/// One `fn` item (free fn, inherent/trait method, or nested fn).
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Inline-`mod` path from the file root (file-path-derived segments
+    /// are added by the call-graph layer, not here).
+    pub module_path: Vec<String>,
+    pub name: String,
+    /// Position of the `fn` keyword.
+    pub line: u32,
+    pub col: u32,
+    /// Token-index range of the body including its braces, `None` for a
+    /// bodyless trait declaration.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[cfg(test)]` module (or carrying `#[cfg(test)]`/`#[test]`
+    /// itself): dev-only code, exempt from the hot-path rules.
+    pub in_cfg_test: bool,
+    /// Expression-skeleton events of the body, in source order.
+    pub events: Vec<Event>,
+}
+
+/// One arm of a `match`, summarized for the D09 exhaustiveness check.
+#[derive(Clone, Debug)]
+pub struct Arm {
+    pub line: u32,
+    pub col: u32,
+    /// Every `::`-path in the pattern, as segment lists (`MpiCall::Send`
+    /// → `["MpiCall", "Send"]`).
+    pub paths: Vec<Vec<String>>,
+    /// Some top-level alternative of the pattern is exactly `_`.
+    pub wildcard: bool,
+    /// Some top-level alternative is a bare identifier binding
+    /// (`other => …`) — it swallows every variant just like `_`.
+    pub binding_only: bool,
+    pub has_guard: bool,
+    /// The arm body opens with a panic-class macro (`unreachable!`,
+    /// `panic!`, `todo!`, `unimplemented!`) — it diverges loudly instead
+    /// of swallowing silently.
+    pub body_diverges: bool,
+}
+
+/// One `match` expression.
+#[derive(Clone, Debug)]
+pub struct MatchNode {
+    /// Position of the `match` keyword.
+    pub line: u32,
+    pub col: u32,
+    /// Identifier texts appearing in the scrutinee (for diagnostics).
+    pub scrutinee: Vec<String>,
+    pub arms: Vec<Arm>,
+    /// Index into [`ParsedFile::fns`] of the enclosing fn, if any.
+    pub fn_idx: Option<usize>,
+    /// Inside `#[cfg(test)]` code.
+    pub in_cfg_test: bool,
+}
+
+/// One `use` declaration, expanded to leaf paths.
+#[derive(Clone, Debug)]
+pub struct UseNode {
+    pub line: u32,
+    pub col: u32,
+    /// Each leaf as its segment list (`use a::{b, c::D}` → `[a,b]`,
+    /// `[a,c,D]`). Globs end in `*`.
+    pub leaves: Vec<Vec<String>>,
+    /// Inside a `#[cfg(test)]` module.
+    pub in_cfg_test: bool,
+}
+
+/// A qualified-path reference in executable code (`seg::…`), recorded at
+/// its head segment — the D08 material that `use` trees alone miss.
+#[derive(Clone, Debug)]
+pub struct PathRef {
+    pub head: String,
+    pub line: u32,
+    pub col: u32,
+    pub in_cfg_test: bool,
+}
+
+/// The item tree of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnNode>,
+    pub matches: Vec<MatchNode>,
+    pub uses: Vec<UseNode>,
+    pub path_refs: Vec<PathRef>,
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: structure (frames, fns, matches, uses).
+// ---------------------------------------------------------------------
+
+enum FrameKind {
+    Block,
+    Mod,
+    Fn(usize),
+    CfgTest,
+}
+
+/// Parse one lexed file into its item tree.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.toks;
+    let mut out = ParsedFile::default();
+
+    // Token ranges that belong to match *patterns* or `use` declarations:
+    // excluded from the expression-skeleton pass.
+    let mut skip = vec![false; toks.len()];
+
+    let mut frames: Vec<FrameKind> = Vec::new();
+    let mut mod_stack: Vec<String> = Vec::new();
+    let mut cfg_test_depth = 0usize;
+    // A `fn`/`mod` seen and waiting for its `{` (or dismissed by `;`).
+    let mut pending_fn: Option<usize> = None;
+    let mut pending_mod: Option<(String, bool)> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (&t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                if let Some(idx) = pending_fn.take() {
+                    out.fns[idx].body = Some((i, i)); // end patched at close
+                    frames.push(FrameKind::Fn(idx));
+                } else if let Some((name, cfg_test)) = pending_mod.take() {
+                    mod_stack.push(name);
+                    if cfg_test {
+                        cfg_test_depth += 1;
+                        frames.push(FrameKind::CfgTest);
+                    } else {
+                        frames.push(FrameKind::Mod);
+                    }
+                } else {
+                    frames.push(FrameKind::Block);
+                }
+            }
+            (TokKind::Punct, "}") => match frames.pop() {
+                Some(FrameKind::Fn(idx)) => {
+                    if let Some((start, _)) = out.fns[idx].body {
+                        out.fns[idx].body = Some((start, i + 1));
+                    }
+                }
+                Some(FrameKind::Mod) => {
+                    mod_stack.pop();
+                }
+                Some(FrameKind::CfgTest) => {
+                    mod_stack.pop();
+                    cfg_test_depth = cfg_test_depth.saturating_sub(1);
+                }
+                _ => {}
+            },
+            (TokKind::Punct, ";") => {
+                // `fn f(…);` trait declaration / `mod name;` file module.
+                pending_fn = None;
+                pending_mod = None;
+            }
+            (TokKind::Ident, "fn") => {
+                // An item only when a name follows (`fn(` is a fn-pointer
+                // type, `Fn` trait bounds don't lex as `fn`).
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let in_test = cfg_test_depth > 0 || attr_marks_test(toks, i);
+                    out.fns.push(FnNode {
+                        module_path: mod_stack.clone(),
+                        name: name.text.clone(),
+                        line: t.line,
+                        col: t.col,
+                        body: None,
+                        in_cfg_test: in_test,
+                        events: Vec::new(),
+                    });
+                    pending_fn = Some(out.fns.len() - 1);
+                }
+            }
+            (TokKind::Ident, "mod") => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    pending_mod = Some((name.text.clone(), attr_marks_test(toks, i)));
+                }
+            }
+            (TokKind::Ident, "use") => {
+                // Only a declaration when preceded by item context (not
+                // e.g. a field named `use` — impossible; `use` is reserved).
+                let (node, end) = parse_use(toks, i);
+                for k in i..end.min(toks.len()) {
+                    skip[k] = true;
+                }
+                if let Some(mut u) = node {
+                    u.in_cfg_test = cfg_test_depth > 0;
+                    out.uses.push(u);
+                }
+                i = end;
+                continue;
+            }
+            (TokKind::Ident, "match") => {
+                let enclosing = frames.iter().rev().find_map(|f| match f {
+                    FrameKind::Fn(idx) => Some(*idx),
+                    _ => None,
+                });
+                if let Some(m) =
+                    parse_match(toks, i, enclosing, cfg_test_depth > 0, &mut skip)
+                {
+                    out.matches.push(m);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Pass 2: expression skeleton + path refs.
+    scan_events(lexed, &skip, &mut out);
+    out
+}
+
+/// Do the attributes immediately before item keyword at `i` include
+/// `#[test]` or `#[cfg(test)]`? Walks backwards over `pub`, `pub(…)`,
+/// `async`, `unsafe`, `const`, `extern` qualifiers and `#[…]` groups.
+fn attr_marks_test(toks: &[Tok], i: usize) -> bool {
+    let mut k = i;
+    loop {
+        // Step over qualifiers between attributes and the keyword.
+        while k > 0
+            && matches!(
+                toks[k - 1].text.as_str(),
+                "pub" | "async" | "unsafe" | "const" | "extern"
+            )
+        {
+            k -= 1;
+        }
+        if k > 0 && toks[k - 1].is_punct(")") {
+            // `pub(crate)` — walk back over the parenthesized part.
+            let mut depth = 0usize;
+            let mut j = k - 1;
+            loop {
+                if toks[j].is_punct(")") {
+                    depth += 1;
+                } else if toks[j].is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_ident("pub") {
+                k = j - 1;
+                continue;
+            }
+            return false;
+        }
+        if k > 0 && toks[k - 1].is_punct("]") {
+            // An attribute group: scan back to its `#`.
+            let mut depth = 0usize;
+            let mut j = k - 1;
+            loop {
+                if toks[j].is_punct("]") {
+                    depth += 1;
+                } else if toks[j].is_punct("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            if j == 0 || !toks[j - 1].is_punct("#") {
+                return false;
+            }
+            // Inspect the group contents for `test` / `cfg … test`.
+            let body: Vec<&str> = toks[j + 1..k - 1].iter().map(|t| t.text.as_str()).collect();
+            if body.first() == Some(&"test")
+                || (body.first() == Some(&"cfg") && body.contains(&"test"))
+            {
+                return true;
+            }
+            k = j - 1;
+            continue;
+        }
+        return false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// `use` trees.
+// ---------------------------------------------------------------------
+
+/// Parse a `use …;` declaration starting at the `use` token. Returns the
+/// expanded node (None if degenerate) and the index just past the `;`.
+fn parse_use(toks: &[Tok], start: usize) -> (Option<UseNode>, usize) {
+    let mut end = start + 1;
+    let mut depth = 0usize;
+    while end < toks.len() {
+        let t = &toks[end];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(";") && depth == 0 {
+            break;
+        }
+        end += 1;
+    }
+    let body = &toks[start + 1..end.min(toks.len())];
+    let mut leaves = Vec::new();
+    expand_use_tree(body, &mut Vec::new(), &mut leaves);
+    let node = (!leaves.is_empty()).then(|| UseNode {
+        line: toks[start].line,
+        col: toks[start].col,
+        leaves,
+        in_cfg_test: false, // caller overrides from its module stack
+    });
+    (node, end + 1)
+}
+
+/// Expand one use-tree token slice under `prefix` into `leaves`.
+/// Handles `a::b`, groups `{…, …}`, globs `*`, and `as` renames (the
+/// rename target is dropped — layering cares about the source path).
+fn expand_use_tree(toks: &[Tok], prefix: &mut Vec<String>, leaves: &mut Vec<Vec<String>>) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.text != "as" {
+            segs.push(t.text.clone());
+            i += 1;
+        } else if t.is_punct("::") {
+            i += 1;
+        } else if t.is_punct("*") {
+            segs.push("*".to_string());
+            i += 1;
+        } else if t.is_ident("as") {
+            // Skip the rename target.
+            i += 2;
+        } else if t.is_punct("{") {
+            // Group: extend the prefix with the segments gathered so far,
+            // split group items at top-level commas, recurse, then restore
+            // the prefix for the caller.
+            let base = prefix.len();
+            prefix.extend(segs.drain(..));
+            let mut depth = 1usize;
+            let mut j = i + 1;
+            let mut item_start = j;
+            while j < toks.len() {
+                let u = &toks[j];
+                if u.is_punct("{") {
+                    depth += 1;
+                } else if u.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        expand_use_tree(&toks[item_start..j], prefix, leaves);
+                        break;
+                    }
+                } else if u.is_punct(",") && depth == 1 {
+                    expand_use_tree(&toks[item_start..j], prefix, leaves);
+                    item_start = j + 1;
+                }
+                j += 1;
+            }
+            prefix.truncate(base);
+            return;
+        } else {
+            i += 1;
+        }
+    }
+    if !segs.is_empty() {
+        let mut leaf = prefix.clone();
+        leaf.extend(segs);
+        leaves.push(leaf);
+    }
+}
+
+// ---------------------------------------------------------------------
+// `match` expressions.
+// ---------------------------------------------------------------------
+
+/// Analyze the `match` starting at token `start` (the keyword). Marks
+/// pattern token ranges in `skip`. Returns None when the construct does
+/// not look like a match expression (e.g. lexing degenerated).
+fn parse_match(
+    toks: &[Tok],
+    start: usize,
+    fn_idx: Option<usize>,
+    in_cfg_test: bool,
+    skip: &mut [bool],
+) -> Option<MatchNode> {
+    // Scrutinee: everything until the arm-block `{` at bracket depth 0.
+    let mut i = start + 1;
+    let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+    let mut scrutinee = Vec::new();
+    let arms_open = loop {
+        let t = toks.get(i)?;
+        match t.text.as_str() {
+            "(" if t.kind == TokKind::Punct => p += 1,
+            ")" if t.kind == TokKind::Punct => p -= 1,
+            "[" if t.kind == TokKind::Punct => b += 1,
+            "]" if t.kind == TokKind::Punct => b -= 1,
+            "{" if t.kind == TokKind::Punct => {
+                if p == 0 && b == 0 && c == 0 {
+                    break i;
+                }
+                c += 1;
+            }
+            "}" if t.kind == TokKind::Punct => c -= 1,
+            _ => {
+                if t.kind == TokKind::Ident {
+                    scrutinee.push(t.text.clone());
+                }
+            }
+        }
+        i += 1;
+    };
+
+    let mut arms = Vec::new();
+    let mut j = arms_open + 1;
+    'arms: while j < toks.len() {
+        // End of the arm block?
+        if toks[j].is_punct("}") {
+            break;
+        }
+        // Skip arm attributes (`#[cfg(…)]`) and stray commas.
+        if toks[j].is_punct(",") {
+            j += 1;
+            continue;
+        }
+        if toks[j].is_punct("#") {
+            let mut depth = 0i32;
+            j += 1;
+            while j < toks.len() {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        continue 'arms;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        // Pattern: tokens until `=>` at depth 0; `if` at depth 0 starts a
+        // guard (which stays scannable — guards are expressions).
+        let pat_start = j;
+        let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+        let mut guard_at: Option<usize> = None;
+        let arrow = loop {
+            if j >= toks.len() {
+                break None;
+            }
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => p -= 1,
+                    "[" => b += 1,
+                    "]" => b -= 1,
+                    "{" => c += 1,
+                    "}" => {
+                        if c == 0 && p == 0 && b == 0 {
+                            break None; // malformed: arm block closed
+                        }
+                        c -= 1;
+                    }
+                    "=" if p == 0 && b == 0 && c == 0 => {
+                        if toks.get(j + 1).is_some_and(|n| n.is_punct(">")) {
+                            break Some(j);
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.is_ident("if") && p == 0 && b == 0 && c == 0 && guard_at.is_none() {
+                guard_at = Some(j);
+            }
+            j += 1;
+        };
+        let Some(arrow) = arrow else { break };
+        let pat_end = guard_at.unwrap_or(arrow);
+        for s in skip.iter_mut().take(pat_end).skip(pat_start) {
+            *s = true;
+        }
+        let mut arm = analyze_pattern(&toks[pat_start..pat_end], guard_at.is_some());
+        // Does the body open with a panic-class macro (possibly inside a
+        // `{ … }` block)? Loud divergence, not silent fall-through.
+        let mut b = arrow + 2;
+        if toks.get(b).is_some_and(|t| t.is_punct("{")) {
+            b += 1;
+        }
+        arm.body_diverges = toks.get(b).is_some_and(|t| {
+            matches!(
+                t.text.as_str(),
+                "unreachable" | "panic" | "todo" | "unimplemented"
+            ) && t.kind == TokKind::Ident
+        }) && toks.get(b + 1).is_some_and(|t| t.is_punct("!"));
+        arms.push(arm);
+
+        // Arm body: `{ … }` block or expression until `,`/`}` at depth 0.
+        j = arrow + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct("{") {
+                    depth += 1;
+                } else if toks[j].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        continue 'arms;
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => p += 1,
+                    ")" => p -= 1,
+                    "[" => b += 1,
+                    "]" => b -= 1,
+                    "{" => c += 1,
+                    "}" => {
+                        if c == 0 && p == 0 && b == 0 {
+                            continue 'arms; // arm block's own close
+                        }
+                        c -= 1;
+                    }
+                    "," if p == 0 && b == 0 && c == 0 => {
+                        j += 1;
+                        continue 'arms;
+                    }
+                    _ => {}
+                }
+            } else if t.is_ident("match") {
+                // A nested match in expression position: its arm block is
+                // part of this arm's expression. Let the depth counters
+                // absorb it (its own `{` bumps `c`).
+            }
+            j += 1;
+        }
+        break;
+    }
+
+    Some(MatchNode {
+        line: toks[start].line,
+        col: toks[start].col,
+        scrutinee,
+        arms,
+        fn_idx,
+        in_cfg_test,
+    })
+}
+
+/// Summarize one arm pattern (already guard-stripped).
+fn analyze_pattern(toks: &[Tok], has_guard: bool) -> Arm {
+    let (line, col) = toks
+        .first()
+        .map(|t| (t.line, t.col))
+        .unwrap_or((0, 0));
+    let mut paths = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && (i == 0 || !toks[i - 1].is_punct("::"))
+        {
+            let mut segs = vec![toks[i].text.clone()];
+            let mut k = i + 1;
+            while toks.get(k).is_some_and(|t| t.is_punct("::"))
+                && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                segs.push(toks[k + 1].text.clone());
+                k += 2;
+            }
+            i = k;
+            paths.push(segs);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Split into top-level `|` alternatives and classify each.
+    let mut wildcard = false;
+    let mut binding_only = false;
+    let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
+    let mut alt: Vec<&Tok> = Vec::new();
+    let mut alts: Vec<Vec<&Tok>> = Vec::new();
+    for t in toks {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => b += 1,
+                "]" => b -= 1,
+                "{" => c += 1,
+                "}" => c -= 1,
+                "|" if p == 0 && b == 0 && c == 0 => {
+                    alts.push(std::mem::take(&mut alt));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        alt.push(t);
+    }
+    alts.push(alt);
+    for a in &alts {
+        let core: Vec<&&Tok> = a
+            .iter()
+            .filter(|t| !(t.is_ident("ref") || t.is_ident("mut")))
+            .collect();
+        match core.as_slice() {
+            // `_` lexes as an identifier character.
+            [t] if t.text == "_" => wildcard = true,
+            [t] if t.kind == TokKind::Ident && t.text != "_" => {
+                // A lone identifier: a catch-all binding — unless it is a
+                // unit path segment of a longer path (excluded: paths have
+                // `::` and are multi-token) or a literal keyword.
+                if !matches!(t.text.as_str(), "true" | "false") {
+                    binding_only = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    Arm {
+        line,
+        col,
+        paths,
+        wildcard,
+        binding_only,
+        has_guard,
+        body_diverges: false, // caller fills in from the arm body
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: expression skeleton.
+// ---------------------------------------------------------------------
+
+/// Walk the token stream once more, emitting call/method/macro/index
+/// events into their innermost enclosing fn, and qualified-path heads
+/// into [`ParsedFile::path_refs`]. `skip` masks pattern/use ranges.
+fn scan_events(lexed: &Lexed, skip: &[bool], out: &mut ParsedFile) {
+    let toks = &lexed.toks;
+
+    // Innermost-fn lookup: fns sorted by body start; for a token index,
+    // the innermost fn is the one with the largest body start containing
+    // it. Linear scan per event would be O(n·m); build a stack sweep.
+    let mut fn_of = vec![usize::MAX; toks.len()];
+    {
+        let mut order: Vec<usize> = (0..out.fns.len())
+            .filter(|&i| out.fns[i].body.is_some())
+            .collect();
+        order.sort_by_key(|&i| out.fns[i].body.unwrap().0);
+        for idx in order {
+            let (s, e) = out.fns[idx].body.unwrap();
+            for f in fn_of.iter_mut().take(e.min(toks.len())).skip(s) {
+                *f = idx; // inner fns overwrite outer ones: later start wins
+            }
+        }
+    }
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if skip[i] {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let is_kw = matches!(
+                t.text.as_str(),
+                "if" | "while" | "for" | "match" | "return" | "fn" | "loop" | "in" | "as"
+                    | "let" | "mut" | "ref" | "move" | "else" | "use" | "pub" | "mod"
+                    | "impl" | "trait" | "struct" | "enum" | "where" | "async" | "await"
+                    | "dyn" | "const" | "static" | "unsafe" | "extern" | "crate" | "self"
+                    | "Self" | "super" | "break" | "continue"
+            );
+            let prev_sep = i == 0 || !toks[i - 1].is_punct("::");
+            // Qualified-path head (for D08).
+            if !is_kw
+                && prev_sep
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && (i == 0 || !toks[i - 1].is_punct("."))
+            {
+                out.path_refs.push(PathRef {
+                    head: t.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                    in_cfg_test: fn_of
+                        .get(i)
+                        .and_then(|&f| out.fns.get(f))
+                        .is_some_and(|f| f.in_cfg_test),
+                });
+            }
+            // Macro invocation.
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+            {
+                emit(out, &fn_of, i, Event::Macro {
+                    name: t.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                });
+                i += 2;
+                continue;
+            }
+            // Call / path-call / method-call.
+            if !is_kw {
+                let mut k = i;
+                // Optional turbofish between name and `(`.
+                if toks.get(k + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(k + 2).is_some_and(|n| n.is_punct("<"))
+                {
+                    let mut depth = 0i32;
+                    let mut m = k + 2;
+                    while m < toks.len() {
+                        if toks[m].is_punct("<") {
+                            depth += 1;
+                        } else if toks[m].is_punct(">") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    if toks.get(m + 1).is_some_and(|n| n.is_punct("(")) {
+                        k = m; // name::<T>( — treat as call of `name`
+                    }
+                }
+                let calls = toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+                    || (k != i); // turbofish form already verified its paren
+                if calls {
+                    let is_method = i >= 1 && toks[i - 1].is_punct(".");
+                    if is_method {
+                        emit(out, &fn_of, i, Event::Method {
+                            name: t.text.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    } else {
+                        // Walk the `::` path backwards from the name.
+                        let mut segs = vec![t.text.clone()];
+                        let mut h = i;
+                        while h >= 2
+                            && toks[h - 1].is_punct("::")
+                            && toks[h - 2].kind == TokKind::Ident
+                        {
+                            segs.insert(0, toks[h - 2].text.clone());
+                            h -= 2;
+                        }
+                        emit(out, &fn_of, i, Event::Call {
+                            path: segs,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            }
+        } else if t.is_punct("[") && i >= 1 {
+            let prev = &toks[i - 1];
+            let indexes = (prev.kind == TokKind::Ident
+                && !matches!(
+                    prev.text.as_str(),
+                    "mut" | "ref" | "return" | "in" | "as" | "let" | "else" | "match" | "if"
+                        | "break" | "continue" | "move" | "dyn" | "where"
+                ))
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if indexes {
+                emit(out, &fn_of, i, Event::Index {
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+fn emit(out: &mut ParsedFile, fn_of: &[usize], tok_idx: usize, ev: Event) {
+    if let Some(&f) = fn_of.get(tok_idx) {
+        if f != usize::MAX {
+            out.fns[f].events.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_and_module_paths() {
+        let f = p("mod a { pub mod b { fn inner() {} } }\nfn outer() {}\n");
+        let names: Vec<(String, Vec<String>)> = f
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module_path.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("inner".to_string(), vec!["a".to_string(), "b".to_string()]),
+                ("outer".to_string(), vec![]),
+            ]
+        );
+        assert!(f.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let f = p("#[cfg(test)]\nmod tests { fn helper() {} }\n#[test]\nfn unit() {}\nfn real() {}\n");
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("helper").in_cfg_test);
+        assert!(by_name("unit").in_cfg_test);
+        assert!(!by_name("real").in_cfg_test);
+    }
+
+    #[test]
+    fn use_trees_expand_to_leaves() {
+        let f = p("use a::{b::C, d, e::*};\nuse x::Y as Z;\n");
+        let leaves: Vec<String> = f
+            .uses
+            .iter()
+            .flat_map(|u| u.leaves.iter().map(|l| l.join("::")))
+            .collect();
+        assert_eq!(leaves, vec!["a::b::C", "a::d", "a::e::*", "x::Y"]);
+    }
+
+    #[test]
+    fn calls_methods_macros_and_indexing() {
+        let f = p("fn f(v: &[u8]) { g(); a::b::h(); v.iter(); let x = v[0]; panic!(\"x\"); }");
+        let evs = &f.fns[0].events;
+        let kinds: Vec<String> = evs
+            .iter()
+            .map(|e| match e {
+                Event::Call { path, .. } => format!("call:{}", path.join("::")),
+                Event::Method { name, .. } => format!("method:{name}"),
+                Event::Macro { name, .. } => format!("macro:{name}"),
+                Event::Index { .. } => "index".to_string(),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["call:g", "call:a::b::h", "method:iter", "index", "macro:panic"]
+        );
+    }
+
+    #[test]
+    fn patterns_do_not_emit_call_or_index_events() {
+        let f = p(
+            "fn f(x: Option<[u8; 2]>) -> u8 { match x { Some([a, _b]) => a, None => 0 } }",
+        );
+        let evs = &f.fns[0].events;
+        assert!(
+            evs.is_empty(),
+            "pattern leaked into the expression skeleton: {evs:?}"
+        );
+        assert_eq!(f.matches.len(), 1);
+        assert_eq!(f.matches[0].arms.len(), 2);
+    }
+
+    #[test]
+    fn match_arm_classification() {
+        let f = p("fn f(c: E) { match c { E::A => {}, E::B(x) if x > 0 => {}, other => {}, _ => {} } }");
+        let m = &f.matches[0];
+        assert_eq!(m.arms.len(), 4);
+        assert_eq!(m.arms[0].paths, vec![vec!["E".to_string(), "A".to_string()]]);
+        assert!(!m.arms[0].wildcard && !m.arms[0].binding_only);
+        assert!(m.arms[1].has_guard);
+        assert!(m.arms[2].binding_only);
+        assert!(m.arms[3].wildcard);
+        assert_eq!(m.scrutinee, vec!["c"]);
+    }
+
+    #[test]
+    fn nested_matches_are_both_seen() {
+        let f = p(
+            "fn f(a: E, b: E) { match a { E::A => match b { E::B => {}, _ => {} }, _ => {} } }",
+        );
+        assert_eq!(f.matches.len(), 2);
+        // Outer has 2 arms, inner has 2 arms.
+        let arm_counts: Vec<usize> = f.matches.iter().map(|m| m.arms.len()).collect();
+        assert_eq!(arm_counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn path_refs_record_heads_outside_use() {
+        let f = p("use a::b;\nfn f() { let _ = qsnet::model(); c::d(); }");
+        let heads: Vec<&str> = f.path_refs.iter().map(|r| r.head.as_str()).collect();
+        assert_eq!(heads, vec!["qsnet", "c"]);
+    }
+
+    #[test]
+    fn trait_decls_have_no_body_and_struct_braces_are_blocks() {
+        let f = p("trait T { fn decl(&self); fn with_default(&self) { self.decl() } }\nstruct S { x: u8 }");
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].body.is_none());
+        assert!(f.fns[1].body.is_some());
+        assert_eq!(f.fns[1].events.len(), 1);
+    }
+
+    #[test]
+    fn scrutinee_with_calls_still_finds_arm_block() {
+        let f = p("fn f() { match g(h(), |x| { x + 1 }) { 1 => {}, _ => {} } }");
+        assert_eq!(f.matches.len(), 1);
+        assert_eq!(f.matches[0].arms.len(), 2);
+        assert!(f.matches[0].scrutinee.contains(&"g".to_string()));
+    }
+
+    #[test]
+    fn binding_with_at_or_struct_pattern_is_not_binding_only() {
+        let f = p("fn f(c: E) { match c { E::A { x } => {}, y @ E::B => {} } }");
+        let m = &f.matches[0];
+        assert!(!m.arms[0].binding_only);
+        assert!(!m.arms[1].binding_only, "y @ … is not a bare catch-all");
+    }
+}

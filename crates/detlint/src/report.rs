@@ -34,18 +34,21 @@ pub fn summary_line(scan: &Scan, elapsed_secs: f64) -> String {
 
 /// Serialize a scan as the `reports/detlint.json` document (hand-rolled
 /// JSON — the workspace is offline and serde-free, same as
-/// `bench_wallclock.json`). `elapsed_secs` is detlint's own wall time:
-/// recorded *here*, and deliberately **excluded** from
-/// `reports/bench_wallclock.json`, so the PR 3 wall-clock regression gate
-/// never absorbs lint time as harness noise.
-pub fn to_json(scan: &Scan, root: &str, elapsed_secs: f64) -> String {
+/// `bench_wallclock.json`).
+///
+/// Schema v2: the v1 `elapsed_secs` key is gone — the report is a pure
+/// function of the scanned sources, so two consecutive runs emit
+/// byte-identical files (CI diffs them; wall time lives in the console
+/// summary line only). v2 also carries rule ids D01–D11: D08 (layer DAG),
+/// D09 (protocol-match exhaustiveness), D10 (panic-path audit), and D11
+/// (nondeterminism taint) joined the original token rules.
+pub fn to_json(scan: &Scan, root: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"version\": 2,");
     let _ = writeln!(s, "  \"tool\": \"detlint\",");
     let _ = writeln!(s, "  \"root\": {},", json_str(root));
     let _ = writeln!(s, "  \"files_scanned\": {},", scan.files_scanned);
-    let _ = writeln!(s, "  \"elapsed_secs\": {:.6},", elapsed_secs);
     let _ = writeln!(
         s,
         "  \"summary\": {{ \"total\": {}, \"waived\": {}, \"unwaived\": {}, \"waiver_errors\": {} }},",
@@ -344,7 +347,7 @@ mod tests {
 
     #[test]
     fn emitted_json_validates_including_escapes() {
-        let json = to_json(&sample_scan(), "/some/root", 0.125);
+        let json = to_json(&sample_scan(), "/some/root");
         validate_json(&json).expect("emitted JSON must be well-formed");
         assert!(json.contains("\"waiver_errors\""));
         assert!(json.contains("\\\"quoted\\\""));
@@ -352,8 +355,19 @@ mod tests {
 
     #[test]
     fn empty_scan_json_validates() {
-        let json = to_json(&Scan::default(), ".", 0.0);
+        let json = to_json(&Scan::default(), ".");
         validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn report_is_deterministic_and_time_free() {
+        // Schema v2 contract: the report is a pure function of the scan, so
+        // two serializations are byte-identical and no wall-time leaks in.
+        let a = to_json(&sample_scan(), "/some/root");
+        let b = to_json(&sample_scan(), "/some/root");
+        assert_eq!(a, b);
+        assert!(!a.contains("elapsed_secs"));
+        assert!(a.contains("\"version\": 2,"));
     }
 
     #[test]

@@ -22,7 +22,12 @@ use crate::lexer::{Lexed, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// Every rule id detlint knows (waivers naming anything else are W01).
-pub const RULE_IDS: &[&str] = &["D01", "D02", "D03", "D04", "D05", "D06", "D07"];
+/// D01–D07 are the token rules below; D08–D10 are the parser-based
+/// semantic rules in [`crate::semantic`]; D11 is the call-graph taint
+/// rule in [`crate::graph`].
+pub const RULE_IDS: &[&str] = &[
+    "D01", "D02", "D03", "D04", "D05", "D06", "D07", "D08", "D09", "D10", "D11",
+];
 
 /// One raw finding inside a single file (file attribution happens in the
 /// driver).

@@ -85,6 +85,84 @@ fn waived_construct_exits_zero_but_reasonless_waiver_fails() {
 }
 
 #[test]
+fn waiver_budget_gates_and_lists_the_ledger() {
+    let root = mk_tree(
+        "cli-budget",
+        "#![forbid(unsafe_code)]\npub fn f() {\n    \
+         // detlint: allow(D01) — cli fixture: first waiver.\n    \
+         let _ = std::time::Instant::now();\n    \
+         // detlint: allow(D01) — cli fixture: second waiver.\n    \
+         let _ = std::time::Instant::now();\n}\n",
+    );
+    // Within budget: clean exit.
+    let out = run(&root, &["--quiet", "--max-waivers", "2"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Over budget: fail and print every waived finding with its reason.
+    let out = run(&root, &["--quiet", "--max-waivers", "1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("waiver budget exceeded"), "{err}");
+    assert!(err.contains("src/lib.rs:4 D01 — cli fixture: first waiver."), "{err}");
+    assert!(err.contains("src/lib.rs:6 D01 — cli fixture: second waiver."), "{err}");
+}
+
+#[test]
+fn graph_flag_writes_dot_file() {
+    let root = mk_tree(
+        "cli-graph",
+        "#![forbid(unsafe_code)]\npub fn f() -> u64 {\n    42\n}\n",
+    );
+    let out = run(&root, &["--quiet", "--graph", "dot"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dot = std::fs::read_to_string(root.join("reports/detlint_graph.dot"))
+        .expect("--graph dot must write reports/detlint_graph.dot");
+    assert!(dot.contains("digraph detlint"), "{dot}");
+    assert!(dot.contains("rankdir"), "{dot}");
+}
+
+#[test]
+fn consecutive_runs_emit_byte_identical_reports() {
+    // Schema v2 drops wall time from the report, so re-linting an
+    // unchanged tree must reproduce the file exactly — run the real
+    // binary twice over the real workspace (the parallel-read path
+    // included) and compare bytes.
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli-stable");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let (a, b) = (tmp.join("a.json"), tmp.join("b.json"));
+    for out_path in [&a, &b] {
+        let out = Command::new(detlint_bin())
+            .arg("--root")
+            .arg(&ws_root)
+            .args(["--quiet", "--json-out", out_path.to_str().unwrap()])
+            .output()
+            .expect("spawn detlint");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "workspace must be clean; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let (ja, jb) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    assert_eq!(ja, jb, "consecutive detlint runs diverged");
+    assert!(
+        !String::from_utf8_lossy(&ja).contains("elapsed_secs"),
+        "wall time leaked back into the report"
+    );
+}
+
+#[test]
 fn check_json_rejects_malformed_reports() {
     let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli-badjson");
     std::fs::create_dir_all(&root).unwrap();

@@ -1,0 +1,17 @@
+//@ path: crates/qsnet/src/layercheck.rs
+// Known-bad: upward/undeclared crate references from qsnet (layer L1).
+use bcs_core::XferAndSignal; //~ D08
+use proplite::prelude::Gen; //~ D08
+use simcore::SimRng; // declared downward edge — clean
+use std::collections::BTreeMap; // std path, not a crate edge
+
+pub fn qualified() {
+    let _ = storm::launch_all(); //~ D08
+    let _m: BTreeMap<u32, u64> = BTreeMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    // dev-dependency from #[cfg(test)] context — clean
+    use proplite::prelude::*;
+}

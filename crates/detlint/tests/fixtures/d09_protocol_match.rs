@@ -1,0 +1,31 @@
+//@ path: crates/mpi-api/src/demux.rs
+// Known-bad: silent catch-alls in matches over wire-protocol enums.
+pub fn classify(c: &MpiCall) -> u32 {
+    match c {
+        MpiCall::Barrier { .. } => 1,
+        _ => 0, //~ D09
+    }
+}
+
+pub fn swallow(r: MpiResp) {
+    match r {
+        MpiResp::Ok => {}
+        other => drop(other), //~ D09
+    }
+}
+
+// Loud divergence is the sanctioned demux idiom — clean.
+pub fn demux(r: MpiResp) -> u32 {
+    match r {
+        MpiResp::Data { .. } => 1,
+        other => unreachable!("unexpected {other:?}"),
+    }
+}
+
+// Non-protocol enums may use wildcards freely (the true negative).
+pub fn free(x: Option<u8>) -> u8 {
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}

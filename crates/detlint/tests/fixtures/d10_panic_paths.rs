@@ -1,0 +1,30 @@
+//@ path: crates/faultsim/src/recover.rs
+// Known-bad: unjustified panic-capable sites in a designated recovery path.
+pub fn pick(q: &mut Vec<u8>) -> u8 {
+    q.pop().unwrap() //~ D10
+}
+
+pub fn head(q: &[u8]) -> u8 {
+    q[0] //~ D10
+}
+
+pub fn strict(x: Option<u8>) -> u8 {
+    x.expect("x must be set") //~ D10
+}
+
+pub fn dead_end() {
+    unreachable!("never taken") //~ D10
+}
+
+// PANIC-OK: ring is sized at construction; idx is reduced modulo len.
+pub fn justified(ring: &[u8], idx: usize) -> u8 {
+    ring[idx % ring.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may index freely — clean.
+    fn in_test(q: &[u8]) -> u8 {
+        q[0]
+    }
+}

@@ -1,0 +1,37 @@
+//@ path: crates/core/src/taintcheck.rs
+// Known-bad: nondeterminism leaking through the call graph (D11). The
+// thread spawn is the D03 seed; every call site that can reach it is
+// flagged transitively.
+fn entropy() -> u64 {
+    let h = std::thread::spawn(|| 7u64); //~ D03
+    h.join().unwrap_or(0)
+}
+
+fn relay() -> u64 {
+    entropy() //~ D11
+}
+
+pub fn top() -> u64 {
+    relay() + 1 //~ D11
+}
+
+// An allow(D11) on the call line waives the site finding AND blocks the
+// edge, so callers of `sealed` stay clean.
+pub fn sealed() -> u64 {
+    // detlint: allow(D11) — fixture: demonstrates a sanctioned edge.
+    entropy(); //~ D11(waived)
+    0
+}
+
+pub fn clean_top() -> u64 {
+    sealed()
+}
+
+// A pure helper keeps its callers clean (the true negative).
+fn pure_add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+pub fn calls_pure() -> u64 {
+    pure_add(1, 2)
+}

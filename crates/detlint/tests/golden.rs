@@ -117,7 +117,9 @@ fn fixture_corpus_matches_markers() {
         }
     }
     // The corpus must exercise every rule plus both waiver-error kinds.
-    for code in ["D01", "D02", "D03", "D04", "D05", "D06", "D07", "W01", "W02"] {
+    for code in [
+        "D01", "D02", "D03", "D04", "D05", "D06", "D07", "D08", "D09", "D10", "D11", "W01", "W02",
+    ] {
         assert!(
             rules_covered.contains(code),
             "no fixture covers {code} (have {rules_covered:?})"

@@ -1,0 +1,157 @@
+//! Property test: parser item positions agree with lexer token positions
+//! under arbitrary interleavings of comments, strings, raw strings and
+//! code segments. A fixed sentinel item group is appended after a
+//! randomly assembled prefix; every node the parser reports for it
+//! (`use` declaration, `fn` item, `match` expression, call event, body
+//! brace span) must sit exactly on the lexer token that introduces it.
+//! If the parser's structural pass ever desynchronizes from the token
+//! stream — a comment or string interior mistaken for code, a frame
+//! popped early — a position drifts and the property fails.
+
+use detlint::lexer::{TokKind, lex};
+use detlint::parse::{Event, parse};
+use proplite::prelude::*;
+
+/// Same adversarial building blocks as the lexer property test: every
+/// bracket/quote/comment closed, none ends in an identifier character.
+const SEGMENTS: &[&str] = &[
+    "let a = 1;",
+    "\n",
+    "   ",
+    "// line comment with code-looking text: fn bogus() { match x {\n",
+    "/* block comment\n   spanning lines */",
+    "/* nested /* use fake::Thing; */ comment */",
+    "// naïve – non-ASCII – comment\n",
+    "let s = \"string with fn zq_fn_zq() and \\\" escape\";",
+    "let r = r#\"raw \" string with \\ backslash and match\"#;",
+    "let big = r##\"doubly-raw with \"# inside\"##;",
+    "let c = '\\n';",
+    "fn life<'a>(x: &'a u32) -> &'a u32 { x }",
+];
+
+/// The sentinel item group appended after the prefix. Its names appear
+/// nowhere in SEGMENTS outside comments/strings.
+const ITEMS: &str = "use zq_mod_zq::ZqThing;\n\
+     fn zq_fn_zq() { zq_callee_zq(); match zq_scrut_zq { ZqEnum::A => {} _ => {} } }";
+
+fn check(picks: &[usize], pad: usize) -> TestResult {
+    let mut prefix = String::new();
+    for &p in picks {
+        prefix.push_str(SEGMENTS[p % SEGMENTS.len()]);
+    }
+    for _ in 0..pad {
+        prefix.push(' ');
+    }
+    let src = format!("{prefix}\n{ITEMS}");
+    let lexed = lex(&src);
+    let parsed = parse(&lexed);
+    let toks = &lexed.toks;
+
+    // Lexer-side ground truth: the keyword token introducing each item,
+    // found by its unique sentinel neighbor.
+    let kw_before = |kw: &str, next: &str| {
+        toks.windows(2)
+            .find(|w| w[0].is_ident(kw) && w[1].is_ident(next))
+            .map(|w| (w[0].line, w[0].col))
+    };
+
+    // `use` declaration sits on its `use` keyword.
+    let use_tok = kw_before("use", "zq_mod_zq");
+    prop_assert!(use_tok.is_some(), "use keyword vanished from {src:?}");
+    let u = parsed
+        .uses
+        .iter()
+        .find(|u| u.leaves.iter().any(|l| l[0] == "zq_mod_zq"));
+    prop_assert!(u.is_some(), "use node vanished from {src:?}");
+    let u = u.unwrap();
+    prop_assert_eq!(
+        (u.line, u.col),
+        use_tok.unwrap(),
+        "use position drifted in {src:?}"
+    );
+    prop_assert_eq!(u.leaves.len(), 1, "use leaves wrong in {src:?}");
+    prop_assert_eq!(&u.leaves[0][1], "ZqThing", "use leaf wrong in {src:?}");
+
+    // `fn` item sits on its `fn` keyword; body span is exactly the braces.
+    let fn_tok = kw_before("fn", "zq_fn_zq");
+    let f = parsed.fns.iter().find(|f| f.name == "zq_fn_zq");
+    prop_assert!(
+        fn_tok.is_some() && f.is_some(),
+        "fn item vanished from {src:?}"
+    );
+    let f = f.unwrap();
+    prop_assert_eq!(
+        (f.line, f.col),
+        fn_tok.unwrap(),
+        "fn position drifted in {src:?}"
+    );
+    let (bs, be) = f.body.expect("sentinel fn has a body");
+    prop_assert!(
+        toks[bs].kind == TokKind::Punct && toks[bs].text == "{",
+        "body start is not `{{` in {src:?}"
+    );
+    prop_assert!(
+        toks[be - 1].kind == TokKind::Punct && toks[be - 1].text == "}",
+        "body end is not `}}` in {src:?}"
+    );
+
+    // The call event sits on the callee identifier token.
+    let callee_tok = toks
+        .iter()
+        .find(|t| t.is_ident("zq_callee_zq"))
+        .map(|t| (t.line, t.col));
+    let call = f.events.iter().find_map(|e| match e {
+        Event::Call { path, line, col } if path.last().is_some_and(|s| s == "zq_callee_zq") => {
+            Some((*line, *col))
+        }
+        _ => None,
+    });
+    prop_assert!(call.is_some(), "call event vanished from {src:?}");
+    prop_assert_eq!(
+        call.unwrap(),
+        callee_tok.unwrap(),
+        "call position drifted in {src:?}"
+    );
+
+    // The match node sits on its `match` keyword.
+    let match_tok = kw_before("match", "zq_scrut_zq");
+    let m = parsed
+        .matches
+        .iter()
+        .find(|m| m.scrutinee.iter().any(|s| s == "zq_scrut_zq"));
+    prop_assert!(
+        match_tok.is_some() && m.is_some(),
+        "match vanished from {src:?}"
+    );
+    let m = m.unwrap();
+    prop_assert_eq!(
+        (m.line, m.col),
+        match_tok.unwrap(),
+        "match position drifted in {src:?}"
+    );
+    prop_assert_eq!(m.arms.len(), 2, "arm count wrong in {src:?}");
+    prop_assert!(m.arms[1].wildcard, "wildcard arm lost in {src:?}");
+
+    // Nothing from comment/string interiors may surface as an item: the
+    // only fns are the sentinel and however many `life` segments landed.
+    prop_assert!(
+        parsed
+            .fns
+            .iter()
+            .all(|f| f.name == "zq_fn_zq" || f.name == "life"),
+        "phantom fn parsed from a comment/string in {src:?}"
+    );
+    Ok(())
+}
+
+proplite! {
+    #![config(cases = 256)]
+
+    #[test]
+    fn parser_spans_agree_with_lexer_spans(
+        picks in prop::collection::vec(0usize..12, 0..12),
+        pad in 0usize..8
+    ) {
+        check(&picks, pad)?;
+    }
+}

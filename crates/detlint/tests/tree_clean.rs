@@ -8,6 +8,16 @@ use std::path::Path;
 
 #[test]
 fn workspace_scans_clean() {
+    // The scan runs the full rule set — if a rule family is dropped from
+    // the registry this gate silently weakens, so pin the universe first.
+    assert_eq!(
+        detlint::rules::RULE_IDS,
+        [
+            "D01", "D02", "D03", "D04", "D05", "D06", "D07", "D08", "D09", "D10", "D11"
+        ],
+        "rule registry changed — update the gates in verify.sh and here"
+    );
+
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
     let scan = detlint::scan_workspace(&root).expect("workspace walk failed");
     assert!(
@@ -27,4 +37,28 @@ fn workspace_scans_clean() {
             "waived finding with an empty reason: {f:?}"
         );
     }
+}
+
+#[test]
+fn scan_set_covers_root_src_tests_and_examples() {
+    // The walker must not regress to crates/-only: root-package sources,
+    // integration tests and examples are shipped code too.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let files = detlint::collect_workspace_files(&root).expect("workspace walk failed");
+    let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+    for must in ["src/lib.rs", "tests/checkpoint.rs", "examples/quickstart.rs"] {
+        assert!(
+            rels.contains(&must),
+            "scan set no longer covers {must} (have {} files)",
+            rels.len()
+        );
+    }
+    assert!(
+        rels.iter().any(|r| r.starts_with("crates/core/src/")),
+        "member crates missing from the scan set"
+    );
+    // Deterministic order regardless of readdir/thread interleaving.
+    let mut sorted = rels.clone();
+    sorted.sort_unstable();
+    assert_eq!(rels, sorted, "scan set must come back sorted");
 }

@@ -399,7 +399,23 @@ fn dispatch_call<E: Engine>(
             w.batches[rank] = Some(BatchState { queue, resps });
             issue_call(w, sim, rank, first);
         }
-        call => issue_call(w, sim, rank, call),
+        // Every non-batch call routes straight through; spelled out so a
+        // new MpiCall variant fails to compile here instead of silently
+        // inheriting the unbatched path (detlint D09).
+        call @ (MpiCall::Compute { .. }
+        | MpiCall::Now
+        | MpiCall::Send { .. }
+        | MpiCall::Recv { .. }
+        | MpiCall::Wait { .. }
+        | MpiCall::Test { .. }
+        | MpiCall::Waitall { .. }
+        | MpiCall::Testall { .. }
+        | MpiCall::Probe { .. }
+        | MpiCall::Barrier { .. }
+        | MpiCall::Bcast { .. }
+        | MpiCall::Reduce { .. }
+        | MpiCall::Allgatherv { .. }
+        | MpiCall::CommSplit { .. }) => issue_call(w, sim, rank, call),
     }
 }
 

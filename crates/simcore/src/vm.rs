@@ -160,6 +160,8 @@ impl<Req, Resp> VmHarness<Req, Resp> {
     }
 
     /// Has the given process finished?
+    // PANIC-OK: proc table entries are created at spawn and never removed;
+    // ProcId values only come from spawn.
     pub fn is_finished(&self, pid: ProcId) -> bool {
         self.slots[pid.0].finished
     }
@@ -197,6 +199,8 @@ impl<Req, Resp> VmHarness<Req, Resp> {
     /// # Panics
     /// Panics if the process already finished, or if the process itself
     /// panicked (the panic message is propagated).
+    // PANIC-OK: proc table entries live for the VM's lifetime; ProcId values
+    // only come from spawn.
     pub fn resume(&mut self, pid: ProcId, resp: Resp) -> ProcYield<Req> {
         let slot = &mut self.slots[pid.0];
         assert!(!slot.finished, "resume() on finished process {pid}");
@@ -206,6 +210,8 @@ impl<Req, Resp> VmHarness<Req, Resp> {
 
     /// Poll the process once and translate the poll result into the
     /// harness protocol.
+    // PANIC-OK: the step loop owns the proc slot for the duration of the poll;
+    // a missing slot or double-poll is a VM bug that must abort the sim loudly.
     fn step(&mut self, pid: ProcId) -> ProcYield<Req> {
         let slot = &mut self.slots[pid.0];
         let fut = slot
@@ -243,6 +249,8 @@ impl<Req, Resp> VmHarness<Req, Resp> {
     ///
     /// Returns `None` if the process has not finished, already had its
     /// result taken, or the type does not match.
+    // PANIC-OK: proc table entries live for the VM's lifetime; ProcId values
+    // only come from spawn.
     pub fn take_result<R: 'static>(&mut self, pid: ProcId) -> Option<R> {
         let slot = &mut self.slots[pid.0];
         if !slot.finished {
